@@ -1,0 +1,75 @@
+//===- bench/BenchUtil.h - Shared benchmark utilities -----------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: the standard workload suites
+/// standing in for SPEC92 (a "gcc-style" suite with plain dispatch tables
+/// and a "sunpro-style" suite with frame-popping tail calls through
+/// function-pointer cells), repository-relative source access for the
+/// line-count comparisons, and table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_BENCH_BENCHUTIL_H
+#define EEL_BENCH_BENCHUTIL_H
+
+#include "support/FileIO.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eelbench {
+
+/// Options for one member of a SPEC-like suite.
+inline eel::WorkloadOptions suiteMember(bool SunproStyle, uint64_t Seed,
+                                        unsigned Routines = 24) {
+  eel::WorkloadOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Routines = Routines;
+  Opts.SegmentsPerRoutine = 6;
+  Opts.SwitchPercent = 35;
+  Opts.TailCallPercent = SunproStyle ? 35 : 0;
+  return Opts;
+}
+
+/// The paper's SPEC92 stand-in: \p Count programs of one compiler style.
+inline std::vector<eel::SxfFile> makeSuite(eel::TargetArch Arch,
+                                           bool SunproStyle, unsigned Count,
+                                           unsigned Routines = 24) {
+  std::vector<eel::SxfFile> Suite;
+  for (unsigned I = 0; I < Count; ++I)
+    Suite.push_back(eel::generateWorkload(
+        Arch, suiteMember(SunproStyle, 1000 + I, Routines)));
+  return Suite;
+}
+
+/// Repository root derived from this header's compile-time path.
+inline std::string repoRoot() {
+  std::string Path = __FILE__;            // .../bench/BenchUtil.h
+  size_t Slash = Path.rfind('/');          // strip file
+  Slash = Path.rfind('/', Slash - 1);      // strip bench/
+  return Path.substr(0, Slash);
+}
+
+/// Non-comment, non-blank lines of a repository source file; 0 if missing.
+inline unsigned sourceLines(const std::string &RelPath) {
+  eel::Expected<std::vector<uint8_t>> Bytes =
+      eel::readFileBytes(repoRoot() + "/" + RelPath);
+  if (Bytes.hasError())
+    return 0;
+  return eel::countCodeLines(
+      std::string(Bytes.value().begin(), Bytes.value().end()));
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n==== %s ====\n", Title);
+}
+
+} // namespace eelbench
+
+#endif // EEL_BENCH_BENCHUTIL_H

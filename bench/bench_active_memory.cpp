@@ -1,0 +1,97 @@
+//===- bench/bench_active_memory.cpp - §1/§5 Active Memory slowdown -----------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Active Memory result the paper leads with: inserting
+/// cache-miss tests before memory references "dramatically lowered the
+/// cost of cache simulation — to a 2-7x slowdown". We instrument the
+/// workload suite with the inline direct-mapped cache test, run original
+/// and edited programs in the simulator, and report the instruction-count
+/// slowdown per cache configuration, along with miss ratios and the CC
+/// save/restore statistics behind the §5 Blizzard-S liveness optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Executable.h"
+#include "tools/ActiveMem.h"
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eel;
+using namespace eelbench;
+
+static void BM_InstrumentActiveMem(benchmark::State &State) {
+  SxfFile File =
+      generateWorkload(TargetArch::Srisc, suiteMember(false, 11, 32));
+  for (auto _ : State) {
+    Executable Exec((SxfFile(File)));
+    ActiveMemory AM(Exec);
+    AM.instrument();
+    Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+    benchmark::DoNotOptimize(Edited);
+  }
+}
+BENCHMARK(BM_InstrumentActiveMem)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Active Memory: inline cache simulation slowdown");
+  std::printf("%-8s %6s %6s %12s %12s %9s %9s %7s %8s\n", "target", "lines",
+              "lnsz", "orig insts", "edit insts", "slowdown", "accesses",
+              "misses", "ccsaves");
+  struct Config {
+    unsigned Lines, LineBytes;
+  };
+  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+    for (Config C : {Config{16, 8}, Config{64, 16}, Config{256, 32}}) {
+      uint64_t OrigInsts = 0, EditInsts = 0, Accesses = 0, Misses = 0;
+      unsigned CCSaves = 0;
+      for (uint64_t Seed : {1u, 2u, 3u, 4u}) {
+        SxfFile File = generateWorkload(Arch, suiteMember(false, Seed, 24));
+        RunResult Orig = runToCompletion(File);
+        Executable Exec((SxfFile(File)));
+        CacheConfig Cache;
+        Cache.Lines = C.Lines;
+        Cache.LineBytes = C.LineBytes;
+        ActiveMemory AM(Exec, Cache);
+        AM.instrument();
+        Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+        if (Edited.hasError()) {
+          std::printf("  instrumentation failed: %s\n",
+                      Edited.error().message().c_str());
+          continue;
+        }
+        Machine M(Edited.value());
+        RunResult After = M.run();
+        if (After.Output != Orig.Output)
+          std::printf("  WARNING: behaviour diverged (seed %llu)\n",
+                      static_cast<unsigned long long>(Seed));
+        OrigInsts += Orig.Instructions;
+        EditInsts += After.Instructions;
+        Accesses += AM.accesses(M.memory());
+        Misses += AM.misses(M.memory());
+        CCSaves += Exec.editStats().SnippetCCSaves;
+      }
+      std::printf("%-8s %6u %6u %12llu %12llu %8.2fx %9llu %7llu %8u\n",
+                  Arch == TargetArch::Srisc ? "srisc" : "mrisc", C.Lines,
+                  C.LineBytes, static_cast<unsigned long long>(OrigInsts),
+                  static_cast<unsigned long long>(EditInsts),
+                  static_cast<double>(EditInsts) /
+                      static_cast<double>(OrigInsts),
+                  static_cast<unsigned long long>(Accesses),
+                  static_cast<unsigned long long>(Misses), CCSaves);
+    }
+  }
+  std::printf("\npaper: Active Memory runs cache simulation at a 2-7x "
+              "slowdown. MRISC needs no\nCC saves (compare-and-branch), "
+              "SRISC saves CC only where liveness demands —\nthe Blizzard-S "
+              "optimization of §5.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- bench/bench_overhead.cpp - Profiling/editing run-time overheads ---------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time overheads of the editing mechanisms themselves:
+///
+///  * qpt2 edge/block profiling slowdown (the original qpt's domain [4]);
+///  * §3.5 register scavenging: how often snippets got free registers vs
+///    needed spill wrapping or condition-code saves;
+///  * the cost of run-time address translation on tail-call-heavy
+///    (sunpro-style) programs — the §3.3 fallback in action;
+///  * sandboxing (SFI) overhead, the paper's first application class.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Executable.h"
+#include "tools/Qpt.h"
+#include "tools/Sandbox.h"
+#include "tools/WindTunnel.h"
+#include "tools/Optimizer.h"
+#include "vm/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace eel;
+using namespace eelbench;
+
+static void BM_RunInstrumented(benchmark::State &State) {
+  SxfFile File =
+      generateWorkload(TargetArch::Srisc, suiteMember(false, 13, 24));
+  Executable Exec((SxfFile(File)));
+  Qpt2Profiler Profiler(Exec);
+  Profiler.instrument();
+  SxfFile Edited = Exec.writeEditedExecutable().takeValue();
+  for (auto _ : State) {
+    RunResult R = runToCompletion(Edited);
+    benchmark::DoNotOptimize(R.Instructions);
+  }
+}
+BENCHMARK(BM_RunInstrumented)->Unit(benchmark::kMillisecond);
+
+namespace {
+
+struct OverheadRow {
+  const char *Name;
+  double Slowdown;
+  uint64_t SnippetInstances;
+  uint64_t Spills;
+  uint64_t CCSaves;
+  uint64_t TranslationSites;
+};
+
+OverheadRow measure(const char *Name, TargetArch Arch, bool Sunpro,
+                    void (*Instrument)(Executable &),
+                    unsigned DeadCodePercent = 0) {
+  uint64_t OrigInsts = 0, EditInsts = 0;
+  OverheadRow Row{Name, 0, 0, 0, 0, 0};
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadOptions MemberOpts = suiteMember(Sunpro, Seed, 24);
+    MemberOpts.DeadCodePercent = DeadCodePercent;
+    SxfFile File = generateWorkload(Arch, MemberOpts);
+    RunResult Orig = runToCompletion(File);
+    Executable Exec((SxfFile(File)));
+    Instrument(Exec);
+    Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+    if (Edited.hasError())
+      continue;
+    RunResult After = runToCompletion(Edited.value());
+    if (After.Output != Orig.Output)
+      std::printf("  WARNING: %s diverged on seed %llu\n", Name,
+                  static_cast<unsigned long long>(Seed));
+    OrigInsts += Orig.Instructions;
+    EditInsts += After.Instructions;
+    Row.SnippetInstances += Exec.editStats().SnippetInstances;
+    Row.Spills += Exec.editStats().SnippetSpills;
+    Row.CCSaves += Exec.editStats().SnippetCCSaves;
+    Row.TranslationSites += Exec.editStats().TranslationSites;
+  }
+  Row.Slowdown =
+      static_cast<double>(EditInsts) / static_cast<double>(OrigInsts);
+  return Row;
+}
+
+void printRow(const OverheadRow &Row) {
+  std::printf("%-34s %8.2fx %9llu %7llu %8llu %7llu\n", Row.Name,
+              Row.Slowdown,
+              static_cast<unsigned long long>(Row.SnippetInstances),
+              static_cast<unsigned long long>(Row.Spills),
+              static_cast<unsigned long long>(Row.CCSaves),
+              static_cast<unsigned long long>(Row.TranslationSites));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Editing-mechanism run-time overheads");
+  std::printf("%-34s %9s %9s %7s %8s %7s\n", "configuration", "slowdown",
+              "snippets", "spills", "ccsaves", "xlate");
+
+  printRow(measure("identity rewrite (srisc)", TargetArch::Srisc, false,
+                   [](Executable &) {}));
+  printRow(measure("identity rewrite, tail calls", TargetArch::Srisc, true,
+                   [](Executable &) {}));
+  printRow(measure("qpt2 edge+block profile (srisc)", TargetArch::Srisc,
+                   false, [](Executable &Exec) {
+                     auto *P = new Qpt2Profiler(Exec);
+                     P->instrument();
+                   }));
+  printRow(measure("qpt2 edge+block profile (mrisc)", TargetArch::Mrisc,
+                   false, [](Executable &Exec) {
+                     auto *P = new Qpt2Profiler(Exec);
+                     P->instrument();
+                   }));
+  printRow(measure("qpt2 profile + translation", TargetArch::Srisc, true,
+                   [](Executable &Exec) {
+                     auto *P = new Qpt2Profiler(Exec);
+                     P->instrument();
+                   }));
+  printRow(measure("sandbox store checks (srisc)", TargetArch::Srisc, false,
+                   [](Executable &Exec) {
+                     auto *S = new Sandboxer(Exec, 0x400000, 0x7FE00000);
+                     S->instrument();
+                   }));
+  printRow(measure("WWT cycle counter (srisc)", TargetArch::Srisc, false,
+                   [](Executable &Exec) {
+                     auto *C = new CycleCounter(Exec, /*Quantum=*/1024);
+                     C->instrument();
+                   }));
+  printRow(measure("dead-code elimination (srisc)", TargetArch::Srisc,
+                   false,
+                   [](Executable &Exec) {
+                     auto *D = new DeadCodeEliminator(Exec);
+                     D->run();
+                   },
+                   /*DeadCodePercent=*/30));
+
+  std::printf("\nshape: identity ~1x; profiling a small-integer factor; "
+              "translation adds the\nbinary-search cost only on "
+              "translated jumps; scavenging keeps spills rare\n(§3.5: "
+              "dead registers usually suffice).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- examples/cache_sim.cpp - Active Memory cache simulation ----------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Active Memory application (§1, §5): simulate a memory system by
+/// inserting a quick cache test before every load and store instead of
+/// post-processing an address trace. This example sweeps cache sizes on a
+/// generated workload and prints the miss ratios and the slowdown of the
+/// edited program — the paper's "2-7x" headline.
+///
+/// Usage: cache_sim [seed]
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/ActiveMem.h"
+#include "vm/Machine.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace eel;
+
+int main(int argc, char **argv) {
+  WorkloadOptions Options;
+  Options.Seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 7;
+  Options.Routines = 20;
+  Options.SegmentsPerRoutine = 7;
+  SxfFile File = generateWorkload(TargetArch::Srisc, Options);
+
+  RunResult Original = runToCompletion(File);
+  std::printf("workload (seed %llu): %llu instructions, output \"%s\"\n",
+              static_cast<unsigned long long>(Options.Seed),
+              static_cast<unsigned long long>(Original.Instructions),
+              Original.Output.c_str());
+
+  std::printf("\n%8s %8s %10s %10s %8s %9s\n", "lines", "linesz",
+              "accesses", "misses", "miss%", "slowdown");
+  for (unsigned Lines : {8u, 32u, 128u, 512u}) {
+    CacheConfig Config;
+    Config.Lines = Lines;
+    Config.LineBytes = 16;
+
+    Executable Exec((SxfFile(File)));
+    ActiveMemory Simulator(Exec, Config);
+    Simulator.instrument();
+    Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+    if (Edited.hasError()) {
+      std::fprintf(stderr, "error: %s\n", Edited.error().message().c_str());
+      return 1;
+    }
+    Machine M(Edited.value());
+    RunResult After = M.run();
+    if (After.Output != Original.Output) {
+      std::fprintf(stderr, "error: instrumented program diverged!\n");
+      return 1;
+    }
+    uint64_t Accesses = Simulator.accesses(M.memory());
+    uint64_t Misses = Simulator.misses(M.memory());
+    std::printf("%8u %8u %10llu %10llu %7.2f%% %8.2fx\n", Lines,
+                Config.LineBytes, static_cast<unsigned long long>(Accesses),
+                static_cast<unsigned long long>(Misses),
+                100.0 * static_cast<double>(Misses) /
+                    static_cast<double>(Accesses ? Accesses : 1),
+                static_cast<double>(After.Instructions) /
+                    static_cast<double>(Original.Instructions));
+  }
+  std::printf("\nbigger caches miss less; the inline test keeps simulation "
+              "within a single-digit\nslowdown, as the paper reports for "
+              "Active Memory.\n");
+  return 0;
+}

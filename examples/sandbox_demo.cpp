@@ -1,0 +1,82 @@
+//===- examples/sandbox_demo.cpp - Software fault isolation --------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sandboxing application (§1, citing Wahbe et al.): guard every store
+/// so a protected program cannot write outside its data and stack regions.
+/// The demo first sandboxes a well-behaved generated workload (behaviour
+/// unchanged), then a misbehaving program that scribbles on a foreign
+/// address (caught: it exits with the violation status instead of
+/// corrupting memory).
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmkit/Assembler.h"
+#include "tools/Sandbox.h"
+#include "vm/Machine.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+
+using namespace eel;
+
+static int sandboxAndRun(SxfFile File, const char *Label) {
+  RunResult Original = runToCompletion(File);
+  Executable Exec(std::move(File));
+  Sandboxer SFI(Exec, /*DataRegionBase=*/0x400000,
+                /*StackRegionBase=*/0x7FE00000);
+  SFI.instrument();
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  if (Edited.hasError()) {
+    std::fprintf(stderr, "error: %s\n", Edited.error().message().c_str());
+    return -1;
+  }
+  RunResult After = runToCompletion(Edited.value());
+  std::printf("[%s] %u stores guarded; original exit=%d, sandboxed exit=%d"
+              "%s\n",
+              Label, SFI.sitesInstrumented(), Original.ExitCode,
+              After.ExitCode,
+              After.ExitCode == Sandboxer::ViolationExitCode
+                  ? "  <- VIOLATION caught"
+                  : "");
+  return After.ExitCode;
+}
+
+int main() {
+  // A well-behaved program: all stores hit its own data or stack.
+  WorkloadOptions Options;
+  Options.Seed = 14;
+  Options.Routines = 14;
+  sandboxAndRun(generateWorkload(TargetArch::Srisc, Options),
+                "well-behaved workload");
+
+  // A misbehaving program: pointer arithmetic gone wrong lands a store in
+  // a foreign megabyte. Unsandboxed it "succeeds"; sandboxed it is caught.
+  SxfFile Wild = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  set buffer, %o1
+  set 0x180000, %o2   ! a corrupted index
+  add %o1, %o2, %o1   ! ... producing a pointer outside every region
+  mov 66, %o3
+  st %o3, [%o1 + 0]   ! wild store
+  mov 0, %o0
+  sys 0
+  ret
+  nop
+.data
+.align 4
+buffer: .space 64
+)");
+  int Exit = sandboxAndRun(std::move(Wild), "wild-store program");
+  if (Exit != Sandboxer::ViolationExitCode) {
+    std::fprintf(stderr, "error: the wild store was not caught!\n");
+    return 1;
+  }
+  std::printf("\nsandboxing works: foreign code can be confined without "
+              "hardware support,\nexactly the §1 emulation use case.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/trace_demo.cpp - qpt-style memory tracing ---------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-observation application (§1): record every memory
+/// reference's effective address by editing the executable, then verify
+/// the recorded trace against the simulator's own memory hook — the trace
+/// an edited program collects about itself is exactly the trace an
+/// omniscient observer sees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/Tracer.h"
+#include "vm/Machine.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+
+using namespace eel;
+
+int main() {
+  WorkloadOptions Options;
+  Options.Seed = 33;
+  Options.Routines = 10;
+  SxfFile File = generateWorkload(TargetArch::Srisc, Options);
+
+  // Omniscient ground truth from the simulator.
+  Machine Original(File);
+  std::vector<Addr> GroundTruth;
+  Original.OnMemory = [&](Addr, Addr EffAddr, unsigned, bool) {
+    GroundTruth.push_back(EffAddr);
+  };
+  RunResult OriginalResult = Original.run();
+
+  // Self-observation by editing.
+  Executable Exec(std::move(File));
+  MemoryTracer Tracer(Exec, /*CapacityEntries=*/1u << 16);
+  Tracer.instrument();
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  if (Edited.hasError()) {
+    std::fprintf(stderr, "error: %s\n", Edited.error().message().c_str());
+    return 1;
+  }
+  Machine Instrumented(Edited.value());
+  RunResult InstrumentedResult = Instrumented.run();
+  if (InstrumentedResult.Output != OriginalResult.Output) {
+    std::fprintf(stderr, "error: instrumented program diverged!\n");
+    return 1;
+  }
+
+  std::vector<Addr> Trace = Tracer.readTrace(Instrumented.memory());
+  std::printf("instrumented %u memory references; recorded %zu addresses\n",
+              Tracer.sitesInstrumented(), Trace.size());
+  std::printf("first references of the run:\n");
+  for (size_t I = 0; I < Trace.size() && I < 12; ++I)
+    std::printf("  [%2zu] 0x%08x%s\n", I, Trace[I],
+                Trace[I] >= 0x7F000000 ? "  (stack)" : "  (data)");
+
+  if (Trace == GroundTruth) {
+    std::printf("\ntrace matches the simulator's ground truth exactly "
+                "(%zu references).\n",
+                GroundTruth.size());
+    return 0;
+  }
+  std::fprintf(stderr, "error: trace diverged from ground truth!\n");
+  return 1;
+}

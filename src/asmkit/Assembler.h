@@ -1,0 +1,61 @@
+//===- asmkit/Assembler.h - Two-pass assembler ------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler producing fully linked SXF executables. It stands in
+/// for the compiler/assembler/linker toolchain that produced the paper's
+/// SPEC92 binaries; the workload generators in src/workload emit assembly
+/// that this assembles.
+///
+/// Directives:
+///   .text / .data / .bss        select the current section
+///   .global NAME                mark NAME's symbol global
+///   .hidden                     suppress the symbol for the next label
+///                               (creates the paper's "hidden routines")
+///   .entry NAME                 set the program entry point
+///   .word E (, E)*              32-bit data; E = NUM | SYM | SYM+NUM
+///   .half / .byte               16-/8-bit data
+///   .asciz "s" / .ascii "s"     string data
+///   .space N                    N zero bytes
+///   .align N                    pad to an N-byte boundary
+///   .label NAME / .debuglabel NAME / .templabel NAME
+///                               emit an extra symbol of that kind at the
+///                               current location (symbol-table pathologies
+///                               for the §3.1 refinement analysis)
+///
+/// Labels `NAME:` define symbols: kind Routine in .text, Object elsewhere.
+/// Labels beginning with ".L" are assembler-local and never emitted.
+/// Comments start with `!` or `#`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ASMKIT_ASSEMBLER_H
+#define EEL_ASMKIT_ASSEMBLER_H
+
+#include "sxf/Sxf.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace eel {
+
+struct AsmOptions {
+  Addr TextBase = 0x10000;
+  Addr DataBase = 0x400000;
+};
+
+/// Assembles \p Source for \p Arch into an executable image.
+Expected<SxfFile> assembleProgram(TargetArch Arch, const std::string &Source,
+                                  const AsmOptions &Options = AsmOptions());
+
+/// Assembles, aborting with the error message on failure. For tests and
+/// generated (known-good) workloads.
+SxfFile assembleOrDie(TargetArch Arch, const std::string &Source,
+                      const AsmOptions &Options = AsmOptions());
+
+} // namespace eel
+
+#endif // EEL_ASMKIT_ASSEMBLER_H

@@ -1,0 +1,295 @@
+//===- core/Cfg.h - Control-flow graphs --------------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EEL's primary program representation (§3.3 of the paper): a control-flow
+/// graph per routine whose nodes are basic blocks and whose edges represent
+/// control flow. Machine instructions' *internal* control flow is made
+/// explicit so that instructions appear to have none:
+///
+///  * a delay-slot instruction lives in its own DelaySlot block placed on
+///    the edges along which it executes — on the taken edge only for an
+///    annulled conditional branch (Figure 3), duplicated along both edges
+///    for a non-annulled one, on the single outgoing edge of unconditional
+///    transfers, and nowhere for annul-always forms;
+///  * a zero-length CallSurrogate block stands for the control transfer and
+///    side effects of a callee's body;
+///  * pseudo Entry blocks (one per entry point) and a single Exit block
+///    bound the graph.
+///
+/// Blocks and edges that transfer control out of the routine are marked
+/// uneditable (§3.3 reports 15–20% of them are). Edits — deleting
+/// instructions, adding snippets before/after an instruction or along an
+/// edge — accumulate in a batch and are applied when the edited routine is
+/// produced (§3.3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_CFG_H
+#define EEL_CORE_CFG_H
+
+#include "core/Instruction.h"
+#include "core/Snippet.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+class BasicBlock;
+class Cfg;
+class Executable;
+class Routine;
+
+enum class BlockKind : uint8_t {
+  Normal,
+  DelaySlot,     ///< Holds one delay-slot instruction copy.
+  CallSurrogate, ///< Zero-length stand-in for a callee's body.
+  Entry,         ///< Pseudo block; one per entry point.
+  Exit,          ///< Pseudo block; single sink.
+};
+
+enum class EdgeKind : uint8_t {
+  Fallthrough,
+  Taken,
+  NotTaken,
+  UncondJump,
+  CallFlow,      ///< Call → delay → surrogate → continuation chain.
+  SwitchCase,    ///< Resolved indirect-jump case edge.
+  ExitReturn,    ///< Return to caller.
+  ExitInterJump, ///< Direct transfer out of the routine (tail jump).
+  ExitUnresolved,///< Unanalyzable indirect jump (run-time translation).
+  EntryEdge,
+};
+
+/// One instruction occurrence in a block. Delay-slot duplication can place
+/// the same original instruction (same OrigAddr) in several blocks.
+struct CfgInst {
+  const Instruction *Inst = nullptr;
+  Addr OrigAddr = 0;
+};
+
+class Edge {
+public:
+  Edge(unsigned Id, BasicBlock *Src, BasicBlock *Dst, EdgeKind Kind)
+      : Id(Id), Src(Src), Dst(Dst), Kind(Kind) {}
+
+  unsigned id() const { return Id; }
+  BasicBlock *src() const { return Src; }
+  BasicBlock *dst() const { return Dst; }
+  EdgeKind kind() const { return Kind; }
+  bool editable() const { return Editable; }
+  void setUneditable() { Editable = false; }
+
+  /// Adds foreign code along this edge (the paper's add_code_along).
+  /// Asserts the edge is editable.
+  void addCodeAlong(SnippetPtr Snippet);
+
+  /// Owning graph (set at creation).
+  Cfg *parent() const { return Parent; }
+
+private:
+  friend class Cfg;
+  unsigned Id;
+  BasicBlock *Src;
+  BasicBlock *Dst;
+  EdgeKind Kind;
+  bool Editable = true;
+  Cfg *Parent = nullptr;
+};
+
+class BasicBlock {
+public:
+  BasicBlock(unsigned Id, BlockKind Kind, Addr Anchor)
+      : Id(Id), Kind(Kind), Anchor(Anchor) {}
+
+  unsigned id() const { return Id; }
+  BlockKind kind() const { return Kind; }
+
+  /// Address of the block's first instruction; for pseudo and surrogate
+  /// blocks, the address they are anchored at.
+  Addr anchor() const { return Anchor; }
+
+  const std::vector<CfgInst> &insts() const { return Insts; }
+  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
+  bool empty() const { return Insts.empty(); }
+
+  const std::vector<Edge *> &succ() const { return SuccEdges; }
+  const std::vector<Edge *> &pred() const { return PredEdges; }
+
+  bool editable() const { return Editable; }
+  void setUneditable() { Editable = false; }
+
+  /// The control transfer terminating this block, if any.
+  const Instruction *terminator() const {
+    if (Insts.empty())
+      return nullptr;
+    const Instruction *Last = Insts.back().Inst;
+    return Last->isControlTransfer() ? Last : nullptr;
+  }
+
+  /// For CallSurrogate blocks: the direct callee address, if known.
+  std::optional<Addr> callTarget() const { return CallTarget; }
+  bool callIsIndirect() const { return CallIndirect; }
+
+private:
+  friend class Cfg;
+  friend class CfgBuilder;
+  unsigned Id;
+  BlockKind Kind;
+  Addr Anchor;
+  std::vector<CfgInst> Insts;
+  std::vector<Edge *> SuccEdges;
+  std::vector<Edge *> PredEdges;
+  bool Editable = true;
+  std::optional<Addr> CallTarget;
+  bool CallIndirect = false;
+};
+
+/// How an indirect jump was resolved (§3.3's slicing results).
+struct IndirectResolution {
+  enum class Kind : uint8_t {
+    DispatchTable, ///< Jump through a bounded table of code addresses.
+    Literal,       ///< Jump to a statically known address.
+    CellPointer,   ///< Jump through a single known memory cell.
+    Unanalyzable,  ///< Slice failed; needs run-time translation.
+  };
+  Kind K = Kind::Unanalyzable;
+  Addr TableAddr = 0;           ///< DispatchTable: first entry address.
+  unsigned EntryCount = 0;      ///< DispatchTable: number of entries.
+  bool BoundsProven = false;    ///< Entry count came from a bounds check.
+  std::vector<Addr> Targets;    ///< DispatchTable/Literal targets.
+  Addr CellAddr = 0;            ///< CellPointer: the cell's address.
+  bool TailCallIdiom = false;   ///< Frame-popping tail call (§3.3's 138).
+};
+
+/// An indirect control transfer site within a routine.
+struct IndirectSite {
+  BasicBlock *Block = nullptr; ///< Block terminated by the indirect jump.
+  Addr JumpAddr = 0;
+  bool IsCall = false;
+  IndirectResolution Resolution;
+};
+
+/// A pending modification, accumulated until the routine is produced.
+struct Edit {
+  enum class Kind : uint8_t { Before, After, OnEdge, Delete, Replace };
+  Kind K = Kind::Before;
+  BasicBlock *Block = nullptr;
+  unsigned InstIndex = 0;
+  Edge *E = nullptr;
+  SnippetPtr Snippet;
+  MachWord NewWord = 0; ///< Replacement word (Kind::Replace).
+  unsigned Seq = 0; ///< Application order among edits at the same point.
+};
+
+/// The control-flow graph of one routine.
+class Cfg {
+public:
+  Cfg(Routine &Parent, const TargetInfo &Target);
+  ~Cfg();
+
+  Routine &routine() const { return Parent; }
+  const TargetInfo &target() const { return Target; }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  const std::vector<std::unique_ptr<Edge>> &edges() const { return Edges; }
+
+  const std::vector<BasicBlock *> &entryBlocks() const { return Entries; }
+  BasicBlock *exitBlock() const { return Exit; }
+
+  /// False when an unanalyzable indirect jump prevents complete static
+  /// control-flow knowledge; the editor then adds run-time translation so
+  /// control still reaches the correct edited instruction (§3.3).
+  bool complete() const { return Complete; }
+  bool exotic() const { return Exotic; }
+  bool reachedInvalid() const { return ReachedInvalid; }
+
+  /// True when the routine cannot be edited at all (data reached from an
+  /// entry, a delayed transfer inside a delay slot, or control running off
+  /// the routine's end); the editor copies such routines verbatim.
+  bool unsupported() const { return Unsupported; }
+  const std::string &unsupportedReason() const { return UnsupportedReason; }
+
+  const std::vector<IndirectSite> &indirectSites() const {
+    return IndirectSites;
+  }
+
+  /// Direct transfers whose target lies outside the routine: pairs of
+  /// (block, original target address).
+  const std::vector<std::pair<BasicBlock *, Addr>> &interJumps() const {
+    return InterJumps;
+  }
+
+  // --- Editing (batch; see §3.3.1) ---------------------------------------
+
+  void addCodeBefore(BasicBlock *Block, unsigned InstIndex,
+                     SnippetPtr Snippet);
+  void addCodeAfter(BasicBlock *Block, unsigned InstIndex, SnippetPtr Snippet);
+  void addCodeOnEdge(Edge *E, SnippetPtr Snippet);
+  void deleteInst(BasicBlock *Block, unsigned InstIndex);
+
+  /// Replaces a non-transfer instruction with \p NewWord (also required to
+  /// be a non-transfer) — the capability the paper contrasts with ATOM,
+  /// which "does not permit existing instructions to be modified".
+  void replaceInst(BasicBlock *Block, unsigned InstIndex, MachWord NewWord);
+
+  const std::vector<Edit> &edits() const { return Edits; }
+  bool edited() const { return !Edits.empty(); }
+
+  // --- Lookup helpers ------------------------------------------------------
+
+  /// Block whose first instruction is at \p A (Normal blocks only).
+  BasicBlock *blockAt(Addr A) const;
+
+  /// Statistics used by the §3.3/§5 benchmarks.
+  struct Stats {
+    unsigned NormalBlocks = 0;
+    unsigned DelaySlotBlocks = 0;
+    unsigned CallSurrogateBlocks = 0;
+    unsigned EntryExitBlocks = 0;
+    unsigned UneditableBlocks = 0;
+    unsigned UneditableEdges = 0;
+    unsigned TotalEdges = 0;
+  };
+  Stats stats() const;
+
+private:
+  friend class CfgBuilder;
+  friend class Routine;
+
+  BasicBlock *newBlock(BlockKind Kind, Addr Anchor);
+  Edge *newEdge(BasicBlock *Src, BasicBlock *Dst, EdgeKind Kind);
+
+  Routine &Parent;
+  const TargetInfo &Target;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<std::unique_ptr<Edge>> Edges;
+  std::vector<BasicBlock *> Entries;
+  BasicBlock *Exit = nullptr;
+  std::map<Addr, BasicBlock *> ByAddr;
+  bool Complete = true;
+  bool Exotic = false;
+  bool ReachedInvalid = false;
+  bool Unsupported = false;
+  std::string UnsupportedReason;
+  std::vector<IndirectSite> IndirectSites;
+  std::vector<std::pair<BasicBlock *, Addr>> InterJumps;
+  std::vector<Edit> Edits;
+  unsigned NextSeq = 0;
+};
+
+/// Builds the CFG for \p R. Defined in CfgBuild.cpp.
+std::unique_ptr<Cfg> buildCfg(Routine &R);
+
+} // namespace eel
+
+#endif // EEL_CORE_CFG_H

@@ -1,0 +1,459 @@
+//===- core/CfgBuild.cpp - CFG construction -----------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a routine's control-flow graph (§3.3): discovers reachable
+/// instructions from every entry point, resolves indirect jumps by slicing,
+/// forms basic blocks, and normalizes machine-level control flow —
+/// delay-slot instructions move into their own blocks on exactly the edges
+/// along which they execute (Figure 3), calls get zero-length surrogate
+/// blocks, and everything that leaves the routine is marked uneditable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Cfg.h"
+
+#include "core/Executable.h"
+#include "core/Routine.h"
+#include "core/Slice.h"
+#include "support/Stats.h"
+
+#include <map>
+#include <set>
+
+using namespace eel;
+
+namespace eel {
+
+/// One-shot builder for a routine's CFG.
+class CfgBuilder {
+public:
+  explicit CfgBuilder(Routine &R)
+      : R(R), Exec(R.executable()), Target(Exec.target()),
+        Graph(std::make_unique<Cfg>(R, Target)) {}
+
+  std::unique_ptr<Cfg> build();
+
+private:
+  const Instruction *instAt(Addr A) {
+    if (!R.contains(A) || (A & 3))
+      return nullptr;
+    std::optional<MachWord> W = Exec.fetchWord(A);
+    if (!W)
+      return nullptr;
+    return Exec.pool().get(*W);
+  }
+
+  void discover(std::vector<Addr> Roots, bool Speculative);
+  void coverRemainder();
+  void formBlocks();
+  void connect();
+  void connectBlock(BasicBlock *B);
+
+  /// Destination block for a transfer target: an internal block, or the
+  /// exit block (recording the external target).
+  BasicBlock *destFor(BasicBlock *From, Addr Target, bool &External);
+
+  BasicBlock *makeDelayBlock(Addr TransferAddr);
+
+  Routine &R;
+  Executable &Exec;
+  const TargetInfo &Target;
+  std::unique_ptr<Cfg> Graph;
+
+  std::set<Addr> Leaders;
+  std::set<Addr> Visited;
+  std::set<Addr> DelayConsumed;
+  std::map<Addr, IndirectResolution> Indirect;
+};
+
+} // namespace eel
+
+BasicBlock *CfgBuilder::destFor(BasicBlock *From, Addr TargetAddr,
+                                bool &External) {
+  External = false;
+  if (R.contains(TargetAddr)) {
+    BasicBlock *Dst = Graph->blockAt(TargetAddr);
+    assert(Dst && "transfer target was not made a leader");
+    return Dst;
+  }
+  External = true;
+  Graph->InterJumps.push_back({From, TargetAddr});
+  return Graph->Exit;
+}
+
+BasicBlock *CfgBuilder::makeDelayBlock(Addr TransferAddr) {
+  Addr DelayAddr = TransferAddr + 4;
+  const Instruction *DI = instAt(DelayAddr);
+  assert(DI && "delay slot outside routine");
+  BasicBlock *DB = Graph->newBlock(BlockKind::DelaySlot, DelayAddr);
+  DB->Insts.push_back({DI, DelayAddr});
+  return DB;
+}
+
+void CfgBuilder::discover(std::vector<Addr> Roots, bool Speculative) {
+  std::vector<Addr> Worklist(std::move(Roots));
+  for (Addr E : Worklist)
+    Leaders.insert(E);
+
+  auto Schedule = [&](Addr A) { Worklist.push_back(A); };
+  auto ScheduleLeader = [&](Addr A) {
+    Leaders.insert(A);
+    Worklist.push_back(A);
+  };
+
+  while (!Worklist.empty()) {
+    Addr A = Worklist.back();
+    Worklist.pop_back();
+    if (!R.contains(A) || (A & 3) || Visited.count(A))
+      continue;
+    const Instruction *I = instAt(A);
+    if (!I) {
+      if (!Speculative)
+        Graph->ReachedInvalid = true;
+      continue;
+    }
+    Visited.insert(A);
+    if (isa<InvalidInst>(I)) {
+      // Invalid words are data, not instructions. Hitting one from a
+      // proven-reachable path poisons the routine; hitting one while
+      // speculatively covering the unreached remainder just ends that
+      // thread of exploration.
+      if (!Speculative)
+        Graph->ReachedInvalid = true;
+      Visited.erase(A);
+      continue;
+    }
+    if (!I->isControlTransfer()) {
+      if (R.contains(A + 4)) {
+        Schedule(A + 4);
+      } else if (!Speculative) {
+        Graph->Unsupported = true;
+        Graph->UnsupportedReason = "control runs off the routine's end";
+      }
+      continue;
+    }
+
+    // Inspect the delay slot.
+    Addr DelayAddr = A + 4;
+    const Instruction *DI =
+        I->hasDelaySlot() ? instAt(DelayAddr) : nullptr;
+    if (I->hasDelaySlot()) {
+      if (!DI) {
+        if (!Speculative) {
+          Graph->Unsupported = true;
+          Graph->UnsupportedReason = "delay slot outside the routine";
+        }
+        Visited.erase(A);
+        continue;
+      }
+      DelayConsumed.insert(DelayAddr);
+      if (DI->isControlTransfer())
+        Graph->Exotic = true; // delayed transfer in a delay slot
+      if (isa<InvalidInst>(DI) &&
+          I->delayBehavior() != DelayBehavior::AnnulAlways) {
+        if (!Speculative)
+          Graph->ReachedInvalid = true;
+        Visited.erase(A);
+        continue;
+      }
+    }
+
+    switch (I->kind()) {
+    case InstKind::Branch: {
+      std::optional<Addr> T = I->directTarget(A);
+      assert(T && "conditional branch without a target");
+      if (R.contains(*T))
+        ScheduleLeader(*T);
+      ScheduleLeader(A + 8);
+      break;
+    }
+    case InstKind::Jump: {
+      std::optional<Addr> T = I->directTarget(A);
+      assert(T && "direct jump without a target");
+      if (R.contains(*T))
+        ScheduleLeader(*T);
+      break;
+    }
+    case InstKind::Call:
+    case InstKind::IndirectCall:
+      if (R.contains(A + 8)) {
+        ScheduleLeader(A + 8);
+      } else if (!Speculative) {
+        Graph->Unsupported = true;
+        Graph->UnsupportedReason = "call continuation outside the routine";
+      }
+      if (I->kind() == InstKind::IndirectCall && !Indirect.count(A))
+        Indirect.emplace(A, resolveIndirect(Exec, R, A));
+      break;
+    case InstKind::Return:
+      break;
+    case InstKind::IndirectJump: {
+      if (Indirect.count(A))
+        break;
+      IndirectResolution Res = resolveIndirect(Exec, R, A);
+      if (Exec.options().DisableSlicing)
+        Res.K = IndirectResolution::Kind::Unanalyzable;
+      if (Res.K == IndirectResolution::Kind::DispatchTable) {
+        // All targets must be intra-routine to use the precise CFG; a
+        // table that jumps elsewhere falls back to run-time translation.
+        bool AllInternal = true;
+        for (Addr T : Res.Targets)
+          if (!R.contains(T))
+            AllInternal = false;
+        if (AllInternal) {
+          for (Addr T : Res.Targets)
+            ScheduleLeader(T);
+        } else {
+          Res.K = IndirectResolution::Kind::Unanalyzable;
+        }
+      } else if (Res.K == IndirectResolution::Kind::Literal) {
+        Addr T = Res.Targets[0];
+        if (R.contains(T))
+          ScheduleLeader(T);
+      }
+      Indirect.emplace(A, std::move(Res));
+      break;
+    }
+    default:
+      unreachable("non-transfer handled above");
+    }
+  }
+}
+
+void CfgBuilder::formBlocks() {
+  BasicBlock *Current = nullptr;
+  Addr Expected = 0;
+  for (Addr A : Visited) {
+    const Instruction *I = instAt(A);
+    assert(I && !isa<InvalidInst>(I) && "visited set holds instructions");
+    if (!Current || A != Expected || Leaders.count(A)) {
+      Current = Graph->newBlock(BlockKind::Normal, A);
+      Leaders.insert(A); // every block start acts as a leader from here on
+    }
+    Current->Insts.push_back({I, A});
+    if (I->isControlTransfer()) {
+      Current = nullptr; // block ends; the delay word is not part of it
+      Expected = 0;
+    } else {
+      Expected = A + 4;
+    }
+  }
+}
+
+void CfgBuilder::connectBlock(BasicBlock *B) {
+  assert(!B->empty() && "normal blocks hold at least one instruction");
+  const CfgInst &LastInst = B->Insts.back();
+  const Instruction *I = LastInst.Inst;
+  Addr A = LastInst.OrigAddr;
+
+  if (!I->isControlTransfer()) {
+    // Fallthrough into the next block, if control can continue.
+    Addr Next = A + 4;
+    if (BasicBlock *Dst = Graph->blockAt(Next))
+      Graph->newEdge(B, Dst, EdgeKind::Fallthrough);
+    return;
+  }
+
+  DelayBehavior Delay = I->delayBehavior();
+  bool External = false;
+
+  switch (I->kind()) {
+  case InstKind::Branch: {
+    Addr T = *I->directTarget(A);
+    // Taken path: the delay instruction executes unless annul-always
+    // (impossible for a conditional branch).
+    BasicBlock *TakenDelay = makeDelayBlock(A);
+    Graph->newEdge(B, TakenDelay, EdgeKind::Taken);
+    BasicBlock *TakenDst = destFor(TakenDelay, T, External);
+    Edge *TE = Graph->newEdge(TakenDelay, TakenDst, EdgeKind::Taken);
+    if (External) {
+      TE->setUneditable();
+      TakenDelay->setUneditable();
+    }
+    // Not-taken path: duplicated delay instruction unless annulled.
+    if (Delay == DelayBehavior::AnnulUntaken) {
+      BasicBlock *FallDst = Graph->blockAt(A + 8);
+      assert(FallDst && "branch fallthrough not discovered");
+      Graph->newEdge(B, FallDst, EdgeKind::NotTaken);
+    } else {
+      BasicBlock *FallDelay = makeDelayBlock(A);
+      Graph->newEdge(B, FallDelay, EdgeKind::NotTaken);
+      BasicBlock *FallDst = Graph->blockAt(A + 8);
+      assert(FallDst && "branch fallthrough not discovered");
+      Graph->newEdge(FallDelay, FallDst, EdgeKind::NotTaken);
+    }
+    return;
+  }
+
+  case InstKind::Jump: {
+    Addr T = *I->directTarget(A);
+    if (Delay == DelayBehavior::AnnulAlways) {
+      BasicBlock *Dst = destFor(B, T, External);
+      Edge *E = Graph->newEdge(B, Dst, EdgeKind::UncondJump);
+      if (External)
+        E->setUneditable();
+      return;
+    }
+    BasicBlock *DelayB = makeDelayBlock(A);
+    Graph->newEdge(B, DelayB, EdgeKind::UncondJump);
+    BasicBlock *Dst = destFor(DelayB, T, External);
+    Edge *E = Graph->newEdge(DelayB, Dst, EdgeKind::UncondJump);
+    if (External) {
+      E->setUneditable();
+      DelayB->setUneditable();
+    }
+    return;
+  }
+
+  case InstKind::Call:
+  case InstKind::IndirectCall: {
+    // call → delay (uneditable, §3.3) → surrogate → continuation.
+    BasicBlock *DelayB = makeDelayBlock(A);
+    DelayB->setUneditable();
+    Graph->newEdge(B, DelayB, EdgeKind::CallFlow)->setUneditable();
+    BasicBlock *Surrogate = Graph->newBlock(BlockKind::CallSurrogate, A);
+    Surrogate->setUneditable();
+    if (I->kind() == InstKind::Call)
+      Surrogate->CallTarget = I->directTarget(A);
+    else
+      Surrogate->CallIndirect = true;
+    Graph->newEdge(DelayB, Surrogate, EdgeKind::CallFlow)->setUneditable();
+    if (BasicBlock *Cont = Graph->blockAt(A + 8))
+      Graph->newEdge(Surrogate, Cont, EdgeKind::CallFlow)->setUneditable();
+    if (I->kind() == InstKind::IndirectCall) {
+      IndirectSite Site;
+      Site.Block = B;
+      Site.JumpAddr = A;
+      Site.IsCall = true;
+      Site.Resolution = Indirect.at(A);
+      Graph->IndirectSites.push_back(std::move(Site));
+    }
+    return;
+  }
+
+  case InstKind::Return: {
+    BasicBlock *DelayB = makeDelayBlock(A);
+    DelayB->setUneditable();
+    Graph->newEdge(B, DelayB, EdgeKind::ExitReturn)->setUneditable();
+    Graph->newEdge(DelayB, Graph->Exit, EdgeKind::ExitReturn)
+        ->setUneditable();
+    return;
+  }
+
+  case InstKind::IndirectJump: {
+    IndirectSite Site;
+    Site.Block = B;
+    Site.JumpAddr = A;
+    Site.Resolution = Indirect.at(A);
+    BasicBlock *DelayB = makeDelayBlock(A);
+    DelayB->setUneditable();
+    switch (Site.Resolution.K) {
+    case IndirectResolution::Kind::DispatchTable: {
+      Graph->newEdge(B, DelayB, EdgeKind::SwitchCase)->setUneditable();
+      std::set<Addr> Seen;
+      for (Addr T : Site.Resolution.Targets) {
+        if (!Seen.insert(T).second)
+          continue; // duplicate table entries share one CFG edge
+        BasicBlock *Dst = Graph->blockAt(T);
+        assert(Dst && "dispatch target not discovered");
+        Graph->newEdge(DelayB, Dst, EdgeKind::SwitchCase);
+      }
+      break;
+    }
+    case IndirectResolution::Kind::Literal: {
+      Graph->newEdge(B, DelayB, EdgeKind::UncondJump)->setUneditable();
+      BasicBlock *Dst = destFor(DelayB, Site.Resolution.Targets[0], External);
+      Graph->newEdge(DelayB, Dst, EdgeKind::UncondJump)->setUneditable();
+      break;
+    }
+    case IndirectResolution::Kind::CellPointer:
+    case IndirectResolution::Kind::Unanalyzable:
+      Graph->Complete = false;
+      Graph->newEdge(B, DelayB, EdgeKind::ExitUnresolved)->setUneditable();
+      Graph->newEdge(DelayB, Graph->Exit, EdgeKind::ExitUnresolved)
+          ->setUneditable();
+      break;
+    }
+    Graph->IndirectSites.push_back(std::move(Site));
+    return;
+  }
+
+  default:
+    unreachable("unhandled control transfer kind");
+  }
+}
+
+void CfgBuilder::connect() {
+  Graph->Exit = Graph->newBlock(BlockKind::Exit, R.endAddr());
+  Graph->Exit->setUneditable();
+
+  // Snapshot: connectBlock appends delay/surrogate blocks while iterating.
+  std::vector<BasicBlock *> Normals;
+  for (const auto &Block : Graph->Blocks)
+    if (Block->kind() == BlockKind::Normal)
+      Normals.push_back(Block.get());
+  for (BasicBlock *B : Normals)
+    connectBlock(B);
+
+  // Entry pseudo blocks.
+  for (Addr E : R.entryPoints()) {
+    BasicBlock *EntryB = Graph->newBlock(BlockKind::Entry, E);
+    EntryB->setUneditable();
+    Graph->Entries.push_back(EntryB);
+    if (BasicBlock *Body = Graph->blockAt(E))
+      Graph->newEdge(EntryB, Body, EdgeKind::EntryEdge)->setUneditable();
+    else
+      Graph->ReachedInvalid = true; // entry lands on data
+  }
+
+  if (Graph->ReachedInvalid && !Graph->Unsupported) {
+    Graph->Unsupported = true;
+    Graph->UnsupportedReason = "reachable data (invalid instruction)";
+  }
+  if (Graph->Exotic && !Graph->Unsupported) {
+    Graph->Unsupported = true;
+    Graph->UnsupportedReason = "delayed transfer inside a delay slot";
+  }
+  if (Graph->Unsupported)
+    Graph->Complete = false;
+}
+
+void CfgBuilder::coverRemainder() {
+  // An unresolved indirect jump may target any address in the routine, so
+  // every unreached word that decodes as an instruction is speculatively
+  // treated as a potential block: it is then laid out and retargeted like
+  // ordinary code, and the run-time translator can deliver control to it.
+  for (Addr A = R.startAddr(); A + 4 <= R.endAddr(); A += 4) {
+    if (Visited.count(A) || DelayConsumed.count(A))
+      continue;
+    const Instruction *I = instAt(A);
+    if (!I || isa<InvalidInst>(I))
+      continue;
+    discover({A}, /*Speculative=*/true);
+  }
+}
+
+std::unique_ptr<Cfg> CfgBuilder::build() {
+  bumpStat("eel.cfg.built");
+  discover(std::vector<Addr>(R.entryPoints().begin(), R.entryPoints().end()),
+           /*Speculative=*/false);
+  bool Unresolved = false;
+  for (const auto &[A, Res] : Indirect)
+    if (Res.K == IndirectResolution::Kind::CellPointer ||
+        Res.K == IndirectResolution::Kind::Unanalyzable)
+      Unresolved = true;
+  if (Unresolved && !Graph->Unsupported)
+    coverRemainder();
+  formBlocks();
+  connect();
+  return std::move(Graph);
+}
+
+std::unique_ptr<Cfg> eel::buildCfg(Routine &R) {
+  CfgBuilder Builder(R);
+  return Builder.build();
+}

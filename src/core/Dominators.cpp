@@ -1,0 +1,151 @@
+//===- core/Dominators.cpp - Dominator analysis -------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Dominators.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace eel;
+
+Dominators::Dominators(const Cfg &G) : Graph(G) {
+  size_t N = G.blocks().size();
+  IdomIndex.assign(N, -1);
+  RpoIndex.assign(N, -1);
+
+  // Depth-first postorder from the entry blocks.
+  std::vector<const BasicBlock *> Postorder;
+  std::vector<char> Visited(N, 0);
+  // Iterative DFS with an explicit stack of (block, next-successor).
+  std::vector<std::pair<const BasicBlock *, size_t>> Stack;
+  for (const BasicBlock *EntryB : G.entryBlocks()) {
+    if (Visited[EntryB->id()])
+      continue;
+    Visited[EntryB->id()] = 1;
+    Stack.push_back({EntryB, 0});
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      if (NextSucc < B->succ().size()) {
+        const BasicBlock *Dst = B->succ()[NextSucc++]->dst();
+        if (!Visited[Dst->id()]) {
+          Visited[Dst->id()] = 1;
+          Stack.push_back({Dst, 0});
+        }
+        continue;
+      }
+      Postorder.push_back(B);
+      Stack.pop_back();
+    }
+  }
+  RpoOrder.assign(Postorder.rbegin(), Postorder.rend());
+  for (size_t I = 0; I < RpoOrder.size(); ++I)
+    RpoIndex[RpoOrder[I]->id()] = static_cast<int>(I);
+
+  // Cooper–Harvey–Kennedy. Idom indices refer to RPO positions; -2 is
+  // "undefined", -1 is the virtual root above all entry blocks.
+  std::vector<int> Idom(RpoOrder.size(), -2);
+  std::set<unsigned> EntryIds;
+  for (const BasicBlock *EntryB : G.entryBlocks()) {
+    EntryIds.insert(EntryB->id());
+    Idom[RpoIndex[EntryB->id()]] = -1;
+  }
+
+  auto Intersect = [&](int A, int B) {
+    // Walk both up until they meet; -1 (virtual root) absorbs everything.
+    while (A != B) {
+      if (A == -1 || B == -1)
+        return -1;
+      while (A > B) {
+        A = Idom[A];
+        if (A == -1)
+          return -1;
+      }
+      while (B > A) {
+        B = Idom[B];
+        if (B == -1)
+          return -1;
+      }
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < RpoOrder.size(); ++I) {
+      const BasicBlock *B = RpoOrder[I];
+      if (EntryIds.count(B->id()))
+        continue;
+      int NewIdom = -2;
+      for (const Edge *E : B->pred()) {
+        int PredRpo = RpoIndex[E->src()->id()];
+        if (PredRpo < 0 || Idom[PredRpo] == -2)
+          continue; // unreachable or not yet processed
+        NewIdom = NewIdom == -2 ? PredRpo : Intersect(NewIdom, PredRpo);
+      }
+      if (NewIdom != -2 && Idom[I] != NewIdom) {
+        Idom[I] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (size_t I = 0; I < RpoOrder.size(); ++I) {
+    int D = Idom[I];
+    IdomIndex[RpoOrder[I]->id()] =
+        D >= 0 ? static_cast<int>(RpoOrder[D]->id()) : -1;
+  }
+}
+
+const BasicBlock *Dominators::idom(const BasicBlock *B) const {
+  int Index = IdomIndex[B->id()];
+  return Index < 0 ? nullptr : Graph.blocks()[Index].get();
+}
+
+bool Dominators::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!reachable(A) || !reachable(B))
+    return false;
+  const BasicBlock *Cursor = B;
+  while (Cursor) {
+    if (Cursor == A)
+      return true;
+    Cursor = idom(Cursor);
+  }
+  return false;
+}
+
+std::vector<NaturalLoop> eel::findNaturalLoops(const Cfg &G,
+                                               const Dominators &Doms) {
+  std::vector<NaturalLoop> Loops;
+  for (const auto &E : G.edges()) {
+    const BasicBlock *Src = E->src();
+    const BasicBlock *Header = E->dst();
+    if (!Doms.reachable(Src) || !Doms.dominates(Header, Src))
+      continue;
+    // Back edge: collect the natural loop by walking predecessors from the
+    // latch until the header.
+    NaturalLoop Loop;
+    Loop.Header = Header;
+    std::set<const BasicBlock *> Members{Header};
+    std::vector<const BasicBlock *> Work{Src};
+    while (!Work.empty()) {
+      const BasicBlock *B = Work.back();
+      Work.pop_back();
+      if (!Members.insert(B).second)
+        continue;
+      for (const Edge *PredE : B->pred())
+        if (Doms.reachable(PredE->src()))
+          Work.push_back(PredE->src());
+    }
+    Loop.Blocks.assign(Members.begin(), Members.end());
+    std::sort(Loop.Blocks.begin(), Loop.Blocks.end(),
+              [](const BasicBlock *A, const BasicBlock *B) {
+                return A->id() < B->id();
+              });
+    Loops.push_back(std::move(Loop));
+  }
+  return Loops;
+}

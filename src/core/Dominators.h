@@ -1,0 +1,60 @@
+//===- core/Dominators.h - Dominator analysis --------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation over a routine's CFG (one of the standard analyses
+/// §3.3 lists: "dominators, natural loops, live registers, and slicing").
+/// Uses the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+/// postorder, with a virtual root above the routine's entry blocks so
+/// multiple entry points are handled uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_DOMINATORS_H
+#define EEL_CORE_DOMINATORS_H
+
+#include "core/Cfg.h"
+
+#include <vector>
+
+namespace eel {
+
+class Dominators {
+public:
+  explicit Dominators(const Cfg &G);
+
+  /// Immediate dominator of \p B, or null for entry blocks (whose idom is
+  /// the virtual root) and unreachable blocks.
+  const BasicBlock *idom(const BasicBlock *B) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  bool reachable(const BasicBlock *B) const {
+    return RpoIndex[B->id()] >= 0;
+  }
+
+private:
+  const Cfg &Graph;
+  std::vector<int> IdomIndex;     ///< By block id; -1 = virtual root/none.
+  std::vector<int> RpoIndex;      ///< By block id; -1 = unreachable.
+  std::vector<const BasicBlock *> RpoOrder;
+};
+
+/// A natural loop: header plus member blocks.
+struct NaturalLoop {
+  const BasicBlock *Header = nullptr;
+  std::vector<const BasicBlock *> Blocks;
+};
+
+/// Finds the natural loops of \p G using \p Doms (back edges whose target
+/// dominates their source).
+std::vector<NaturalLoop> findNaturalLoops(const Cfg &G,
+                                          const Dominators &Doms);
+
+} // namespace eel
+
+#endif // EEL_CORE_DOMINATORS_H

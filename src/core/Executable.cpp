@@ -1,0 +1,100 @@
+//===- core/Executable.cpp - Executable editing -------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Executable.h"
+
+#include "support/Error.h"
+
+using namespace eel;
+
+Executable::Executable(SxfFile ImageIn)
+    : Executable(std::move(ImageIn), Options()) {}
+
+Executable::Executable(SxfFile ImageIn, Options OptsIn)
+    : Image(std::move(ImageIn)), Opts(OptsIn),
+      Target(targetFor(Image.Arch)), Pool(Target) {
+  // Fresh data (counters, tables) goes after the highest existing segment.
+  Addr High = 0;
+  for (const SxfSegment &Seg : Image.Segments)
+    High = std::max(High, Seg.VAddr + Seg.MemSize);
+  NextDataAddr = (High + 15) & ~15u;
+}
+
+Executable::~Executable() = default;
+
+Addr Executable::textBase() const {
+  const SxfSegment *Text = Image.segment(SegKind::Text);
+  assert(Text && "executable has no text segment");
+  return Text->VAddr;
+}
+
+Addr Executable::textEnd() const {
+  const SxfSegment *Text = Image.segment(SegKind::Text);
+  assert(Text && "executable has no text segment");
+  return Text->VAddr + static_cast<Addr>(Text->Bytes.size());
+}
+
+Routine *Executable::routineContaining(Addr A) const {
+  for (const auto &R : Routines)
+    if (R->contains(A))
+      return R.get();
+  return nullptr;
+}
+
+Routine *Executable::findRoutine(const std::string &Name) const {
+  for (const auto &R : Routines)
+    if (R->name() == Name)
+      return R.get();
+  return nullptr;
+}
+
+std::vector<Routine *> Executable::hiddenRoutines() const {
+  std::vector<Routine *> Result;
+  for (const auto &R : Routines)
+    if (R->hidden() && !R->isData())
+      Result.push_back(R.get());
+  return Result;
+}
+
+Addr Executable::appendData(uint32_t Bytes, unsigned Align,
+                            const std::string &Name,
+                            std::vector<uint8_t> Initial) {
+  assert(Align && (Align & (Align - 1)) == 0 && "alignment not a power of 2");
+  assert(Initial.empty() || Initial.size() <= Bytes);
+  NextDataAddr = (NextDataAddr + Align - 1) & ~(Align - 1);
+  DataBlob Blob;
+  Blob.Address = NextDataAddr;
+  Blob.Size = Bytes;
+  Blob.Align = Align;
+  Blob.Name = Name;
+  Blob.Initial = std::move(Initial);
+  AppendedData.push_back(std::move(Blob));
+  NextDataAddr += Bytes;
+  return AppendedData.back().Address;
+}
+
+unsigned Executable::addRoutineAsm(const std::string &Name,
+                                   std::string AsmText) {
+  AddedRoutine R;
+  R.Name = Name;
+  R.AsmText = std::move(AsmText);
+  AddedRoutines.push_back(std::move(R));
+  return static_cast<unsigned>(AddedRoutines.size() - 1);
+}
+
+Addr Executable::editedAddr(Addr A) const {
+  auto It = AddrMap.find(A);
+  assert(It != AddrMap.end() &&
+         "no edited address: writeEditedExecutable not run or address "
+         "is not an instruction start");
+  return It->second;
+}
+
+Addr Executable::editedAddrOfAdded(unsigned Id) const {
+  assert(Id < AddedRoutines.size() && "bad added-routine id");
+  assert(AddedRoutines[Id].PlacedAddr && "edited executable not written yet");
+  return AddedRoutines[Id].PlacedAddr;
+}

@@ -1,0 +1,177 @@
+//===- core/Executable.h - Executable editing ---------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of EEL's abstraction stack (§3.1): an executable file whose
+/// contents can be examined, analyzed, edited, and written back out. A tool
+/// opens an executable, calls readContents() to run the symbol-refinement
+/// and routine-discovery analysis, edits routines through their CFGs, and
+/// calls writeEditedExecutable() to produce a new image in which control
+/// flows correctly despite deleted instructions and added foreign code.
+///
+/// The editor:
+///  * re-lays out every routine, applying accumulated CFG edits and folding
+///    unedited delay slots back (§3.3.1);
+///  * retargets all direct calls, branches, and inter-routine jumps;
+///  * rewrites dispatch tables found by slicing to point at edited
+///    locations, plus known code-pointer cells;
+///  * optionally scans the data segment for words that are code addresses
+///    and rewrites them (function pointers);
+///  * appends a run-time translation routine and a sorted original→edited
+///    address table for indirect jumps the analysis could not resolve,
+///    so "run-time code ensures that control passes to the correct edited
+///    instruction";
+///  * updates the symbol table so standard tools keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_EXECUTABLE_H
+#define EEL_CORE_EXECUTABLE_H
+
+#include "core/Routine.h"
+#include "sxf/Sxf.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+class Executable {
+public:
+  struct Options {
+    /// Rewrite data words that equal instruction addresses (function
+    /// pointers). Precise rewrites (dispatch tables, cells found by
+    /// slicing) always happen; this enables the whole-segment scan.
+    bool RewriteDataPointers = true;
+    /// Emit the run-time translation fallback for unanalyzable indirect
+    /// jumps (§3.3). When off, routines with such jumps are copied
+    /// verbatim and cannot be edited.
+    bool EnableRuntimeTranslation = true;
+    /// Also route indirect calls through the translator (normally pointer
+    /// rewriting suffices for them).
+    bool TranslateIndirectCalls = false;
+    /// Ablation: ignore slicing results for indirect jumps, forcing every
+    /// one through run-time translation. Measures how much §3.3's slicing
+    /// buys ("EEL's slicing makes run-time translation a rare occurrence").
+    bool DisableSlicing = false;
+    /// Ablation: never fold unedited delay-slot duplicates back into delay
+    /// slots, always materializing the §3.3.1 stub form instead. Measures
+    /// the size/time cost fold-back avoids.
+    bool DisableDelayFolding = false;
+  };
+
+  explicit Executable(SxfFile Image);
+  Executable(SxfFile Image, Options Opts);
+  ~Executable();
+
+  const SxfFile &image() const { return Image; }
+  const TargetInfo &target() const { return Target; }
+  const Options &options() const { return Opts; }
+  InstructionPool &pool() { return Pool; }
+
+  Addr startAddress() const { return Image.Entry; }
+  Addr textBase() const;
+  Addr textEnd() const;
+  bool isTextAddr(Addr A) const { return A >= textBase() && A < textEnd(); }
+
+  /// Word fetch from the image (text or initialized data).
+  std::optional<MachWord> fetchWord(Addr A) const { return Image.readWord(A); }
+
+  // --- Analysis -------------------------------------------------------------
+
+  /// Runs symbol-table refinement and routine discovery (§3.1 stages 1–4).
+  /// Idempotent.
+  void readContents();
+
+  const std::vector<std::unique_ptr<Routine>> &routines() const {
+    return Routines;
+  }
+  Routine *routineContaining(Addr A) const;
+  Routine *findRoutine(const std::string &Name) const;
+
+  /// Routines discovered by analysis rather than named by symbols.
+  std::vector<Routine *> hiddenRoutines() const;
+
+  // --- Additions ---------------------------------------------------------------
+
+  /// Reserves \p Bytes of fresh data space (e.g. profile counters);
+  /// returns its address. Contents are zero-initialized in the edited
+  /// image unless \p Initial is provided.
+  Addr appendData(uint32_t Bytes, unsigned Align, const std::string &Name,
+                  std::vector<uint8_t> Initial = {});
+
+  /// Adds a new routine given as assembly text; it is assembled at its
+  /// final address during output. Address constants the routine needs must
+  /// be formatted into the text (tools know them from appendData).
+  /// Returns an id with which editedAddrOfAdded() retrieves its address.
+  unsigned addRoutineAsm(const std::string &Name, std::string AsmText);
+
+  // --- Output ---------------------------------------------------------------
+
+  /// Produces the edited executable. After this succeeds, editedAddr()
+  /// maps original instruction addresses into the new image.
+  Expected<SxfFile> writeEditedExecutable();
+
+  /// Edited address of original instruction address \p A; asserts the
+  /// mapping exists (writeEditedExecutable must have succeeded).
+  Addr editedAddr(Addr A) const;
+  bool hasEditedAddr(Addr A) const { return AddrMap.count(A) != 0; }
+
+  /// Entry address of an added routine in the edited image.
+  Addr editedAddrOfAdded(unsigned Id) const;
+
+  /// Statistics of the last writeEditedExecutable() call.
+  struct EditStats {
+    unsigned RoutinesEdited = 0;
+    unsigned RoutinesVerbatim = 0;   ///< Copied unmodified (unsupported).
+    unsigned DispatchEntriesRewritten = 0;
+    unsigned DataPointersRewritten = 0;
+    unsigned TranslationSites = 0;
+    unsigned TranslationEntries = 0;
+    unsigned DelaySlotsFolded = 0;
+    unsigned DelaySlotsMaterialized = 0;
+    unsigned SnippetInstances = 0;
+    unsigned SnippetSpills = 0;
+    unsigned SnippetCCSaves = 0;
+  };
+  const EditStats &editStats() const { return Stats; }
+
+private:
+  friend class EditedWriter;
+
+  SxfFile Image;
+  Options Opts;
+  const TargetInfo &Target;
+  InstructionPool Pool;
+  bool Analyzed = false;
+  std::vector<std::unique_ptr<Routine>> Routines;
+
+  struct DataBlob {
+    Addr Address;
+    uint32_t Size;
+    unsigned Align;
+    std::string Name;
+    std::vector<uint8_t> Initial;
+  };
+  std::vector<DataBlob> AppendedData;
+  Addr NextDataAddr = 0;
+
+  struct AddedRoutine {
+    std::string Name;
+    std::string AsmText;
+    Addr PlacedAddr = 0;
+  };
+  std::vector<AddedRoutine> AddedRoutines;
+
+  std::map<Addr, Addr> AddrMap;
+  EditStats Stats;
+};
+
+} // namespace eel
+
+#endif // EEL_CORE_EXECUTABLE_H

@@ -1,0 +1,75 @@
+//===- core/Instruction.cpp - Machine-independent instructions -------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Instruction.h"
+
+#include "support/Error.h"
+#include "support/Stats.h"
+
+using namespace eel;
+
+Instruction::~Instruction() = default;
+
+Instruction::Instruction(InstKind Kind, const TargetInfo &Target,
+                         MachWord Word)
+    : Kind(Kind), Word(Word), Target(Target) {
+  Reads = Target.reads(Word);
+  Writes = Target.writes(Word);
+  DelaySlot = Target.hasDelaySlot(Word);
+  Delay = Target.delayBehavior(Word);
+  Conditional = Target.isConditional(Word);
+}
+
+std::unique_ptr<Instruction> eel::makeInstruction(const TargetInfo &Target,
+                                                  MachWord Word) {
+  bumpStat("eel.inst.allocated");
+  switch (Target.classify(Word)) {
+  case InstCategory::Invalid:
+    return std::make_unique<InvalidInst>(Target, Word);
+  case InstCategory::Computation:
+    return std::make_unique<ComputationInst>(Target, Word);
+  case InstCategory::Load:
+    return std::make_unique<MemoryInst>(InstKind::Load, Target, Word);
+  case InstCategory::Store:
+    return std::make_unique<MemoryInst>(InstKind::Store, Target, Word);
+  case InstCategory::LoadStore:
+    return std::make_unique<MemoryInst>(InstKind::LoadStore, Target, Word);
+  case InstCategory::BranchDirect:
+    return std::make_unique<BranchInst>(Target, Word);
+  case InstCategory::JumpDirect:
+    return std::make_unique<JumpInst>(Target, Word);
+  case InstCategory::CallDirect:
+    return std::make_unique<CallInst>(Target, Word);
+  case InstCategory::System:
+    return std::make_unique<SystemCallInst>(Target, Word);
+  case InstCategory::IndirectJump: {
+    // Resolve the overloaded uses by convention (Figure 6 of the paper):
+    // writing the link register makes it a call; jumping through the link
+    // register at the conventional offset makes it a return.
+    const TargetConventions &Conv = Target.conventions();
+    IndirectTargetInfo Info = *Target.indirectTarget(Word);
+    if (Info.LinkReg == Conv.LinkReg && Conv.LinkReg != 0)
+      return std::make_unique<IndirectCallInst>(Target, Word);
+    if (Info.LinkReg == 0 && !Info.HasIndex && Info.BaseReg == Conv.LinkReg &&
+        Info.Offset == Conv.ReturnOffset)
+      return std::make_unique<ReturnInst>(Target, Word);
+    return std::make_unique<IndirectJumpInst>(Target, Word);
+  }
+  }
+  unreachable("unhandled instruction category");
+}
+
+const Instruction *InstructionPool::get(MachWord Word) {
+  ++Requested;
+  bumpStat("eel.inst.requested");
+  auto It = Pool.find(Word);
+  if (It != Pool.end())
+    return It->second.get();
+  auto Inst = makeInstruction(Target, Word);
+  const Instruction *Ptr = Inst.get();
+  Pool.emplace(Word, std::move(Inst));
+  return Ptr;
+}

@@ -1,0 +1,286 @@
+//===- core/Instruction.h - Machine-independent instructions ----*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EEL's machine-independent instruction abstraction (§3.4 of the paper).
+/// Instructions divide into functional categories — memory references,
+/// control transfers, computations, and invalid (data) — with inquiry
+/// methods about their effect on program state, so tools analyze EEL
+/// instructions in place of machine instructions.
+///
+/// Construction mirrors Figure 6: the target layer supplies the raw
+/// category, and the three overloaded uses of an indirect jump (indirect
+/// call, return, jump) are resolved here using the target's calling
+/// conventions, exactly where the paper resolves SPARC's jmpl overloads.
+///
+/// As in EEL, only one instruction object exists per distinct machine word
+/// (per pool); the paper reports this flyweight cuts allocations by ~4x,
+/// which bench_sharing reproduces. PC-dependent inquiries therefore take
+/// the address as a parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_INSTRUCTION_H
+#define EEL_CORE_INSTRUCTION_H
+
+#include "isa/Target.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace eel {
+
+/// Discriminator for the Instruction class hierarchy.
+enum class InstKind : uint8_t {
+  Invalid,
+  Computation,
+  Load,
+  Store,
+  LoadStore,
+  Branch,       ///< Conditional PC-relative branch.
+  Jump,         ///< Unconditional direct jump (including annul-skip).
+  Call,         ///< Direct call.
+  IndirectJump, ///< Register-target jump (not call/return by convention).
+  IndirectCall, ///< Register-target transfer writing the link register.
+  Return,       ///< Jump through link + return offset.
+  SystemCall,
+};
+
+/// Base of the instruction hierarchy. Immutable and shared; never holds
+/// address-specific state.
+class Instruction {
+public:
+  virtual ~Instruction();
+
+  InstKind kind() const { return Kind; }
+  MachWord word() const { return Word; }
+  const TargetInfo &target() const { return Target; }
+
+  /// Registers read / written (condition codes included as RegIdCC).
+  const RegSet &reads() const { return Reads; }
+  const RegSet &writes() const { return Writes; }
+
+  bool hasDelaySlot() const { return DelaySlot; }
+  DelayBehavior delayBehavior() const { return Delay; }
+  bool isConditional() const { return Conditional; }
+
+  bool isControlTransfer() const {
+    switch (Kind) {
+    case InstKind::Branch:
+    case InstKind::Jump:
+    case InstKind::Call:
+    case InstKind::IndirectJump:
+    case InstKind::IndirectCall:
+    case InstKind::Return:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool isMemoryReference() const {
+    return Kind == InstKind::Load || Kind == InstKind::Store ||
+           Kind == InstKind::LoadStore;
+  }
+
+  /// Static target of a direct transfer executed at \p PC.
+  std::optional<Addr> directTarget(Addr PC) const {
+    return Target.directTarget(Word, PC);
+  }
+
+  /// Dataflow shape for slicing (DataOpKind::None when inexpressible).
+  DataOp dataOp() const { return Target.dataOp(Word); }
+
+  std::string disassemble(Addr PC) const {
+    return Target.disassemble(Word, PC);
+  }
+
+  static bool classof(const Instruction *) { return true; }
+
+protected:
+  Instruction(InstKind Kind, const TargetInfo &Target, MachWord Word);
+
+private:
+  InstKind Kind;
+  MachWord Word;
+  const TargetInfo &Target;
+  RegSet Reads, Writes;
+  bool DelaySlot = false;
+  DelayBehavior Delay = DelayBehavior::None;
+  bool Conditional = false;
+};
+
+/// A word that does not decode: probably data (§3.1 stage 4 uses these to
+/// find data tables masquerading as routines).
+class InvalidInst : public Instruction {
+public:
+  InvalidInst(const TargetInfo &T, MachWord W)
+      : Instruction(InstKind::Invalid, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Invalid;
+  }
+};
+
+/// Ordinary computation.
+class ComputationInst : public Instruction {
+public:
+  ComputationInst(const TargetInfo &T, MachWord W)
+      : Instruction(InstKind::Computation, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Computation;
+  }
+};
+
+/// Loads, stores, and combined accesses.
+class MemoryInst : public Instruction {
+public:
+  MemoryInst(InstKind Kind, const TargetInfo &T, MachWord W)
+      : Instruction(Kind, T, W), Mem(*T.memOp(W)) {}
+
+  const MemOp &memOp() const { return Mem; }
+  bool isLoad() const { return Mem.IsLoad; }
+  bool isStore() const { return Mem.IsStore; }
+  unsigned width() const { return Mem.Width; }
+
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Load || I->kind() == InstKind::Store ||
+           I->kind() == InstKind::LoadStore;
+  }
+
+private:
+  MemOp Mem;
+};
+
+/// Common base of all control transfers.
+class ControlInst : public Instruction {
+public:
+  using Instruction::Instruction;
+  static bool classof(const Instruction *I) {
+    return I->isControlTransfer();
+  }
+};
+
+/// Conditional PC-relative branch.
+class BranchInst : public ControlInst {
+public:
+  BranchInst(const TargetInfo &T, MachWord W)
+      : ControlInst(InstKind::Branch, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Branch;
+  }
+};
+
+/// Unconditional direct jump.
+class JumpInst : public ControlInst {
+public:
+  JumpInst(const TargetInfo &T, MachWord W)
+      : ControlInst(InstKind::Jump, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Jump;
+  }
+};
+
+/// Direct call.
+class CallInst : public ControlInst {
+public:
+  CallInst(const TargetInfo &T, MachWord W)
+      : ControlInst(InstKind::Call, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Call;
+  }
+};
+
+/// Base of register-target transfers; exposes the address computation.
+class IndirectInst : public ControlInst {
+public:
+  IndirectInst(InstKind Kind, const TargetInfo &T, MachWord W)
+      : ControlInst(Kind, T, W), Info(*T.indirectTarget(W)) {}
+
+  const IndirectTargetInfo &targetInfo() const { return Info; }
+
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::IndirectJump ||
+           I->kind() == InstKind::IndirectCall ||
+           I->kind() == InstKind::Return;
+  }
+
+private:
+  IndirectTargetInfo Info;
+};
+
+class IndirectJumpInst : public IndirectInst {
+public:
+  IndirectJumpInst(const TargetInfo &T, MachWord W)
+      : IndirectInst(InstKind::IndirectJump, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::IndirectJump;
+  }
+};
+
+class IndirectCallInst : public IndirectInst {
+public:
+  IndirectCallInst(const TargetInfo &T, MachWord W)
+      : IndirectInst(InstKind::IndirectCall, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::IndirectCall;
+  }
+};
+
+class ReturnInst : public IndirectInst {
+public:
+  ReturnInst(const TargetInfo &T, MachWord W)
+      : IndirectInst(InstKind::Return, T, W) {}
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::Return;
+  }
+};
+
+class SystemCallInst : public Instruction {
+public:
+  SystemCallInst(const TargetInfo &T, MachWord W)
+      : Instruction(InstKind::SystemCall, T, W),
+        Number(T.syscallNumber(W)) {}
+
+  /// Trap number when it is an immediate field (as Figure 6 extracts the
+  /// SPARC trap literal); nullopt when register-carried.
+  std::optional<unsigned> number() const { return Number; }
+
+  static bool classof(const Instruction *I) {
+    return I->kind() == InstKind::SystemCall;
+  }
+
+private:
+  std::optional<unsigned> Number;
+};
+
+/// Flyweight pool: one Instruction per distinct machine word. Statistics
+/// "eel.inst.requested" / "eel.inst.allocated" feed bench_sharing.
+class InstructionPool {
+public:
+  explicit InstructionPool(const TargetInfo &Target) : Target(Target) {}
+
+  /// Returns the shared instruction for \p Word (creating it on first use).
+  const Instruction *get(MachWord Word);
+
+  const TargetInfo &target() const { return Target; }
+  uint64_t requested() const { return Requested; }
+  uint64_t allocated() const { return Pool.size(); }
+
+private:
+  const TargetInfo &Target;
+  std::unordered_map<MachWord, std::unique_ptr<Instruction>> Pool;
+  uint64_t Requested = 0;
+};
+
+/// Builds the right subclass for \p Word — the Figure 6 factory.
+std::unique_ptr<Instruction> makeInstruction(const TargetInfo &Target,
+                                             MachWord Word);
+
+} // namespace eel
+
+#endif // EEL_CORE_INSTRUCTION_H

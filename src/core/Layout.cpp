@@ -1,0 +1,807 @@
+//===- core/Layout.cpp - Edited-routine production ------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Layout.h"
+
+#include "asmkit/TargetAsm.h"
+#include "core/Liveness.h"
+#include "core/RegAlloc.h"
+#include "core/Routine.h"
+#include "core/Translate.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <climits>
+
+using namespace eel;
+
+namespace {
+
+/// Edits grouped per instruction of one block.
+struct InstEditList {
+  std::vector<const Edit *> Before;
+  std::vector<const Edit *> After;
+  bool Deleted = false;
+  bool Replaced = false;
+  MachWord Replacement = 0;
+};
+
+/// Lays out one routine.
+class RoutineLayouter {
+public:
+  explicit RoutineLayouter(Routine &R)
+      : R(R), Exec(R.executable()), Target(Exec.target()) {}
+
+  Expected<RoutineLayout> run();
+
+private:
+  unsigned here() const { return static_cast<unsigned>(Out.Code.size()); }
+  void emitWord(MachWord W) { Out.Code.push_back(W); }
+
+  void mapAddr(Addr A) { Out.AddrMap.emplace(A, here()); }
+
+  MachWord origWordAt(Addr A) const {
+    std::optional<MachWord> W = Exec.fetchWord(A);
+    assert(W && "instruction address outside image");
+    return *W;
+  }
+
+  // --- Edit bookkeeping ------------------------------------------------------
+
+  void gatherEdits();
+  const InstEditList *editsFor(const BasicBlock *B, unsigned InstIndex) const;
+  const std::vector<const Edit *> *editsFor(const Edge *E) const;
+  bool edgeHasCode(const Edge *E) const {
+    const auto *List = editsFor(E);
+    return List && !List->empty();
+  }
+  bool blockHasEdits(const BasicBlock *B) const {
+    return BlockEdits.count(B) != 0;
+  }
+
+  // --- Emission helpers --------------------------------------------------------
+
+  Expected<bool> emitSnippet(const Edit &E, const RegSet &LiveSet);
+  Expected<bool> emitEdgeCode(const Edge *E);
+  Expected<bool> emitDelayBlockInline(const BasicBlock *DB);
+  /// Emits edge1 code, the delay block (with edits), then edge2 code.
+  Expected<bool> emitPath(const Edge *E1, const BasicBlock *DB,
+                          const Edge *E2);
+  bool pathHasCode(const Edge *E1, const BasicBlock *DB,
+                   const Edge *E2) const;
+
+  /// Emits a placeholder unconditional jump and records where it must go.
+  void emitJumpTo(const BasicBlock *DestBlock, Addr ExternalDest);
+
+  /// Records that the direct-transfer word at \p WordIndex targets an
+  /// internal block / external address.
+  void retargetTo(unsigned WordIndex, const BasicBlock *DestBlock,
+                  Addr ExternalDest);
+
+  /// Address-materialization peephole: called after emitting an original
+  /// instruction.
+  void noteMaterialization(const Instruction *I, unsigned WordIndex);
+
+  // --- Terminator lowering -------------------------------------------------------
+
+  Expected<bool> emitBlock(const BasicBlock *B);
+  Expected<bool> lowerTerminator(const BasicBlock *B, unsigned InstIndex);
+  Expected<bool> lowerBranch(const BasicBlock *B, const CfgInst &Term);
+  Expected<bool> lowerJump(const BasicBlock *B, const CfgInst &Term);
+  Expected<bool> lowerCall(const BasicBlock *B, const CfgInst &Term);
+  Expected<bool> lowerReturn(const BasicBlock *B, const CfgInst &Term);
+  Expected<bool> lowerIndirect(const BasicBlock *B, const CfgInst &Term);
+
+  Expected<bool> emitStubs();
+  Expected<bool> runVerbatim();
+  MachWord terminatorWord(const BasicBlock *B, const CfgInst &Term) const;
+
+  /// Finds the single successor edge of \p B with kind \p K, or null.
+  static const Edge *edgeOfKind(const BasicBlock *B, EdgeKind K) {
+    for (const Edge *E : B->succ())
+      if (E->kind() == K)
+        return E;
+    return nullptr;
+  }
+
+  /// The external target recorded for an edge into the exit block.
+  Addr externalTargetOf(const BasicBlock *From) const {
+    for (const auto &[Block, TargetAddr] : Graph->interJumps())
+      if (Block == From)
+        return TargetAddr;
+    unreachable("no external target recorded for block");
+  }
+
+  Routine &R;
+  Executable &Exec;
+  const TargetInfo &Target;
+  Cfg *Graph = nullptr;
+  std::unique_ptr<Liveness> Live;
+  RoutineLayout Out;
+
+  std::map<const BasicBlock *, std::vector<InstEditList>> BlockEdits;
+  std::map<const Edge *, std::vector<const Edit *>> EdgeEdits;
+
+  /// Stub requests, emitted after all blocks.
+  struct StubRequest {
+    const Edge *E1 = nullptr;
+    const BasicBlock *DB = nullptr;
+    const Edge *E2 = nullptr;
+    const BasicBlock *DestBlock = nullptr;
+    Addr ExternalDest = 0;
+    unsigned BranchWordIndex = UINT_MAX; ///< Word to retarget at the stub.
+    /// Dispatch-table slots to point at this stub.
+    std::vector<std::pair<size_t, size_t>> TableSlots;
+  };
+  std::vector<StubRequest> Stubs;
+
+  /// Internal transfer patches: word -> block (resolved to word indices
+  /// once block offsets are final).
+  struct PendingInternal {
+    unsigned WordIndex;
+    const BasicBlock *DestBlock;
+  };
+  std::vector<PendingInternal> Internals;
+  std::map<const BasicBlock *, unsigned> BlockOffset;
+};
+
+} // namespace
+
+void RoutineLayouter::gatherEdits() {
+  for (const Edit &E : Graph->edits()) {
+    switch (E.K) {
+    case Edit::Kind::OnEdge:
+      EdgeEdits[E.E].push_back(&E);
+      break;
+    default: {
+      std::vector<InstEditList> &Lists = BlockEdits[E.Block];
+      if (Lists.size() < E.Block->size())
+        Lists.resize(E.Block->size());
+      InstEditList &L = Lists[E.InstIndex];
+      if (E.K == Edit::Kind::Before) {
+        L.Before.push_back(&E);
+      } else if (E.K == Edit::Kind::After) {
+        L.After.push_back(&E);
+      } else if (E.K == Edit::Kind::Replace) {
+        L.Replaced = true;
+        L.Replacement = E.NewWord;
+      } else {
+        L.Deleted = true;
+      }
+      break;
+    }
+    }
+  }
+  // Stable application order by sequence number.
+  auto BySeq = [](const Edit *A, const Edit *B) { return A->Seq < B->Seq; };
+  for (auto &[Block, Lists] : BlockEdits) {
+    (void)Block;
+    for (InstEditList &L : Lists) {
+      std::sort(L.Before.begin(), L.Before.end(), BySeq);
+      std::sort(L.After.begin(), L.After.end(), BySeq);
+    }
+  }
+  for (auto &[EdgePtr, List] : EdgeEdits) {
+    (void)EdgePtr;
+    std::sort(List.begin(), List.end(), BySeq);
+  }
+}
+
+const InstEditList *RoutineLayouter::editsFor(const BasicBlock *B,
+                                              unsigned InstIndex) const {
+  auto It = BlockEdits.find(B);
+  if (It == BlockEdits.end() || InstIndex >= It->second.size())
+    return nullptr;
+  return &It->second[InstIndex];
+}
+
+const std::vector<const Edit *> *
+RoutineLayouter::editsFor(const Edge *E) const {
+  auto It = EdgeEdits.find(E);
+  return It == EdgeEdits.end() ? nullptr : &It->second;
+}
+
+Expected<bool> RoutineLayouter::emitSnippet(const Edit &E,
+                                            const RegSet &LiveSet) {
+  Expected<SnippetInstance> Inst =
+      instantiateSnippet(Target, *E.Snippet, LiveSet);
+  if (Inst.hasError())
+    return Inst.error();
+  PendingCallback CB;
+  CB.Snippet = E.Snippet;
+  CB.Instance = Inst.takeValue();
+  CB.WordIndex = here();
+  for (MachWord W : CB.Instance.Words)
+    emitWord(W);
+  ++Out.SnippetInstances;
+  Out.SnippetSpills += CB.Instance.SpillCount;
+  Out.SnippetCCSaves += CB.Instance.SavedCC ? 1 : 0;
+  if (E.Snippet->callback())
+    Out.Callbacks.push_back(std::move(CB));
+  return true;
+}
+
+Expected<bool> RoutineLayouter::emitEdgeCode(const Edge *E) {
+  const auto *List = editsFor(E);
+  if (!List)
+    return true;
+  RegSet LiveSet = Live->liveOnEdge(E);
+  for (const Edit *Ed : *List) {
+    Expected<bool> Result = emitSnippet(*Ed, LiveSet);
+    if (Result.hasError())
+      return Result;
+  }
+  return true;
+}
+
+Expected<bool> RoutineLayouter::emitDelayBlockInline(const BasicBlock *DB) {
+  assert(DB->size() == 1 && "delay blocks hold exactly one instruction");
+  const CfgInst &CI = DB->insts()[0];
+  const InstEditList *L = editsFor(DB, 0);
+  mapAddr(CI.OrigAddr);
+  if (L) {
+    for (const Edit *Ed : L->Before) {
+      Expected<bool> Result = emitSnippet(*Ed, Live->liveBefore(DB, 0));
+      if (Result.hasError())
+        return Result;
+    }
+  }
+  if (!L || !L->Deleted)
+    emitWord(L && L->Replaced ? L->Replacement : CI.Inst->word());
+  if (L) {
+    for (const Edit *Ed : L->After) {
+      Expected<bool> Result = emitSnippet(*Ed, Live->liveAfter(DB, 0));
+      if (Result.hasError())
+        return Result;
+    }
+  }
+  return true;
+}
+
+bool RoutineLayouter::pathHasCode(const Edge *E1, const BasicBlock *DB,
+                                  const Edge *E2) const {
+  if (E1 && edgeHasCode(E1))
+    return true;
+  if (DB && blockHasEdits(DB))
+    return true;
+  if (E2 && edgeHasCode(E2))
+    return true;
+  return false;
+}
+
+Expected<bool> RoutineLayouter::emitPath(const Edge *E1, const BasicBlock *DB,
+                                         const Edge *E2) {
+  if (E1) {
+    Expected<bool> Result = emitEdgeCode(E1);
+    if (Result.hasError())
+      return Result;
+  }
+  if (DB) {
+    Expected<bool> Result = emitDelayBlockInline(DB);
+    if (Result.hasError())
+      return Result;
+  }
+  if (E2) {
+    Expected<bool> Result = emitEdgeCode(E2);
+    if (Result.hasError())
+      return Result;
+  }
+  return true;
+}
+
+void RoutineLayouter::retargetTo(unsigned WordIndex,
+                                 const BasicBlock *DestBlock,
+                                 Addr ExternalDest) {
+  if (DestBlock) {
+    Internals.push_back({WordIndex, DestBlock});
+  } else {
+    Reloc Rl;
+    Rl.K = Reloc::Kind::JumpTo;
+    Rl.WordIndex = WordIndex;
+    Rl.OrigTarget = ExternalDest;
+    Out.Relocs.push_back(Rl);
+  }
+}
+
+void RoutineLayouter::emitJumpTo(const BasicBlock *DestBlock,
+                                 Addr ExternalDest) {
+  unsigned At = here();
+  std::vector<MachWord> Words;
+  bool Ok = Target.emitJump(0, 0, Words);
+  assert(Ok && "zero-displacement jump must encode");
+  (void)Ok;
+  for (MachWord W : Words)
+    emitWord(W);
+  retargetTo(At, DestBlock, ExternalDest);
+}
+
+void RoutineLayouter::noteMaterialization(const Instruction *I,
+                                          unsigned WordIndex) {
+  // Detect `hi(rd) ; or/add rd, rd, lo` pairs whose value is a text
+  // address, and arrange to rewrite them to the edited address. This is
+  // how statically materialized code pointers (including the literal-jump
+  // idiom §3.3 mentions) keep working after code moves.
+  DataOp Cur = I->dataOp();
+  if (Cur.Kind != DataOpKind::Or && Cur.Kind != DataOpKind::Add)
+    return;
+  if (!Cur.HasImm || Cur.Rd != Cur.Rs1 || WordIndex == 0)
+    return;
+  MachWord PrevWord = Out.Code[WordIndex - 1];
+  DataOp Prev = Target.dataOp(PrevWord);
+  if (Prev.Kind != DataOpKind::LoadImmHi || Prev.Rd != Cur.Rd)
+    return;
+  uint32_t Value = Cur.Kind == DataOpKind::Or
+                       ? (static_cast<uint32_t>(Prev.Imm) |
+                          static_cast<uint32_t>(Cur.Imm))
+                       : (static_cast<uint32_t>(Prev.Imm) +
+                          static_cast<uint32_t>(Cur.Imm));
+  if (!Exec.isTextAddr(Value))
+    return;
+  Out.Relocs.push_back({Reloc::Kind::AddrHi, WordIndex - 1, Value, 0});
+  Out.Relocs.push_back({Reloc::Kind::AddrLo, WordIndex, Value, 0});
+}
+
+Expected<bool> RoutineLayouter::emitBlock(const BasicBlock *B) {
+  BlockOffset[B] = here();
+  for (unsigned I = 0; I < B->size(); ++I) {
+    const CfgInst &CI = B->insts()[I];
+    bool IsTerminator = I + 1 == B->size() && CI.Inst->isControlTransfer();
+    if (IsTerminator)
+      return lowerTerminator(B, I);
+
+    mapAddr(CI.OrigAddr);
+    const InstEditList *L = editsFor(B, I);
+    if (L) {
+      for (const Edit *Ed : L->Before) {
+        Expected<bool> Result = emitSnippet(*Ed, Live->liveBefore(B, I));
+        if (Result.hasError())
+          return Result;
+      }
+    }
+    if (!L || !L->Deleted) {
+      unsigned At = here();
+      emitWord(L && L->Replaced ? L->Replacement : CI.Inst->word());
+      if (!L || !L->Replaced)
+        noteMaterialization(CI.Inst, At);
+    }
+    if (L) {
+      for (const Edit *Ed : L->After) {
+        Expected<bool> Result = emitSnippet(*Ed, Live->liveAfter(B, I));
+        if (Result.hasError())
+          return Result;
+      }
+    }
+  }
+  // Block ends without a transfer: a fallthrough edge (possibly carrying
+  // code) leads to the next block in address order.
+  const Edge *Fall = edgeOfKind(B, EdgeKind::Fallthrough);
+  if (Fall) {
+    Expected<bool> Result = emitEdgeCode(Fall);
+    if (Result.hasError())
+      return Result;
+  }
+  return true;
+}
+
+Expected<bool> RoutineLayouter::lowerTerminator(const BasicBlock *B,
+                                                unsigned InstIndex) {
+  const CfgInst &Term = B->insts()[InstIndex];
+  mapAddr(Term.OrigAddr);
+  // Code before a control transfer executes on every path through it.
+  const InstEditList *L = editsFor(B, InstIndex);
+  if (L) {
+    assert(L->After.empty() && !L->Deleted &&
+           "control transfers cannot be deleted or post-instrumented");
+    // L->Replaced is consumed by terminatorWord() in the lowering helpers.
+    for (const Edit *Ed : L->Before) {
+      Expected<bool> Result =
+          emitSnippet(*Ed, Live->liveBefore(B, InstIndex));
+      if (Result.hasError())
+        return Result;
+    }
+  }
+  switch (Term.Inst->kind()) {
+  case InstKind::Branch:
+    return lowerBranch(B, Term);
+  case InstKind::Jump:
+    return lowerJump(B, Term);
+  case InstKind::Call:
+  case InstKind::IndirectCall:
+    return lowerCall(B, Term);
+  case InstKind::Return:
+    return lowerReturn(B, Term);
+  case InstKind::IndirectJump:
+    return lowerIndirect(B, Term);
+  default:
+    unreachable("unknown terminator");
+  }
+}
+
+MachWord RoutineLayouter::terminatorWord(const BasicBlock *B,
+                                         const CfgInst &Term) const {
+  const InstEditList *L = editsFor(B, B->size() - 1);
+  if (L && L->Replaced)
+    return L->Replacement;
+  return Term.Inst->word();
+}
+
+Expected<bool> RoutineLayouter::lowerBranch(const BasicBlock *B,
+                                            const CfgInst &Term) {
+  Addr A = Term.OrigAddr;
+  const Instruction *I = Term.Inst;
+  bool AnnulUntaken = I->delayBehavior() == DelayBehavior::AnnulUntaken;
+
+  // Taken path: B --Taken--> delay block --Taken--> destination.
+  const Edge *ToTakenDelay = edgeOfKind(B, EdgeKind::Taken);
+  assert(ToTakenDelay && "branch block without taken edge");
+  const BasicBlock *TakenDelay = ToTakenDelay->dst();
+  const Edge *TakenOut = edgeOfKind(TakenDelay, EdgeKind::Taken);
+  assert(TakenOut && "taken delay block without outgoing edge");
+  const BasicBlock *TakenDest =
+      TakenOut->dst()->kind() == BlockKind::Exit ? nullptr : TakenOut->dst();
+  Addr TakenExternal =
+      TakenDest ? 0 : externalTargetOf(TakenDelay);
+
+  // Fall path.
+  const Edge *ToFall = edgeOfKind(B, EdgeKind::NotTaken);
+  assert(ToFall && "branch block without fall edge");
+  const BasicBlock *FallDelay = nullptr;
+  const Edge *FallOut = nullptr;
+  if (!AnnulUntaken) {
+    FallDelay = ToFall->dst();
+    FallOut = edgeOfKind(FallDelay, EdgeKind::NotTaken);
+    assert(FallOut && "fall delay block without outgoing edge");
+  }
+
+  bool TakenEdited = pathHasCode(ToTakenDelay, TakenDelay, TakenOut);
+  bool FallEdited = AnnulUntaken ? edgeHasCode(ToFall)
+                                 : pathHasCode(ToFall, FallDelay, FallOut);
+
+  if (!TakenEdited && !FallEdited &&
+      !Exec.options().DisableDelayFolding) {
+    // Fold the delay instruction back into the slot (§3.3.1).
+    unsigned At = here();
+    emitWord(terminatorWord(B, Term));
+    retargetTo(At, TakenDest, TakenExternal);
+    mapAddr(A + 4);
+    emitWord(origWordAt(A + 4));
+    ++Out.DelayFolded;
+    return true; // falls through into the A+8 block
+  }
+
+  // Materialize: branch (with a harmless nop in its slot) to a stub that
+  // holds the taken path; the fall path runs inline.
+  ++Out.DelayMaterialized;
+  unsigned BranchAt = here();
+  emitWord(terminatorWord(B, Term));
+  emitWord(Target.nopWord());
+
+  StubRequest Stub;
+  Stub.E1 = ToTakenDelay;
+  Stub.DB = TakenDelay;
+  Stub.E2 = TakenOut;
+  Stub.DestBlock = TakenDest;
+  Stub.ExternalDest = TakenExternal;
+  Stub.BranchWordIndex = BranchAt;
+  Stubs.push_back(Stub);
+
+  if (AnnulUntaken) {
+    Expected<bool> Result = emitEdgeCode(ToFall);
+    if (Result.hasError())
+      return Result;
+  } else {
+    Expected<bool> Result = emitPath(ToFall, FallDelay, FallOut);
+    if (Result.hasError())
+      return Result;
+  }
+  return true; // falls through into the A+8 block
+}
+
+Expected<bool> RoutineLayouter::lowerJump(const BasicBlock *B,
+                                          const CfgInst &Term) {
+  const Instruction *I = Term.Inst;
+  Addr A = Term.OrigAddr;
+  bool AnnulAlways = I->delayBehavior() == DelayBehavior::AnnulAlways;
+
+  const Edge *First = edgeOfKind(B, EdgeKind::UncondJump);
+  assert(First && "jump block without outgoing edge");
+
+  const BasicBlock *DelayB = nullptr;
+  const Edge *Second = nullptr;
+  const BasicBlock *DestB;
+  if (AnnulAlways) {
+    DestB = First->dst();
+  } else {
+    DelayB = First->dst();
+    Second = edgeOfKind(DelayB, EdgeKind::UncondJump);
+    assert(Second && "jump delay block without outgoing edge");
+    DestB = Second->dst();
+  }
+  bool External = DestB->kind() == BlockKind::Exit;
+  Addr ExternalDest =
+      External ? externalTargetOf(AnnulAlways ? B : DelayB) : 0;
+  const BasicBlock *Dest = External ? nullptr : DestB;
+
+  bool Edited = AnnulAlways ? edgeHasCode(First)
+                            : pathHasCode(First, DelayB, Second);
+
+  // A non-annulled jump with untouched paths keeps its delay slot.
+  if (!Edited && !AnnulAlways && !Exec.options().DisableDelayFolding) {
+    std::optional<MachWord> CanRetarget =
+        Target.retargetDirect(I->word(), 0, 0x1000);
+    if (CanRetarget) {
+      unsigned At = here();
+      emitWord(terminatorWord(B, Term));
+      retargetTo(At, Dest, ExternalDest);
+      mapAddr(A + 4);
+      emitWord(origWordAt(A + 4));
+      ++Out.DelayFolded;
+      return true;
+    }
+  }
+
+  // Materialized form: path code, then a fresh jump (the original word may
+  // be unretargetable, e.g. bn,a whose target is implicit).
+  if (!AnnulAlways) {
+    Expected<bool> Result = emitPath(First, DelayB, Second);
+    if (Result.hasError())
+      return Result;
+  } else {
+    Expected<bool> Result = emitEdgeCode(First);
+    if (Result.hasError())
+      return Result;
+    ++Out.DelayMaterialized;
+  }
+  emitJumpTo(Dest, ExternalDest);
+  return true;
+}
+
+Expected<bool> RoutineLayouter::lowerCall(const BasicBlock *B,
+                                          const CfgInst &Term) {
+  Addr A = Term.OrigAddr;
+  const Instruction *I = Term.Inst;
+  unsigned At = here();
+  emitWord(I->word());
+  if (I->kind() == InstKind::Call) {
+    Reloc Rl;
+    Rl.K = Reloc::Kind::CallTo;
+    Rl.WordIndex = At;
+    Rl.OrigTarget = *I->directTarget(A);
+    Out.Relocs.push_back(Rl);
+  }
+  // The delay slot after a call is uneditable (§3.3): emit it verbatim.
+  mapAddr(A + 4);
+  emitWord(origWordAt(A + 4));
+  (void)B;
+  return true; // continuation (A+8 block) follows in address order
+}
+
+Expected<bool> RoutineLayouter::lowerReturn(const BasicBlock *B,
+                                            const CfgInst &Term) {
+  Addr A = Term.OrigAddr;
+  emitWord(Term.Inst->word());
+  mapAddr(A + 4);
+  emitWord(origWordAt(A + 4));
+  (void)B;
+  return true;
+}
+
+Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
+                                              const CfgInst &Term) {
+  Addr A = Term.OrigAddr;
+  const Instruction *I = Term.Inst;
+  const IndirectSite *Site = nullptr;
+  for (const IndirectSite &S : Graph->indirectSites())
+    if (S.Block == B && S.JumpAddr == A)
+      Site = &S;
+  assert(Site && "indirect jump without a recorded site");
+
+  switch (Site->Resolution.K) {
+  case IndirectResolution::Kind::DispatchTable: {
+    emitWord(I->word());
+    mapAddr(A + 4);
+    emitWord(origWordAt(A + 4));
+    // Rewrite the table: entries point at edited case blocks, or at stubs
+    // when a case edge carries code.
+    const Edge *ToDelay = edgeOfKind(B, EdgeKind::SwitchCase);
+    assert(ToDelay && "dispatch block without delay edge");
+    const BasicBlock *DelayB = ToDelay->dst();
+    TableFix Fix;
+    Fix.TableAddr = Site->Resolution.TableAddr;
+    size_t FixIndex = Out.TableFixes.size();
+    for (size_t EntryIdx = 0; EntryIdx < Site->Resolution.Targets.size();
+         ++EntryIdx) {
+      Addr T = Site->Resolution.Targets[EntryIdx];
+      const Edge *CaseEdge = nullptr;
+      for (const Edge *E : DelayB->succ())
+        if (E->dst()->kind() == BlockKind::Normal && E->dst()->anchor() == T)
+          CaseEdge = E;
+      TableEntryFix EF;
+      EF.OrigTarget = T;
+      if (CaseEdge && edgeHasCode(CaseEdge)) {
+        // Route this entry through a stub holding the edge's code.
+        StubRequest Stub;
+        Stub.E2 = CaseEdge;
+        Stub.DestBlock = CaseEdge->dst();
+        Stub.TableSlots.push_back({FixIndex, EntryIdx});
+        Stubs.push_back(Stub);
+        EF.StubWordIndex = 0; // patched when the stub is placed
+      }
+      Fix.Entries.push_back(EF);
+    }
+    Out.TableFixes.push_back(std::move(Fix));
+    return true;
+  }
+
+  case IndirectResolution::Kind::Literal:
+    emitWord(I->word());
+    mapAddr(A + 4);
+    emitWord(origWordAt(A + 4));
+    return true;
+
+  case IndirectResolution::Kind::CellPointer:
+  case IndirectResolution::Kind::Unanalyzable: {
+    // Run-time translation (§3.3).
+    Out.NeedsTranslator = true;
+    bumpStat("eel.translate.sites");
+    const auto *Ind = cast<IndirectInst>(I);
+    mapAddr(A + 4); // the delay instruction is emitted inside the site
+    return emitTranslationSite(Target, *Ind, origWordAt(A + 4), Out.Code,
+                               Out.Relocs);
+  }
+  }
+  unreachable("unhandled resolution kind");
+}
+
+Expected<bool> RoutineLayouter::emitStubs() {
+  for (StubRequest &Stub : Stubs) {
+    unsigned Offset = here();
+    if (Stub.BranchWordIndex != UINT_MAX) {
+      // Retarget the branch at the stub: a direct internal patch.
+      Reloc Rl;
+      Rl.K = Reloc::Kind::Internal;
+      Rl.WordIndex = Stub.BranchWordIndex;
+      Rl.DestWordIndex = Offset;
+      Out.Relocs.push_back(Rl);
+    }
+    for (auto &[FixIndex, EntryIdx] : Stub.TableSlots)
+      Out.TableFixes[FixIndex].Entries[EntryIdx].StubWordIndex =
+          static_cast<int>(Offset);
+    Expected<bool> Result = emitPath(Stub.E1, Stub.DB, Stub.E2);
+    if (Result.hasError())
+      return Result;
+    emitJumpTo(Stub.DestBlock, Stub.ExternalDest);
+  }
+  return true;
+}
+
+Expected<bool> RoutineLayouter::runVerbatim() {
+  Out.Verbatim = true;
+  bumpStat("eel.layout.verbatim");
+  const asmkit::InstParser &Parser = asmkit::instParserFor(Target.arch());
+  (void)Parser;
+  const Instruction *Prev = nullptr;
+  for (Addr A = R.startAddr(); A + 4 <= R.endAddr(); A += 4) {
+    std::optional<MachWord> WOpt = Exec.fetchWord(A);
+    if (!WOpt)
+      break;
+    MachWord W = *WOpt;
+    mapAddr(A);
+    unsigned At = here();
+    emitWord(W);
+    if (R.isData()) {
+      Prev = nullptr;
+      continue; // pure data: no decoding, no relocations
+    }
+    const Instruction *I = Exec.pool().get(W);
+    // Cross-routine direct transfers must follow their targets. To avoid
+    // corrupting data that happens to decode as a transfer, only words
+    // whose target is a routine entry point are patched.
+    std::optional<Addr> T = I->directTarget(A);
+    if (T && !R.contains(*T)) {
+      Routine *Dest = Exec.routineContaining(*T);
+      bool IsEntry = false;
+      if (Dest)
+        for (Addr E : Dest->entryPoints())
+          if (E == *T)
+            IsEntry = true;
+      if (IsEntry) {
+        Reloc Rl;
+        Rl.K = I->kind() == InstKind::Call ? Reloc::Kind::CallTo
+                                           : Reloc::Kind::JumpTo;
+        Rl.WordIndex = At;
+        Rl.OrigTarget = *T;
+        Out.Relocs.push_back(Rl);
+      }
+    } else if (I->kind() == InstKind::Call || I->kind() == InstKind::Jump) {
+      // Internal absolute-region jumps (MRISC j/jal) still need fixing
+      // since the whole routine moves.
+      if (T && R.contains(*T)) {
+        std::optional<MachWord> SameRel =
+            Target.retargetDirect(W, A + 0x1000, *T + 0x1000);
+        if (!SameRel || *SameRel != W) {
+          Reloc Rl;
+          Rl.K = Reloc::Kind::JumpTo;
+          Rl.WordIndex = At;
+          Rl.OrigTarget = *T;
+          Out.Relocs.push_back(Rl);
+        }
+      }
+    }
+    if (Prev)
+      noteMaterialization(I, At);
+    Prev = I;
+  }
+  return true;
+}
+
+Expected<RoutineLayout> RoutineLayouter::run() {
+  // Data "routines" (tables with routine-like symbols) are copied as-is.
+  if (R.isData()) {
+    Expected<bool> Result = runVerbatim();
+    if (Result.hasError())
+      return Result.error();
+    return std::move(Out);
+  }
+
+  Graph = R.controlFlowGraph();
+  bool WantTranslation = Exec.options().EnableRuntimeTranslation;
+  bool MustVerbatim =
+      Graph->unsupported() || (!Graph->complete() && !WantTranslation);
+  if (MustVerbatim) {
+    if (Graph->edited())
+      return Error("routine '" + R.name() + "' cannot be edited: " +
+                   (Graph->unsupported() ? Graph->unsupportedReason()
+                                         : "unanalyzable control flow and "
+                                           "run-time translation disabled"));
+    Expected<bool> Result = runVerbatim();
+    if (Result.hasError())
+      return Result.error();
+    return std::move(Out);
+  }
+
+  gatherEdits();
+  Live = std::make_unique<Liveness>(*Graph);
+
+  // Normal blocks were created in ascending address order by the builder.
+  for (const auto &Block : Graph->blocks()) {
+    if (Block->kind() != BlockKind::Normal)
+      continue;
+    Expected<bool> Result = emitBlock(Block.get());
+    if (Result.hasError())
+      return Result.error();
+  }
+  Expected<bool> Result = emitStubs();
+  if (Result.hasError())
+    return Result.error();
+
+  // Preserve words of the extent not covered by any block (alignment
+  // padding, text-embedded data): append them so their bytes survive, and
+  // map their addresses.
+  for (Addr A = R.startAddr(); A + 4 <= R.endAddr(); A += 4) {
+    if (Out.AddrMap.count(A))
+      continue;
+    mapAddr(A);
+    emitWord(origWordAt(A));
+  }
+
+  // Resolve internal transfers now that all offsets are final.
+  for (const PendingInternal &P : Internals) {
+    auto It = BlockOffset.find(P.DestBlock);
+    assert(It != BlockOffset.end() && "destination block was not emitted");
+    Reloc Rl;
+    Rl.K = Reloc::Kind::Internal;
+    Rl.WordIndex = P.WordIndex;
+    Rl.DestWordIndex = It->second;
+    Out.Relocs.push_back(Rl);
+  }
+  return std::move(Out);
+}
+
+Expected<RoutineLayout> eel::layoutRoutine(Routine &R) {
+  RoutineLayouter L(R);
+  return L.run();
+}

@@ -1,0 +1,334 @@
+//===- core/OutputWriter.cpp - Edited-executable production -------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements Executable::writeEditedExecutable(): lays out every routine,
+/// places the layouts (plus the run-time translator and tool-added
+/// routines) in a fresh text segment, patches all placement-dependent
+/// relocations, runs snippet call-backs, rewrites dispatch tables and data
+/// code-pointers, builds the original→edited translation table, and emits
+/// the new image with an updated symbol table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Executable.h"
+
+#include "asmkit/Assembler.h"
+#include "asmkit/TargetAsm.h"
+#include "core/Layout.h"
+#include "core/Translate.h"
+#include "support/Stats.h"
+
+using namespace eel;
+
+namespace {
+
+struct PlacedRoutine {
+  Routine *R = nullptr;
+  RoutineLayout Layout;
+  Addr Base = 0;
+};
+
+} // namespace
+
+Expected<SxfFile> Executable::writeEditedExecutable() {
+  readContents();
+  Stats = EditStats();
+  AddrMap.clear();
+
+  const asmkit::InstParser &Parser = asmkit::instParserFor(Image.Arch);
+
+  // --- 1. Lay out every routine --------------------------------------------
+  std::vector<PlacedRoutine> Placed;
+  bool NeedTranslator = false;
+  for (const auto &R : Routines) {
+    Expected<RoutineLayout> Layout = layoutRoutine(*R);
+    if (Layout.hasError())
+      return Layout.error();
+    PlacedRoutine P;
+    P.R = R.get();
+    P.Layout = Layout.takeValue();
+    NeedTranslator |= P.Layout.NeedsTranslator;
+    if (P.Layout.Verbatim)
+      ++Stats.RoutinesVerbatim;
+    else if (R->cachedCfg() && R->cachedCfg()->edited())
+      ++Stats.RoutinesEdited;
+    Stats.DelaySlotsFolded += P.Layout.DelayFolded;
+    Stats.DelaySlotsMaterialized += P.Layout.DelayMaterialized;
+    Stats.SnippetInstances += P.Layout.SnippetInstances;
+    Stats.SnippetSpills += P.Layout.SnippetSpills;
+    Stats.SnippetCCSaves += P.Layout.SnippetCCSaves;
+    Placed.push_back(std::move(P));
+  }
+
+  // --- 2. Place routines and build the global address map -------------------
+  // Edited code lives at a fresh base disjoint from the original text so
+  // that original and edited instruction addresses never collide: the
+  // run-time translator can then distinguish untranslated original
+  // addresses (in its table) from values that were already rewritten.
+  Addr NewTextBase = (textEnd() + 0xFFFu) & ~0xFFFu;
+  Addr Cursor = NewTextBase;
+  for (PlacedRoutine &P : Placed) {
+    P.Base = Cursor;
+    Cursor += static_cast<Addr>(P.Layout.Code.size() * 4);
+    for (const auto &[Orig, WordIndex] : P.Layout.AddrMap)
+      AddrMap.emplace(Orig, P.Base + 4 * WordIndex);
+  }
+
+  // --- 3. Translation table and translator ----------------------------------
+  Addr TranslatorAddr = 0;
+  std::vector<MachWord> TranslatorCode;
+  Addr TableAddr = 0;
+  unsigned TableCount = 0;
+  if (NeedTranslator && Opts.EnableRuntimeTranslation) {
+    TableCount = static_cast<unsigned>(AddrMap.size());
+    TableAddr = appendData(TableCount * 8, 8, "__eel_translation_table");
+    TranslatorAddr = Cursor;
+    Expected<SxfFile> Assembled = assembleProgram(
+        Image.Arch, translatorAsm(Target, TableAddr, TableCount),
+        AsmOptions{TranslatorAddr, 0x7F000000});
+    if (Assembled.hasError())
+      return Error("internal: translator assembly failed: " +
+                   Assembled.error().message());
+    const SxfSegment *Text = Assembled.value().segment(SegKind::Text);
+    for (size_t I = 0; I + 4 <= Text->Bytes.size(); I += 4)
+      TranslatorCode.push_back(
+          *Assembled.value().readWord(Text->VAddr + static_cast<Addr>(I)));
+    Cursor += static_cast<Addr>(TranslatorCode.size() * 4);
+    Stats.TranslationEntries = TableCount;
+  }
+
+  // --- 4. Tool-added routines -------------------------------------------------
+  std::vector<std::vector<MachWord>> AddedCode;
+  for (AddedRoutine &Added : AddedRoutines) {
+    Added.PlacedAddr = Cursor;
+    Expected<SxfFile> Assembled = assembleProgram(
+        Image.Arch, Added.AsmText, AsmOptions{Added.PlacedAddr, 0x7F000000});
+    if (Assembled.hasError())
+      return Error("added routine '" + Added.Name + "': " +
+                   Assembled.error().message());
+    const SxfSegment *Text = Assembled.value().segment(SegKind::Text);
+    std::vector<MachWord> Words;
+    for (size_t I = 0; I + 4 <= Text->Bytes.size(); I += 4)
+      Words.push_back(
+          *Assembled.value().readWord(Text->VAddr + static_cast<Addr>(I)));
+    Cursor += static_cast<Addr>(Words.size() * 4);
+    AddedCode.push_back(std::move(Words));
+  }
+
+  // --- 5. Patch relocations ------------------------------------------------------
+  for (PlacedRoutine &P : Placed) {
+    for (const Reloc &Rl : P.Layout.Relocs) {
+      Addr PC = P.Base + 4 * Rl.WordIndex;
+      MachWord &Word = P.Layout.Code[Rl.WordIndex];
+      switch (Rl.K) {
+      case Reloc::Kind::CallTo:
+      case Reloc::Kind::JumpTo: {
+        auto It = AddrMap.find(Rl.OrigTarget);
+        if (It == AddrMap.end())
+          break; // bogus transfer decoded from data: leave untouched
+        std::optional<MachWord> New =
+            Target.retargetDirect(Word, PC, It->second);
+        if (!New)
+          return Error("routine '" + P.R->name() +
+                       "': edited transfer target out of range");
+        Word = *New;
+        break;
+      }
+      case Reloc::Kind::Internal: {
+        Addr Dest = P.Base + 4 * Rl.DestWordIndex;
+        std::optional<MachWord> New = Target.retargetDirect(Word, PC, Dest);
+        if (!New)
+          return Error("routine '" + P.R->name() +
+                       "': internal transfer out of range");
+        Word = *New;
+        break;
+      }
+      case Reloc::Kind::AddrHi:
+      case Reloc::Kind::AddrLo: {
+        auto It = AddrMap.find(Rl.OrigTarget);
+        if (It == AddrMap.end())
+          break; // not a code address after all
+        Word = Rl.K == Reloc::Kind::AddrHi
+                   ? Parser.applyImmHi(Word, It->second)
+                   : Parser.applyImmLo(Word, It->second);
+        break;
+      }
+      case Reloc::Kind::TranslatorHi:
+        ++Stats.TranslationSites;
+        Word = Parser.applyImmHi(Word, TranslatorAddr);
+        break;
+      case Reloc::Kind::TranslatorLo:
+        Word = Parser.applyImmLo(Word, TranslatorAddr);
+        break;
+      }
+    }
+  }
+
+  // --- 6. Snippet call-backs ------------------------------------------------------
+  for (PlacedRoutine &P : Placed) {
+    for (PendingCallback &CB : P.Layout.Callbacks) {
+      SnippetInstance &Inst = CB.Instance;
+      Inst.StartAddr = P.Base + 4 * CB.WordIndex;
+      for (size_t I = 0; I < Inst.Words.size(); ++I)
+        Inst.Words[I] = P.Layout.Code[CB.WordIndex + I];
+      CB.Snippet->callback()(Inst);
+      for (size_t I = 0; I < Inst.Words.size(); ++I)
+        P.Layout.Code[CB.WordIndex + I] = Inst.Words[I];
+    }
+  }
+
+  // --- 7. Build the output image ----------------------------------------------------
+  SxfFile Out;
+  Out.Arch = Image.Arch;
+
+  SxfSegment TextSeg;
+  TextSeg.Kind = SegKind::Text;
+  TextSeg.VAddr = NewTextBase;
+  auto AppendWords = [&TextSeg](const std::vector<MachWord> &Words) {
+    for (MachWord W : Words) {
+      TextSeg.Bytes.push_back(static_cast<uint8_t>(W));
+      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 8));
+      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 16));
+      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 24));
+    }
+  };
+  for (const PlacedRoutine &P : Placed)
+    AppendWords(P.Layout.Code);
+  AppendWords(TranslatorCode);
+  for (const auto &Words : AddedCode)
+    AppendWords(Words);
+  TextSeg.MemSize = static_cast<uint32_t>(TextSeg.Bytes.size());
+  Out.Segments.push_back(std::move(TextSeg));
+
+  // Original non-text segments are copied unchanged (then patched below).
+  for (const SxfSegment &Seg : Image.Segments)
+    if (Seg.Kind != SegKind::Text)
+      Out.Segments.push_back(Seg);
+
+  // Appended data (tool counters, translation table).
+  if (!AppendedData.empty()) {
+    Addr Lo = AppendedData.front().Address;
+    SxfSegment Blob;
+    Blob.Kind = SegKind::Data;
+    Blob.VAddr = Lo;
+    Blob.Bytes.assign(NextDataAddr - Lo, 0);
+    for (const DataBlob &B : AppendedData)
+      for (size_t I = 0; I < B.Initial.size(); ++I)
+        Blob.Bytes[B.Address - Lo + I] = B.Initial[I];
+    Blob.MemSize = static_cast<uint32_t>(Blob.Bytes.size());
+    Out.Segments.push_back(std::move(Blob));
+  }
+
+  // Translation table contents: sorted (orig, edited) pairs. std::map
+  // iteration is already sorted by original address.
+  if (TableCount) {
+    Addr At = TableAddr;
+    for (const auto &[Orig, Edited] : AddrMap) {
+      Out.writeWord(At, Orig);
+      Out.writeWord(At + 4, Edited);
+      At += 8;
+    }
+  }
+
+  // --- 8. Data-pointer rewriting ------------------------------------------------
+  // When the image carries relocation information, rewrite exactly the
+  // 32-bit address words it names (the §3.1 footnote's "supplement ...
+  // with relocation information, when available"); otherwise fall back to
+  // the heuristic whole-segment scan, which can mistake an integer for a
+  // code pointer.
+  if (Opts.RewriteDataPointers && !Image.Relocs.empty()) {
+    Addr TB = textBase(), TE = textEnd();
+    for (const SxfReloc &Reloc : Image.Relocs) {
+      if (Reloc.Kind != RelocKind::Word32)
+        continue;
+      if (Reloc.Site >= TB && Reloc.Site < TE)
+        continue; // words inside text moved with their routine's layout
+      auto It = AddrMap.find(Reloc.Target);
+      if (It == AddrMap.end())
+        continue; // a data-to-data pointer
+      Out.writeWord(Reloc.Site, It->second);
+      ++Stats.DataPointersRewritten;
+    }
+  } else if (Opts.RewriteDataPointers) {
+    for (SxfSegment &Seg : Out.Segments) {
+      if (Seg.Kind != SegKind::Data)
+        continue;
+      // Only segments copied from the original image (not the appended
+      // blob, whose contents are already edited addresses).
+      bool FromOriginal = false;
+      for (const SxfSegment &OrigSeg : Image.Segments)
+        if (OrigSeg.Kind == Seg.Kind && OrigSeg.VAddr == Seg.VAddr)
+          FromOriginal = true;
+      if (!FromOriginal)
+        continue;
+      for (size_t Off = 0; Off + 4 <= Seg.Bytes.size(); Off += 4) {
+        Addr A = Seg.VAddr + static_cast<Addr>(Off);
+        uint32_t W = *Out.readWord(A);
+        if (!isTextAddr(W))
+          continue;
+        auto It = AddrMap.find(W);
+        if (It == AddrMap.end())
+          continue;
+        Out.writeWord(A, It->second);
+        ++Stats.DataPointersRewritten;
+      }
+    }
+  }
+
+  // --- 9. Dispatch-table rewriting --------------------------------------------------
+  for (const PlacedRoutine &P : Placed) {
+    for (const TableFix &Fix : P.Layout.TableFixes) {
+      const SxfSegment *Seg = Image.segmentContaining(Fix.TableAddr);
+      if (!Seg || Seg->Kind == SegKind::Text)
+        continue; // tables inside moved text are not rewritable
+      for (size_t I = 0; I < Fix.Entries.size(); ++I) {
+        const TableEntryFix &EF = Fix.Entries[I];
+        Addr Value;
+        if (EF.StubWordIndex >= 0) {
+          Value = P.Base + 4 * static_cast<Addr>(EF.StubWordIndex);
+        } else {
+          auto It = AddrMap.find(EF.OrigTarget);
+          if (It == AddrMap.end())
+            continue;
+          Value = It->second;
+        }
+        Out.writeWord(Fix.TableAddr + 4 * static_cast<Addr>(I), Value);
+        ++Stats.DispatchEntriesRewritten;
+      }
+    }
+  }
+
+  // --- 10. Symbols and entry point --------------------------------------------------
+  for (const PlacedRoutine &P : Placed) {
+    SxfSymbol Sym;
+    Sym.Name = P.R->name();
+    Sym.Value = P.Base;
+    Sym.Size = static_cast<uint32_t>(P.Layout.Code.size() * 4);
+    Sym.Kind = P.R->isData() ? SymKind::Object : SymKind::Routine;
+    const SxfSymbol *Orig = Image.findSymbol(P.R->name());
+    Sym.Binding = Orig ? Orig->Binding : SymBinding::Local;
+    Out.Symbols.push_back(std::move(Sym));
+  }
+  if (!TranslatorCode.empty())
+    Out.Symbols.push_back({"__eel_translate", TranslatorAddr,
+                           static_cast<uint32_t>(TranslatorCode.size() * 4),
+                           SymKind::Routine, SymBinding::Local});
+  for (size_t I = 0; I < AddedRoutines.size(); ++I)
+    Out.Symbols.push_back({AddedRoutines[I].Name, AddedRoutines[I].PlacedAddr,
+                           static_cast<uint32_t>(AddedCode[I].size() * 4),
+                           SymKind::Routine, SymBinding::Local});
+  // Non-text symbols (data objects) keep their addresses.
+  for (const SxfSymbol &Sym : Image.Symbols)
+    if (Sym.Value < textBase() || Sym.Value >= textEnd())
+      Out.Symbols.push_back(Sym);
+
+  auto EntryIt = AddrMap.find(Image.Entry);
+  if (EntryIt == AddrMap.end())
+    return Error("program entry point did not survive editing");
+  Out.Entry = EntryIt->second;
+  return Out;
+}

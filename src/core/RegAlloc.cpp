@@ -1,0 +1,122 @@
+//===- core/RegAlloc.cpp - Snippet register scavenging ------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegAlloc.h"
+
+#include "support/Stats.h"
+
+#include <numeric>
+
+using namespace eel;
+
+Expected<SnippetInstance> eel::instantiateSnippet(const TargetInfo &Target,
+                                                  const CodeSnippet &Snippet,
+                                                  const RegSet &Live) {
+  bumpStat("eel.snippet.instances");
+  const TargetConventions &Conv = Target.conventions();
+  SnippetInstance Inst;
+  for (unsigned Reg = 0; Reg < 32; ++Reg)
+    Inst.RegMap[Reg] = static_cast<uint8_t>(Reg);
+
+  // Registers the body names literally (reads or writes) that are not
+  // placeholders must keep their identity; they cannot receive a
+  // placeholder assignment.
+  RegSet LiterallyUsed;
+  for (MachWord W : Snippet.body()) {
+    for (unsigned Reg : Target.reads(W))
+      if (Reg < 32)
+        LiterallyUsed.insert(Reg);
+    for (unsigned Reg : Target.writes(W))
+      if (Reg < 32)
+        LiterallyUsed.insert(Reg);
+  }
+  LiterallyUsed.remove(Snippet.regsToAllocate());
+
+  RegSet Universe;
+  for (unsigned Reg = 1; Reg < Target.numRegisters(); ++Reg)
+    Universe.insert(Reg);
+  Universe.remove(Conv.Reserved);
+  Universe.remove(Snippet.forbidden());
+  Universe.remove(LiterallyUsed);
+  Universe.remove(Snippet.regsToAllocate());
+
+  RegSet Dead = Universe - Live;
+
+  // How many registers do we need? One per placeholder, plus one scratch
+  // for condition-code save/restore if the snippet clobbers live CC.
+  bool NeedCCSave = Snippet.clobbersCC() && Target.hasConditionCodes() &&
+                    Live.contains(RegIdCC);
+  unsigned Needed = Snippet.regsToAllocate().size() + (NeedCCSave ? 1 : 0);
+
+  // Assign from the dead pool first; spill live registers for the rest.
+  std::vector<unsigned> Granted;
+  for (unsigned Reg : Dead) {
+    if (Granted.size() >= Needed)
+      break;
+    Granted.push_back(Reg);
+  }
+  std::vector<unsigned> Spilled;
+  if (Granted.size() < Needed) {
+    RegSet SpillPool = Universe & Live;
+    for (unsigned Reg : SpillPool) {
+      if (Granted.size() >= Needed)
+        break;
+      Granted.push_back(Reg);
+      Spilled.push_back(Reg);
+    }
+  }
+  if (Granted.size() < Needed)
+    return Error("snippet needs " + std::to_string(Needed) +
+                 " registers but only " + std::to_string(Granted.size()) +
+                 " can be scavenged or spilled");
+  unsigned MaxSpillSlots =
+      static_cast<unsigned>((SnippetSpillBase - SnippetSpillLimit) / 4);
+  if (Spilled.size() > MaxSpillSlots)
+    return Error("snippet spill area exhausted");
+
+  // Bind placeholders (in ascending order) to granted registers.
+  unsigned Cursor = 0;
+  for (unsigned Placeholder : Snippet.regsToAllocate())
+    Inst.RegMap[Placeholder] = static_cast<uint8_t>(Granted[Cursor++]);
+  unsigned CCScratch = NeedCCSave ? Granted[Cursor++] : 0;
+
+  // Prologue: spill stores, then CC save.
+  unsigned SP = Conv.StackPointer;
+  for (size_t I = 0; I < Spilled.size(); ++I)
+    Target.emitStoreWord(Spilled[I], SP,
+                         SnippetSpillBase - static_cast<int32_t>(4 * I) - 4,
+                         Inst.Words);
+  if (NeedCCSave) {
+    bumpStat("eel.snippet.ccsaves");
+    Target.emitSaveCC(CCScratch, Inst.Words);
+  }
+  Inst.BodyBegin = static_cast<unsigned>(Inst.Words.size());
+
+  // Body with placeholders rewritten.
+  auto Map = [&Inst](unsigned Reg) -> unsigned {
+    return Reg < 32 ? Inst.RegMap[Reg] : Reg;
+  };
+  for (MachWord W : Snippet.body()) {
+    std::optional<MachWord> New = Target.rewriteRegisters(W, Map);
+    if (!New)
+      return Error("snippet instruction cannot be register-rewritten");
+    Inst.Words.push_back(*New);
+  }
+
+  // Epilogue: CC restore, then spill reloads.
+  if (NeedCCSave)
+    Target.emitRestoreCC(CCScratch, Inst.Words);
+  for (size_t I = Spilled.size(); I-- > 0;)
+    Target.emitLoadWord(Spilled[I], SP,
+                        SnippetSpillBase - static_cast<int32_t>(4 * I) - 4,
+                        Inst.Words);
+
+  Inst.SpillCount = static_cast<unsigned>(Spilled.size());
+  if (Inst.SpillCount)
+    bumpStat("eel.snippet.spills", Inst.SpillCount);
+  Inst.SavedCC = NeedCCSave;
+  return Inst;
+}

@@ -1,0 +1,40 @@
+//===- core/RegAlloc.h - Snippet register scavenging -------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-dependent register allocation for snippets (§3.5): EEL finds the
+/// registers live at the insertion point and assigns dead ones to the
+/// snippet's placeholder registers ("register scavenging"). When too few
+/// dead registers exist, the snippet is wrapped with code that spills live
+/// registers to a stack red zone; when the snippet clobbers live condition
+/// codes, it is wrapped with CC save/restore.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_REGALLOC_H
+#define EEL_CORE_REGALLOC_H
+
+#include "core/Snippet.h"
+#include "support/Error.h"
+
+namespace eel {
+
+/// Stack offsets below SP reserved for EEL-inserted code. The run-time
+/// translator uses [sp-64, sp-96); snippet spills use [sp-96, sp-160).
+/// Programs in this world never touch memory below SP (no signal handlers,
+/// no red-zone use by compilers), which makes both safe.
+enum : int32_t { SnippetSpillBase = -96, SnippetSpillLimit = -160 };
+
+/// Instantiates \p Snippet for a site where \p Live registers are live.
+/// Returns the wrapped, register-allocated code. Fails only if the snippet
+/// demands more registers than can be spilled.
+Expected<SnippetInstance> instantiateSnippet(const TargetInfo &Target,
+                                             const CodeSnippet &Snippet,
+                                             const RegSet &Live);
+
+} // namespace eel
+
+#endif // EEL_CORE_REGALLOC_H

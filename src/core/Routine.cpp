@@ -1,0 +1,27 @@
+//===- core/Routine.cpp - Routines -------------------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Routine.h"
+
+#include <algorithm>
+
+using namespace eel;
+
+void Routine::addEntryPoint(Addr A) {
+  assert(contains(A) && "entry point outside routine extent");
+  if (std::find(Entries.begin(), Entries.end(), A) != Entries.end())
+    return;
+  Entries.push_back(A);
+  std::sort(Entries.begin(), Entries.end());
+}
+
+Cfg *Routine::controlFlowGraph() {
+  if (!Graph)
+    Graph = buildCfg(*this);
+  return Graph.get();
+}
+
+void Routine::deleteControlFlowGraph() { Graph.reset(); }

@@ -1,0 +1,81 @@
+//===- core/Routine.h - Routines ---------------------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routines (§3.2): named entities in the text segment that hold
+/// instructions and data. A routine records what symbol-table refinement
+/// learned about it (extent, entry points, whether it was hidden or is
+/// really a data table) and provides the interface to EEL's control-flow
+/// analysis and editing facility through its CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_ROUTINE_H
+#define EEL_CORE_ROUTINE_H
+
+#include "core/Cfg.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+class Executable;
+
+class Routine {
+public:
+  Routine(Executable &Parent, std::string Name, Addr Lo, Addr Hi)
+      : Parent(Parent), Name(std::move(Name)), Lo(Lo), Hi(Hi) {
+    Entries.push_back(Lo);
+  }
+
+  Executable &executable() const { return Parent; }
+  const std::string &name() const { return Name; }
+
+  /// Extent [startAddr, endAddr) in the text segment.
+  Addr startAddr() const { return Lo; }
+  Addr endAddr() const { return Hi; }
+  uint32_t sizeBytes() const { return Hi - Lo; }
+  bool contains(Addr A) const { return A >= Lo && A < Hi; }
+
+  /// Entry points, in increasing address order; the first is startAddr().
+  const std::vector<Addr> &entryPoints() const { return Entries; }
+  void addEntryPoint(Addr A);
+
+  /// True if the routine was discovered by analysis rather than named by a
+  /// symbol (a "hidden routine", §3.1).
+  bool hidden() const { return Hidden; }
+
+  /// True if analysis concluded the extent holds data, not code (a data
+  /// table carrying a routine-like symbol, §3.1).
+  bool isData() const { return IsData; }
+
+  /// Builds (or returns the cached) control-flow graph.
+  Cfg *controlFlowGraph();
+
+  /// Discards the CFG and any accumulated edits (the paper's
+  /// delete_control_flow_graph, used to bound memory while iterating).
+  void deleteControlFlowGraph();
+
+  /// Whether a CFG has been built and edited (queried by the editor).
+  Cfg *cachedCfg() const { return Graph.get(); }
+
+private:
+  friend class Executable;
+
+  Executable &Parent;
+  std::string Name;
+  Addr Lo, Hi;
+  std::vector<Addr> Entries;
+  bool Hidden = false;
+  bool IsData = false;
+  std::unique_ptr<Cfg> Graph;
+};
+
+} // namespace eel
+
+#endif // EEL_CORE_ROUTINE_H

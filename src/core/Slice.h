@@ -1,0 +1,67 @@
+//===- core/Slice.h - Backward slicing for indirect jumps --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §3.3 analysis that makes run-time translation "a rare occurrence":
+/// a backward slice from an indirect jump's address registers, computed in
+/// an architecture- and compiler-independent manner over the dataflow facts
+/// instructions expose (Figure 4). The slice recognizes
+///
+///  * the dispatch-table idiom — a bounded, scaled load from a table of
+///    code addresses (case statements);
+///  * the literal idiom — a jump to a statically materialized address;
+///  * the code-pointer-cell idiom — a load from one known memory cell
+///    (function pointers), which the editor rewrites precisely;
+///
+/// and otherwise reports the jump unanalyzable, classifying the
+/// frame-popping tail-call pattern that accounted for all 138 unanalyzable
+/// jumps in the paper's Solaris/SunPro measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_CORE_SLICE_H
+#define EEL_CORE_SLICE_H
+
+#include "core/Cfg.h"
+
+namespace eel {
+
+class Executable;
+class Routine;
+
+/// Symbolic value of a register at a program point, produced by the
+/// backward slice.
+struct SymValue {
+  enum class Kind : uint8_t {
+    Unknown,
+    Const,     ///< Statically known constant.
+    Scaled,    ///< OrigReg << Shift (a scaled table index).
+    TableAddr, ///< Base + (OrigReg << Shift) — a table-entry address
+               ///  (MIPS-style codegen adds base and index explicitly).
+    TableLoad, ///< Mem[Base + (OrigReg << Shift)].
+    CellLoad,  ///< Mem[CellAddr] — a single known cell.
+  };
+  Kind K = Kind::Unknown;
+  uint32_t Const = 0;
+  unsigned OrigReg = 0;
+  unsigned Shift = 0;
+  Addr Base = 0;
+  Addr CellAddr = 0;
+};
+
+/// Computes the value of \p Reg immediately before the instruction at
+/// \p At, walking backwards within \p R (stopping conservatively at join
+/// points and unmodelled definitions).
+SymValue backwardSlice(Executable &Exec, Routine &R, Addr At, unsigned Reg);
+
+/// Resolves the indirect transfer at \p JumpAddr (which must decode to an
+/// IndirectInst) using backwardSlice plus table-bounds discovery.
+IndirectResolution resolveIndirect(Executable &Exec, Routine &R,
+                                   Addr JumpAddr);
+
+} // namespace eel
+
+#endif // EEL_CORE_SLICE_H

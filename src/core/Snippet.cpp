@@ -1,0 +1,29 @@
+//===- core/Snippet.cpp - Foreign-code snippets --------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Snippet.h"
+
+using namespace eel;
+
+CodeSnippet::CodeSnippet(std::vector<MachWord> BodyIn, RegSet RegsToAllocateIn,
+                         RegSet ForbiddenIn)
+    : Body(std::move(BodyIn)), RegsToAllocate(RegsToAllocateIn),
+      Forbidden(ForbiddenIn) {}
+
+CodeSnippet::~CodeSnippet() = default;
+
+std::vector<unsigned> eel::choosePlaceholderRegs(const TargetInfo &Target,
+                                                 unsigned Count,
+                                                 RegSet Avoid) {
+  Avoid.insert(Target.conventions().Reserved);
+  std::vector<unsigned> Regs;
+  for (unsigned Reg = 1; Reg < Target.numRegisters() && Regs.size() < Count;
+       ++Reg)
+    if (!Avoid.contains(Reg))
+      Regs.push_back(Reg);
+  assert(Regs.size() == Count && "not enough placeholder registers");
+  return Regs;
+}

@@ -1,0 +1,282 @@
+//===- core/SymbolRefine.cpp - Symbol-table refinement -------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements Executable::readContents(): the §3.1 analysis that refines an
+/// unreliable symbol table into an accurate routine map.
+///
+///   Stage 1  Read the symbol table; drop duplicate, temporary, and
+///            debugging labels, labels not on instruction boundaries, and
+///            labels that are branch/jump (not call!) targets from the
+///            preceding routine — those are probably internal labels.
+///   Stage 2  For stripped executables, seed the routine set with the
+///            program entry point, the first text address, and the targets
+///            of direct subroutine calls.
+///   Stage 3  Control transfers out of a routine, and calls on addresses
+///            not in the initial set, add entry points to the routines
+///            containing their destinations. This is conservative: it can
+///            invent invalid entries when data is decoded as instructions,
+///            but it never misses one.
+///   Stage 4  Reachability from each routine's entries: an entry that lands
+///            on an invalid instruction marks the extent as data (a table
+///            carrying a routine-like symbol); unreachable instructions at
+///            the end of a routine become a new, hidden routine, which is
+///            analyzed in turn and may itself contribute entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Executable.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace eel;
+
+namespace {
+
+/// One direct control transfer discovered in the linear scan.
+struct TransferSite {
+  Addr From = 0;
+  Addr To = 0;
+  bool IsCall = false;
+};
+
+} // namespace
+
+/// Follows control flow from \p Entries within [Lo, Hi), recording reached
+/// instruction addresses. Returns false if a reachable word is invalid.
+static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
+                          Addr Lo, Addr Hi, std::set<Addr> &Reached) {
+  bool AllValid = true;
+  std::vector<Addr> Worklist(Entries.begin(), Entries.end());
+  while (!Worklist.empty()) {
+    Addr A = Worklist.back();
+    Worklist.pop_back();
+    if (A < Lo || A >= Hi || (A & 3) || Reached.count(A))
+      continue;
+    std::optional<MachWord> W = Exec.fetchWord(A);
+    if (!W) {
+      AllValid = false;
+      continue;
+    }
+    const Instruction *I = Exec.pool().get(*W);
+    Reached.insert(A);
+    if (isa<InvalidInst>(I)) {
+      AllValid = false;
+      continue;
+    }
+    if (!I->isControlTransfer()) {
+      Worklist.push_back(A + 4);
+      continue;
+    }
+    // The delay-slot instruction is reached whenever it can execute.
+    if (I->hasDelaySlot() &&
+        I->delayBehavior() != DelayBehavior::AnnulAlways &&
+        A + 4 < Hi) {
+      std::optional<MachWord> DW = Exec.fetchWord(A + 4);
+      if (DW) {
+        Reached.insert(A + 4);
+        if (isa<InvalidInst>(Exec.pool().get(*DW)))
+          AllValid = false;
+      }
+    }
+    switch (I->kind()) {
+    case InstKind::Branch: {
+      std::optional<Addr> T = I->directTarget(A);
+      if (T && *T >= Lo && *T < Hi)
+        Worklist.push_back(*T);
+      Worklist.push_back(A + 8);
+      break;
+    }
+    case InstKind::Jump: {
+      std::optional<Addr> T = I->directTarget(A);
+      if (T && *T >= Lo && *T < Hi)
+        Worklist.push_back(*T);
+      break;
+    }
+    case InstKind::Call:
+    case InstKind::IndirectCall:
+      Worklist.push_back(A + 8);
+      break;
+    case InstKind::Return:
+    case InstKind::IndirectJump:
+      // Indirect-jump targets are handled during CFG construction; for
+      // extent purposes the reachable set stops here.
+      break;
+    default:
+      Worklist.push_back(A + 4);
+      break;
+    }
+  }
+  return AllValid;
+}
+
+void Executable::readContents() {
+  if (Analyzed)
+    return;
+  Analyzed = true;
+
+  const Addr TB = textBase();
+  const Addr TE = textEnd();
+
+  // Linear scan of the text segment for direct transfers (used by stages
+  // 1–3). Data decoded as instructions contributes bogus sites; the later
+  // stages are designed to tolerate that.
+  std::vector<TransferSite> Transfers;
+  for (Addr A = TB; A + 4 <= TE; A += 4) {
+    std::optional<MachWord> W = fetchWord(A);
+    if (!W)
+      break;
+    const Instruction *I = Pool.get(*W);
+    std::optional<Addr> T;
+    bool IsCall = false;
+    switch (I->kind()) {
+    case InstKind::Call:
+      T = I->directTarget(A);
+      IsCall = true;
+      break;
+    case InstKind::Branch:
+    case InstKind::Jump:
+      T = I->directTarget(A);
+      break;
+    default:
+      break;
+    }
+    if (T && *T >= TB && *T < TE && (*T & 3) == 0)
+      Transfers.push_back({A, *T, IsCall});
+  }
+
+  // --- Stage 1 / Stage 2: initial candidate set ---------------------------
+  std::map<Addr, std::string> Candidates;
+  bool Stripped = true;
+  for (const SxfSymbol &Sym : Image.Symbols) {
+    if (Sym.Value < TB || Sym.Value >= TE)
+      continue;
+    Stripped = false;
+    if (Sym.Kind != SymKind::Routine)
+      continue; // internal, debugging, and temporary labels
+    if (Sym.Value & 3)
+      continue; // not on an instruction boundary
+    if (!Candidates.count(Sym.Value))
+      Candidates[Sym.Value] = Sym.Name; // drop duplicates
+  }
+  if (Stripped) {
+    // No symbol table: entry point, first text address, and call targets.
+    Candidates[Image.Entry] = "entry";
+    if (!Candidates.count(TB))
+      Candidates[TB] = "text_start";
+    for (const TransferSite &Site : Transfers)
+      if (Site.IsCall && !Candidates.count(Site.To))
+        Candidates[Site.To] = "proc_" + std::to_string(Site.To);
+  }
+  if (Candidates.empty())
+    Candidates[TB] = "text_start";
+
+  // Stage 1 (cont.): drop labels that are branch/jump targets from the
+  // preceding routine.
+  {
+    std::vector<std::pair<Addr, std::string>> Sorted(Candidates.begin(),
+                                                     Candidates.end());
+    std::map<Addr, std::string> Kept;
+    Addr PrevStart = 0;
+    for (size_t I = 0; I < Sorted.size(); ++I) {
+      Addr C = Sorted[I].first;
+      bool Drop = false;
+      if (I > 0 && C != Image.Entry) {
+        for (const TransferSite &Site : Transfers) {
+          if (!Site.IsCall && Site.To == C && Site.From >= PrevStart &&
+              Site.From < C) {
+            Drop = true;
+            break;
+          }
+        }
+      }
+      if (Drop)
+        continue;
+      Kept.insert(Sorted[I]);
+      PrevStart = C;
+    }
+    Candidates = std::move(Kept);
+  }
+
+  // --- Build routines from candidate extents --------------------------------
+  {
+    std::vector<std::pair<Addr, std::string>> Sorted(Candidates.begin(),
+                                                     Candidates.end());
+    for (size_t I = 0; I < Sorted.size(); ++I) {
+      Addr Lo = Sorted[I].first;
+      Addr Hi = I + 1 < Sorted.size() ? Sorted[I + 1].first : TE;
+      Routines.push_back(
+          std::make_unique<Routine>(*this, Sorted[I].second, Lo, Hi));
+    }
+  }
+
+  // --- Stage 3: entry points from inter-routine transfers -------------------
+  for (const TransferSite &Site : Transfers) {
+    Routine *From = routineContaining(Site.From);
+    Routine *To = routineContaining(Site.To);
+    if (!From || !To || From == To)
+      continue;
+    if (Site.To != To->startAddr())
+      To->addEntryPoint(Site.To);
+  }
+
+  // --- Stage 4: reachability, data detection, hidden-routine discovery -----
+  // Process newly created routines too (a discovered routine may itself
+  // have an unreachable tail).
+  for (size_t Index = 0; Index < Routines.size(); ++Index) {
+    Routine &R = *Routines[Index];
+    std::set<Addr> Reached;
+    bool AllValid =
+        scanReachable(*this, R.entryPoints(), R.startAddr(), R.endAddr(),
+                      Reached);
+    if (Reached.empty() || (!AllValid && Reached.size() <= R.entryPoints().size())) {
+      // Every entry lands on data: this "routine" is a data table.
+      R.IsData = true;
+      bumpStat("eel.refine.data_tables");
+      continue;
+    }
+    (void)AllValid;
+    Addr HighWater = *Reached.rbegin() + 4;
+    // Unreachable instructions at the end comprise another routine.
+    if (HighWater + 4 <= R.endAddr()) {
+      Addr TailLo = HighWater;
+      std::optional<MachWord> W = fetchWord(TailLo);
+      if (W) {
+        auto Hidden = std::make_unique<Routine>(
+            *this, "hidden_" + std::to_string(TailLo), TailLo, R.endAddr());
+        Hidden->Hidden = true;
+        R.Hi = TailLo;
+        // Entry points previously attributed to R that now fall in the
+        // tail move to the hidden routine.
+        std::vector<Addr> Moved;
+        for (Addr E : R.Entries)
+          if (E >= TailLo)
+            Moved.push_back(E);
+        if (!Moved.empty()) {
+          R.Entries.erase(
+              std::remove_if(R.Entries.begin(), R.Entries.end(),
+                             [TailLo](Addr E) { return E >= TailLo; }),
+              R.Entries.end());
+          for (Addr E : Moved)
+            Hidden->addEntryPoint(E);
+        }
+        bumpStat("eel.refine.hidden_routines");
+        Routines.push_back(std::move(Hidden));
+      }
+    }
+  }
+
+  // Keep routines sorted by address for deterministic iteration.
+  std::sort(Routines.begin(), Routines.end(),
+            [](const std::unique_ptr<Routine> &A,
+               const std::unique_ptr<Routine> &B) {
+              return A->startAddr() < B->startAddr();
+            });
+}

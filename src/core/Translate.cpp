@@ -1,0 +1,233 @@
+//===- core/Translate.cpp - Run-time address translation ----------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Translate.h"
+
+#include "isa/MriscEncoding.h"
+#include "isa/SriscEncoding.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace eel;
+
+/// Formats an assembly template, substituting %u-style arguments.
+static std::string formatAsm(const char *Format, ...) {
+  char Buffer[4096];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buffer, sizeof(Buffer), Format, Args);
+  va_end(Args);
+  return Buffer;
+}
+
+Expected<bool> eel::emitTranslationSite(const TargetInfo &Target,
+                                        const IndirectInst &Jump,
+                                        MachWord DelayWord,
+                                        std::vector<MachWord> &Code,
+                                        std::vector<Reloc> &Relocs) {
+  const IndirectTargetInfo &Info = Jump.targetInfo();
+  const Instruction *Delay = nullptr;
+  // The caller passes the raw delay word; decode it for conflict checks.
+  // (Allocating through the pool is unnecessary for this one-off check.)
+  std::unique_ptr<Instruction> DelayOwned =
+      makeInstruction(Target, DelayWord);
+  Delay = DelayOwned.get();
+
+  if (Target.arch() == TargetArch::Srisc) {
+    using namespace srisc;
+    // Protocol registers: g1 carries the target, g2 the translator entry.
+    const unsigned G1 = 1, G2 = 2, SP = RegSP;
+    unsigned Rd = Info.LinkReg;
+    if (Rd == G1 || Rd == G2)
+      return Error("indirect transfer links through a protocol register");
+
+    // Where can the original delay instruction go? It must execute after
+    // the target value is captured (the original computes its target at
+    // issue time, before the delay slot runs).
+    bool DelayIsNop = DelayWord == Target.nopWord();
+    bool DelayTouchesProtocol = Delay->reads().contains(G1) ||
+                                Delay->reads().contains(G2) ||
+                                Delay->writes().contains(G1) ||
+                                Delay->writes().contains(G2);
+    bool DelayWritesSources =
+        Delay->writes().contains(Info.BaseReg) ||
+        (Info.HasIndex && Delay->writes().contains(Info.IndexReg));
+    if (Delay->isControlTransfer())
+      return Error("delayed transfer in the delay slot of an indirect jump");
+
+    // Capture the target first: st g1; add base,op2,g1. Reading base/index
+    // is unaffected by the g1 save.
+    Target.emitStoreWord(G1, SP, -64, Code);
+    if (Info.HasIndex)
+      Code.push_back(encodeArithReg(Op3Add, G1, Info.BaseReg, Info.IndexReg));
+    else
+      Code.push_back(encodeArithImm(Op3Add, G1, Info.BaseReg, Info.Offset));
+
+    // Run the delay instruction now (it already follows the target
+    // capture, preserving original semantics) unless it conflicts.
+    if (!DelayIsNop) {
+      if (DelayTouchesProtocol)
+        return Error("delay instruction uses translation protocol registers");
+      (void)DelayWritesSources; // harmless: target already captured
+      Code.push_back(DelayWord);
+    }
+
+    Target.emitStoreWord(G2, SP, -68, Code);
+    Relocs.push_back({Reloc::Kind::TranslatorHi,
+                      static_cast<unsigned>(Code.size()), 0, 0});
+    Code.push_back(encodeSethi(G2, 0));
+    Relocs.push_back({Reloc::Kind::TranslatorLo,
+                      static_cast<unsigned>(Code.size()), 0, 0});
+    Code.push_back(encodeArithImm(Op3Or, G2, G2, 0));
+    Code.push_back(encodeJmplImm(Rd, G2, 0));
+    Code.push_back(nop());
+    return true;
+  }
+
+  // MRISC: k0 carries the target, k1 the translator entry. Both are
+  // reserved registers that generated code never touches, so there is
+  // nothing to save and the delay instruction can never conflict.
+  using namespace mrisc;
+  const unsigned K0 = 26, K1 = 27;
+  unsigned Rd = Info.LinkReg;
+  if (Rd == K0 || Rd == K1)
+    return Error("indirect transfer links through a protocol register");
+  if (Delay->isControlTransfer())
+    return Error("delayed transfer in the delay slot of an indirect jump");
+  if (Delay->reads().contains(K0) || Delay->reads().contains(K1) ||
+      Delay->writes().contains(K0) || Delay->writes().contains(K1))
+    return Error("delay instruction uses translation protocol registers");
+
+  Code.push_back(encodeRType(Info.BaseReg, 0, K0, 0, FnOr)); // k0 = target
+  if (DelayWord != Target.nopWord())
+    Code.push_back(DelayWord);
+  Relocs.push_back({Reloc::Kind::TranslatorHi,
+                    static_cast<unsigned>(Code.size()), 0, 0});
+  Code.push_back(encodeIType(OpLui, 0, K1, 0));
+  Relocs.push_back({Reloc::Kind::TranslatorLo,
+                    static_cast<unsigned>(Code.size()), 0, 0});
+  Code.push_back(encodeIType(OpOri, K1, K1, 0));
+  if (Rd == 0)
+    Code.push_back(encodeRType(K1, 0, 0, 0, FnJr));
+  else
+    Code.push_back(encodeRType(K1, 0, Rd, 0, FnJalr));
+  Code.push_back(nop());
+  return true;
+}
+
+std::string eel::translatorAsm(const TargetInfo &Target, Addr TableAddr,
+                               unsigned EntryCount) {
+  if (Target.arch() == TargetArch::Srisc) {
+    // In: %g1 = original target; [sp-64] = caller's g1, [sp-68] = g2.
+    // Binary search over <EntryCount> (orig, edited) pairs at <TableAddr>.
+    return formatAsm(R"(
+.text
+__eel_translate:
+  st %%g3, [%%sp - 72]
+  rdcc %%g3
+  st %%g3, [%%sp - 76]
+  st %%g4, [%%sp - 80]
+  st %%g5, [%%sp - 84]
+  st %%g6, [%%sp - 88]
+  set 0x%x, %%g3        ! table base
+  mov 0, %%g4           ! lo
+  set %u, %%g5          ! hi = entry count
+.Lloop:
+  cmp %%g4, %%g5
+  bge .Lmiss
+  nop
+  add %%g4, %%g5, %%g2
+  srl %%g2, 1, %%g2     ! mid
+  sll %%g2, 3, %%g6
+  add %%g3, %%g6, %%g6  ! &pair[mid]
+  ld [%%g6 + 0], %%g6   ! pair.orig
+  cmp %%g6, %%g1
+  be .Lfound
+  nop
+  bgu .Lhigh
+  nop
+  ba .Lloop
+  add %%g2, 1, %%g4     ! lo = mid + 1
+.Lhigh:
+  ba .Lloop
+  mov %%g2, %%g5        ! hi = mid
+.Lfound:
+  sll %%g2, 3, %%g6
+  add %%g3, %%g6, %%g6
+  ld [%%g6 + 4], %%g5   ! edited target
+  ld [%%sp - 76], %%g6
+  wrcc %%g6             ! restore condition codes
+  ld [%%sp - 72], %%g3
+  ld [%%sp - 80], %%g4
+  ld [%%sp - 88], %%g6
+  ld [%%sp - 68], %%g2
+  ld [%%sp - 64], %%g1
+  jmpl %%g5 + 0, %%g0
+  ld [%%sp - 84], %%g5  ! delay slot restores g5
+.Lmiss:
+  ! Not an original address: it was already rewritten (edited code and
+  ! original code occupy disjoint ranges), so jump to it directly.
+  ld [%%sp - 76], %%g6
+  wrcc %%g6
+  ld [%%sp - 72], %%g3
+  ld [%%sp - 80], %%g4
+  ld [%%sp - 88], %%g6
+  ld [%%sp - 68], %%g2
+  ld [%%sp - 84], %%g5
+  jmpl %%g1 + 0, %%g0
+  ld [%%sp - 64], %%g1  ! delay slot restores g1
+)",
+                     TableAddr, EntryCount);
+  }
+
+  // MRISC. In: $k0 = original target. Uses $at/$t8/$t9 (saved) plus the
+  // reserved $k1/$gp as search state.
+  return formatAsm(R"(
+.text
+__eel_translate:
+  sw $at, -64($sp)
+  sw $t8, -68($sp)
+  sw $t9, -72($sp)
+  li $at, 0x%x          # table base
+  li $t8, 0             # lo
+  li $t9, %u            # hi = entry count
+.Lloop:
+  slt $k1, $t8, $t9
+  beq $k1, $zero, .Lmiss
+  nop
+  add $gp, $t8, $t9
+  srl $gp, $gp, 1       # mid
+  sll $k1, $gp, 3
+  add $k1, $at, $k1     # &pair[mid]
+  lw $k1, 0($k1)        # pair.orig
+  beq $k1, $k0, .Lfound
+  nop
+  slt $k1, $k0, $k1
+  bne $k1, $zero, .Lhigh
+  nop
+  j .Lloop
+  addi $t8, $gp, 1      # lo = mid + 1
+.Lhigh:
+  j .Lloop
+  move $t9, $gp         # hi = mid
+.Lfound:
+  sll $k1, $gp, 3
+  add $k1, $at, $k1
+  lw $k1, 4($k1)        # edited target
+  lw $at, -64($sp)
+  lw $t8, -68($sp)
+  jr $k1
+  lw $t9, -72($sp)      # delay slot restores t9
+.Lmiss:
+  # Already-rewritten (or faithfully wild) address: jump to it directly.
+  lw $at, -64($sp)
+  lw $t8, -68($sp)
+  jr $k0
+  lw $t9, -72($sp)
+)",
+                   TableAddr, EntryCount);
+}

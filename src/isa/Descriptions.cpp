@@ -1,0 +1,146 @@
+//===- isa/Descriptions.cpp - Embedded spawn machine descriptions --------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine descriptions in the spawn description language (see
+/// spawn/DescParser.h for the grammar). Comments start with `--`. Structure
+/// follows Figure 7 of the paper: resource definitions (fields, registers),
+/// then encoding patterns, then semantic functions bound to instructions
+/// with `sem ... is fn @ [args]` zips. A `;` inside a semantic expression
+/// separates issue-time statements from the delayed control transfer, which
+/// is how spawn learns an instruction has a delay slot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/Descriptions.h"
+
+const char *eel::sriscDescription() {
+  return R"(
+-- SRISC: a SPARC-like 32-bit RISC.
+arch srisc
+wordsize 32
+
+-- Instruction field definitions (bit lo:hi, bit 0 is the LSB).
+fields
+  op 30:31, rd 25:29, op2 22:24, op3 19:24, rs1 14:18,
+  i 13:13, simm13 0:12, rs2 0:4, imm22 0:21, disp22 0:21,
+  disp30 0:29, cond 25:28, a 29:29, sysnum 0:12
+
+-- Register resources. R[0] is hard zero; CC is the condition-code register.
+register int{32} R[32]
+zero R[0]
+register cc{4} CC
+
+-- Encoding patterns (the instruction-name matrices of Figure 7).
+pat sethi is op=0 && op2=4
+pat [ bn be ble bl bleu bcs bneg bvs ba bne bg bge bgu bcc bpos bvc ]
+  is op=0 && op2=2 && cond=[0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15]
+pat call is op=1
+pat [ add and or xor sub sll srl sra smul sdiv srem ]
+  is op=2 && op3=[0x00 0x01 0x02 0x03 0x04 0x05 0x06 0x07 0x08 0x09 0x0a]
+pat [ addcc andcc orcc xorcc subcc ]
+  is op=2 && op3=[0x10 0x11 0x12 0x13 0x14]
+pat rdcc is op=2 && op3=0x30
+pat wrcc is op=2 && op3=0x31
+pat jmpl is op=2 && op3=0x38
+pat sys is op=2 && op3=0x3a && i=1
+pat [ ld ldub lduh ldsb ldsh st stb sth ]
+  is op=3 && op3=[0x00 0x01 0x02 0x03 0x04 0x08 0x09 0x0a]
+
+-- Semantics. `op2val` is the classic SPARC reg-or-imm second operand.
+val op2val is i = 1 ? sx(simm13) : R[rs2]
+val alu(f) is R[rd] := f(R[rs1], op2val)
+val alucc(f, c) is R[rd] := f(R[rs1], op2val), CC := c(R[rs1], op2val)
+
+sem [ add and or xor sub sll srl sra smul sdiv srem ]
+  is alu @ [ add and or xor sub sll srl sra mul div rem ]
+sem [ addcc andcc orcc xorcc subcc ]
+  is alucc @ [ (add cc_add) (and cc_and) (or cc_or) (xor cc_xor) (sub cc_sub) ]
+sem sethi is R[rd] := imm22 << 10
+sem rdcc is R[rd] := CC
+sem wrcc is CC := R[rs1]
+
+-- Control transfers: statements after `;` overlap the delay slot.
+val branch(t) is
+  tgt := PC + (sx(disp22) << 2) ; t(CC) ? pc := tgt : a = 1 ? annul
+sem [ be ble bl bleu bcs bneg bvs bne bg bge bgu bcc bpos bvc ]
+  is branch @ [ cond_e cond_le cond_l cond_leu cond_cs cond_neg cond_vs
+                cond_ne cond_g cond_ge cond_gu cond_cc cond_pos cond_vc ]
+sem ba is tgt := PC + (sx(disp22) << 2) ; pc := tgt, a = 1 ? annul
+sem bn is skip ; a = 1 ? annul
+sem call is tgt := PC + (sx(disp30) << 2), R[15] := PC ; pc := tgt
+sem jmpl is tgt := R[rs1] + op2val, R[rd] := PC ; pc := tgt
+sem sys is trap sysnum
+
+-- Memory.
+val lod(w, s) is R[rd] := mem(R[rs1] + op2val, w, s)
+val sto(w) is mem(R[rs1] + op2val, w) := R[rd]
+sem [ ld ldub lduh ldsb ldsh ] is lod @ [ (4 0) (1 0) (2 0) (1 1) (2 1) ]
+sem [ st stb sth ] is sto @ [ 4 1 2 ]
+)";
+}
+
+const char *eel::mriscDescription() {
+  return R"(
+-- MRISC: a MIPS-like 32-bit RISC.
+arch mrisc
+wordsize 32
+
+fields
+  op 26:31, rs 21:25, rt 16:20, rd 11:15, shamt 6:10, funct 0:5,
+  imm16 0:15, index26 0:25
+
+register int{32} R[32]
+zero R[0]
+
+pat [ sll srl sra ] is op=0 && rs=0 && funct=[0x00 0x02 0x03]
+pat [ sllv srlv srav ] is op=0 && shamt=0 && funct=[0x04 0x06 0x07]
+pat jr is op=0 && rt=0 && rd=0 && shamt=0 && funct=0x08
+pat jalr is op=0 && rt=0 && shamt=0 && funct=0x09
+pat syscall is op=0 && rs=0 && rt=0 && rd=0 && shamt=0 && funct=0x0c
+pat [ mul div rem ] is op=0 && shamt=0 && funct=[0x18 0x1a 0x1b]
+pat [ add sub and or xor slt ]
+  is op=0 && shamt=0 && funct=[0x20 0x22 0x24 0x25 0x26 0x2a]
+pat j is op=0x02
+pat jal is op=0x03
+pat [ beq bne ] is op=[0x04 0x05]
+pat [ blez bgtz ] is op=[0x06 0x07] && rt=0
+pat [ addi slti ] is op=[0x08 0x0a]
+pat [ andi ori xori ] is op=[0x0c 0x0d 0x0e]
+pat lui is op=0x0f && rs=0
+pat [ lb lh lw lbu lhu ] is op=[0x20 0x21 0x23 0x24 0x25]
+pat [ sb sh sw ] is op=[0x28 0x29 0x2b]
+
+val alur(f) is R[rd] := f(R[rs], R[rt])
+sem [ add sub and or xor slt mul div rem ]
+  is alur @ [ add sub and or xor setless mul div rem ]
+val alus(f) is R[rd] := f(R[rt], shamt)
+sem [ sll srl sra ] is alus @ [ sll srl sra ]
+val aluv(f) is R[rd] := f(R[rt], R[rs])
+sem [ sllv srlv srav ] is aluv @ [ sll srl sra ]
+val alui(f) is R[rt] := f(R[rs], sx(imm16))
+sem [ addi slti ] is alui @ [ add setless ]
+val aluz(f) is R[rt] := f(R[rs], imm16)
+sem [ andi ori xori ] is aluz @ [ and or xor ]
+sem lui is R[rt] := imm16 << 16
+
+-- Branch displacements are relative to the delay slot, as on MIPS.
+val brc(t) is tgt := PC + 4 + (sx(imm16) << 2) ; t(R[rs], R[rt]) ? pc := tgt
+sem [ beq bne ] is brc @ [ eq ne ]
+val brz(t) is tgt := PC + 4 + (sx(imm16) << 2) ; t(R[rs], 0) ? pc := tgt
+sem [ blez bgtz ] is brz @ [ les gts ]
+sem j is tgt := (PC & 0xf0000000) | (index26 << 2) ; pc := tgt
+sem jal is tgt := (PC & 0xf0000000) | (index26 << 2), R[31] := PC + 8 ; pc := tgt
+sem jr is tgt := R[rs] ; pc := tgt
+sem jalr is tgt := R[rs], R[rd] := PC + 8 ; pc := tgt
+sem syscall is trap R[2]
+
+val lod(w, s) is R[rt] := mem(R[rs] + sx(imm16), w, s)
+sem [ lb lh lw lbu lhu ] is lod @ [ (1 1) (2 1) (4 0) (1 0) (2 0) ]
+val sto(w) is mem(R[rs] + sx(imm16), w) := R[rt]
+sem [ sb sh sw ] is sto @ [ 1 2 4 ]
+)";
+}

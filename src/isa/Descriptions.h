@@ -1,0 +1,29 @@
+//===- isa/Descriptions.h - Embedded spawn machine descriptions -*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spawn machine descriptions for SRISC and MRISC (the Figure 7
+/// language). They are embedded as strings so that the spawn-derived
+/// targets need no file-system configuration, and so the machine-description
+/// conciseness benchmark (bench_machdesc) can count their lines against the
+/// handwritten backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ISA_DESCRIPTIONS_H
+#define EEL_ISA_DESCRIPTIONS_H
+
+namespace eel {
+
+/// Spawn description of the SRISC (SPARC-like) instruction set.
+const char *sriscDescription();
+
+/// Spawn description of the MRISC (MIPS-like) instruction set.
+const char *mriscDescription();
+
+} // namespace eel
+
+#endif // EEL_ISA_DESCRIPTIONS_H

@@ -1,0 +1,779 @@
+//===- isa/Mrisc.cpp - Handwritten MRISC target backend ------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handwritten machine-specific layer for MRISC (the MIPS-like target),
+/// analogous to the paper's 128-line MIPS R2000 port.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/MriscEncoding.h"
+#include "isa/Target.h"
+#include "support/Error.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace eel;
+using namespace eel::mrisc;
+
+static bool isValidRType(MachWord W) {
+  uint32_t Funct = fieldFunct(W);
+  uint32_t Shamt = fieldShamt(W);
+  switch (Funct) {
+  case FnSll:
+  case FnSrl:
+  case FnSra:
+    return fieldRs(W) == 0; // immediate shifts leave rs clear
+  case FnJalr:
+    return Shamt == 0 && fieldRt(W) == 0;
+  case FnSllv:
+  case FnSrlv:
+  case FnSrav:
+  case FnMul:
+  case FnDiv:
+  case FnRem:
+  case FnAdd:
+  case FnSub:
+  case FnAnd:
+  case FnOr:
+  case FnXor:
+  case FnSlt:
+    return Shamt == 0;
+  case FnJr:
+    return Shamt == 0 && fieldRt(W) == 0 && fieldRd(W) == 0;
+  case FnSyscall:
+    return Shamt == 0 && fieldRs(W) == 0 && fieldRt(W) == 0 && fieldRd(W) == 0;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Handwritten MRISC implementation of the target interface.
+class MriscTarget : public TargetInfo {
+public:
+  MriscTarget() {
+    Conv.LinkReg = RegRA;
+    Conv.ReturnOffset = 0;
+    Conv.StackPointer = RegSP;
+    Conv.FramePointer = RegFP;
+    Conv.ArgRegs = RegSet{4, 5, 6, 7};
+    Conv.RetRegs = RegSet{2, 3};
+    Conv.CallerSaved = RegSet{1,  2,  3,  4,  5,  6,  7, 8, 9,
+                              10, 11, 12, 13, 14, 15, 24, 25, 31};
+    Conv.Reserved = RegSet{RegZero, 26, 27, 28, RegSP, RegFP};
+    Conv.SyscallNumReg = RegV0;
+    Conv.SyscallReads = RegSet{RegV0, 4, 5, 6};
+    Conv.SyscallWrites = RegSet{RegV0};
+  }
+
+  TargetArch arch() const override { return TargetArch::Mrisc; }
+  const char *name() const override { return "mrisc"; }
+  const TargetConventions &conventions() const override { return Conv; }
+  unsigned numRegisters() const override { return 32; }
+  bool hasConditionCodes() const override { return false; }
+
+  std::string regName(unsigned Reg) const override {
+    if (Reg == RegIdPC)
+      return "$pc";
+    assert(Reg < 32 && "bad MRISC register id");
+    static const char *Names[32] = {
+        "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+        "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+        "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+    return Names[Reg];
+  }
+
+  InstCategory classify(MachWord W) const override {
+    switch (fieldOp(W)) {
+    case OpRType:
+      if (!isValidRType(W))
+        return InstCategory::Invalid;
+      switch (fieldFunct(W)) {
+      case FnJr:
+      case FnJalr:
+        return InstCategory::IndirectJump;
+      case FnSyscall:
+        return InstCategory::System;
+      default:
+        return InstCategory::Computation;
+      }
+    case OpJ:
+      return InstCategory::JumpDirect;
+    case OpJal:
+      return InstCategory::CallDirect;
+    case OpBeq:
+    case OpBne:
+      return InstCategory::BranchDirect;
+    case OpBlez:
+    case OpBgtz:
+      return fieldRt(W) == 0 ? InstCategory::BranchDirect
+                             : InstCategory::Invalid;
+    case OpAddi:
+    case OpSlti:
+    case OpAndi:
+    case OpOri:
+    case OpXori:
+      return InstCategory::Computation;
+    case OpLui:
+      return fieldRs(W) == 0 ? InstCategory::Computation
+                             : InstCategory::Invalid;
+    case OpLb:
+    case OpLh:
+    case OpLw:
+    case OpLbu:
+    case OpLhu:
+      return InstCategory::Load;
+    case OpSb:
+    case OpSh:
+    case OpSw:
+      return InstCategory::Store;
+    default:
+      return InstCategory::Invalid;
+    }
+  }
+
+  RegSet reads(MachWord W) const override {
+    RegSet R;
+    auto AddReg = [&R](unsigned Reg) {
+      if (Reg != RegZero)
+        R.insert(Reg);
+    };
+    if (classify(W) == InstCategory::Invalid)
+      return R;
+    switch (fieldOp(W)) {
+    case OpRType:
+      switch (fieldFunct(W)) {
+      case FnSll:
+      case FnSrl:
+      case FnSra:
+        AddReg(fieldRt(W));
+        return R;
+      case FnJr:
+        AddReg(fieldRs(W));
+        return R;
+      case FnJalr:
+        AddReg(fieldRs(W));
+        return R;
+      case FnSyscall:
+        // Trap convention: number in v0, arguments in a0-a2.
+        return RegSet{RegV0, 4, 5, 6};
+      default:
+        AddReg(fieldRs(W));
+        AddReg(fieldRt(W));
+        return R;
+      }
+    case OpJ:
+    case OpJal:
+      return R;
+    case OpBeq:
+    case OpBne:
+      AddReg(fieldRs(W));
+      AddReg(fieldRt(W));
+      return R;
+    case OpBlez:
+    case OpBgtz:
+      AddReg(fieldRs(W));
+      return R;
+    case OpLui:
+      return R;
+    case OpSb:
+    case OpSh:
+    case OpSw:
+      AddReg(fieldRs(W));
+      AddReg(fieldRt(W)); // stored value
+      return R;
+    default: // ALU-immediate and loads read the base/source register.
+      AddReg(fieldRs(W));
+      return R;
+    }
+  }
+
+  RegSet writes(MachWord W) const override {
+    RegSet R;
+    auto AddReg = [&R](unsigned Reg) {
+      if (Reg != RegZero)
+        R.insert(Reg);
+    };
+    if (classify(W) == InstCategory::Invalid)
+      return R;
+    switch (fieldOp(W)) {
+    case OpRType:
+      switch (fieldFunct(W)) {
+      case FnJr:
+        return R;
+      case FnJalr:
+        AddReg(fieldRd(W));
+        return R;
+      case FnSyscall:
+        R.insert(RegV0);
+        return R;
+      default:
+        AddReg(fieldRd(W));
+        return R;
+      }
+    case OpJ:
+      return R;
+    case OpJal:
+      R.insert(RegRA);
+      return R;
+    case OpBeq:
+    case OpBne:
+    case OpBlez:
+    case OpBgtz:
+    case OpSb:
+    case OpSh:
+    case OpSw:
+      return R;
+    default: // ALU-immediate, lui, loads write rt.
+      AddReg(fieldRt(W));
+      return R;
+    }
+  }
+
+  bool hasDelaySlot(MachWord W) const override {
+    switch (classify(W)) {
+    case InstCategory::BranchDirect:
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+    case InstCategory::IndirectJump:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  DelayBehavior delayBehavior(MachWord W) const override {
+    return hasDelaySlot(W) ? DelayBehavior::Always : DelayBehavior::None;
+  }
+
+  bool isConditional(MachWord W) const override {
+    switch (fieldOp(W)) {
+    case OpBeq:
+    case OpBne:
+    case OpBlez:
+    case OpBgtz:
+      return classify(W) == InstCategory::BranchDirect;
+    default:
+      return false;
+    }
+  }
+
+  std::optional<Addr> directTarget(MachWord W, Addr PC) const override {
+    switch (classify(W)) {
+    case InstCategory::BranchDirect:
+      // MIPS branch displacements are relative to the delay slot.
+      return PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+      return (PC & 0xF0000000u) | (fieldIndex26(W) << 2);
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<IndirectTargetInfo> indirectTarget(MachWord W) const override {
+    if (classify(W) != InstCategory::IndirectJump)
+      return std::nullopt;
+    IndirectTargetInfo Info;
+    Info.BaseReg = fieldRs(W);
+    Info.Offset = 0;
+    Info.LinkReg = fieldFunct(W) == FnJalr ? fieldRd(W) : 0;
+    return Info;
+  }
+
+  DataOp dataOp(MachWord W) const override {
+    DataOp Op;
+    if (classify(W) != InstCategory::Computation)
+      return Op;
+    if (fieldOp(W) == OpRType) {
+      uint32_t Funct = fieldFunct(W);
+      switch (Funct) {
+      case FnSll:
+      case FnSrl:
+      case FnSra:
+        Op.Kind = Funct == FnSll   ? DataOpKind::Sll
+                  : Funct == FnSrl ? DataOpKind::Srl
+                                   : DataOpKind::Sra;
+        Op.Rd = fieldRd(W);
+        Op.Rs1 = fieldRt(W);
+        Op.HasImm = true;
+        Op.Imm = static_cast<int32_t>(fieldShamt(W));
+        return Op;
+      case FnSllv:
+        Op.Kind = DataOpKind::Sll;
+        break;
+      case FnSrlv:
+        Op.Kind = DataOpKind::Srl;
+        break;
+      case FnSrav:
+        Op.Kind = DataOpKind::Sra;
+        break;
+      case FnMul:
+        Op.Kind = DataOpKind::Mul;
+        break;
+      case FnDiv:
+        Op.Kind = DataOpKind::Div;
+        break;
+      case FnRem:
+        Op.Kind = DataOpKind::Rem;
+        break;
+      case FnAdd:
+        Op.Kind = DataOpKind::Add;
+        break;
+      case FnSub:
+        Op.Kind = DataOpKind::Sub;
+        break;
+      case FnAnd:
+        Op.Kind = DataOpKind::And;
+        break;
+      case FnOr:
+        Op.Kind = DataOpKind::Or;
+        break;
+      case FnXor:
+        Op.Kind = DataOpKind::Xor;
+        break;
+      case FnSlt:
+        Op.Kind = DataOpKind::SetLess;
+        break;
+      default:
+        return Op;
+      }
+      Op.Rd = fieldRd(W);
+      if (Funct == FnSllv || Funct == FnSrlv || Funct == FnSrav) {
+        // Variable shifts: rd := rt shifted by rs.
+        Op.Rs1 = fieldRt(W);
+        Op.Rs2 = fieldRs(W);
+      } else {
+        Op.Rs1 = fieldRs(W);
+        Op.Rs2 = fieldRt(W);
+      }
+      return Op;
+    }
+    switch (fieldOp(W)) {
+    case OpLui:
+      Op.Kind = DataOpKind::LoadImmHi;
+      Op.Rd = fieldRt(W);
+      Op.HasImm = true;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W) << 16);
+      return Op;
+    case OpAddi:
+      Op.Kind = DataOpKind::Add;
+      Op.Imm = fieldSimm16(W);
+      break;
+    case OpSlti:
+      Op.Kind = DataOpKind::SetLess;
+      Op.Imm = fieldSimm16(W);
+      break;
+    case OpAndi:
+      Op.Kind = DataOpKind::And;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpOri:
+      Op.Kind = DataOpKind::Or;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpXori:
+      Op.Kind = DataOpKind::Xor;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    default:
+      return Op;
+    }
+    Op.Rd = fieldRt(W);
+    Op.Rs1 = fieldRs(W);
+    Op.HasImm = true;
+    return Op;
+  }
+
+  std::optional<MemOp> memOp(MachWord W) const override {
+    InstCategory Cat = classify(W);
+    if (Cat != InstCategory::Load && Cat != InstCategory::Store)
+      return std::nullopt;
+    MemOp M;
+    M.IsLoad = Cat == InstCategory::Load;
+    M.IsStore = !M.IsLoad;
+    switch (fieldOp(W)) {
+    case OpLb:
+    case OpLbu:
+    case OpSb:
+      M.Width = 1;
+      break;
+    case OpLh:
+    case OpLhu:
+    case OpSh:
+      M.Width = 2;
+      break;
+    default:
+      M.Width = 4;
+      break;
+    }
+    M.SignExtendLoad = fieldOp(W) == OpLb || fieldOp(W) == OpLh;
+    M.AddrBase = fieldRs(W);
+    M.Offset = fieldSimm16(W);
+    M.DataReg = fieldRt(W);
+    return M;
+  }
+
+  std::optional<unsigned> syscallNumber(MachWord W) const override {
+    // The trap number lives in v0, not in an instruction field.
+    (void)W;
+    return std::nullopt;
+  }
+
+  std::optional<MachWord> retargetDirect(MachWord W, Addr NewPC,
+                                         Addr NewTarget) const override {
+    switch (classify(W)) {
+    case InstCategory::BranchDirect: {
+      int64_t DispWords = (static_cast<int64_t>(NewTarget) -
+                           (static_cast<int64_t>(NewPC) + 4)) /
+                          4;
+      if (!fitsSigned(DispWords, 16))
+        return std::nullopt;
+      return insertBits(W, 0, 15, static_cast<uint32_t>(DispWords));
+    }
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+      if ((NewPC & 0xF0000000u) != (NewTarget & 0xF0000000u))
+        return std::nullopt;
+      return insertBits(W, 0, 25, NewTarget >> 2);
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<MachWord>
+  rewriteRegisters(MachWord W,
+                   const std::function<unsigned(unsigned)> &Map) const override {
+    auto MapField = [&](MachWord Word, unsigned Lo, unsigned Hi) {
+      unsigned NewReg = Map(extractBits(Word, Lo, Hi));
+      assert(NewReg < 32 && "register map produced a bad id");
+      return insertBits(Word, Lo, Hi, NewReg);
+    };
+    switch (fieldOp(W)) {
+    case OpRType:
+      switch (fieldFunct(W)) {
+      case FnSyscall:
+        return W;
+      case FnJr:
+        return MapField(W, 21, 25);
+      case FnJalr: {
+        MachWord Out = MapField(W, 21, 25);
+        return MapField(Out, 11, 15);
+      }
+      case FnSll:
+      case FnSrl:
+      case FnSra: {
+        MachWord Out = MapField(W, 16, 20);
+        return MapField(Out, 11, 15);
+      }
+      default: {
+        MachWord Out = MapField(W, 21, 25);
+        Out = MapField(Out, 16, 20);
+        return MapField(Out, 11, 15);
+      }
+      }
+    case OpJ:
+      return W;
+    case OpBlez:
+    case OpBgtz:
+      // Only rs is a register; rt is a fixed zero field.
+      return MapField(W, 21, 25);
+    case OpJal:
+      return Map(RegRA) == RegRA ? std::optional<MachWord>(W) : std::nullopt;
+    case OpLui: {
+      return MapField(W, 16, 20);
+    }
+    default: {
+      MachWord Out = MapField(W, 21, 25);
+      return MapField(Out, 16, 20);
+    }
+    }
+  }
+
+  MachWord nopWord() const override { return nop(); }
+
+  bool emitJump(Addr PC, Addr Target, std::vector<MachWord> &Out) const override {
+    if ((PC & 0xF0000000u) != (Target & 0xF0000000u))
+      return false;
+    Out.push_back(encodeJType(OpJ, Target >> 2));
+    Out.push_back(nop());
+    return true;
+  }
+
+  bool emitCall(Addr PC, Addr Target, std::vector<MachWord> &Out) const override {
+    if ((PC & 0xF0000000u) != (Target & 0xF0000000u))
+      return false;
+    Out.push_back(encodeJType(OpJal, Target >> 2));
+    Out.push_back(nop());
+    return true;
+  }
+
+  void emitLoadConst(unsigned Reg, uint32_t Value,
+                     std::vector<MachWord> &Out) const override {
+    if (Value <= 0xFFFFu) {
+      Out.push_back(encodeIType(OpOri, RegZero, Reg, Value));
+      return;
+    }
+    Out.push_back(encodeIType(OpLui, 0, Reg, Value >> 16));
+    if (Value & 0xFFFFu)
+      Out.push_back(encodeIType(OpOri, Reg, Reg, Value & 0xFFFFu));
+  }
+
+  void emitLoadWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                    std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Offset, 16) && "load offset out of range");
+    Out.push_back(encodeIType(OpLw, Base, DataReg,
+                              static_cast<uint32_t>(Offset) & 0xFFFFu));
+  }
+
+  void emitStoreWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                     std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Offset, 16) && "store offset out of range");
+    Out.push_back(encodeIType(OpSw, Base, DataReg,
+                              static_cast<uint32_t>(Offset) & 0xFFFFu));
+  }
+
+  void emitAddImm(unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Imm, 16) && "immediate out of range");
+    Out.push_back(encodeIType(OpAddi, Rs1, Rd,
+                              static_cast<uint32_t>(Imm) & 0xFFFFu));
+  }
+
+  void emitAddReg(unsigned Rd, unsigned Rs1, unsigned Rs2,
+                  std::vector<MachWord> &Out) const override {
+    Out.push_back(encodeRType(Rs1, Rs2, Rd, 0, FnAdd));
+  }
+
+  void emitAluImm(DataOpKind Op, unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override {
+    switch (Op) {
+    case DataOpKind::Add:
+      assert(fitsSigned(Imm, 16) && "immediate out of range");
+      Out.push_back(encodeIType(OpAddi, Rs1, Rd,
+                                static_cast<uint32_t>(Imm) & 0xFFFFu));
+      return;
+    case DataOpKind::And:
+    case DataOpKind::Or:
+    case DataOpKind::Xor: {
+      assert(fitsUnsigned(static_cast<uint32_t>(Imm), 16) &&
+             "immediate out of range");
+      uint32_t OpCode = Op == DataOpKind::And  ? OpAndi
+                        : Op == DataOpKind::Or ? OpOri
+                                               : OpXori;
+      Out.push_back(encodeIType(OpCode, Rs1, Rd,
+                                static_cast<uint32_t>(Imm) & 0xFFFFu));
+      return;
+    }
+    case DataOpKind::Sll:
+      Out.push_back(encodeRType(0, Rs1, Rd, static_cast<unsigned>(Imm) & 31,
+                                FnSll));
+      return;
+    case DataOpKind::Srl:
+      Out.push_back(encodeRType(0, Rs1, Rd, static_cast<unsigned>(Imm) & 31,
+                                FnSrl));
+      return;
+    default:
+      unreachable("unsupported ALU-immediate operation");
+    }
+  }
+
+  void emitIndirectJump(unsigned Reg, std::vector<MachWord> &Out,
+                        std::optional<MachWord> DelayWord) const override {
+    Out.push_back(encodeRType(Reg, 0, 0, 0, FnJr));
+    Out.push_back(DelayWord ? *DelayWord : nop());
+  }
+
+  bool emitSkipIfEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                       std::vector<MachWord> &Out) const override {
+    // beq ra, rb, +(1+skip) ; nop   — no condition codes involved.
+    Out.push_back(encodeIType(OpBeq, Ra, Rb,
+                              (SkipWords + 1) & 0xFFFFu));
+    Out.push_back(nop());
+    return false;
+  }
+
+  bool emitSkipIfNotEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                          std::vector<MachWord> &Out) const override {
+    Out.push_back(encodeIType(OpBne, Ra, Rb,
+                              (SkipWords + 1) & 0xFFFFu));
+    Out.push_back(nop());
+    return false;
+  }
+
+  bool emitSkipIfLess(unsigned Ra, unsigned Rb, unsigned Scratch,
+                      unsigned SkipWords,
+                      std::vector<MachWord> &Out) const override {
+    Out.push_back(encodeRType(Ra, Rb, Scratch, 0, FnSlt));
+    Out.push_back(encodeIType(OpBne, Scratch, 0, (SkipWords + 1) & 0xFFFFu));
+    Out.push_back(nop());
+    return false;
+  }
+
+  bool emitSaveCC(unsigned, std::vector<MachWord> &) const override {
+    return false; // no condition codes
+  }
+
+  bool emitRestoreCC(unsigned, std::vector<MachWord> &) const override {
+    return false;
+  }
+
+  std::string disassemble(MachWord W, Addr PC) const override;
+
+private:
+  TargetConventions Conv;
+};
+
+} // namespace
+
+std::string MriscTarget::disassemble(MachWord W, Addr PC) const {
+  char Buf[128];
+  auto R = [this](unsigned Reg) { return regName(Reg); };
+  if (W == nop())
+    return "nop";
+  switch (fieldOp(W)) {
+  case OpRType: {
+    if (!isValidRType(W))
+      return "<invalid>";
+    uint32_t Funct = fieldFunct(W);
+    static const struct {
+      uint32_t Funct;
+      const char *Name;
+    } RNames[] = {{FnSllv, "sllv"}, {FnSrlv, "srlv"}, {FnSrav, "srav"},
+                  {FnMul, "mul"},   {FnDiv, "div"},   {FnRem, "rem"},
+                  {FnAdd, "add"},   {FnSub, "sub"},   {FnAnd, "and"},
+                  {FnOr, "or"},     {FnXor, "xor"},   {FnSlt, "slt"}};
+    switch (Funct) {
+    case FnSll:
+    case FnSrl:
+    case FnSra: {
+      const char *Name = Funct == FnSll ? "sll" : Funct == FnSrl ? "srl" : "sra";
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %s, %u", Name,
+                    R(fieldRd(W)).c_str(), R(fieldRt(W)).c_str(),
+                    fieldShamt(W));
+      return Buf;
+    }
+    case FnJr:
+      std::snprintf(Buf, sizeof(Buf), "jr %s", R(fieldRs(W)).c_str());
+      return Buf;
+    case FnJalr:
+      std::snprintf(Buf, sizeof(Buf), "jalr %s, %s", R(fieldRd(W)).c_str(),
+                    R(fieldRs(W)).c_str());
+      return Buf;
+    case FnSyscall:
+      return "syscall";
+    default:
+      for (const auto &Entry : RNames) {
+        if (Entry.Funct != Funct)
+          continue;
+        std::snprintf(Buf, sizeof(Buf), "%s %s, %s, %s", Entry.Name,
+                      R(fieldRd(W)).c_str(), R(fieldRs(W)).c_str(),
+                      R(fieldRt(W)).c_str());
+        return Buf;
+      }
+      return "<invalid>";
+    }
+  }
+  case OpJ:
+  case OpJal:
+    std::snprintf(Buf, sizeof(Buf), "%s 0x%" PRIx32,
+                  fieldOp(W) == OpJ ? "j" : "jal",
+                  (PC & 0xF0000000u) | (fieldIndex26(W) << 2));
+    return Buf;
+  case OpBeq:
+  case OpBne: {
+    Addr Target = PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+    std::snprintf(Buf, sizeof(Buf), "%s %s, %s, 0x%" PRIx32,
+                  fieldOp(W) == OpBeq ? "beq" : "bne", R(fieldRs(W)).c_str(),
+                  R(fieldRt(W)).c_str(), Target);
+    return Buf;
+  }
+  case OpBlez:
+  case OpBgtz: {
+    if (fieldRt(W) != 0)
+      return "<invalid>";
+    Addr Target = PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+    std::snprintf(Buf, sizeof(Buf), "%s %s, 0x%" PRIx32,
+                  fieldOp(W) == OpBlez ? "blez" : "bgtz",
+                  R(fieldRs(W)).c_str(), Target);
+    return Buf;
+  }
+  case OpLui:
+    if (fieldRs(W) != 0)
+      return "<invalid>";
+    std::snprintf(Buf, sizeof(Buf), "lui %s, 0x%x", R(fieldRt(W)).c_str(),
+                  fieldUimm16(W));
+    return Buf;
+  case OpAddi:
+  case OpSlti:
+  case OpAndi:
+  case OpOri:
+  case OpXori: {
+    static const struct {
+      uint32_t Op;
+      const char *Name;
+    } INames[] = {{OpAddi, "addi"},
+                  {OpSlti, "slti"},
+                  {OpAndi, "andi"},
+                  {OpOri, "ori"},
+                  {OpXori, "xori"}};
+    for (const auto &Entry : INames) {
+      if (Entry.Op != fieldOp(W))
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %s, %d", Entry.Name,
+                    R(fieldRt(W)).c_str(), R(fieldRs(W)).c_str(),
+                    fieldSimm16(W));
+      return Buf;
+    }
+    return "<invalid>";
+  }
+  case OpLb:
+  case OpLh:
+  case OpLw:
+  case OpLbu:
+  case OpLhu:
+  case OpSb:
+  case OpSh:
+  case OpSw: {
+    static const struct {
+      uint32_t Op;
+      const char *Name;
+    } MNames[] = {{OpLb, "lb"},   {OpLh, "lh"},   {OpLw, "lw"},
+                  {OpLbu, "lbu"}, {OpLhu, "lhu"}, {OpSb, "sb"},
+                  {OpSh, "sh"},   {OpSw, "sw"}};
+    for (const auto &Entry : MNames) {
+      if (Entry.Op != fieldOp(W))
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %d(%s)", Entry.Name,
+                    R(fieldRt(W)).c_str(), fieldSimm16(W),
+                    R(fieldRs(W)).c_str());
+      return Buf;
+    }
+    return "<invalid>";
+  }
+  default:
+    return "<invalid>";
+  }
+}
+
+const TargetInfo &eel::mriscTarget() {
+  static MriscTarget Target;
+  return Target;
+}
+
+const TargetInfo &eel::targetFor(TargetArch Arch) {
+  switch (Arch) {
+  case TargetArch::Srisc:
+    return sriscTarget();
+  case TargetArch::Mrisc:
+    return mriscTarget();
+  }
+  unreachable("unknown target architecture");
+}

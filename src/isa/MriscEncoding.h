@@ -1,0 +1,140 @@
+//===- isa/MriscEncoding.h - MRISC instruction encoding --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding constants and field helpers for MRISC, the project's MIPS-like
+/// second target. MRISC demonstrates the paper's machine-independence
+/// claim: the EEL core and every tool built on it run unchanged on MRISC.
+/// Relative to SRISC it differs in exactly the ways MIPS differs from
+/// SPARC — compare-and-branch instead of condition codes, `lui`/`ori`
+/// instead of `sethi`/`or`, non-annulled delay slots, and absolute-region
+/// `j`/`jal` jumps.
+///
+/// Formats (op = bits 31:26):
+///   op=0          : R-type  rs, rt, rd, shamt, funct
+///   op=2, op=3    : J-type  j / jal index26
+///   otherwise     : I-type  rs, rt, imm16
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ISA_MRISCENCODING_H
+#define EEL_ISA_MRISCENCODING_H
+
+#include "support/BitOps.h"
+#include "isa/Target.h"
+
+namespace eel {
+namespace mrisc {
+
+// Major opcodes.
+enum : uint32_t {
+  OpRType = 0x00,
+  OpJ = 0x02,
+  OpJal = 0x03,
+  OpBeq = 0x04,
+  OpBne = 0x05,
+  OpBlez = 0x06,
+  OpBgtz = 0x07,
+  OpAddi = 0x08,
+  OpSlti = 0x0A,
+  OpAndi = 0x0C,
+  OpOri = 0x0D,
+  OpXori = 0x0E,
+  OpLui = 0x0F,
+  OpLb = 0x20,
+  OpLh = 0x21,
+  OpLw = 0x23,
+  OpLbu = 0x24,
+  OpLhu = 0x25,
+  OpSb = 0x28,
+  OpSh = 0x29,
+  OpSw = 0x2B,
+};
+
+// R-type funct values.
+enum : uint32_t {
+  FnSll = 0x00,
+  FnSrl = 0x02,
+  FnSra = 0x03,
+  FnSllv = 0x04,
+  FnSrlv = 0x06,
+  FnSrav = 0x07,
+  FnJr = 0x08,
+  FnJalr = 0x09,
+  FnSyscall = 0x0C,
+  FnMul = 0x18,
+  FnDiv = 0x1A,
+  FnRem = 0x1B,
+  FnAdd = 0x20,
+  FnSub = 0x22,
+  FnAnd = 0x24,
+  FnOr = 0x25,
+  FnXor = 0x26,
+  FnSlt = 0x2A,
+};
+
+// Well-known registers (MIPS o32 names).
+enum : unsigned {
+  RegZero = 0,
+  RegAT = 1,
+  RegV0 = 2,
+  RegA0 = 4,
+  RegSP = 29,
+  RegFP = 30,
+  RegRA = 31,
+};
+
+// Field accessors.
+inline uint32_t fieldOp(MachWord W) { return extractBits(W, 26, 31); }
+inline uint32_t fieldRs(MachWord W) { return extractBits(W, 21, 25); }
+inline uint32_t fieldRt(MachWord W) { return extractBits(W, 16, 20); }
+inline uint32_t fieldRd(MachWord W) { return extractBits(W, 11, 15); }
+inline uint32_t fieldShamt(MachWord W) { return extractBits(W, 6, 10); }
+inline uint32_t fieldFunct(MachWord W) { return extractBits(W, 0, 5); }
+inline uint32_t fieldUimm16(MachWord W) { return extractBits(W, 0, 15); }
+inline int32_t fieldSimm16(MachWord W) {
+  return signExtend(extractBits(W, 0, 15), 16);
+}
+inline uint32_t fieldIndex26(MachWord W) { return extractBits(W, 0, 25); }
+
+// Encoders.
+
+inline MachWord encodeRType(unsigned Rs, unsigned Rt, unsigned Rd,
+                            unsigned Shamt, uint32_t Funct) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, OpRType);
+  W = insertBits(W, 21, 25, Rs);
+  W = insertBits(W, 16, 20, Rt);
+  W = insertBits(W, 11, 15, Rd);
+  W = insertBits(W, 6, 10, Shamt);
+  W = insertBits(W, 0, 5, Funct);
+  return W;
+}
+
+inline MachWord encodeIType(uint32_t Op, unsigned Rs, unsigned Rt,
+                            uint32_t Imm16) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, Op);
+  W = insertBits(W, 21, 25, Rs);
+  W = insertBits(W, 16, 20, Rt);
+  W = insertBits(W, 0, 15, Imm16);
+  return W;
+}
+
+inline MachWord encodeJType(uint32_t Op, uint32_t Index26) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, Op);
+  W = insertBits(W, 0, 25, Index26);
+  return W;
+}
+
+/// The canonical MRISC nop: sll r0, r0, 0 (the all-zero word, as on MIPS).
+inline MachWord nop() { return 0; }
+
+} // namespace mrisc
+} // namespace eel
+
+#endif // EEL_ISA_MRISCENCODING_H

@@ -1,0 +1,307 @@
+//===- isa/SriscEncoding.h - SRISC instruction encoding --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding constants and field helpers for SRISC, the project's SPARC-like
+/// synthetic ISA. SRISC keeps every property of SPARC V8 that makes
+/// executable editing interesting — one-cycle delay slots on branches,
+/// calls, and indirect jumps; annulled conditional branches; `sethi`/`or`
+/// address materialization; condition codes; and a `jmpl` overloaded as
+/// indirect jump, indirect call, and return — while dropping register
+/// windows and floating point, which the paper's analyses do not depend on.
+///
+/// Instruction formats (op = bits 31:30):
+///   op=0, op2=4 : sethi   rd, imm22          rd := imm22 << 10
+///   op=0, op2=2 : Bicc    a, cond, disp22    PC-relative conditional branch
+///   op=1        : call    disp30             r15 := PC; PC-relative call
+///   op=2        : format3 rd, op3, rs1, i, (rs2 | simm13)   ALU / jmpl / sys
+///   op=3        : format3 memory loads and stores
+///
+/// Registers: r0 is hard zero. Aliases follow SPARC: g0-g7 = r0-r7,
+/// o0-o7 = r8-r15 (o6 = sp, o7 = link), l0-l7 = r16-r23, i0-i7 = r24-r31
+/// (i6 = fp). The 4-bit condition-code register (N,Z,V,C) is register id 32
+/// and is readable/writable with the unprivileged rdcc/wrcc instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ISA_SRISCENCODING_H
+#define EEL_ISA_SRISCENCODING_H
+
+#include "support/BitOps.h"
+#include "isa/Target.h"
+
+namespace eel {
+namespace srisc {
+
+// Major opcode (bits 31:30).
+enum : uint32_t { OpFormat2 = 0, OpCall = 1, OpArith = 2, OpMem = 3 };
+
+// Format-2 op2 field (bits 24:22).
+enum : uint32_t { Op2Bicc = 2, Op2Sethi = 4 };
+
+// Format-3 op3 field (bits 24:19) for OpArith.
+enum : uint32_t {
+  Op3Add = 0x00,
+  Op3And = 0x01,
+  Op3Or = 0x02,
+  Op3Xor = 0x03,
+  Op3Sub = 0x04,
+  Op3Sll = 0x05,
+  Op3Srl = 0x06,
+  Op3Sra = 0x07,
+  Op3Smul = 0x08,
+  Op3Sdiv = 0x09,
+  Op3Srem = 0x0A,
+  Op3AddCC = 0x10,
+  Op3AndCC = 0x11,
+  Op3OrCC = 0x12,
+  Op3XorCC = 0x13,
+  Op3SubCC = 0x14,
+  Op3RdCC = 0x30,
+  Op3WrCC = 0x31,
+  Op3Jmpl = 0x38,
+  Op3Sys = 0x3A,
+};
+
+// Format-3 op3 field for OpMem.
+enum : uint32_t {
+  Op3Ld = 0x00,
+  Op3Ldub = 0x01,
+  Op3Lduh = 0x02,
+  Op3Ldsb = 0x03,
+  Op3Ldsh = 0x04,
+  Op3St = 0x08,
+  Op3Stb = 0x09,
+  Op3Sth = 0x0A,
+};
+
+// Branch condition codes (bits 28:25 of a Bicc), SPARC icc ordering.
+enum Cond : uint32_t {
+  CondN = 0,    // never
+  CondE = 1,    // Z
+  CondLE = 2,   // Z | (N ^ V)
+  CondL = 3,    // N ^ V
+  CondLEU = 4,  // C | Z
+  CondCS = 5,   // C
+  CondNEG = 6,  // N
+  CondVS = 7,   // V
+  CondA = 8,    // always
+  CondNE = 9,   // !Z
+  CondG = 10,   // !(Z | (N ^ V))
+  CondGE = 11,  // !(N ^ V)
+  CondGU = 12,  // !(C | Z)
+  CondCC = 13,  // !C
+  CondPOS = 14, // !N
+  CondVC = 15,  // !V
+};
+
+// Condition-code register bits.
+enum : uint32_t { CCFlagC = 1, CCFlagV = 2, CCFlagZ = 4, CCFlagN = 8 };
+
+// Well-known registers.
+enum : unsigned {
+  RegZero = 0,
+  RegSP = 14,   // o6
+  RegLink = 15, // o7, written by call and conventional jmpl links
+  RegFP = 30,   // i6
+};
+
+// Field accessors. Field names match the machine description in
+// isa/Descriptions.cpp.
+inline uint32_t fieldOp(MachWord W) { return extractBits(W, 30, 31); }
+inline uint32_t fieldRd(MachWord W) { return extractBits(W, 25, 29); }
+inline uint32_t fieldOp2(MachWord W) { return extractBits(W, 22, 24); }
+inline uint32_t fieldOp3(MachWord W) { return extractBits(W, 19, 24); }
+inline uint32_t fieldRs1(MachWord W) { return extractBits(W, 14, 18); }
+inline uint32_t fieldI(MachWord W) { return extractBits(W, 13, 13); }
+inline uint32_t fieldRs2(MachWord W) { return extractBits(W, 0, 4); }
+inline int32_t fieldSimm13(MachWord W) {
+  return signExtend(extractBits(W, 0, 12), 13);
+}
+inline uint32_t fieldImm22(MachWord W) { return extractBits(W, 0, 21); }
+inline int32_t fieldDisp22(MachWord W) {
+  return signExtend(extractBits(W, 0, 21), 22);
+}
+inline int32_t fieldDisp30(MachWord W) {
+  return signExtend(extractBits(W, 0, 29), 30);
+}
+inline uint32_t fieldCond(MachWord W) { return extractBits(W, 25, 28); }
+inline uint32_t fieldAnnul(MachWord W) { return extractBits(W, 29, 29); }
+
+// Encoders.
+
+inline MachWord encodeSethi(unsigned Rd, uint32_t Imm22) {
+  MachWord W = 0;
+  W = insertBits(W, 30, 31, OpFormat2);
+  W = insertBits(W, 25, 29, Rd);
+  W = insertBits(W, 22, 24, Op2Sethi);
+  W = insertBits(W, 0, 21, Imm22);
+  return W;
+}
+
+inline MachWord encodeBicc(bool Annul, Cond C, int32_t Disp22) {
+  MachWord W = 0;
+  W = insertBits(W, 30, 31, OpFormat2);
+  W = insertBits(W, 29, 29, Annul ? 1 : 0);
+  W = insertBits(W, 25, 28, C);
+  W = insertBits(W, 22, 24, Op2Bicc);
+  W = insertBits(W, 0, 21, static_cast<uint32_t>(Disp22));
+  return W;
+}
+
+inline MachWord encodeCall(int32_t Disp30) {
+  MachWord W = 0;
+  W = insertBits(W, 30, 31, OpCall);
+  W = insertBits(W, 0, 29, static_cast<uint32_t>(Disp30));
+  return W;
+}
+
+inline MachWord encodeArithReg(uint32_t Op3, unsigned Rd, unsigned Rs1,
+                               unsigned Rs2) {
+  MachWord W = 0;
+  W = insertBits(W, 30, 31, OpArith);
+  W = insertBits(W, 25, 29, Rd);
+  W = insertBits(W, 19, 24, Op3);
+  W = insertBits(W, 14, 18, Rs1);
+  W = insertBits(W, 13, 13, 0);
+  W = insertBits(W, 0, 4, Rs2);
+  return W;
+}
+
+inline MachWord encodeArithImm(uint32_t Op3, unsigned Rd, unsigned Rs1,
+                               int32_t Simm13) {
+  MachWord W = 0;
+  W = insertBits(W, 30, 31, OpArith);
+  W = insertBits(W, 25, 29, Rd);
+  W = insertBits(W, 19, 24, Op3);
+  W = insertBits(W, 14, 18, Rs1);
+  W = insertBits(W, 13, 13, 1);
+  W = insertBits(W, 0, 12, static_cast<uint32_t>(Simm13));
+  return W;
+}
+
+inline MachWord encodeMemReg(uint32_t Op3, unsigned RdData, unsigned Rs1,
+                             unsigned Rs2) {
+  MachWord W = encodeArithReg(Op3, RdData, Rs1, Rs2);
+  return insertBits(W, 30, 31, OpMem);
+}
+
+inline MachWord encodeMemImm(uint32_t Op3, unsigned RdData, unsigned Rs1,
+                             int32_t Simm13) {
+  MachWord W = encodeArithImm(Op3, RdData, Rs1, Simm13);
+  return insertBits(W, 30, 31, OpMem);
+}
+
+inline MachWord encodeJmplImm(unsigned Rd, unsigned Rs1, int32_t Simm13) {
+  return encodeArithImm(Op3Jmpl, Rd, Rs1, Simm13);
+}
+
+inline MachWord encodeJmplReg(unsigned Rd, unsigned Rs1, unsigned Rs2) {
+  return encodeArithReg(Op3Jmpl, Rd, Rs1, Rs2);
+}
+
+inline MachWord encodeSys(unsigned Num) {
+  return encodeArithImm(Op3Sys, 0, 0, static_cast<int32_t>(Num));
+}
+
+inline MachWord encodeRdCC(unsigned Rd) {
+  return encodeArithImm(Op3RdCC, Rd, 0, 0);
+}
+
+inline MachWord encodeWrCC(unsigned Rs1) {
+  return encodeArithReg(Op3WrCC, 0, Rs1, 0);
+}
+
+/// The canonical SRISC nop: sethi 0, r0.
+inline MachWord nop() { return encodeSethi(0, 0); }
+
+/// Branch-condition predicate over a 4-bit condition-code value.
+inline bool evalCond(Cond C, uint32_t CC) {
+  bool N = (CC & CCFlagN) != 0;
+  bool Z = (CC & CCFlagZ) != 0;
+  bool V = (CC & CCFlagV) != 0;
+  bool Cf = (CC & CCFlagC) != 0;
+  switch (C) {
+  case CondN:
+    return false;
+  case CondE:
+    return Z;
+  case CondLE:
+    return Z || (N != V);
+  case CondL:
+    return N != V;
+  case CondLEU:
+    return Cf || Z;
+  case CondCS:
+    return Cf;
+  case CondNEG:
+    return N;
+  case CondVS:
+    return V;
+  case CondA:
+    return true;
+  case CondNE:
+    return !Z;
+  case CondG:
+    return !(Z || (N != V));
+  case CondGE:
+    return N == V;
+  case CondGU:
+    return !(Cf || Z);
+  case CondCC:
+    return !Cf;
+  case CondPOS:
+    return !N;
+  case CondVC:
+    return !V;
+  }
+  return false;
+}
+
+/// Condition codes produced by addcc.
+inline uint32_t ccForAdd(uint32_t A, uint32_t B) {
+  uint32_t R = A + B;
+  uint32_t CC = 0;
+  if (R & 0x80000000u)
+    CC |= CCFlagN;
+  if (R == 0)
+    CC |= CCFlagZ;
+  if (((A ^ R) & (B ^ R)) & 0x80000000u)
+    CC |= CCFlagV;
+  if (R < A)
+    CC |= CCFlagC;
+  return CC;
+}
+
+/// Condition codes produced by subcc (A - B). Carry is the borrow flag.
+inline uint32_t ccForSub(uint32_t A, uint32_t B) {
+  uint32_t R = A - B;
+  uint32_t CC = 0;
+  if (R & 0x80000000u)
+    CC |= CCFlagN;
+  if (R == 0)
+    CC |= CCFlagZ;
+  if (((A ^ B) & (A ^ R)) & 0x80000000u)
+    CC |= CCFlagV;
+  if (A < B)
+    CC |= CCFlagC;
+  return CC;
+}
+
+/// Condition codes produced by the logical *cc forms.
+inline uint32_t ccForLogic(uint32_t R) {
+  uint32_t CC = 0;
+  if (R & 0x80000000u)
+    CC |= CCFlagN;
+  if (R == 0)
+    CC |= CCFlagZ;
+  return CC;
+}
+
+} // namespace srisc
+} // namespace eel
+
+#endif // EEL_ISA_SRISCENCODING_H

@@ -1,0 +1,38 @@
+//===- spawn/Eval.h - Concrete RTL execution --------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes machine instructions directly from their description semantics —
+/// a second, independent interpreter for each target. The VM test suite runs
+/// whole programs under both the handwritten interpreter and this one and
+/// requires identical results, which validates the machine descriptions the
+/// same way the paper validated spawn against the handwritten qpt layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SPAWN_EVAL_H
+#define EEL_SPAWN_EVAL_H
+
+#include "spawn/MachineDesc.h"
+#include "vm/Machine.h"
+
+namespace eel {
+namespace spawn {
+
+/// Executes one instruction word at \p PC against \p M's state using the
+/// description's RTL semantics. Parallel statement groups observe the
+/// pre-instruction state, as the description language requires.
+StepOutcome executeWord(const MachineDesc &Desc, Machine &M, Addr PC,
+                        MachWord Word);
+
+/// Runs \p File to completion under description semantics.
+RunResult runWithDescription(const MachineDesc &Desc, const SxfFile &File,
+                             uint64_t MaxSteps = 200'000'000);
+
+} // namespace spawn
+} // namespace eel
+
+#endif // EEL_SPAWN_EVAL_H

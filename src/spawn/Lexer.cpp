@@ -1,0 +1,133 @@
+//===- spawn/Lexer.cpp - Machine-description tokenizer ---------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spawn/Lexer.h"
+
+#include <cctype>
+
+using namespace eel;
+using namespace eel::spawn;
+
+Expected<std::vector<Token>> spawn::lexDescription(const std::string &Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  bool AtLineStart = true;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto Push = [&](TokKind Kind, std::string Text, int64_t Value = 0) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Value = Value;
+    T.Line = Line;
+    T.StartOfLine = AtLineStart;
+    AtLineStart = false;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      AtLineStart = true;
+      ++I;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++I;
+      continue;
+    }
+    if (C == '-' && I + 1 < N && Source[I + 1] == '-') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      Push(TokKind::Ident, Source.substr(Start, I - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      int64_t Value = 0;
+      if (C == '0' && I + 1 < N && (Source[I + 1] == 'x' || Source[I + 1] == 'X')) {
+        I += 2;
+        while (I < N &&
+               std::isxdigit(static_cast<unsigned char>(Source[I]))) {
+          char D = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(Source[I])));
+          Value = Value * 16 + (D <= '9' ? D - '0' : D - 'a' + 10);
+          ++I;
+        }
+      } else {
+        while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+          Value = Value * 10 + (Source[I] - '0');
+          ++I;
+        }
+      }
+      Push(TokKind::Number, Source.substr(Start, I - Start), Value);
+      continue;
+    }
+    // Multi-character punctuation first.
+    auto Starts = [&](const char *S) {
+      size_t L = std::char_traits<char>::length(S);
+      return Source.compare(I, L, S) == 0;
+    };
+    if (Starts(":=")) {
+      Push(TokKind::Punct, ":=");
+      I += 2;
+      continue;
+    }
+    if (Starts("&&")) {
+      Push(TokKind::Punct, "&&");
+      I += 2;
+      continue;
+    }
+    if (Starts("<<")) {
+      Push(TokKind::Punct, "<<");
+      I += 2;
+      continue;
+    }
+    if (Starts("!=")) {
+      Push(TokKind::Punct, "!=");
+      I += 2;
+      continue;
+    }
+    switch (C) {
+    case ':':
+    case '?':
+    case ';':
+    case ',':
+    case '(':
+    case ')':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+    case '=':
+    case '@':
+    case '+':
+    case '-':
+    case '*':
+    case '&':
+    case '|':
+    case '^':
+    case '~':
+      Push(TokKind::Punct, std::string(1, C));
+      ++I;
+      continue;
+    default:
+      return Error("machine description line " + std::to_string(Line) +
+                   ": unexpected character '" + std::string(1, C) + "'");
+    }
+  }
+  Push(TokKind::End, "");
+  return Tokens;
+}

@@ -1,0 +1,53 @@
+//===- spawn/Lexer.h - Machine-description tokenizer ------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the spawn machine-description language. Comments run from
+/// `--` to end of line. Tokens record their source line and whether they are
+/// the first token on their line, which the parser uses to find clause
+/// boundaries (a top-level keyword at the start of a line begins a new
+/// clause, so `val`/`sem` bodies may span lines without terminators).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SPAWN_LEXER_H
+#define EEL_SPAWN_LEXER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel {
+namespace spawn {
+
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  Punct, ///< One of: := : ? ; , ( ) [ ] { } = && @ + - * & | ^ << ~ !=
+  End,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  int64_t Value = 0; ///< Numeric value for Number tokens.
+  unsigned Line = 0;
+  bool StartOfLine = false;
+
+  bool is(const char *S) const { return Text == S; }
+  bool isIdent() const { return Kind == TokKind::Ident; }
+  bool isNumber() const { return Kind == TokKind::Number; }
+};
+
+/// Tokenizes \p Source; fails on characters outside the language.
+Expected<std::vector<Token>> lexDescription(const std::string &Source);
+
+} // namespace spawn
+} // namespace eel
+
+#endif // EEL_SPAWN_LEXER_H

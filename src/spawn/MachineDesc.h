@@ -1,0 +1,95 @@
+//===- spawn/MachineDesc.h - Parsed machine description ---------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic model a spawn machine description compiles to: instruction
+/// fields, register resources, encoding patterns (mask/match pairs derived
+/// from the paper's instruction-name matrices), and per-instruction RTL
+/// semantics. Everything the SpawnTarget, the RTL evaluator, and the code
+/// generator need is derived from this object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SPAWN_MACHINEDESC_H
+#define EEL_SPAWN_MACHINEDESC_H
+
+#include "isa/Target.h"
+#include "spawn/Rtl.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eel {
+namespace spawn {
+
+struct FieldDef {
+  std::string Name;
+  unsigned Lo = 0;
+  unsigned Hi = 0;
+  unsigned width() const { return Hi - Lo + 1; }
+};
+
+struct RegFileDef {
+  std::string Name;
+  unsigned Width = 32;
+  unsigned Count = 0; ///< 0 for a single register (e.g. CC).
+  unsigned BaseId = 0;
+};
+
+struct PatternConstraint {
+  std::string Field;
+  uint32_t Value = 0;
+};
+
+struct InstPattern {
+  std::string Name;
+  uint32_t Mask = 0;
+  uint32_t Match = 0;
+  std::vector<PatternConstraint> Constraints;
+  int SemIndex = -1;
+};
+
+/// A fully parsed machine description.
+class MachineDesc {
+public:
+  std::string ArchName;
+  unsigned WordSize = 32;
+  std::vector<FieldDef> Fields;
+  std::vector<RegFileDef> RegFiles;
+  int ZeroRegId = -1; ///< Register id that is hard zero, or -1.
+  std::vector<InstPattern> Patterns;
+  std::vector<Semantics> Sems;
+
+  const FieldDef *field(const std::string &Name) const;
+
+  /// Decodes \p Word to a pattern index, or -1 for invalid encodings.
+  int decode(MachWord Word) const;
+
+  uint32_t fieldValue(const FieldDef &F, MachWord Word) const;
+
+  /// Register-file display names (for the RTL printer).
+  std::vector<std::string> regFileNames() const;
+
+  /// Called once after parsing: validates pattern disjointness and builds
+  /// the decode index. Returns an error message on inconsistency.
+  Expected<bool> finalize();
+
+private:
+  int BucketFieldIndex = -1;
+  std::map<uint32_t, std::vector<int>> Buckets;
+};
+
+/// Parses a description; the returned object is immutable afterwards.
+Expected<std::shared_ptr<MachineDesc>>
+parseMachineDescription(const std::string &Source);
+
+} // namespace spawn
+} // namespace eel
+
+#endif // EEL_SPAWN_MACHINEDESC_H

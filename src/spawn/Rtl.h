@@ -1,0 +1,161 @@
+//===- spawn/Rtl.h - Register-transfer-level IR -----------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-transfer IR that spawn machine descriptions compile to,
+/// corresponding to the semantic expressions of Figure 7 in the paper. One
+/// Semantics object describes one instruction: statements before the `;`
+/// execute at issue, statements after it describe the delayed control
+/// transfer that overlaps the delay slot.
+///
+/// The IR is deliberately small: everything a RISC instruction does is a
+/// parallel set of guarded assignments to registers, memory, or the PC,
+/// plus `annul` (squash the delay slot) and `trap` (enter the OS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SPAWN_RTL_H
+#define EEL_SPAWN_RTL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eel {
+namespace spawn {
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+struct Stmt;
+using StmtP = std::shared_ptr<const Stmt>;
+
+/// Binary operators available in description expressions.
+enum class RtlBinOp : uint8_t { Add, Sub, Mul, And, Or, Xor, Shl, Eq, Ne };
+
+/// Builtin semantic functions. The paper's descriptions use named functions
+/// for operations whose encodings differ per instruction (alu ops, condition
+/// tests, condition-code computation); sx() sign-extends a field by its
+/// declared width.
+enum class RtlFn : uint8_t {
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Sll,
+  Srl,
+  Sra,
+  Mul,
+  Div,
+  Rem,
+  SetLess,
+  Eq,  ///< eq(a,b): a == b (branch test)
+  Ne,
+  Les, ///< les(a,b): a <= b signed
+  Gts, ///< gts(a,b): a > b signed
+  CcAdd,
+  CcSub,
+  CcAnd,
+  CcOr,
+  CcXor,
+  CondE,
+  CondLe,
+  CondL,
+  CondLeu,
+  CondCs,
+  CondNeg,
+  CondVs,
+  CondNe,
+  CondG,
+  CondGe,
+  CondGu,
+  CondCc,
+  CondPos,
+  CondVc,
+  Sx, ///< sx(field): sign-extend by the field's width
+};
+
+struct Expr {
+  enum class Kind : uint8_t {
+    Const,   ///< IntVal
+    Field,   ///< Name = instruction field (value zero-extended)
+    Reg,     ///< RegFile index in FileIndex; Args[0] = index expr (indexed
+             ///  files) or empty (single registers)
+    Pc,      ///< Current program counter
+    Mem,     ///< Memory read: Args[0] = address, MemWidth bytes,
+             ///  MemSignExtend
+    Binary,  ///< Op over Args[0], Args[1]
+    Ternary, ///< Args[0] ? Args[1] : Args[2]
+    Apply,   ///< Builtin Fn over Args
+    Local,   ///< Name = local temporary bound earlier in the semantics
+  };
+
+  Kind K = Kind::Const;
+  int64_t IntVal = 0;
+  std::string Name;
+  unsigned FileIndex = 0;
+  unsigned MemWidth = 0;
+  bool MemSignExtend = false;
+  RtlBinOp Op = RtlBinOp::Add;
+  RtlFn Fn = RtlFn::Add;
+  std::vector<ExprP> Args;
+
+  static ExprP makeConst(int64_t V);
+  static ExprP makeField(std::string Name);
+  static ExprP makeReg(unsigned FileIndex, ExprP Index);
+  static ExprP makePc();
+  static ExprP makeMem(ExprP AddrExpr, unsigned Width, bool SignExtend);
+  static ExprP makeBinary(RtlBinOp Op, ExprP L, ExprP R);
+  static ExprP makeTernary(ExprP C, ExprP T, ExprP F);
+  static ExprP makeApply(RtlFn Fn, std::vector<ExprP> Args);
+  static ExprP makeLocal(std::string Name);
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    AssignReg,   ///< Lhs (Reg expr) := Rhs
+    AssignPc,    ///< pc := Rhs (a control transfer; delayed when after ';')
+    AssignMem,   ///< Lhs (Mem expr) := Rhs
+    AssignLocal, ///< Name := Rhs (pure temporary)
+    Guard,       ///< Cond ? Then : Else
+    Annul,       ///< Squash the delay-slot instruction
+    Trap,        ///< System call; Rhs = trap number expression
+    Skip,        ///< No-op
+  };
+
+  Kind K = Kind::Skip;
+  std::string Name; ///< AssignLocal temporary name.
+  ExprP Lhs;
+  ExprP Rhs;
+  ExprP Cond;
+  std::vector<StmtP> Then;
+  std::vector<StmtP> Else;
+};
+
+/// One instruction's full semantics. HasDelayMark records whether the
+/// description contained a `;` (i.e. the instruction occupies a delay slot
+/// boundary); the categorizer combines this with reachability analysis.
+struct Semantics {
+  std::vector<StmtP> Before;
+  std::vector<StmtP> After;
+  bool HasDelayMark = false;
+};
+
+/// Pretty-prints RTL for diagnostics and for the spawn code generator.
+std::string printExpr(const Expr &E,
+                      const std::vector<std::string> &RegFileNames);
+std::string printStmt(const Stmt &S,
+                      const std::vector<std::string> &RegFileNames,
+                      unsigned Indent = 0);
+
+/// Maps a builtin name to its function, or nullptr-equivalent (false).
+bool lookupRtlFn(const std::string &Name, RtlFn &Out);
+
+} // namespace spawn
+} // namespace eel
+
+#endif // EEL_SPAWN_RTL_H

@@ -1,0 +1,280 @@
+//===- spawn/SpawnTarget.cpp - Description-derived target ------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spawn/SpawnTarget.h"
+
+#include "isa/Descriptions.h"
+#include "support/BitOps.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace eel;
+using namespace eel::spawn;
+
+SpawnTarget::SpawnTarget(std::shared_ptr<const MachineDesc> Desc,
+                         const TargetInfo &CodegenDelegate)
+    : Desc(std::move(Desc)), Delegate(CodegenDelegate) {
+  DisplayName = this->Desc->ArchName + "-spawn";
+}
+
+const InstSummary &SpawnTarget::summary(MachWord Word) const {
+  auto It = Cache.find(Word);
+  if (It != Cache.end())
+    return *It->second;
+  auto Summary = std::make_unique<InstSummary>(analyzeWord(*Desc, Word));
+  const InstSummary &Ref = *Summary;
+  Cache.emplace(Word, std::move(Summary));
+  return Ref;
+}
+
+TargetArch SpawnTarget::arch() const { return Delegate.arch(); }
+const char *SpawnTarget::name() const { return DisplayName.c_str(); }
+const TargetConventions &SpawnTarget::conventions() const {
+  return Delegate.conventions();
+}
+unsigned SpawnTarget::numRegisters() const {
+  for (const RegFileDef &RF : Desc->RegFiles)
+    if (RF.Count)
+      return RF.Count;
+  return Delegate.numRegisters();
+}
+bool SpawnTarget::hasConditionCodes() const {
+  for (const RegFileDef &RF : Desc->RegFiles)
+    if (RF.Count == 0)
+      return true;
+  return false;
+}
+std::string SpawnTarget::regName(unsigned Reg) const {
+  return Delegate.regName(Reg);
+}
+
+InstCategory SpawnTarget::classify(MachWord Word) const {
+  return summary(Word).Category;
+}
+
+RegSet SpawnTarget::reads(MachWord Word) const {
+  const InstSummary &S = summary(Word);
+  // Trap conventions live outside the description (paper §4).
+  if (S.Category == InstCategory::System)
+    return conventions().SyscallReads;
+  return S.Reads;
+}
+
+RegSet SpawnTarget::writes(MachWord Word) const {
+  const InstSummary &S = summary(Word);
+  if (S.Category == InstCategory::System)
+    return conventions().SyscallWrites;
+  return S.Writes;
+}
+
+bool SpawnTarget::hasDelaySlot(MachWord Word) const {
+  return summary(Word).HasDelaySlot;
+}
+
+DelayBehavior SpawnTarget::delayBehavior(MachWord Word) const {
+  return summary(Word).Delay;
+}
+
+bool SpawnTarget::isConditional(MachWord Word) const {
+  const InstSummary &S = summary(Word);
+  return S.Conditional && S.Category == InstCategory::BranchDirect;
+}
+
+std::optional<Addr> SpawnTarget::directTarget(MachWord Word, Addr PC) const {
+  const InstSummary &S = summary(Word);
+  if (!S.Direct)
+    return std::nullopt;
+  return S.Direct->evaluate(*Desc, Word, PC);
+}
+
+std::optional<IndirectTargetInfo>
+SpawnTarget::indirectTarget(MachWord Word) const {
+  return summary(Word).Indirect;
+}
+
+DataOp SpawnTarget::dataOp(MachWord Word) const { return summary(Word).DOp; }
+
+std::optional<MemOp> SpawnTarget::memOp(MachWord Word) const {
+  return summary(Word).MOp;
+}
+
+std::optional<unsigned> SpawnTarget::syscallNumber(MachWord Word) const {
+  return summary(Word).TrapNumber;
+}
+
+std::optional<MachWord> SpawnTarget::retargetDirect(MachWord Word, Addr NewPC,
+                                                    Addr NewTarget) const {
+  const InstSummary &S = summary(Word);
+  if (!S.Direct || !S.Direct->HasField)
+    return std::nullopt;
+  const TargetShape &Shape = *S.Direct;
+  const FieldDef *F = Desc->field(Shape.FieldName);
+  assert(F && "target shape names unknown field");
+  int64_t Needed;
+  if (Shape.K == TargetShape::Kind::Region) {
+    if ((NewPC & Shape.RegionMask) != (NewTarget & Shape.RegionMask))
+      return std::nullopt;
+    Needed = static_cast<int64_t>(NewTarget & ~Shape.RegionMask) - Shape.Bias;
+  } else {
+    Needed = static_cast<int64_t>(NewTarget) - static_cast<int64_t>(NewPC) -
+             Shape.Bias;
+  }
+  assert((Needed & ((int64_t(1) << Shape.Shift) - 1)) == 0 &&
+         "misaligned branch target");
+  int64_t FieldVal = Needed >> Shape.Shift;
+  if (Shape.FieldSigned ? !fitsSigned(FieldVal, F->width())
+                        : !fitsUnsigned(static_cast<uint64_t>(FieldVal),
+                                        F->width()))
+    return std::nullopt;
+  MachWord NewWord =
+      insertBits(Word, F->Lo, F->Hi, static_cast<uint32_t>(FieldVal));
+  assert(Desc->decode(NewWord) == S.PatternIndex &&
+         "retargeting changed the instruction's identity");
+  return NewWord;
+}
+
+std::optional<MachWord> SpawnTarget::rewriteRegisters(
+    MachWord Word, const std::function<unsigned(unsigned)> &Map) const {
+  const InstSummary &S = summary(Word);
+  if (S.PatternIndex < 0)
+    return Word; // invalid encodings are left alone
+  for (unsigned ImplicitReg : S.ImplicitRegWrites)
+    if (Map(ImplicitReg) != ImplicitReg)
+      return std::nullopt;
+  MachWord Out = Word;
+  std::set<std::string> Seen;
+  for (const std::string &FieldName : S.RegIndexFields) {
+    if (!Seen.insert(FieldName).second)
+      continue;
+    const FieldDef *F = Desc->field(FieldName);
+    assert(F && "register-index field unknown");
+    unsigned NewReg = Map(Desc->fieldValue(*F, Word));
+    assert(NewReg < 32 && "register map produced a bad id");
+    Out = insertBits(Out, F->Lo, F->Hi, NewReg);
+  }
+  return Out;
+}
+
+MachWord SpawnTarget::nopWord() const { return Delegate.nopWord(); }
+bool SpawnTarget::emitJump(Addr PC, Addr Target,
+                           std::vector<MachWord> &Out) const {
+  return Delegate.emitJump(PC, Target, Out);
+}
+bool SpawnTarget::emitCall(Addr PC, Addr Target,
+                           std::vector<MachWord> &Out) const {
+  return Delegate.emitCall(PC, Target, Out);
+}
+void SpawnTarget::emitLoadConst(unsigned Reg, uint32_t Value,
+                                std::vector<MachWord> &Out) const {
+  Delegate.emitLoadConst(Reg, Value, Out);
+}
+void SpawnTarget::emitLoadWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                               std::vector<MachWord> &Out) const {
+  Delegate.emitLoadWord(DataReg, Base, Offset, Out);
+}
+void SpawnTarget::emitStoreWord(unsigned DataReg, unsigned Base,
+                                int32_t Offset,
+                                std::vector<MachWord> &Out) const {
+  Delegate.emitStoreWord(DataReg, Base, Offset, Out);
+}
+void SpawnTarget::emitAddImm(unsigned Rd, unsigned Rs1, int32_t Imm,
+                             std::vector<MachWord> &Out) const {
+  Delegate.emitAddImm(Rd, Rs1, Imm, Out);
+}
+void SpawnTarget::emitAddReg(unsigned Rd, unsigned Rs1, unsigned Rs2,
+                             std::vector<MachWord> &Out) const {
+  Delegate.emitAddReg(Rd, Rs1, Rs2, Out);
+}
+void SpawnTarget::emitAluImm(DataOpKind Op, unsigned Rd, unsigned Rs1,
+                             int32_t Imm, std::vector<MachWord> &Out) const {
+  Delegate.emitAluImm(Op, Rd, Rs1, Imm, Out);
+}
+void SpawnTarget::emitIndirectJump(unsigned Reg, std::vector<MachWord> &Out,
+                                   std::optional<MachWord> DelayWord) const {
+  Delegate.emitIndirectJump(Reg, Out, DelayWord);
+}
+bool SpawnTarget::emitSkipIfEqual(unsigned Ra, unsigned Rb,
+                                  unsigned SkipWords,
+                                  std::vector<MachWord> &Out) const {
+  return Delegate.emitSkipIfEqual(Ra, Rb, SkipWords, Out);
+}
+bool SpawnTarget::emitSkipIfNotEqual(unsigned Ra, unsigned Rb,
+                                     unsigned SkipWords,
+                                     std::vector<MachWord> &Out) const {
+  return Delegate.emitSkipIfNotEqual(Ra, Rb, SkipWords, Out);
+}
+bool SpawnTarget::emitSkipIfLess(unsigned Ra, unsigned Rb, unsigned Scratch,
+                                 unsigned SkipWords,
+                                 std::vector<MachWord> &Out) const {
+  return Delegate.emitSkipIfLess(Ra, Rb, Scratch, SkipWords, Out);
+}
+
+bool SpawnTarget::emitSaveCC(unsigned ScratchReg,
+                             std::vector<MachWord> &Out) const {
+  return Delegate.emitSaveCC(ScratchReg, Out);
+}
+bool SpawnTarget::emitRestoreCC(unsigned ScratchReg,
+                                std::vector<MachWord> &Out) const {
+  return Delegate.emitRestoreCC(ScratchReg, Out);
+}
+
+std::string SpawnTarget::disassemble(MachWord Word, Addr PC) const {
+  const InstSummary &S = summary(Word);
+  if (S.PatternIndex < 0)
+    return "<invalid>";
+  const InstPattern &P = Desc->Patterns[S.PatternIndex];
+  std::string Out = P.Name;
+  // Append unconstrained fields for context.
+  std::set<std::string> Constrained;
+  for (const PatternConstraint &C : P.Constraints)
+    Constrained.insert(C.Field);
+  bool First = true;
+  for (const FieldDef &F : Desc->Fields) {
+    if (Constrained.count(F.Name))
+      continue;
+    Out += First ? " " : ", ";
+    First = false;
+    Out += F.Name + "=" + std::to_string(Desc->fieldValue(F, Word));
+  }
+  (void)PC;
+  return Out;
+}
+
+static const SpawnTarget &buildSpawnTarget(TargetArch Arch) {
+  const char *Source = Arch == TargetArch::Srisc ? sriscDescription()
+                                                 : mriscDescription();
+  Expected<std::shared_ptr<MachineDesc>> Desc =
+      parseMachineDescription(Source);
+  if (Desc.hasError())
+    reportFatalError("embedded machine description is broken: " +
+                     Desc.error().message());
+  static std::vector<std::unique_ptr<SpawnTarget>> Targets;
+  Targets.push_back(
+      std::make_unique<SpawnTarget>(Desc.takeValue(), targetFor(Arch)));
+  return *Targets.back();
+}
+
+const SpawnTarget &spawn::spawnSriscTarget() {
+  static const SpawnTarget &Target = buildSpawnTarget(TargetArch::Srisc);
+  return Target;
+}
+
+const SpawnTarget &spawn::spawnMriscTarget() {
+  static const SpawnTarget &Target = buildSpawnTarget(TargetArch::Mrisc);
+  return Target;
+}
+
+const SpawnTarget &spawn::spawnTargetFor(TargetArch Arch) {
+  switch (Arch) {
+  case TargetArch::Srisc:
+    return spawnSriscTarget();
+  case TargetArch::Mrisc:
+    return spawnMriscTarget();
+  }
+  unreachable("unknown target architecture");
+}

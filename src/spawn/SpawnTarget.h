@@ -1,0 +1,122 @@
+//===- spawn/SpawnTarget.h - Description-derived target ---------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TargetInfo implementation derived entirely from a spawn machine
+/// description — the reproduction of the paper's claim that the handwritten
+/// machine-specific layer can be generated from a ~150-line description.
+/// Calling conventions and snippet code generation are supplied externally
+/// (the paper: "spawn is currently unaware of a system's subroutine and
+/// system call conventions"); everything analytical is derived from RTL.
+///
+/// The test suite checks this implementation agrees with the handwritten
+/// backends on every inquiry over large random word samples, and the
+/// benchmark suite shows it decodes at comparable speed (via the per-word
+/// summary cache, the moral equivalent of spawn emitting specialized code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SPAWN_SPAWNTARGET_H
+#define EEL_SPAWN_SPAWNTARGET_H
+
+#include "isa/Target.h"
+#include "spawn/Analysis.h"
+#include "spawn/MachineDesc.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace eel {
+namespace spawn {
+
+/// TargetInfo backed by a machine description. Codegen helpers (snippet
+/// emission) and conventions delegate to \p CodegenDelegate, the handwritten
+/// backend for the same architecture.
+class SpawnTarget : public TargetInfo {
+public:
+  SpawnTarget(std::shared_ptr<const MachineDesc> Desc,
+              const TargetInfo &CodegenDelegate);
+
+  const MachineDesc &desc() const { return *Desc; }
+
+  /// Per-word summary with flyweight caching (one analysis per distinct
+  /// word, like EEL's one-instruction-object-per-word optimization).
+  const InstSummary &summary(MachWord Word) const;
+
+  // TargetInfo interface.
+  TargetArch arch() const override;
+  const char *name() const override;
+  const TargetConventions &conventions() const override;
+  unsigned numRegisters() const override;
+  bool hasConditionCodes() const override;
+  std::string regName(unsigned Reg) const override;
+
+  InstCategory classify(MachWord Word) const override;
+  RegSet reads(MachWord Word) const override;
+  RegSet writes(MachWord Word) const override;
+  bool hasDelaySlot(MachWord Word) const override;
+  DelayBehavior delayBehavior(MachWord Word) const override;
+  bool isConditional(MachWord Word) const override;
+  std::optional<Addr> directTarget(MachWord Word, Addr PC) const override;
+  std::optional<IndirectTargetInfo>
+  indirectTarget(MachWord Word) const override;
+  DataOp dataOp(MachWord Word) const override;
+  std::optional<MemOp> memOp(MachWord Word) const override;
+  std::optional<unsigned> syscallNumber(MachWord Word) const override;
+  std::optional<MachWord> retargetDirect(MachWord Word, Addr NewPC,
+                                         Addr NewTarget) const override;
+  std::optional<MachWord>
+  rewriteRegisters(MachWord Word,
+                   const std::function<unsigned(unsigned)> &Map) const override;
+
+  MachWord nopWord() const override;
+  bool emitJump(Addr PC, Addr Target,
+                std::vector<MachWord> &Out) const override;
+  bool emitCall(Addr PC, Addr Target,
+                std::vector<MachWord> &Out) const override;
+  void emitLoadConst(unsigned Reg, uint32_t Value,
+                     std::vector<MachWord> &Out) const override;
+  void emitLoadWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                    std::vector<MachWord> &Out) const override;
+  void emitStoreWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                     std::vector<MachWord> &Out) const override;
+  void emitAddImm(unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override;
+  void emitAddReg(unsigned Rd, unsigned Rs1, unsigned Rs2,
+                  std::vector<MachWord> &Out) const override;
+  void emitAluImm(DataOpKind Op, unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override;
+  void emitIndirectJump(unsigned Reg, std::vector<MachWord> &Out,
+                        std::optional<MachWord> DelayWord) const override;
+  bool emitSkipIfEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                       std::vector<MachWord> &Out) const override;
+  bool emitSkipIfNotEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                          std::vector<MachWord> &Out) const override;
+  bool emitSkipIfLess(unsigned Ra, unsigned Rb, unsigned Scratch,
+                      unsigned SkipWords,
+                      std::vector<MachWord> &Out) const override;
+  bool emitSaveCC(unsigned ScratchReg,
+                  std::vector<MachWord> &Out) const override;
+  bool emitRestoreCC(unsigned ScratchReg,
+                     std::vector<MachWord> &Out) const override;
+  std::string disassemble(MachWord Word, Addr PC) const override;
+
+private:
+  std::shared_ptr<const MachineDesc> Desc;
+  const TargetInfo &Delegate;
+  std::string DisplayName;
+  mutable std::unordered_map<MachWord, std::unique_ptr<InstSummary>> Cache;
+};
+
+/// Spawn-derived targets for the embedded descriptions (parsed once).
+const SpawnTarget &spawnSriscTarget();
+const SpawnTarget &spawnMriscTarget();
+const SpawnTarget &spawnTargetFor(TargetArch Arch);
+
+} // namespace spawn
+} // namespace eel
+
+#endif // EEL_SPAWN_SPAWNTARGET_H

@@ -1,0 +1,123 @@
+//===- support/ByteBuffer.h - Little-endian serialization ------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-stream writer/reader pair used to serialize SXF executables. All
+/// multi-byte quantities are little-endian regardless of host order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_BYTEBUFFER_H
+#define EEL_SUPPORT_BYTEBUFFER_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// Appends little-endian scalars and raw bytes to a growable buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+
+  void writeU16(uint16_t V) {
+    writeU8(static_cast<uint8_t>(V));
+    writeU8(static_cast<uint8_t>(V >> 8));
+  }
+
+  void writeU32(uint32_t V) {
+    writeU16(static_cast<uint16_t>(V));
+    writeU16(static_cast<uint16_t>(V >> 16));
+  }
+
+  void writeBytes(const uint8_t *Data, size_t N) {
+    Bytes.insert(Bytes.end(), Data, Data + N);
+  }
+
+  void writeString(const std::string &S) {
+    writeU32(static_cast<uint32_t>(S.size()));
+    writeBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+  }
+
+  /// Overwrites a previously written 32-bit slot (for back-patching sizes).
+  void patchU32(size_t Offset, uint32_t V) {
+    for (unsigned I = 0; I < 4; ++I)
+      Bytes[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  size_t size() const { return Bytes.size(); }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Consumes little-endian scalars from a byte buffer. Reads past the end
+/// are flagged rather than asserting so that a malformed input file produces
+/// a recoverable error in the SXF reader.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
+  explicit ByteReader(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), N(Bytes.size()) {}
+
+  bool failed() const { return Failed; }
+  size_t remaining() const { return N - Pos; }
+
+  uint8_t readU8() {
+    if (Pos + 1 > N) {
+      Failed = true;
+      return 0;
+    }
+    return Data[Pos++];
+  }
+
+  uint16_t readU16() {
+    uint16_t Lo = readU8();
+    uint16_t Hi = readU8();
+    return static_cast<uint16_t>(Lo | (Hi << 8));
+  }
+
+  uint32_t readU32() {
+    uint32_t Lo = readU16();
+    uint32_t Hi = readU16();
+    return Lo | (Hi << 16);
+  }
+
+  std::string readString() {
+    uint32_t Len = readU32();
+    if (Pos + Len > N) {
+      Failed = true;
+      return std::string();
+    }
+    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  bool readBytes(uint8_t *Out, size_t Count) {
+    if (Pos + Count > N) {
+      Failed = true;
+      return false;
+    }
+    std::memcpy(Out, Data + Pos, Count);
+    Pos += Count;
+    return true;
+  }
+
+private:
+  const uint8_t *Data;
+  size_t N;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_BYTEBUFFER_H

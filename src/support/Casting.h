@@ -1,0 +1,74 @@
+//===- support/Casting.h - Kind-based isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reimplementation of the LLVM-style isa<>/cast<>/dyn_cast<>
+/// templates. Classes opt in by providing a static `classof(const Base *)`
+/// predicate, usually implemented with a kind enumerator stored in the base
+/// class. This project is compiled without RTTI, so these templates are the
+/// only mechanism for down-casting in class hierarchies such as
+/// eel::Instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_CASTING_H
+#define EEL_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace eel {
+
+/// Returns true if \p Val is an instance of type To (or a subclass of it).
+/// \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  if constexpr (std::is_base_of_v<To, From>)
+    return true;
+  else
+    return To::classof(Val);
+}
+
+/// Returns true if \p Val is an instance of any of the listed types.
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked down-cast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Conditional down-cast: returns null if \p Val is not a To.
+/// \p Val must be non-null (use dyn_cast_or_null for possibly-null values).
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_CASTING_H

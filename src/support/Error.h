@@ -1,0 +1,92 @@
+//===- support/Error.h - Exception-free error handling ---------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight error handling in the style of llvm::Expected/llvm::Error.
+/// The project is built without exceptions; fallible operations return
+/// Expected<T> (a value or an error message) and infallible-by-contract
+/// call sites use takeValue() which asserts success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_ERROR_H
+#define EEL_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eel {
+
+/// A failure description. Errors carry a human-readable message following
+/// the style "file.sx: line 3: unknown mnemonic 'foo'".
+class Error {
+public:
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or an Error. The discriminator must be checked
+/// with hasValue()/hasError() before access.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error E) : Storage(std::move(E)) {}
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+  bool hasError() const { return !hasValue(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &value() {
+    assert(hasValue() && "Expected<T> has no value");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(hasValue() && "Expected<T> has no value");
+    return std::get<T>(Storage);
+  }
+
+  const Error &error() const {
+    assert(hasError() && "Expected<T> has no error");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out, aborting with the error message if this holds an
+  /// error. For call sites where failure indicates a program bug.
+  T takeValue() {
+    if (hasError()) {
+      std::fprintf(stderr, "fatal error: %s\n", error().message().c_str());
+      std::abort();
+    }
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Reports a fatal, unrecoverable condition and aborts.
+[[noreturn]] inline void reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+/// Marks a point in the code that is unconditionally a bug to reach.
+[[noreturn]] inline void unreachable(const char *Message) {
+  std::fprintf(stderr, "unreachable executed: %s\n", Message);
+  std::abort();
+}
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_ERROR_H

@@ -1,0 +1,66 @@
+//===- support/FileIO.cpp - Whole-file read/write helpers ----------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace eel;
+
+Expected<std::vector<uint8_t>> eel::readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error(Path + ": cannot open file for reading");
+  std::vector<uint8_t> Bytes;
+  uint8_t Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Bytes.insert(Bytes.end(), Buffer, Buffer + N);
+  bool Bad = std::ferror(F);
+  std::fclose(F);
+  if (Bad)
+    return Error(Path + ": read error");
+  return Bytes;
+}
+
+Expected<bool> eel::writeFileBytes(const std::string &Path,
+                                   const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Error(Path + ": cannot open file for writing");
+  size_t N = Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Bad = N != Bytes.size();
+  if (std::fclose(F) != 0)
+    Bad = true;
+  if (Bad)
+    return Error(Path + ": write error");
+  return true;
+}
+
+unsigned eel::countCodeLines(const std::string &Text) {
+  unsigned Count = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    size_t First = Pos;
+    while (First < End && (Text[First] == ' ' || Text[First] == '\t'))
+      ++First;
+    bool Blank = First == End;
+    bool Comment = false;
+    if (!Blank) {
+      char C0 = Text[First];
+      char C1 = First + 1 < End ? Text[First + 1] : '\0';
+      Comment = (C0 == '/' && C1 == '/') || C0 == '!' || C0 == '#' ||
+                (C0 == '-' && C1 == '-');
+    }
+    if (!Blank && !Comment)
+      ++Count;
+    Pos = End + 1;
+  }
+  return Count;
+}

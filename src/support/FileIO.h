@@ -1,0 +1,39 @@
+//===- support/FileIO.h - Whole-file read/write helpers --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-oriented whole-file I/O used by the executable-format reader/writer
+/// and by tools that persist edited executables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_FILEIO_H
+#define EEL_SUPPORT_FILEIO_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// Reads the entire contents of \p Path. Fails with a descriptive error if
+/// the file cannot be opened or read.
+Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Writes \p Bytes to \p Path, replacing any existing file.
+Expected<bool> writeFileBytes(const std::string &Path,
+                              const std::vector<uint8_t> &Bytes);
+
+/// Counts non-comment, non-blank lines in \p Text, the metric the paper uses
+/// for all code-size comparisons. Lines whose first non-space characters are
+/// `//`, `!`, `#`, or `--` count as comments.
+unsigned countCodeLines(const std::string &Text);
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_FILEIO_H

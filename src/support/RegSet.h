@@ -1,0 +1,119 @@
+//===- support/RegSet.h - Dense register-id sets ---------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of machine register ids represented as a 64-bit mask. Both target
+/// architectures in this project have at most 32 integer registers plus a
+/// handful of special resources (condition codes, PC), so a single word is
+/// sufficient and keeps the data-flow analyses cheap. Register-id numbering
+/// is target-defined; by convention id 32 is the condition-code register and
+/// id 33 is the program counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_REGSET_H
+#define EEL_SUPPORT_REGSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+
+namespace eel {
+
+/// Register-id constants shared by all targets in this project.
+enum : unsigned {
+  RegIdCC = 32, ///< Condition-code register (SRISC only).
+  RegIdPC = 33, ///< Program counter pseudo-register.
+  MaxRegId = 63
+};
+
+/// A value-type set of register ids in [0, 63].
+class RegSet {
+public:
+  RegSet() = default;
+  RegSet(std::initializer_list<unsigned> Ids) {
+    for (unsigned Id : Ids)
+      insert(Id);
+  }
+
+  static RegSet fromMask(uint64_t Mask) {
+    RegSet S;
+    S.Bits = Mask;
+    return S;
+  }
+
+  bool empty() const { return Bits == 0; }
+  unsigned size() const { return static_cast<unsigned>(__builtin_popcountll(Bits)); }
+  uint64_t mask() const { return Bits; }
+
+  bool contains(unsigned Id) const {
+    assert(Id <= MaxRegId && "register id out of range");
+    return (Bits >> Id) & 1u;
+  }
+
+  void insert(unsigned Id) {
+    assert(Id <= MaxRegId && "register id out of range");
+    Bits |= uint64_t(1) << Id;
+  }
+
+  void insert(const RegSet &Other) { Bits |= Other.Bits; }
+
+  void remove(unsigned Id) {
+    assert(Id <= MaxRegId && "register id out of range");
+    Bits &= ~(uint64_t(1) << Id);
+  }
+
+  void remove(const RegSet &Other) { Bits &= ~Other.Bits; }
+
+  void clear() { Bits = 0; }
+
+  /// Returns the lowest register id in the set; the set must be non-empty.
+  unsigned first() const {
+    assert(!empty() && "first() on empty RegSet");
+    return static_cast<unsigned>(__builtin_ctzll(Bits));
+  }
+
+  RegSet operator|(const RegSet &O) const { return fromMask(Bits | O.Bits); }
+  RegSet operator&(const RegSet &O) const { return fromMask(Bits & O.Bits); }
+  RegSet operator-(const RegSet &O) const { return fromMask(Bits & ~O.Bits); }
+  RegSet &operator|=(const RegSet &O) {
+    Bits |= O.Bits;
+    return *this;
+  }
+  RegSet &operator&=(const RegSet &O) {
+    Bits &= O.Bits;
+    return *this;
+  }
+  bool operator==(const RegSet &O) const { return Bits == O.Bits; }
+  bool operator!=(const RegSet &O) const { return Bits != O.Bits; }
+
+  /// Iterates set register ids in increasing order.
+  class iterator {
+  public:
+    explicit iterator(uint64_t Bits) : Rest(Bits) {}
+    unsigned operator*() const {
+      return static_cast<unsigned>(__builtin_ctzll(Rest));
+    }
+    iterator &operator++() {
+      Rest &= Rest - 1;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return Rest != O.Rest; }
+
+  private:
+    uint64_t Rest;
+  };
+
+  iterator begin() const { return iterator(Bits); }
+  iterator end() const { return iterator(0); }
+
+private:
+  uint64_t Bits = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_REGSET_H

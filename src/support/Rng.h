@@ -1,0 +1,56 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic SplitMix64 generator. All randomized workload generation
+/// and property tests seed one of these explicitly so that every experiment
+/// in EXPERIMENTS.md is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_RNG_H
+#define EEL_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace eel {
+
+/// SplitMix64: tiny, fast, and high-quality enough for workload synthesis.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_RNG_H

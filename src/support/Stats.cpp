@@ -1,0 +1,38 @@
+//===- support/Stats.cpp - Named statistic counters ----------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+using namespace eel;
+
+StatRegistry &StatRegistry::instance() {
+  static StatRegistry Registry;
+  return Registry;
+}
+
+uint64_t &StatRegistry::counter(const std::string &Name) {
+  for (auto &Entry : Counters)
+    if (Entry.first == Name)
+      return Entry.second;
+  Counters.emplace_back(Name, 0);
+  return Counters.back().second;
+}
+
+uint64_t StatRegistry::read(const std::string &Name) const {
+  for (const auto &Entry : Counters)
+    if (Entry.first == Name)
+      return Entry.second;
+  return 0;
+}
+
+void StatRegistry::resetAll() {
+  for (auto &Entry : Counters)
+    Entry.second = 0;
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatRegistry::snapshot() const {
+  return Counters;
+}

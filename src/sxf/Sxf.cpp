@@ -1,0 +1,175 @@
+//===- sxf/Sxf.cpp - Simple eXecutable Format -----------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sxf/Sxf.h"
+
+#include "support/ByteBuffer.h"
+#include "support/FileIO.h"
+
+using namespace eel;
+
+static const uint32_t SxfMagic = 0x31465853; // "SXF1" little-endian
+
+const SxfSegment *SxfFile::segment(SegKind Kind) const {
+  for (const SxfSegment &Seg : Segments)
+    if (Seg.Kind == Kind)
+      return &Seg;
+  return nullptr;
+}
+
+SxfSegment *SxfFile::segment(SegKind Kind) {
+  for (SxfSegment &Seg : Segments)
+    if (Seg.Kind == Kind)
+      return &Seg;
+  return nullptr;
+}
+
+const SxfSegment *SxfFile::segmentContaining(Addr A) const {
+  for (const SxfSegment &Seg : Segments)
+    if (A >= Seg.VAddr && A < Seg.VAddr + Seg.MemSize)
+      return &Seg;
+  return nullptr;
+}
+
+std::optional<uint32_t> SxfFile::readWord(Addr A) const {
+  for (const SxfSegment &Seg : Segments) {
+    if (A < Seg.VAddr || A + 4 > Seg.VAddr + Seg.Bytes.size())
+      continue;
+    size_t Off = A - Seg.VAddr;
+    return static_cast<uint32_t>(Seg.Bytes[Off]) |
+           (static_cast<uint32_t>(Seg.Bytes[Off + 1]) << 8) |
+           (static_cast<uint32_t>(Seg.Bytes[Off + 2]) << 16) |
+           (static_cast<uint32_t>(Seg.Bytes[Off + 3]) << 24);
+  }
+  return std::nullopt;
+}
+
+bool SxfFile::writeWord(Addr A, uint32_t Value) {
+  for (SxfSegment &Seg : Segments) {
+    if (A < Seg.VAddr || A + 4 > Seg.VAddr + Seg.Bytes.size())
+      continue;
+    size_t Off = A - Seg.VAddr;
+    Seg.Bytes[Off] = static_cast<uint8_t>(Value);
+    Seg.Bytes[Off + 1] = static_cast<uint8_t>(Value >> 8);
+    Seg.Bytes[Off + 2] = static_cast<uint8_t>(Value >> 16);
+    Seg.Bytes[Off + 3] = static_cast<uint8_t>(Value >> 24);
+    return true;
+  }
+  return false;
+}
+
+const SxfSymbol *SxfFile::findSymbol(const std::string &Name) const {
+  for (const SxfSymbol &Sym : Symbols)
+    if (Sym.Name == Name)
+      return &Sym;
+  return nullptr;
+}
+
+std::vector<uint8_t> SxfFile::serialize() const {
+  ByteWriter W;
+  W.writeU32(SxfMagic);
+  W.writeU8(static_cast<uint8_t>(Arch));
+  W.writeU8(0); // reserved flags
+  W.writeU16(0);
+  W.writeU32(Entry);
+  W.writeU32(static_cast<uint32_t>(Segments.size()));
+  for (const SxfSegment &Seg : Segments) {
+    W.writeU8(static_cast<uint8_t>(Seg.Kind));
+    W.writeU32(Seg.VAddr);
+    W.writeU32(Seg.MemSize);
+    W.writeU32(static_cast<uint32_t>(Seg.Bytes.size()));
+    W.writeBytes(Seg.Bytes.data(), Seg.Bytes.size());
+  }
+  W.writeU32(static_cast<uint32_t>(Symbols.size()));
+  for (const SxfSymbol &Sym : Symbols) {
+    W.writeString(Sym.Name);
+    W.writeU32(Sym.Value);
+    W.writeU32(Sym.Size);
+    W.writeU8(static_cast<uint8_t>(Sym.Kind));
+    W.writeU8(static_cast<uint8_t>(Sym.Binding));
+  }
+  W.writeU32(static_cast<uint32_t>(Relocs.size()));
+  for (const SxfReloc &R : Relocs) {
+    W.writeU32(R.Site);
+    W.writeU32(R.Target);
+    W.writeU8(static_cast<uint8_t>(R.Kind));
+  }
+  return W.take();
+}
+
+Expected<SxfFile> SxfFile::deserialize(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  if (R.readU32() != SxfMagic)
+    return Error("not an SXF file (bad magic)");
+  SxfFile File;
+  uint8_t ArchByte = R.readU8();
+  if (ArchByte > static_cast<uint8_t>(TargetArch::Mrisc))
+    return Error("SXF file names an unknown architecture");
+  File.Arch = static_cast<TargetArch>(ArchByte);
+  R.readU8();
+  R.readU16();
+  File.Entry = R.readU32();
+  uint32_t NumSegments = R.readU32();
+  if (NumSegments > 64)
+    return Error("SXF file is corrupt: implausible segment count");
+  for (uint32_t I = 0; I < NumSegments; ++I) {
+    SxfSegment Seg;
+    uint8_t KindByte = R.readU8();
+    if (KindByte > static_cast<uint8_t>(SegKind::Bss))
+      return Error("SXF file is corrupt: bad segment kind");
+    Seg.Kind = static_cast<SegKind>(KindByte);
+    Seg.VAddr = R.readU32();
+    Seg.MemSize = R.readU32();
+    uint32_t NumBytes = R.readU32();
+    if (NumBytes > R.remaining())
+      return Error("SXF file is corrupt: segment overruns file");
+    Seg.Bytes.resize(NumBytes);
+    R.readBytes(Seg.Bytes.data(), NumBytes);
+    File.Segments.push_back(std::move(Seg));
+  }
+  uint32_t NumSymbols = R.readU32();
+  for (uint32_t I = 0; I < NumSymbols; ++I) {
+    SxfSymbol Sym;
+    Sym.Name = R.readString();
+    Sym.Value = R.readU32();
+    Sym.Size = R.readU32();
+    uint8_t KindByte = R.readU8();
+    if (KindByte > static_cast<uint8_t>(SymKind::Temp))
+      return Error("SXF file is corrupt: bad symbol kind");
+    Sym.Kind = static_cast<SymKind>(KindByte);
+    Sym.Binding = static_cast<SymBinding>(R.readU8() != 0);
+    if (R.failed())
+      return Error("SXF file is corrupt: truncated symbol table");
+    File.Symbols.push_back(std::move(Sym));
+  }
+  uint32_t NumRelocs = R.readU32();
+  for (uint32_t I = 0; I < NumRelocs; ++I) {
+    SxfReloc Reloc;
+    Reloc.Site = R.readU32();
+    Reloc.Target = R.readU32();
+    uint8_t KindByte = R.readU8();
+    if (KindByte > static_cast<uint8_t>(RelocKind::PcRel))
+      return Error("SXF file is corrupt: bad relocation kind");
+    Reloc.Kind = static_cast<RelocKind>(KindByte);
+    if (R.failed())
+      return Error("SXF file is corrupt: truncated relocations");
+    File.Relocs.push_back(Reloc);
+  }
+  if (R.failed())
+    return Error("SXF file is corrupt: truncated");
+  return File;
+}
+
+Expected<bool> SxfFile::writeToFile(const std::string &Path) const {
+  return writeFileBytes(Path, serialize());
+}
+
+Expected<SxfFile> SxfFile::readFromFile(const std::string &Path) {
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (Bytes.hasError())
+    return Bytes.error();
+  return deserialize(Bytes.value());
+}

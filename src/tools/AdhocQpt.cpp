@@ -1,0 +1,231 @@
+//===- tools/AdhocQpt.cpp - The ad-hoc qpt baseline ---------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Everything here intentionally bypasses the EEL libraries: raw field
+// extraction, flat vectors, one linear pass each for discovery, placement,
+// and patching. Registers %g1/%g2 are spilled to the stack red zone around
+// every counting preamble instead of being scavenged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/AdhocQpt.h"
+
+#include "isa/SriscEncoding.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace eel;
+
+namespace {
+
+// Hand-rolled SRISC field macros (the pre-EEL style).
+inline uint32_t op(MachWord W) { return W >> 30; }
+inline uint32_t op2(MachWord W) { return (W >> 22) & 7; }
+inline uint32_t op3(MachWord W) { return (W >> 19) & 63; }
+inline int32_t disp22(MachWord W) {
+  return (static_cast<int32_t>(W << 10)) >> 10;
+}
+inline int32_t disp30(MachWord W) {
+  return (static_cast<int32_t>(W << 2)) >> 2;
+}
+inline bool isBranch(MachWord W) { return op(W) == 0 && op2(W) == 2; }
+inline bool isCall(MachWord W) { return op(W) == 1; }
+inline bool isJmpl(MachWord W) { return op(W) == 2 && op3(W) == 0x38; }
+
+// Fixed counting preamble: 8 words, spilling g1/g2 to the red zone —
+// spill-always instead of scavenging, the old-qpt way.
+//   st %g1,[%sp-64]; st %g2,[%sp-68]
+//   sethi %hi(ctr),%g1; ld [%g1+%lo(ctr)],%g2; add %g2,1,%g2;
+//   st %g2,[%g1+%lo(ctr)]
+//   ld [%sp-64],%g1; ld [%sp-68],%g2
+constexpr unsigned PreambleWords = 8;
+
+void emitPreamble(std::vector<MachWord> &Out, Addr Counter) {
+  using namespace srisc;
+  int32_t Lo = static_cast<int32_t>(Counter & 0x3FF);
+  Out.push_back(encodeMemImm(Op3St, 1, RegSP, -64));
+  Out.push_back(encodeMemImm(Op3St, 2, RegSP, -68));
+  Out.push_back(encodeSethi(1, Counter >> 10));
+  Out.push_back(encodeMemImm(Op3Ld, 2, 1, Lo));
+  Out.push_back(encodeArithImm(Op3Add, 2, 2, 1));
+  Out.push_back(encodeMemImm(Op3St, 2, 1, Lo));
+  Out.push_back(encodeMemImm(Op3Ld, 1, RegSP, -64));
+  Out.push_back(encodeMemImm(Op3Ld, 2, RegSP, -68));
+}
+
+} // namespace
+
+Expected<AdhocResult> eel::adhocInstrument(const SxfFile &Input) {
+  if (Input.Arch != TargetArch::Srisc)
+    return Error("adhoc qpt only supports SRISC (as qpt was SPARC-only)");
+  const SxfSegment *Text = Input.segment(SegKind::Text);
+  if (!Text)
+    return Error("no text segment");
+  const Addr TB = Text->VAddr;
+  const unsigned NumWords = static_cast<unsigned>(Text->Bytes.size() / 4);
+  const Addr TE = TB + NumWords * 4;
+
+  auto WordAt = [&](unsigned Index) { return *Input.readWord(TB + Index * 4); };
+
+  // --- Pass 1: leaders -------------------------------------------------------
+  std::vector<char> Leader(NumWords, 0);
+  auto MarkLeader = [&](Addr A) {
+    if (A >= TB && A < TE && (A & 3) == 0)
+      Leader[(A - TB) / 4] = 1;
+  };
+  MarkLeader(TB);
+  MarkLeader(Input.Entry);
+  for (const SxfSymbol &Sym : Input.Symbols)
+    if (Sym.Kind == SymKind::Routine)
+      MarkLeader(Sym.Value);
+  for (unsigned I = 0; I < NumWords; ++I) {
+    MachWord W = WordAt(I);
+    Addr A = TB + I * 4;
+    if (isBranch(W)) {
+      MarkLeader(A + static_cast<Addr>(disp22(W) * 4));
+      MarkLeader(A + 8);
+    } else if (isCall(W)) {
+      MarkLeader(A + static_cast<Addr>(disp30(W) * 4));
+      MarkLeader(A + 8);
+    } else if (isJmpl(W)) {
+      MarkLeader(A + 8);
+    }
+  }
+  // Data words that look like text addresses are treated as potential
+  // indirect targets (dispatch tables, function pointers) — the crude
+  // whole-segment sweep old qpt used.
+  for (const SxfSegment &Seg : Input.Segments) {
+    if (Seg.Kind != SegKind::Data)
+      continue;
+    for (size_t Off = 0; Off + 4 <= Seg.Bytes.size(); Off += 4)
+      MarkLeader(*Input.readWord(Seg.VAddr + static_cast<Addr>(Off)));
+  }
+
+  // --- Pass 2: block table and placement -------------------------------------
+  AdhocResult Result;
+  std::vector<unsigned> BlockStart; // word indices
+  for (unsigned I = 0; I < NumWords; ++I)
+    if (Leader[I])
+      BlockStart.push_back(I);
+  Result.BlocksFound = static_cast<unsigned>(BlockStart.size());
+
+  // New word index of each original block (each block grows by the
+  // preamble).
+  std::vector<unsigned> NewStart(BlockStart.size());
+  unsigned Cursor = 0;
+  for (size_t B = 0; B < BlockStart.size(); ++B) {
+    NewStart[B] = Cursor;
+    unsigned End = B + 1 < BlockStart.size()
+                       ? BlockStart[B + 1]
+                       : NumWords;
+    Cursor += PreambleWords + (End - BlockStart[B]);
+  }
+  // Map any original word index to its new index. A block's start maps to
+  // its counting preamble so that every entry into the block — jump, call,
+  // or fallthrough — is counted.
+  auto NewIndexOf = [&](unsigned OrigIndex) -> unsigned {
+    size_t B = std::upper_bound(BlockStart.begin(), BlockStart.end(),
+                                OrigIndex) -
+               BlockStart.begin() - 1;
+    if (OrigIndex == BlockStart[B])
+      return NewStart[B];
+    return NewStart[B] + PreambleWords + (OrigIndex - BlockStart[B]);
+  };
+  auto NewAddrOf = [&](Addr A) -> Addr {
+    return TB + 4 * NewIndexOf((A - TB) / 4);
+  };
+
+  // Counters go after the highest existing segment.
+  Addr High = 0;
+  for (const SxfSegment &Seg : Input.Segments)
+    High = std::max(High, Seg.VAddr + Seg.MemSize);
+  Addr CounterBase = (High + 15) & ~15u;
+
+  // --- Pass 3: emit -------------------------------------------------------------
+  std::vector<MachWord> Out;
+  Out.reserve(Cursor);
+  for (size_t B = 0; B < BlockStart.size(); ++B) {
+    Addr Counter = CounterBase + static_cast<Addr>(B * 4);
+    Result.Counters.push_back({TB + BlockStart[B] * 4, Counter});
+    emitPreamble(Out, Counter);
+    unsigned End = B + 1 < BlockStart.size()
+                       ? BlockStart[B + 1]
+                       : NumWords;
+    for (unsigned I = BlockStart[B]; I < End; ++I) {
+      MachWord W = WordAt(I);
+      Addr OldPC = TB + I * 4;
+      Addr NewPC = TB + 4 * static_cast<Addr>(Out.size());
+      if (isBranch(W)) {
+        Addr Target = OldPC + static_cast<Addr>(disp22(W) * 4);
+        int32_t NewDisp =
+            (static_cast<int32_t>(NewAddrOf(Target)) -
+             static_cast<int32_t>(NewPC)) / 4;
+        W = (W & 0xFFC00000u) | (static_cast<uint32_t>(NewDisp) & 0x3FFFFFu);
+      } else if (isCall(W)) {
+        Addr Target = OldPC + static_cast<Addr>(disp30(W) * 4);
+        int32_t NewDisp =
+            (static_cast<int32_t>(NewAddrOf(Target)) -
+             static_cast<int32_t>(NewPC)) / 4;
+        W = (W & 0xC0000000u) | (static_cast<uint32_t>(NewDisp) & 0x3FFFFFFFu);
+      }
+      Out.push_back(W);
+    }
+  }
+
+  // --- Output image ----------------------------------------------------------------
+  SxfFile Edited;
+  Edited.Arch = Input.Arch;
+  SxfSegment NewText;
+  NewText.Kind = SegKind::Text;
+  NewText.VAddr = TB;
+  for (MachWord W : Out) {
+    NewText.Bytes.push_back(static_cast<uint8_t>(W));
+    NewText.Bytes.push_back(static_cast<uint8_t>(W >> 8));
+    NewText.Bytes.push_back(static_cast<uint8_t>(W >> 16));
+    NewText.Bytes.push_back(static_cast<uint8_t>(W >> 24));
+  }
+  NewText.MemSize = static_cast<uint32_t>(NewText.Bytes.size());
+  Edited.Segments.push_back(std::move(NewText));
+  for (const SxfSegment &Seg : Input.Segments)
+    if (Seg.Kind != SegKind::Text)
+      Edited.Segments.push_back(Seg);
+  // Counter area (bss-like, zero).
+  SxfSegment Ctrs;
+  Ctrs.Kind = SegKind::Bss;
+  Ctrs.VAddr = CounterBase;
+  Ctrs.MemSize = static_cast<uint32_t>(Result.Counters.size() * 4);
+  Edited.Segments.push_back(std::move(Ctrs));
+
+  // Sweep data for code pointers.
+  for (SxfSegment &Seg : Edited.Segments) {
+    if (Seg.Kind != SegKind::Data)
+      continue;
+    for (size_t Off = 0; Off + 4 <= Seg.Bytes.size(); Off += 4) {
+      Addr A = Seg.VAddr + static_cast<Addr>(Off);
+      uint32_t W = *Edited.readWord(A);
+      if (W >= TB && W < TE && (W & 3) == 0)
+        Edited.writeWord(A, NewAddrOf(W));
+    }
+  }
+  Edited.Entry = NewAddrOf(Input.Entry);
+  Edited.Symbols = Input.Symbols;
+  for (SxfSymbol &Sym : Edited.Symbols)
+    if (Sym.Value >= TB && Sym.Value < TE && (Sym.Value & 3) == 0)
+      Sym.Value = NewAddrOf(Sym.Value);
+
+  Result.Edited = std::move(Edited);
+  return Result;
+}
+
+std::vector<uint64_t> eel::adhocReadCounts(const AdhocResult &Result,
+                                           const VmMemory &Memory) {
+  std::vector<uint64_t> Counts;
+  Counts.reserve(Result.Counters.size());
+  for (const auto &[Block, Counter] : Result.Counters)
+    Counts.push_back(Memory.readWord(Counter));
+  return Counts;
+}

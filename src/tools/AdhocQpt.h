@@ -1,0 +1,48 @@
+//===- tools/AdhocQpt.h - The ad-hoc qpt baseline ----------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "old qpt" of Table 1: a block-counting instrumenter written the
+/// pre-EEL way — directly against raw SRISC machine words with hard-coded
+/// bit manipulation, flat arrays instead of object graphs, ad-hoc leader
+/// discovery, a fixed spill-always counting preamble instead of register
+/// scavenging, and a whole-data-segment pointer sweep instead of slicing.
+/// It is deliberately fast and deliberately crude: exactly the kind of tool
+/// whose "machine-specific binary instruction manipulations" bred the bugs
+/// §4 describes, and the baseline qpt2's run time is measured against.
+///
+/// SRISC only, like the original qpt was SPARC-only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_ADHOCQPT_H
+#define EEL_TOOLS_ADHOCQPT_H
+
+#include "support/Error.h"
+#include "sxf/Sxf.h"
+#include "vm/Machine.h"
+
+#include <vector>
+
+namespace eel {
+
+struct AdhocResult {
+  SxfFile Edited;
+  /// (original block start, counter address), in block order.
+  std::vector<std::pair<Addr, Addr>> Counters;
+  unsigned BlocksFound = 0;
+};
+
+/// Instruments \p Input (SRISC) with one counter per ad-hoc basic block.
+Expected<AdhocResult> adhocInstrument(const SxfFile &Input);
+
+/// Reads the counters back after a run.
+std::vector<uint64_t> adhocReadCounts(const AdhocResult &Result,
+                                      const VmMemory &Memory);
+
+} // namespace eel
+
+#endif // EEL_TOOLS_ADHOCQPT_H

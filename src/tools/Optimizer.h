@@ -1,0 +1,48 @@
+//===- tools/Optimizer.h - Liveness-driven dead-code elimination --*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third use of executable editing the paper opens with: "executable
+/// editing has also been used for global register allocation and program
+/// optimization ... editing can manipulate an entire program, which permits
+/// it to perform interprocedural analysis rather than stopping at procedure
+/// boundaries."
+///
+/// This tool is a whole-program dead-computation eliminator built on EEL's
+/// liveness analysis: a pure computation whose results (registers and, when
+/// written, condition codes) are all dead afterwards is deleted. Because
+/// liveness is interprocedurally conservative at routine boundaries
+/// (caller-saved registers die at calls and returns), the transformation is
+/// sound on whole programs — exactly the post-link-time setting the paper
+/// contrasts with per-file compilers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_OPTIMIZER_H
+#define EEL_TOOLS_OPTIMIZER_H
+
+#include "core/Executable.h"
+
+namespace eel {
+
+class DeadCodeEliminator {
+public:
+  explicit DeadCodeEliminator(Executable &Exec) : Exec(Exec) {}
+
+  /// Marks dead computations for deletion across every editable routine.
+  /// Returns the number of instructions removed.
+  unsigned run();
+
+  unsigned removed() const { return Removed; }
+
+private:
+  Executable &Exec;
+  unsigned Removed = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_TOOLS_OPTIMIZER_H

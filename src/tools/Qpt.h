@@ -1,0 +1,78 @@
+//===- tools/Qpt.h - qpt2: EEL-based profiler --------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// qpt2 — the EEL-based block and edge profiler from §5 of the paper,
+/// structured exactly like Figure 1: walk every routine's CFG, add a
+/// counter-increment snippet along each outgoing edge of blocks with more
+/// than one successor (edge profiling), optionally one per basic block
+/// (block profiling), produce the edited routine, and write the edited
+/// executable. Counters live in data space appended to the program; after
+/// a run they are read straight out of the simulator's memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_QPT_H
+#define EEL_TOOLS_QPT_H
+
+#include "core/Executable.h"
+#include "vm/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// Builds the Figure 5 snippet: increment a 32-bit counter at
+/// \p CounterAddr, using two scavenged registers.
+SnippetPtr makeCounterIncrementSnippet(const TargetInfo &Target,
+                                       Addr CounterAddr);
+
+class Qpt2Profiler {
+public:
+  struct Options {
+    bool CountBlocks = true;
+    bool CountEdges = true;
+  };
+
+  /// What one counter measures.
+  struct CounterInfo {
+    enum class Kind : uint8_t { Block, Edge };
+    Kind K = Kind::Block;
+    std::string Routine;
+    Addr BlockAnchor = 0; ///< Source block's first-instruction address.
+    Addr TermAddr = 0;    ///< Source block's terminator address (edges).
+    EdgeKind Edge = EdgeKind::Fallthrough;
+    Addr DestAnchor = 0;  ///< Edge destination block anchor (edges only).
+    Addr CounterAddr = 0;
+  };
+
+  explicit Qpt2Profiler(Executable &Exec);
+  Qpt2Profiler(Executable &Exec, Options Opts);
+
+  /// Adds instrumentation to every editable routine. Call once, before
+  /// Executable::writeEditedExecutable().
+  void instrument();
+
+  const std::vector<CounterInfo> &counters() const { return Counters; }
+
+  /// Reads every counter out of a finished run's memory.
+  std::vector<uint64_t> readCounts(const VmMemory &Memory) const;
+
+  unsigned routinesInstrumented() const { return RoutinesInstrumented; }
+  unsigned routinesSkipped() const { return RoutinesSkipped; }
+
+private:
+  Executable &Exec;
+  Options Opts;
+  std::vector<CounterInfo> Counters;
+  unsigned RoutinesInstrumented = 0;
+  unsigned RoutinesSkipped = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_TOOLS_QPT_H

@@ -1,0 +1,46 @@
+//===- tools/RegFree.h - Whole-program register liberation --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §3.5 footnote's promised mechanism: "Later releases of EEL will
+/// provide a mechanism to free a register" across the entire program, so a
+/// tool can keep state (a shadow value, a buffer pointer, a cycle counter)
+/// permanently in a register instead of scavenging per site.
+///
+/// Implementation: in every routine, rewrite each instruction that names
+/// the register to use a substitute that the routine never touches,
+/// using the instruction-modification editing primitive (replaceInst). A
+/// routine with no free substitute, or one that uses the register in an
+/// uneditable position (a call/return delay slot), makes liberation fail —
+/// reported per routine so tools can pick a different register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_REGFREE_H
+#define EEL_TOOLS_REGFREE_H
+
+#include "core/Executable.h"
+
+#include <string>
+#include <vector>
+
+namespace eel {
+
+struct RegFreeResult {
+  bool Success = false;
+  unsigned RoutinesRewritten = 0;
+  unsigned InstructionsRewritten = 0;
+  std::vector<std::string> FailedRoutines;
+};
+
+/// Frees register \p Reg program-wide (accumulates replaceInst edits; the
+/// caller still runs writeEditedExecutable). After editing, only code the
+/// tool itself inserts may use \p Reg.
+RegFreeResult freeRegisterEverywhere(Executable &Exec, unsigned Reg);
+
+} // namespace eel
+
+#endif // EEL_TOOLS_REGFREE_H

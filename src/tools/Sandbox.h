@@ -1,0 +1,51 @@
+//===- tools/Sandbox.h - Software fault isolation ----------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software fault isolation (Wahbe et al., cited as [27]): the paper's
+/// first motivating application class. Every store is preceded by a check
+/// that its effective address falls in an allowed region (the data/heap
+/// region or the stack region, each 2^K-aligned); a store outside both
+/// transfers control to a violation routine appended to the executable,
+/// which exits with a distinctive status instead of corrupting protected
+/// state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_SANDBOX_H
+#define EEL_TOOLS_SANDBOX_H
+
+#include "core/Executable.h"
+
+namespace eel {
+
+class Sandboxer {
+public:
+  /// Exit status of a sandbox violation.
+  static constexpr int ViolationExitCode = 91;
+
+  /// \p RegionBits is K: regions are 2^K bytes, aligned.
+  Sandboxer(Executable &Exec, Addr DataRegionBase, Addr StackRegionBase,
+            unsigned RegionBits = 20);
+
+  /// Guards every editable store site.
+  void instrument();
+
+  unsigned sitesInstrumented() const { return Sites; }
+
+private:
+  SnippetPtr makeStoreGuard(const MemOp &M) const;
+
+  Executable &Exec;
+  Addr DataHi, StackHi;
+  unsigned RegionBits;
+  unsigned ViolationRoutine = 0; ///< Added-routine id.
+  unsigned Sites = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_TOOLS_SANDBOX_H

@@ -1,0 +1,53 @@
+//===- tools/Tracer.h - Memory-reference tracing -----------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The qpt-style tracing application (§1): record the effective address of
+/// every load and store into a trace buffer appended to the executable.
+/// The test suite validates the recorded trace word-for-word against the
+/// simulator's memory hook on the original program — the strongest form of
+/// "the edited program observes exactly what the original did".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_TRACER_H
+#define EEL_TOOLS_TRACER_H
+
+#include "core/Executable.h"
+#include "vm/Machine.h"
+
+#include <vector>
+
+namespace eel {
+
+class MemoryTracer {
+public:
+  /// \p CapacityEntries bounds the trace; entries beyond it are dropped
+  /// (the write pointer saturates).
+  MemoryTracer(Executable &Exec, uint32_t CapacityEntries = 65536);
+
+  /// Traces loads, stores, or both.
+  void instrument(bool Loads = true, bool Stores = true);
+
+  unsigned sitesInstrumented() const { return Sites; }
+
+  /// Reads the recorded addresses from a finished run.
+  std::vector<Addr> readTrace(const VmMemory &Memory) const;
+
+private:
+  SnippetPtr makeTraceSnippet(const MemOp &M) const;
+
+  Executable &Exec;
+  uint32_t Capacity;
+  Addr PtrCell = 0; ///< Holds the next free slot address.
+  Addr EndCell = 0; ///< Holds the buffer-end address (for saturation).
+  Addr Buffer = 0;
+  unsigned Sites = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_TOOLS_TRACER_H

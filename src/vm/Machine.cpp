@@ -1,0 +1,815 @@
+//===- vm/Machine.cpp - Simulator for SRISC/MRISC executables -------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "isa/MriscEncoding.h"
+#include "isa/SriscEncoding.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace eel;
+
+// --- VmMemory ---------------------------------------------------------------
+
+const uint8_t *VmMemory::pageFor(Addr A) const {
+  uint32_t Page = A >> PageBits;
+  auto It = Pages.find(Page);
+  if (It != Pages.end())
+    return It->second.get();
+  // Reads of untouched memory observe zeros without allocating.
+  static const uint8_t Zeros[PageSize] = {0};
+  return Zeros;
+}
+
+uint8_t *VmMemory::mutablePageFor(Addr A) {
+  uint32_t Page = A >> PageBits;
+  std::unique_ptr<uint8_t[]> &Slot = Pages[Page];
+  if (!Slot) {
+    Slot.reset(new uint8_t[PageSize]);
+    std::memset(Slot.get(), 0, PageSize);
+  }
+  return Slot.get();
+}
+
+uint8_t VmMemory::readByte(Addr A) const {
+  return pageFor(A)[A & (PageSize - 1)];
+}
+
+void VmMemory::writeByte(Addr A, uint8_t B) {
+  mutablePageFor(A)[A & (PageSize - 1)] = B;
+}
+
+uint32_t VmMemory::readWord(Addr A) const {
+  assert((A & 3) == 0 && "misaligned word read");
+  const uint8_t *Page = pageFor(A);
+  uint32_t Off = A & (PageSize - 1);
+  return static_cast<uint32_t>(Page[Off]) |
+         (static_cast<uint32_t>(Page[Off + 1]) << 8) |
+         (static_cast<uint32_t>(Page[Off + 2]) << 16) |
+         (static_cast<uint32_t>(Page[Off + 3]) << 24);
+}
+
+void VmMemory::writeWord(Addr A, uint32_t W) {
+  assert((A & 3) == 0 && "misaligned word write");
+  uint8_t *Page = mutablePageFor(A);
+  uint32_t Off = A & (PageSize - 1);
+  Page[Off] = static_cast<uint8_t>(W);
+  Page[Off + 1] = static_cast<uint8_t>(W >> 8);
+  Page[Off + 2] = static_cast<uint8_t>(W >> 16);
+  Page[Off + 3] = static_cast<uint8_t>(W >> 24);
+}
+
+uint16_t VmMemory::readHalf(Addr A) const {
+  assert((A & 1) == 0 && "misaligned half read");
+  const uint8_t *Page = pageFor(A);
+  uint32_t Off = A & (PageSize - 1);
+  return static_cast<uint16_t>(Page[Off] |
+                               (static_cast<uint16_t>(Page[Off + 1]) << 8));
+}
+
+void VmMemory::writeHalf(Addr A, uint16_t H) {
+  assert((A & 1) == 0 && "misaligned half write");
+  uint8_t *Page = mutablePageFor(A);
+  uint32_t Off = A & (PageSize - 1);
+  Page[Off] = static_cast<uint8_t>(H);
+  Page[Off + 1] = static_cast<uint8_t>(H >> 8);
+}
+
+void VmMemory::writeBytes(Addr A, const uint8_t *Data, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    writeByte(A + static_cast<Addr>(I), Data[I]);
+}
+
+// --- Machine ----------------------------------------------------------------
+
+Machine::Machine(const SxfFile &File) : Arch(File.Arch) {
+  Addr HighWater = 0;
+  for (const SxfSegment &Seg : File.Segments) {
+    if (!Seg.Bytes.empty())
+      Mem.writeBytes(Seg.VAddr, Seg.Bytes.data(), Seg.Bytes.size());
+    HighWater = std::max(HighWater, Seg.VAddr + Seg.MemSize);
+  }
+  Break = (HighWater + 15) & ~15u;
+  Cpu.PC = File.Entry;
+  Cpu.NPC = File.Entry + 4;
+  const TargetConventions &Conv = targetFor(Arch).conventions();
+  Cpu.Regs[Conv.StackPointer] = 0x7FF00000u;
+  // Returning from the entry routine ends the program. The link register is
+  // primed so that the conventional return sequence lands on ExitMagic:
+  // SRISC returns to link+8, MRISC to link+0.
+  Cpu.Regs[Conv.LinkReg] = ExitMagic - static_cast<Addr>(Conv.ReturnOffset);
+}
+
+uint32_t Machine::doSyscall(unsigned Number, uint32_t Args[3], bool &Exited,
+                            int &Code) {
+  switch (Number) {
+  case SysExit:
+    Exited = true;
+    Code = static_cast<int>(Args[0]);
+    return 0;
+  case SysWrite: {
+    if (Args[0] == 1)
+      for (uint32_t I = 0; I < Args[2]; ++I)
+        Output.push_back(static_cast<char>(Mem.readByte(Args[1] + I)));
+    return Args[2];
+  }
+  case SysSbrk: {
+    uint32_t Old = Break;
+    Break += Args[0];
+    return Old;
+  }
+  case SysRead:
+    return 0;
+  case SysInstRet:
+    return static_cast<uint32_t>(Retired);
+  default:
+    return static_cast<uint32_t>(-1);
+  }
+}
+
+RunResult Machine::run(uint64_t MaxSteps) {
+  switch (Arch) {
+  case TargetArch::Srisc:
+    return runSrisc(MaxSteps);
+  case TargetArch::Mrisc:
+    return runMrisc(MaxSteps);
+  }
+  unreachable("unknown target architecture");
+}
+
+RunResult eel::runToCompletion(const SxfFile &File, uint64_t MaxSteps) {
+  Machine M(File);
+  return M.run(MaxSteps);
+}
+
+RunResult Machine::runGeneric(const StepFn &Step, uint64_t MaxSteps) {
+  RunResult Result;
+  const TargetConventions &Conv = targetFor(Arch).conventions();
+  unsigned RetReg = Conv.RetRegs.first();
+
+  for (uint64_t StepNo = 0; StepNo < MaxSteps; ++StepNo) {
+    if (Cpu.PC == ExitMagic) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = static_cast<int>(Cpu.Regs[RetReg]);
+      break;
+    }
+    if (Cpu.PC & 3) {
+      Result.Reason = StopReason::BadAlignment;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    MachWord W = Mem.readWord(Cpu.PC);
+    if (OnInst)
+      OnInst(Cpu.PC, W);
+    StepOutcome Out = Step(*this, Cpu.PC, W);
+    if (Out.Invalid) {
+      Result.Reason = StopReason::BadInstruction;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    if (Out.BadAlign) {
+      Result.Reason = StopReason::BadAlignment;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    ++Retired;
+    if (Out.Exited) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = Out.ExitCode;
+      break;
+    }
+    Addr NewPC = Cpu.NPC;
+    Addr NewNPC = Out.Branch ? Out.Target : Cpu.NPC + 4;
+    if (Out.Annul) {
+      NewPC = NewNPC;
+      NewNPC = NewPC + 4;
+    }
+    Cpu.PC = NewPC;
+    Cpu.NPC = NewNPC;
+    if (StepNo + 1 == MaxSteps) {
+      Result.Reason = StopReason::StepLimit;
+      Result.FaultPC = Cpu.PC;
+    }
+  }
+  Result.Instructions = Retired;
+  Result.Output = Output;
+  return Result;
+}
+
+// --- SRISC interpreter --------------------------------------------------------
+
+namespace {
+
+/// Outcome of executing one instruction.
+struct StepControl {
+  bool Branch = false;
+  Addr Target = 0;
+  bool Annul = false;
+  bool Exited = false;
+  int ExitCode = 0;
+  bool Invalid = false;
+};
+
+} // namespace
+
+RunResult Machine::runSrisc(uint64_t MaxSteps) {
+  using namespace srisc;
+  RunResult Result;
+  uint32_t *R = Cpu.Regs;
+
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Cpu.PC == ExitMagic) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = static_cast<int>(R[8]);
+      break;
+    }
+    if (Cpu.PC & 3) {
+      Result.Reason = StopReason::BadAlignment;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    MachWord W = Mem.readWord(Cpu.PC);
+    StepControl Ctl;
+    uint32_t Op = fieldOp(W);
+
+    if (OnInst)
+      OnInst(Cpu.PC, W);
+
+    switch (Op) {
+    case OpFormat2: {
+      if (fieldOp2(W) == Op2Sethi) {
+        unsigned Rd = fieldRd(W);
+        if (Rd)
+          R[Rd] = fieldImm22(W) << 10;
+      } else if (fieldOp2(W) == Op2Bicc) {
+        Cond C = static_cast<Cond>(fieldCond(W));
+        bool Taken = evalCond(C, R[RegIdCC]);
+        Addr Target = Cpu.PC + static_cast<Addr>(fieldDisp22(W) * 4);
+        if (Taken && C != CondA && C != CondN) {
+          Ctl.Branch = true;
+          Ctl.Target = Target;
+        } else if (C == CondA) {
+          Ctl.Branch = true;
+          Ctl.Target = Target;
+        }
+        if (fieldAnnul(W)) {
+          if (C == CondA || C == CondN)
+            Ctl.Annul = true; // ba,a and bn,a always squash the slot
+          else if (!Taken)
+            Ctl.Annul = true; // conditional: squash when untaken
+        }
+        if (OnTransfer && C != CondN)
+          OnTransfer(Cpu.PC, Target, Ctl.Branch);
+      } else {
+        Ctl.Invalid = true;
+      }
+      break;
+    }
+    case OpCall: {
+      Addr Target = Cpu.PC + static_cast<Addr>(fieldDisp30(W) * 4);
+      R[RegLink] = Cpu.PC;
+      Ctl.Branch = true;
+      Ctl.Target = Target;
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Target, true);
+      break;
+    }
+    case OpArith: {
+      uint32_t Op3 = fieldOp3(W);
+      unsigned Rd = fieldRd(W);
+      uint32_t A = R[fieldRs1(W)];
+      uint32_t B = fieldI(W) ? static_cast<uint32_t>(fieldSimm13(W))
+                             : R[fieldRs2(W)];
+      uint32_t Value = 0;
+      bool WriteRd = true, SetCC = false;
+      uint32_t NewCC = 0;
+      switch (Op3) {
+      case Op3Add:
+        Value = A + B;
+        break;
+      case Op3And:
+        Value = A & B;
+        break;
+      case Op3Or:
+        Value = A | B;
+        break;
+      case Op3Xor:
+        Value = A ^ B;
+        break;
+      case Op3Sub:
+        Value = A - B;
+        break;
+      case Op3Sll:
+        Value = A << (B & 31);
+        break;
+      case Op3Srl:
+        Value = A >> (B & 31);
+        break;
+      case Op3Sra:
+        Value = static_cast<uint32_t>(static_cast<int32_t>(A) >>
+                                      static_cast<int32_t>(B & 31));
+        break;
+      case Op3Smul:
+        Value = static_cast<uint32_t>(static_cast<int32_t>(A) *
+                                      static_cast<int32_t>(B));
+        break;
+      case Op3Sdiv: {
+        int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+        if (SB == 0)
+          Value = 0;
+        else if (SA == INT32_MIN && SB == -1)
+          Value = static_cast<uint32_t>(INT32_MIN);
+        else
+          Value = static_cast<uint32_t>(SA / SB);
+        break;
+      }
+      case Op3Srem: {
+        int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+        if (SB == 0)
+          Value = A;
+        else if (SA == INT32_MIN && SB == -1)
+          Value = 0;
+        else
+          Value = static_cast<uint32_t>(SA % SB);
+        break;
+      }
+      case Op3AddCC:
+        Value = A + B;
+        SetCC = true;
+        NewCC = ccForAdd(A, B);
+        break;
+      case Op3AndCC:
+        Value = A & B;
+        SetCC = true;
+        NewCC = ccForLogic(Value);
+        break;
+      case Op3OrCC:
+        Value = A | B;
+        SetCC = true;
+        NewCC = ccForLogic(Value);
+        break;
+      case Op3XorCC:
+        Value = A ^ B;
+        SetCC = true;
+        NewCC = ccForLogic(Value);
+        break;
+      case Op3SubCC:
+        Value = A - B;
+        SetCC = true;
+        NewCC = ccForSub(A, B);
+        break;
+      case Op3RdCC:
+        Value = R[RegIdCC];
+        break;
+      case Op3WrCC:
+        R[RegIdCC] = A & 0xF;
+        WriteRd = false;
+        break;
+      case Op3Jmpl: {
+        Addr Target = A + B;
+        if (Rd)
+          R[Rd] = Cpu.PC;
+        Ctl.Branch = true;
+        Ctl.Target = Target;
+        WriteRd = false;
+        if (OnTransfer)
+          OnTransfer(Cpu.PC, Target, true);
+        break;
+      }
+      case Op3Sys: {
+        if (!fieldI(W)) {
+          Ctl.Invalid = true;
+          WriteRd = false;
+          break;
+        }
+        uint32_t Args[3] = {R[8], R[9], R[10]};
+        bool Exited = false;
+        int Code = 0;
+        uint32_t Ret =
+            doSyscall(extractBits(W, 0, 12), Args, Exited, Code);
+        if (Exited) {
+          Ctl.Exited = true;
+          Ctl.ExitCode = Code;
+        } else {
+          R[8] = Ret;
+        }
+        WriteRd = false;
+        break;
+      }
+      default:
+        Ctl.Invalid = true;
+        WriteRd = false;
+        break;
+      }
+      if (WriteRd && Op3 != Op3Jmpl && Rd)
+        R[Rd] = Value;
+      if (SetCC)
+        R[RegIdCC] = NewCC;
+      break;
+    }
+    case OpMem: {
+      uint32_t Op3 = fieldOp3(W);
+      unsigned Rd = fieldRd(W);
+      Addr EffAddr = R[fieldRs1(W)] +
+                     (fieldI(W) ? static_cast<uint32_t>(fieldSimm13(W))
+                                : R[fieldRs2(W)]);
+      bool IsStore = Op3 >= Op3St;
+      unsigned Width = (Op3 == Op3Ld || Op3 == Op3St)     ? 4
+                       : (Op3 == Op3Lduh || Op3 == Op3Ldsh ||
+                          Op3 == Op3Sth)
+                           ? 2
+                           : 1;
+      if (OnMemory)
+        OnMemory(Cpu.PC, EffAddr, Width, IsStore);
+      if (EffAddr & (Width - 1)) {
+        Result.Reason = StopReason::BadAlignment;
+        Result.FaultPC = Cpu.PC;
+        Result.Instructions = Retired;
+        Result.Output = Output;
+        return Result;
+      }
+      switch (Op3) {
+      case Op3Ld:
+        if (Rd)
+          R[Rd] = Mem.readWord(EffAddr);
+        break;
+      case Op3Ldub:
+        if (Rd)
+          R[Rd] = Mem.readByte(EffAddr);
+        break;
+      case Op3Lduh:
+        if (Rd)
+          R[Rd] = Mem.readHalf(EffAddr);
+        break;
+      case Op3Ldsb:
+        if (Rd)
+          R[Rd] = static_cast<uint32_t>(
+              static_cast<int32_t>(static_cast<int8_t>(Mem.readByte(EffAddr))));
+        break;
+      case Op3Ldsh:
+        if (Rd)
+          R[Rd] = static_cast<uint32_t>(static_cast<int32_t>(
+              static_cast<int16_t>(Mem.readHalf(EffAddr))));
+        break;
+      case Op3St:
+        Mem.writeWord(EffAddr, R[Rd]);
+        break;
+      case Op3Stb:
+        Mem.writeByte(EffAddr, static_cast<uint8_t>(R[Rd]));
+        break;
+      case Op3Sth:
+        Mem.writeHalf(EffAddr, static_cast<uint16_t>(R[Rd]));
+        break;
+      default:
+        Ctl.Invalid = true;
+        break;
+      }
+      break;
+    }
+    }
+
+    if (Ctl.Invalid) {
+      Result.Reason = StopReason::BadInstruction;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    ++Retired;
+    if (Ctl.Exited) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = Ctl.ExitCode;
+      break;
+    }
+
+    Addr NewPC = Cpu.NPC;
+    Addr NewNPC = Ctl.Branch ? Ctl.Target : Cpu.NPC + 4;
+    if (Ctl.Annul) {
+      NewPC = NewNPC;
+      NewNPC = NewPC + 4;
+    }
+    Cpu.PC = NewPC;
+    Cpu.NPC = NewNPC;
+
+    if (Step + 1 == MaxSteps) {
+      Result.Reason = StopReason::StepLimit;
+      Result.FaultPC = Cpu.PC;
+    }
+  }
+
+  Result.Instructions = Retired;
+  Result.Output = Output;
+  return Result;
+}
+
+// --- MRISC interpreter --------------------------------------------------------
+
+RunResult Machine::runMrisc(uint64_t MaxSteps) {
+  using namespace mrisc;
+  RunResult Result;
+  uint32_t *R = Cpu.Regs;
+
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Cpu.PC == ExitMagic) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = static_cast<int>(R[RegV0]);
+      break;
+    }
+    if (Cpu.PC & 3) {
+      Result.Reason = StopReason::BadAlignment;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    MachWord W = Mem.readWord(Cpu.PC);
+    StepControl Ctl;
+    uint32_t Op = fieldOp(W);
+    unsigned Rs = fieldRs(W), Rt = fieldRt(W), Rd = fieldRd(W);
+
+    if (OnInst)
+      OnInst(Cpu.PC, W);
+
+    auto SetReg = [&R](unsigned Reg, uint32_t Value) {
+      if (Reg)
+        R[Reg] = Value;
+    };
+
+    switch (Op) {
+    case OpRType: {
+      uint32_t Funct = fieldFunct(W);
+      switch (Funct) {
+      case FnSll:
+        if (fieldRs(W) != 0) {
+          Ctl.Invalid = true;
+          break;
+        }
+        SetReg(Rd, R[Rt] << fieldShamt(W));
+        break;
+      case FnSrl:
+        if (fieldRs(W) != 0) {
+          Ctl.Invalid = true;
+          break;
+        }
+        SetReg(Rd, R[Rt] >> fieldShamt(W));
+        break;
+      case FnSra:
+        if (fieldRs(W) != 0) {
+          Ctl.Invalid = true;
+          break;
+        }
+        SetReg(Rd, static_cast<uint32_t>(static_cast<int32_t>(R[Rt]) >>
+                                         fieldShamt(W)));
+        break;
+      case FnSllv:
+        SetReg(Rd, R[Rt] << (R[Rs] & 31));
+        break;
+      case FnSrlv:
+        SetReg(Rd, R[Rt] >> (R[Rs] & 31));
+        break;
+      case FnSrav:
+        SetReg(Rd, static_cast<uint32_t>(static_cast<int32_t>(R[Rt]) >>
+                                         (R[Rs] & 31)));
+        break;
+      case FnJr: {
+        if (fieldRt(W) || fieldRd(W) || fieldShamt(W)) {
+          Ctl.Invalid = true;
+          break;
+        }
+        Ctl.Branch = true;
+        Ctl.Target = R[Rs];
+        if (OnTransfer)
+          OnTransfer(Cpu.PC, Ctl.Target, true);
+        break;
+      }
+      case FnJalr: {
+        if (fieldRt(W) || fieldShamt(W)) {
+          Ctl.Invalid = true;
+          break;
+        }
+        Ctl.Branch = true;
+        Ctl.Target = R[Rs];
+        SetReg(Rd, Cpu.PC + 8);
+        if (OnTransfer)
+          OnTransfer(Cpu.PC, Ctl.Target, true);
+        break;
+      }
+      case FnSyscall: {
+        uint32_t Args[3] = {R[4], R[5], R[6]};
+        bool Exited = false;
+        int Code = 0;
+        uint32_t Ret = doSyscall(R[RegV0], Args, Exited, Code);
+        if (Exited) {
+          Ctl.Exited = true;
+          Ctl.ExitCode = Code;
+        } else {
+          R[RegV0] = Ret;
+        }
+        break;
+      }
+      case FnMul:
+        SetReg(Rd, static_cast<uint32_t>(static_cast<int32_t>(R[Rs]) *
+                                         static_cast<int32_t>(R[Rt])));
+        break;
+      case FnDiv: {
+        int32_t SA = static_cast<int32_t>(R[Rs]);
+        int32_t SB = static_cast<int32_t>(R[Rt]);
+        uint32_t Value;
+        if (SB == 0)
+          Value = 0;
+        else if (SA == INT32_MIN && SB == -1)
+          Value = static_cast<uint32_t>(INT32_MIN);
+        else
+          Value = static_cast<uint32_t>(SA / SB);
+        SetReg(Rd, Value);
+        break;
+      }
+      case FnRem: {
+        int32_t SA = static_cast<int32_t>(R[Rs]);
+        int32_t SB = static_cast<int32_t>(R[Rt]);
+        uint32_t Value;
+        if (SB == 0)
+          Value = R[Rs];
+        else if (SA == INT32_MIN && SB == -1)
+          Value = 0;
+        else
+          Value = static_cast<uint32_t>(SA % SB);
+        SetReg(Rd, Value);
+        break;
+      }
+      case FnAdd:
+        SetReg(Rd, R[Rs] + R[Rt]);
+        break;
+      case FnSub:
+        SetReg(Rd, R[Rs] - R[Rt]);
+        break;
+      case FnAnd:
+        SetReg(Rd, R[Rs] & R[Rt]);
+        break;
+      case FnOr:
+        SetReg(Rd, R[Rs] | R[Rt]);
+        break;
+      case FnXor:
+        SetReg(Rd, R[Rs] ^ R[Rt]);
+        break;
+      case FnSlt:
+        SetReg(Rd, static_cast<int32_t>(R[Rs]) < static_cast<int32_t>(R[Rt])
+                       ? 1
+                       : 0);
+        break;
+      default:
+        Ctl.Invalid = true;
+        break;
+      }
+      break;
+    }
+    case OpJ:
+    case OpJal: {
+      Addr Target = (Cpu.PC & 0xF0000000u) | (fieldIndex26(W) << 2);
+      if (Op == OpJal)
+        R[RegRA] = Cpu.PC + 8;
+      Ctl.Branch = true;
+      Ctl.Target = Target;
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Target, true);
+      break;
+    }
+    case OpBeq:
+    case OpBne:
+    case OpBlez:
+    case OpBgtz: {
+      if ((Op == OpBlez || Op == OpBgtz) && Rt != 0) {
+        Ctl.Invalid = true;
+        break;
+      }
+      bool Taken = false;
+      switch (Op) {
+      case OpBeq:
+        Taken = R[Rs] == R[Rt];
+        break;
+      case OpBne:
+        Taken = R[Rs] != R[Rt];
+        break;
+      case OpBlez:
+        Taken = static_cast<int32_t>(R[Rs]) <= 0;
+        break;
+      case OpBgtz:
+        Taken = static_cast<int32_t>(R[Rs]) > 0;
+        break;
+      }
+      Addr Target = Cpu.PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+      if (Taken) {
+        Ctl.Branch = true;
+        Ctl.Target = Target;
+      }
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Target, Taken);
+      break;
+    }
+    case OpAddi:
+      SetReg(Rt, R[Rs] + static_cast<uint32_t>(fieldSimm16(W)));
+      break;
+    case OpSlti:
+      SetReg(Rt,
+             static_cast<int32_t>(R[Rs]) < fieldSimm16(W) ? 1 : 0);
+      break;
+    case OpAndi:
+      SetReg(Rt, R[Rs] & fieldUimm16(W));
+      break;
+    case OpOri:
+      SetReg(Rt, R[Rs] | fieldUimm16(W));
+      break;
+    case OpXori:
+      SetReg(Rt, R[Rs] ^ fieldUimm16(W));
+      break;
+    case OpLui:
+      if (fieldRs(W) != 0) {
+        Ctl.Invalid = true;
+        break;
+      }
+      SetReg(Rt, fieldUimm16(W) << 16);
+      break;
+    case OpLb:
+    case OpLh:
+    case OpLw:
+    case OpLbu:
+    case OpLhu:
+    case OpSb:
+    case OpSh:
+    case OpSw: {
+      Addr EffAddr = R[Rs] + static_cast<uint32_t>(fieldSimm16(W));
+      bool IsStore = Op == OpSb || Op == OpSh || Op == OpSw;
+      unsigned Width = (Op == OpLw || Op == OpSw)   ? 4
+                       : (Op == OpLh || Op == OpLhu || Op == OpSh) ? 2
+                                                                   : 1;
+      if (OnMemory)
+        OnMemory(Cpu.PC, EffAddr, Width, IsStore);
+      if (EffAddr & (Width - 1)) {
+        Result.Reason = StopReason::BadAlignment;
+        Result.FaultPC = Cpu.PC;
+        Result.Instructions = Retired;
+        Result.Output = Output;
+        return Result;
+      }
+      switch (Op) {
+      case OpLb:
+        SetReg(Rt, static_cast<uint32_t>(static_cast<int32_t>(
+                       static_cast<int8_t>(Mem.readByte(EffAddr)))));
+        break;
+      case OpLh:
+        SetReg(Rt, static_cast<uint32_t>(static_cast<int32_t>(
+                       static_cast<int16_t>(Mem.readHalf(EffAddr)))));
+        break;
+      case OpLw:
+        SetReg(Rt, Mem.readWord(EffAddr));
+        break;
+      case OpLbu:
+        SetReg(Rt, Mem.readByte(EffAddr));
+        break;
+      case OpLhu:
+        SetReg(Rt, Mem.readHalf(EffAddr));
+        break;
+      case OpSb:
+        Mem.writeByte(EffAddr, static_cast<uint8_t>(R[Rt]));
+        break;
+      case OpSh:
+        Mem.writeHalf(EffAddr, static_cast<uint16_t>(R[Rt]));
+        break;
+      case OpSw:
+        Mem.writeWord(EffAddr, R[Rt]);
+        break;
+      }
+      break;
+    }
+    default:
+      Ctl.Invalid = true;
+      break;
+    }
+
+    if (Ctl.Invalid) {
+      Result.Reason = StopReason::BadInstruction;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    ++Retired;
+    if (Ctl.Exited) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = Ctl.ExitCode;
+      break;
+    }
+
+    Cpu.PC = Cpu.NPC;
+    Cpu.NPC = Ctl.Branch ? Ctl.Target : Cpu.NPC + 4;
+    // MRISC has no annulment.
+
+    if (Step + 1 == MaxSteps) {
+      Result.Reason = StopReason::StepLimit;
+      Result.FaultPC = Cpu.PC;
+    }
+  }
+
+  Result.Instructions = Retired;
+  Result.Output = Output;
+  return Result;
+}

@@ -1,0 +1,62 @@
+//===- workload/Generator.h - Synthetic workload generation ------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of SPEC-ish programs, standing in for the
+/// compiled SPEC92 binaries the paper measures. Programs contain the
+/// control-flow and idiom mix the paper's analyses care about: loops,
+/// if/else with and without annulled branches, call DAGs, switch statements
+/// through dispatch tables, global-array memory traffic, and (in "SunPro
+/// style") frame-popping tail calls through function-pointer cells — the
+/// idiom behind all 138 unanalyzable indirect jumps in the paper's Solaris
+/// measurement. Symbol-table pathologies (§3.1) are optionally included.
+///
+/// Every program computes a checksum over its routine DAG, prints it in
+/// decimal, and exits 0 — so tests compare original vs. edited behaviour by
+/// exact output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_WORKLOAD_GENERATOR_H
+#define EEL_WORKLOAD_GENERATOR_H
+
+#include "sxf/Sxf.h"
+
+#include <string>
+
+namespace eel {
+
+struct WorkloadOptions {
+  uint64_t Seed = 1;
+  unsigned Routines = 12;        ///< Generated routines (besides main).
+  unsigned SegmentsPerRoutine = 5; ///< Code segments per routine body.
+  /// Percent of routines containing a switch through a dispatch table.
+  unsigned SwitchPercent = 35;
+  /// "SunPro style": percent of routines ending in a frame-popping tail
+  /// call through a function-pointer cell (unanalyzable indirect jump).
+  unsigned TailCallPercent = 0;
+  /// Use annulled conditional branches (SRISC only).
+  bool AnnulledBranches = true;
+  /// Percent of segments followed by a dead computation chain (results
+  /// written to scratch registers and never read) — material for the
+  /// dead-code-elimination tool.
+  unsigned DeadCodePercent = 0;
+  /// Emit §3.1 symbol-table pathologies: internal labels with symbols,
+  /// debug/temp labels, hidden routines, and a data table in text.
+  bool SymbolPathologies = false;
+  unsigned LoopIterations = 6;
+};
+
+/// Generates assembly text for \p Arch.
+std::string generateWorkloadAsm(TargetArch Arch,
+                                const WorkloadOptions &Options);
+
+/// Generates and assembles (aborts on internal generator errors).
+SxfFile generateWorkload(TargetArch Arch, const WorkloadOptions &Options);
+
+} // namespace eel
+
+#endif // EEL_WORKLOAD_GENERATOR_H

@@ -1,0 +1,637 @@
+//===- tests/CoreTest.cpp - EEL core: analysis tests ------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests EEL's analysis layers: instruction abstraction and flyweight pool,
+/// symbol-table refinement (§3.1), CFG construction and delay-slot
+/// normalization (§3.3, Figure 3), dominators/loops/liveness, and indirect
+/// jump resolution by slicing. Editing end-to-end is covered in EditTest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asmkit/Assembler.h"
+#include "core/Dominators.h"
+#include "core/Executable.h"
+#include "core/Liveness.h"
+#include "core/Slice.h"
+#include "isa/SriscEncoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+namespace {
+
+Executable makeExec(TargetArch Arch, const std::string &Source) {
+  return Executable(assembleOrDie(Arch, Source));
+}
+
+/// Counts blocks of a kind.
+unsigned countBlocks(const Cfg *G, BlockKind K) {
+  unsigned N = 0;
+  for (const auto &B : G->blocks())
+    if (B->kind() == K)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+// --- Instruction abstraction -------------------------------------------------
+
+TEST(InstructionTest, FactoryResolvesJmplOverloads) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  // jmpl with rd = %o7: an indirect call.
+  auto ICall = makeInstruction(T, encodeJmplImm(15, 9, 0));
+  EXPECT_EQ(ICall->kind(), InstKind::IndirectCall);
+  EXPECT_TRUE(isa<IndirectInst>(ICall.get()));
+  EXPECT_TRUE(isa<ControlInst>(ICall.get()));
+  // jmpl %o7+8, %g0: a return.
+  auto Ret = makeInstruction(T, encodeJmplImm(0, 15, 8));
+  EXPECT_EQ(Ret->kind(), InstKind::Return);
+  // jmpl %o2+0, %g0: a plain indirect jump.
+  auto Jump = makeInstruction(T, encodeJmplImm(0, 10, 0));
+  EXPECT_EQ(Jump->kind(), InstKind::IndirectJump);
+  // Dyn-cast dispatch works across the hierarchy.
+  EXPECT_NE(dyn_cast<IndirectJumpInst>(Jump.get()), nullptr);
+  EXPECT_EQ(dyn_cast<ReturnInst>(Jump.get()), nullptr);
+}
+
+TEST(InstructionTest, FlyweightSharing) {
+  using namespace srisc;
+  InstructionPool Pool(sriscTarget());
+  const Instruction *A = Pool.get(encodeArithReg(Op3Add, 1, 2, 3));
+  const Instruction *B = Pool.get(encodeArithReg(Op3Add, 1, 2, 3));
+  const Instruction *C = Pool.get(encodeArithReg(Op3Add, 1, 2, 4));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Pool.requested(), 3u);
+  EXPECT_EQ(Pool.allocated(), 2u);
+}
+
+// --- Symbol refinement (§3.1) ---------------------------------------------------
+
+TEST(SymbolRefine, BasicRoutines) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+.global main
+main:
+  call helper
+  nop
+  mov 0, %o0
+  sys 0
+helper:
+  ret
+  nop
+)");
+  Exec.readContents();
+  ASSERT_EQ(Exec.routines().size(), 2u);
+  EXPECT_EQ(Exec.routines()[0]->name(), "main");
+  EXPECT_EQ(Exec.routines()[1]->name(), "helper");
+  EXPECT_EQ(Exec.routines()[0]->endAddr(),
+            Exec.routines()[1]->startAddr());
+  EXPECT_TRUE(Exec.hiddenRoutines().empty());
+}
+
+TEST(SymbolRefine, DropsInternalDebugAndTempLabels) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o0, 0
+  be skip_it
+  nop
+  mov 1, %o1
+skip_it:
+  sys 0
+.debuglabel dbg_here
+.templabel Ltmp42
+  ret
+  nop
+)");
+  // `skip_it:` is a plain label the assembler emits with Routine kind (the
+  // symbol table cannot be trusted!). It is a branch target from the
+  // preceding code, so stage 1 must drop it rather than split the routine;
+  // the debug/temp labels are dropped by kind.
+  Exec.readContents();
+  ASSERT_EQ(Exec.routines().size(), 1u);
+  EXPECT_EQ(Exec.routines()[0]->name(), "main");
+}
+
+TEST(SymbolRefine, HiddenRoutineDiscovery) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  set fptr, %o1
+  ld [%o1 + 0], %o2
+  jmpl %o2 + 0, %o7
+  nop
+  sys 0
+  ret
+  nop
+.hidden
+secret:
+  mov 5, %o0
+  ret
+  nop
+.data
+.align 4
+fptr: .word secret
+)");
+  Exec.readContents();
+  std::vector<Routine *> Hidden = Exec.hiddenRoutines();
+  ASSERT_EQ(Hidden.size(), 1u);
+  Routine *Main = Exec.findRoutine("main");
+  ASSERT_NE(Main, nullptr);
+  // The hidden routine starts right after main's reachable code.
+  EXPECT_EQ(Hidden[0]->startAddr(), Main->endAddr());
+  EXPECT_FALSE(Hidden[0]->isData());
+}
+
+TEST(SymbolRefine, DataTableWithRoutineSymbol) {
+  // A data table in the text segment whose symbol is indistinguishable
+  // from a routine's: the classic §3.1 pathology. The words are invalid
+  // SRISC encodings, so stage 4 classifies the extent as data.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  sys 0
+  ret
+  nop
+lookup_table:
+.word 0, 0, 0, 0
+)");
+  Exec.readContents();
+  Routine *Table = Exec.findRoutine("lookup_table");
+  ASSERT_NE(Table, nullptr);
+  EXPECT_TRUE(Table->isData());
+  Routine *Main = Exec.findRoutine("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_FALSE(Main->isData());
+}
+
+TEST(SymbolRefine, MultipleEntryPoints) {
+  // A Fortran-ENTRY-style second entry: another routine calls into the
+  // middle of `compute`; stage 3 records the extra entry point.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  call compute_alt
+  nop
+  sys 0
+  ret
+  nop
+compute:
+  mov 1, %o0
+.hidden
+compute_alt:
+  add %o0, 2, %o0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Routine *Compute = Exec.findRoutine("compute");
+  ASSERT_NE(Compute, nullptr);
+  ASSERT_EQ(Compute->entryPoints().size(), 2u);
+  EXPECT_EQ(Compute->entryPoints()[1], Compute->startAddr() + 4);
+}
+
+TEST(SymbolRefine, StrippedExecutable) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  call f
+  nop
+  sys 0
+  ret
+  nop
+f:
+  ret
+  nop
+)");
+  File.strip();
+  Executable Exec((SxfFile(File)));
+  Exec.readContents();
+  // Stage 2: entry point + call targets seed the routine set.
+  ASSERT_EQ(Exec.routines().size(), 2u);
+  EXPECT_EQ(Exec.routines()[1]->startAddr(),
+            Exec.routines()[0]->endAddr());
+}
+
+// --- CFG construction (§3.3) ------------------------------------------------------
+
+TEST(CfgTest, StraightLine) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  mov 1, %o0
+  add %o0, 2, %o0
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_TRUE(G->complete());
+  // One body block + ret's delay block + entry + exit.
+  EXPECT_EQ(countBlocks(G, BlockKind::Normal), 1u);
+  EXPECT_EQ(countBlocks(G, BlockKind::DelaySlot), 1u);
+  EXPECT_EQ(countBlocks(G, BlockKind::Entry), 1u);
+  EXPECT_EQ(countBlocks(G, BlockKind::Exit), 1u);
+}
+
+TEST(CfgTest, Figure3AnnulledBranchNormalization) {
+  // The paper's Figure 3: an add in the delay slot of an annulled
+  // conditional branch appears along only the taken edge.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o0, 0
+  bne,a .Ldone
+  add %l1, %l2, %l1    ! executes only if taken
+  mov 9, %o3
+.Ldone:
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  BasicBlock *BranchBlock = G->blockAt(Exec.textBase());
+  ASSERT_NE(BranchBlock, nullptr);
+  ASSERT_EQ(BranchBlock->succ().size(), 2u);
+  const Edge *Taken = nullptr, *NotTaken = nullptr;
+  for (const Edge *E : BranchBlock->succ()) {
+    if (E->kind() == EdgeKind::Taken)
+      Taken = E;
+    if (E->kind() == EdgeKind::NotTaken)
+      NotTaken = E;
+  }
+  ASSERT_NE(Taken, nullptr);
+  ASSERT_NE(NotTaken, nullptr);
+  // Taken edge goes through a delay-slot block holding the add.
+  EXPECT_EQ(Taken->dst()->kind(), BlockKind::DelaySlot);
+  EXPECT_EQ(Taken->dst()->insts()[0].Inst->dataOp().Kind, DataOpKind::Add);
+  // Not-taken edge goes directly to the fallthrough block: the add is NOT
+  // on that path.
+  EXPECT_EQ(NotTaken->dst()->kind(), BlockKind::Normal);
+  EXPECT_EQ(NotTaken->dst()->anchor(), Exec.textBase() + 12);
+}
+
+TEST(CfgTest, NonAnnulledBranchDuplicatesDelay) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o0, 0
+  bne .Ldone
+  add %l1, %l2, %l1    ! executes on both paths
+  mov 9, %o3
+.Ldone:
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  BasicBlock *BranchBlock = G->blockAt(Exec.textBase());
+  ASSERT_NE(BranchBlock, nullptr);
+  unsigned DelayCopies = 0;
+  for (const Edge *E : BranchBlock->succ())
+    if (E->dst()->kind() == BlockKind::DelaySlot)
+      ++DelayCopies;
+  EXPECT_EQ(DelayCopies, 2u); // duplicated along both edges
+}
+
+TEST(CfgTest, CallSurrogateChain) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  call f
+  mov 1, %o0
+  sys 0
+  ret
+  nop
+f:
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_EQ(countBlocks(G, BlockKind::CallSurrogate), 1u);
+  BasicBlock *CallBlock = G->blockAt(Exec.textBase());
+  ASSERT_NE(CallBlock, nullptr);
+  const Edge *ToDelay = CallBlock->succ()[0];
+  EXPECT_EQ(ToDelay->dst()->kind(), BlockKind::DelaySlot);
+  EXPECT_FALSE(ToDelay->dst()->editable()); // call delay is uneditable
+  const Edge *ToSurrogate = ToDelay->dst()->succ()[0];
+  ASSERT_EQ(ToSurrogate->dst()->kind(), BlockKind::CallSurrogate);
+  EXPECT_TRUE(ToSurrogate->dst()->empty()); // zero-length
+  Routine *F = Exec.findRoutine("f");
+  EXPECT_EQ(ToSurrogate->dst()->callTarget(),
+            std::optional<Addr>(F->startAddr()));
+}
+
+TEST(CfgTest, DispatchTableResolved) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o1, 2
+  bgu .Ldefault
+  nop
+  sll %o1, 2, %o2
+  set table, %o3
+  ld [%o3 + %o2], %o4
+  jmpl %o4 + 0, %g0
+  nop
+.Lcase0:
+  mov 10, %o0
+  sys 0
+.Lcase1:
+  mov 20, %o0
+  sys 0
+.Lcase2:
+  mov 30, %o0
+  sys 0
+.Ldefault:
+  mov 99, %o0
+  sys 0
+  ret
+  nop
+.data
+.align 4
+table: .word .Lcase0, .Lcase1, .Lcase2
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_TRUE(G->complete());
+  ASSERT_EQ(G->indirectSites().size(), 1u);
+  const IndirectSite &Site = G->indirectSites()[0];
+  EXPECT_EQ(Site.Resolution.K, IndirectResolution::Kind::DispatchTable);
+  EXPECT_EQ(Site.Resolution.EntryCount, 3u);
+  EXPECT_TRUE(Site.Resolution.BoundsProven);
+  EXPECT_EQ(Site.Resolution.Targets.size(), 3u);
+}
+
+TEST(CfgTest, UnanalyzableTailCall) {
+  // The SunPro idiom: pop the frame, then jump through a pointer loaded
+  // from a function-pointer cell — §3.3's unanalyzable case.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  add %sp, -96, %sp
+  set fptr, %o1
+  ld [%o1 + 0], %o2
+  add %sp, 96, %sp      ! pop frame
+  jmpl %o2 + 0, %g0     ! tail call
+  nop
+target:
+  mov 0, %o0
+  sys 0
+.data
+.align 4
+fptr: .word target
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_FALSE(G->complete());
+  EXPECT_FALSE(G->unsupported()); // still editable via translation
+  ASSERT_EQ(G->indirectSites().size(), 1u);
+  const IndirectResolution &Res = G->indirectSites()[0].Resolution;
+  // The slice finds the cell; it is still not a static target.
+  EXPECT_EQ(Res.K, IndirectResolution::Kind::CellPointer);
+  Addr FptrAddr = Exec.image().findSymbol("fptr")->Value;
+  EXPECT_EQ(Res.CellAddr, FptrAddr);
+}
+
+TEST(CfgTest, LiteralIndirectJump) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  set .Lthere, %o2
+  jmpl %o2 + 0, %g0
+  nop
+  mov 1, %o0
+  sys 0
+.Lthere:
+  mov 0, %o0
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_TRUE(G->complete());
+  ASSERT_EQ(G->indirectSites().size(), 1u);
+  EXPECT_EQ(G->indirectSites()[0].Resolution.K,
+            IndirectResolution::Kind::Literal);
+}
+
+TEST(CfgTest, UneditableFraction) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  call f
+  nop
+  cmp %o0, 3
+  ble .Lx
+  nop
+  mov 1, %o1
+.Lx:
+  sys 0
+  ret
+  nop
+f:
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  Cfg::Stats S = G->stats();
+  EXPECT_GT(S.UneditableBlocks, 0u);
+  EXPECT_GT(S.UneditableEdges, 0u);
+  EXPECT_LT(S.UneditableBlocks, G->blocks().size());
+}
+
+TEST(CfgTest, MriscCfg) {
+  Executable Exec = makeExec(TargetArch::Mrisc, R"(
+.text
+main:
+  li $t0, 3
+.Lloop:
+  addi $t0, $t0, -1
+  bgtz $t0, .Lloop
+  nop
+  jal f
+  nop
+  li $v0, 0
+  syscall
+  jr $ra
+  nop
+f:
+  jr $ra
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  EXPECT_TRUE(G->complete());
+  EXPECT_EQ(countBlocks(G, BlockKind::CallSurrogate), 1u);
+  // bgtz is a non-annulled conditional: its delay nop is duplicated.
+  unsigned DelayBlocks = countBlocks(G, BlockKind::DelaySlot);
+  EXPECT_GE(DelayBlocks, 3u); // 2 branch copies + jal + jr(s)
+}
+
+// --- Dominators, loops, liveness ----------------------------------------------------
+
+TEST(AnalysisTest, DominatorsAndLoops) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  mov 10, %o1
+.Lloop:
+  sub %o1, 1, %o1
+  cmp %o1, 0
+  bg .Lloop
+  nop
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  Dominators Doms(*G);
+  BasicBlock *Head = G->blockAt(Exec.textBase());
+  BasicBlock *LoopBody = G->blockAt(Exec.textBase() + 4);
+  ASSERT_NE(Head, nullptr);
+  ASSERT_NE(LoopBody, nullptr);
+  EXPECT_TRUE(Doms.dominates(Head, LoopBody));
+  EXPECT_FALSE(Doms.dominates(LoopBody, Head));
+  EXPECT_TRUE(Doms.dominates(LoopBody, LoopBody));
+
+  std::vector<NaturalLoop> Loops = findNaturalLoops(*G, Doms);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header, LoopBody);
+  EXPECT_GE(Loops[0].Blocks.size(), 2u);
+}
+
+TEST(AnalysisTest, LivenessBasics) {
+  // %o4/%o5/%o3 are caller-saved and not syscall argument registers, so
+  // their liveness is governed purely by the visible code.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  mov 1, %o4
+  mov 2, %o5
+  add %o4, %o5, %o3
+  mov %o3, %o0
+  sys 0
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  Liveness Live(*G);
+  BasicBlock *Body = G->blockAt(Exec.textBase());
+  ASSERT_NE(Body, nullptr);
+  // Before the add: o4 and o5 are live; o3 is not.
+  RegSet AtAdd = Live.liveBefore(Body, 2);
+  EXPECT_TRUE(AtAdd.contains(12));
+  EXPECT_TRUE(AtAdd.contains(13));
+  EXPECT_FALSE(AtAdd.contains(11));
+  // After the add: o3 live, o4/o5 dead.
+  RegSet AfterAdd = Live.liveAfter(Body, 2);
+  EXPECT_TRUE(AfterAdd.contains(11));
+  EXPECT_FALSE(AfterAdd.contains(12));
+  // The syscall reads the conventional argument registers %o0-%o2.
+  EXPECT_TRUE(AtAdd.contains(9));
+  // Condition codes: dead here (no branch consumes them).
+  EXPECT_FALSE(AtAdd.contains(RegIdCC));
+}
+
+TEST(AnalysisTest, LivenessCCAndCalls) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o1, 5
+  call f
+  nop
+  be .Ly
+  nop
+  mov 1, %o2
+.Ly:
+  sys 0
+  ret
+  nop
+f:
+  ret
+  nop
+)");
+  Exec.readContents();
+  Cfg *G = Exec.findRoutine("main")->controlFlowGraph();
+  Liveness Live(*G);
+  BasicBlock *First = G->blockAt(Exec.textBase());
+  ASSERT_NE(First, nullptr);
+  // After the cmp (before the call): CC is live — it is read by `be` after
+  // the call returns. (SRISC calls preserve CC in this world? No: CC is
+  // caller-saved; the branch-after-call reads whatever the callee left, so
+  // liveness flows CC through the surrogate only if not clobbered — our
+  // conventions mark CC caller-saved, so it is killed at the call.)
+  RegSet AfterCmp = Live.liveAfter(First, 0);
+  EXPECT_FALSE(AfterCmp.contains(RegIdCC));
+}
+
+// --- Backward slicing --------------------------------------------------------------
+
+TEST(SliceTest, ConstantMaterialization) {
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  sethi 0x123, %o1
+  or %o1, 0x45, %o1
+  jmpl %o1 + 0, %g0
+  nop
+  ret
+  nop
+)");
+  Exec.readContents();
+  Routine *Main = Exec.findRoutine("main");
+  Addr JumpAddr = Exec.textBase() + 8;
+  SymValue V = backwardSlice(Exec, *Main, JumpAddr, 9);
+  EXPECT_EQ(V.K, SymValue::Kind::Const);
+  EXPECT_EQ(V.Const, (0x123u << 10) | 0x45u);
+}
+
+TEST(SliceTest, StopsAtJoinPoints) {
+  // The value of %o1 at the jump depends on the path taken; the slice must
+  // give up rather than report a wrong constant.
+  Executable Exec = makeExec(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %o0, 0
+  be .Lelse
+  nop
+  set 0x1000, %o1
+.Ljoin:
+  jmpl %o1 + 0, %g0
+  nop
+.Lelse:
+  set 0x2000, %o1
+  ba .Ljoin
+  nop
+  ret
+  nop
+)");
+  Exec.readContents();
+  Routine *Main = Exec.findRoutine("main");
+  Addr JoinJump = Exec.textBase() + 24;
+  SymValue V = backwardSlice(Exec, *Main, JoinJump, 9);
+  // Walking back from the jump crosses the .Ljoin label (a join point)
+  // before... actually the set is immediately before the join label, so
+  // the definition found is path-dependent. Conservatively Unknown OR the
+  // fallthrough path's constant is acceptable only if no join intervenes;
+  // .Ljoin IS a join (branch target), so the slice must be Unknown.
+  EXPECT_EQ(V.K, SymValue::Kind::Unknown);
+}

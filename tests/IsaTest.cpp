@@ -1,0 +1,359 @@
+//===- tests/IsaTest.cpp - Handwritten target backend tests ---------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/MriscEncoding.h"
+#include "isa/SriscEncoding.h"
+#include "isa/Target.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+// --- SRISC -------------------------------------------------------------------
+
+TEST(SriscEncode, FieldRoundTrip) {
+  using namespace srisc;
+  MachWord W = encodeArithImm(Op3Add, 17, 3, -42);
+  EXPECT_EQ(fieldOp(W), uint32_t(OpArith));
+  EXPECT_EQ(fieldRd(W), 17u);
+  EXPECT_EQ(fieldOp3(W), uint32_t(Op3Add));
+  EXPECT_EQ(fieldRs1(W), 3u);
+  EXPECT_EQ(fieldI(W), 1u);
+  EXPECT_EQ(fieldSimm13(W), -42);
+
+  W = encodeBicc(true, CondNE, -100);
+  EXPECT_EQ(fieldAnnul(W), 1u);
+  EXPECT_EQ(fieldCond(W), uint32_t(CondNE));
+  EXPECT_EQ(fieldDisp22(W), -100);
+}
+
+TEST(SriscTarget, Classification) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  EXPECT_EQ(T.classify(encodeArithReg(Op3Add, 1, 2, 3)),
+            InstCategory::Computation);
+  EXPECT_EQ(T.classify(encodeSethi(5, 123)), InstCategory::Computation);
+  EXPECT_EQ(T.classify(encodeBicc(false, CondNE, 4)),
+            InstCategory::BranchDirect);
+  EXPECT_EQ(T.classify(encodeBicc(false, CondA, 4)), InstCategory::JumpDirect);
+  EXPECT_EQ(T.classify(encodeBicc(false, CondN, 4)),
+            InstCategory::Computation);
+  EXPECT_EQ(T.classify(encodeBicc(true, CondN, 4)), InstCategory::JumpDirect);
+  EXPECT_EQ(T.classify(encodeCall(16)), InstCategory::CallDirect);
+  EXPECT_EQ(T.classify(encodeJmplImm(0, 15, 8)), InstCategory::IndirectJump);
+  EXPECT_EQ(T.classify(encodeSys(1)), InstCategory::System);
+  EXPECT_EQ(T.classify(encodeMemImm(Op3Ld, 1, 14, 4)), InstCategory::Load);
+  EXPECT_EQ(T.classify(encodeMemImm(Op3St, 1, 14, 4)), InstCategory::Store);
+  EXPECT_EQ(T.classify(0), InstCategory::Invalid);
+  EXPECT_EQ(T.classify(0xFFFFFFFFu), InstCategory::Invalid);
+}
+
+TEST(SriscTarget, ReadsWrites) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  // add %o1, %o2, %o3: reads {9, 10}, writes {11}.
+  MachWord Add = encodeArithReg(Op3Add, 11, 9, 10);
+  EXPECT_EQ(T.reads(Add), (RegSet{9, 10}));
+  EXPECT_EQ(T.writes(Add), (RegSet{11}));
+  // subcc also writes CC.
+  MachWord SubCC = encodeArithImm(Op3SubCC, 0, 9, 5);
+  EXPECT_EQ(T.reads(SubCC), (RegSet{9}));
+  EXPECT_EQ(T.writes(SubCC), (RegSet{RegIdCC}));
+  // Conditional branches read CC; ba does not.
+  EXPECT_EQ(T.reads(encodeBicc(false, CondNE, 1)), (RegSet{RegIdCC}));
+  EXPECT_EQ(T.reads(encodeBicc(false, CondA, 1)), RegSet{});
+  // call writes the link register.
+  EXPECT_EQ(T.writes(encodeCall(4)), (RegSet{15}));
+  // Stores read the data register; the hard zero never appears.
+  MachWord St = encodeMemImm(Op3St, 7, 14, -8);
+  EXPECT_EQ(T.reads(St), (RegSet{7, 14}));
+  EXPECT_EQ(T.writes(St), RegSet{});
+  MachWord LdZero = encodeMemReg(Op3Ld, 0, 0, 0);
+  EXPECT_EQ(T.reads(LdZero), RegSet{});
+  EXPECT_EQ(T.writes(LdZero), RegSet{});
+  // Traps use the convention registers.
+  EXPECT_EQ(T.reads(encodeSys(1)), (RegSet{8, 9, 10}));
+  EXPECT_EQ(T.writes(encodeSys(1)), (RegSet{8}));
+}
+
+TEST(SriscTarget, DelayAndAnnul) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  EXPECT_EQ(T.delayBehavior(encodeBicc(false, CondNE, 1)),
+            DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeBicc(true, CondNE, 1)),
+            DelayBehavior::AnnulUntaken);
+  EXPECT_EQ(T.delayBehavior(encodeBicc(true, CondA, 1)),
+            DelayBehavior::AnnulAlways);
+  EXPECT_EQ(T.delayBehavior(encodeBicc(false, CondA, 1)),
+            DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeCall(1)), DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeJmplImm(0, 15, 8)), DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeArithReg(Op3Add, 1, 2, 3)),
+            DelayBehavior::None);
+  EXPECT_TRUE(T.isConditional(encodeBicc(false, CondNE, 1)));
+  EXPECT_FALSE(T.isConditional(encodeBicc(false, CondA, 1)));
+}
+
+TEST(SriscTarget, DirectTargets) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  Addr PC = 0x10000;
+  EXPECT_EQ(T.directTarget(encodeBicc(false, CondNE, 5), PC),
+            std::optional<Addr>(PC + 20));
+  EXPECT_EQ(T.directTarget(encodeBicc(false, CondNE, -5), PC),
+            std::optional<Addr>(PC - 20));
+  EXPECT_EQ(T.directTarget(encodeCall(100), PC),
+            std::optional<Addr>(PC + 400));
+  EXPECT_EQ(T.directTarget(encodeBicc(true, CondN, 0), PC),
+            std::optional<Addr>(PC + 8));
+  EXPECT_EQ(T.directTarget(encodeArithReg(Op3Add, 1, 2, 3), PC),
+            std::nullopt);
+}
+
+TEST(SriscTarget, RetargetDirect) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  MachWord Br = encodeBicc(false, CondG, 5);
+  std::optional<MachWord> New = T.retargetDirect(Br, 0x20000, 0x20040);
+  ASSERT_TRUE(New.has_value());
+  EXPECT_EQ(T.directTarget(*New, 0x20000), std::optional<Addr>(0x20040));
+  EXPECT_EQ(T.classify(*New), InstCategory::BranchDirect);
+  // Out-of-range displacement is rejected.
+  EXPECT_FALSE(T.retargetDirect(Br, 0, 0x4000000).has_value());
+}
+
+TEST(SriscTarget, IndirectAndMemShapes) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  auto Ind = T.indirectTarget(encodeJmplImm(15, 9, 4));
+  ASSERT_TRUE(Ind.has_value());
+  EXPECT_EQ(Ind->BaseReg, 9u);
+  EXPECT_EQ(Ind->Offset, 4);
+  EXPECT_FALSE(Ind->HasIndex);
+  EXPECT_EQ(Ind->LinkReg, 15u);
+
+  auto M = T.memOp(encodeMemImm(Op3Ldsh, 5, 14, -2));
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->IsLoad);
+  EXPECT_EQ(M->Width, 2u);
+  EXPECT_TRUE(M->SignExtendLoad);
+  EXPECT_EQ(M->AddrBase, 14u);
+  EXPECT_EQ(M->Offset, -2);
+  EXPECT_EQ(M->DataReg, 5u);
+}
+
+TEST(SriscTarget, DataOps) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  DataOp Op = T.dataOp(encodeSethi(3, 0x123));
+  EXPECT_EQ(Op.Kind, DataOpKind::LoadImmHi);
+  EXPECT_EQ(Op.Rd, 3u);
+  EXPECT_EQ(Op.Imm, int32_t(0x123 << 10));
+
+  Op = T.dataOp(encodeArithImm(Op3Sll, 4, 5, 2));
+  EXPECT_EQ(Op.Kind, DataOpKind::Sll);
+  EXPECT_TRUE(Op.HasImm);
+  EXPECT_EQ(Op.Imm, 2);
+  EXPECT_FALSE(Op.SetsCC);
+
+  Op = T.dataOp(encodeArithImm(Op3SubCC, 0, 5, 7));
+  EXPECT_EQ(Op.Kind, DataOpKind::Sub);
+  EXPECT_TRUE(Op.SetsCC);
+
+  EXPECT_EQ(T.dataOp(encodeJmplImm(0, 15, 8)).Kind, DataOpKind::None);
+  EXPECT_EQ(T.dataOp(encodeMemImm(Op3Ld, 1, 2, 0)).Kind, DataOpKind::None);
+}
+
+TEST(SriscTarget, RewriteRegisters) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  auto Swap12 = [](unsigned R) -> unsigned {
+    return R == 1 ? 2 : R == 2 ? 1 : R;
+  };
+  MachWord Add = encodeArithReg(Op3Add, 1, 2, 3);
+  auto New = T.rewriteRegisters(Add, Swap12);
+  ASSERT_TRUE(New.has_value());
+  EXPECT_EQ(fieldRd(*New), 2u);
+  EXPECT_EQ(fieldRs1(*New), 1u);
+  EXPECT_EQ(fieldRs2(*New), 3u);
+  // A call's implicit link register cannot be renamed.
+  auto MoveLink = [](unsigned R) -> unsigned { return R == 15 ? 16 : R; };
+  EXPECT_FALSE(T.rewriteRegisters(encodeCall(4), MoveLink).has_value());
+  EXPECT_TRUE(T.rewriteRegisters(encodeCall(4), Swap12).has_value());
+}
+
+TEST(SriscTarget, CodegenHelpers) {
+  using namespace srisc;
+  const TargetInfo &T = sriscTarget();
+  std::vector<MachWord> Out;
+  T.emitLoadConst(9, 0x123456, Out);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(T.classify(Out[0]), InstCategory::Computation);
+  Out.clear();
+  T.emitLoadConst(9, 100, Out); // fits simm13: single instruction
+  EXPECT_EQ(Out.size(), 1u);
+  Out.clear();
+  EXPECT_TRUE(T.emitJump(0x10000, 0x10100, Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(T.directTarget(Out[0], 0x10000), std::optional<Addr>(0x10100));
+  EXPECT_EQ(Out[1], T.nopWord());
+}
+
+TEST(SriscCond, EvalMatrix) {
+  using namespace srisc;
+  // subcc 3, 5: N=1 V=0 C=1(borrow) Z=0.
+  uint32_t CC = ccForSub(3, 5);
+  EXPECT_TRUE(evalCond(CondL, CC));   // 3 < 5 signed
+  EXPECT_TRUE(evalCond(CondLE, CC));
+  EXPECT_FALSE(evalCond(CondG, CC));
+  EXPECT_FALSE(evalCond(CondGE, CC));
+  EXPECT_TRUE(evalCond(CondCS, CC));  // 3 < 5 unsigned
+  EXPECT_TRUE(evalCond(CondNE, CC));
+  // subcc 5, 5: Z=1.
+  CC = ccForSub(5, 5);
+  EXPECT_TRUE(evalCond(CondE, CC));
+  EXPECT_TRUE(evalCond(CondLE, CC));
+  EXPECT_TRUE(evalCond(CondGE, CC));
+  EXPECT_FALSE(evalCond(CondL, CC));
+  // Signed overflow: INT_MAX - (-1).
+  CC = ccForSub(0x7FFFFFFFu, 0xFFFFFFFFu);
+  EXPECT_TRUE(evalCond(CondVS, CC));
+  EXPECT_TRUE(evalCond(CondG, CC)); // INT_MAX > -1
+  // Always/never.
+  EXPECT_TRUE(evalCond(CondA, 0));
+  EXPECT_FALSE(evalCond(CondN, 0xF));
+}
+
+// --- MRISC -------------------------------------------------------------------
+
+TEST(MriscTarget, Classification) {
+  using namespace mrisc;
+  const TargetInfo &T = mriscTarget();
+  EXPECT_EQ(T.classify(encodeRType(1, 2, 3, 0, FnAdd)),
+            InstCategory::Computation);
+  EXPECT_EQ(T.classify(encodeRType(31, 0, 0, 0, FnJr)),
+            InstCategory::IndirectJump);
+  EXPECT_EQ(T.classify(encodeRType(8, 0, 31, 0, FnJalr)),
+            InstCategory::IndirectJump);
+  EXPECT_EQ(T.classify(encodeRType(0, 0, 0, 0, FnSyscall)),
+            InstCategory::System);
+  EXPECT_EQ(T.classify(encodeJType(OpJ, 0x100)), InstCategory::JumpDirect);
+  EXPECT_EQ(T.classify(encodeJType(OpJal, 0x100)), InstCategory::CallDirect);
+  EXPECT_EQ(T.classify(encodeIType(OpBeq, 1, 2, 4)),
+            InstCategory::BranchDirect);
+  EXPECT_EQ(T.classify(encodeIType(OpLw, 29, 8, 4)), InstCategory::Load);
+  EXPECT_EQ(T.classify(encodeIType(OpSw, 29, 8, 4)), InstCategory::Store);
+  // nop (all zeros) is sll r0, r0, 0: a valid computation, as on MIPS.
+  EXPECT_EQ(T.classify(0), InstCategory::Computation);
+  // R-type with a junk funct is invalid.
+  EXPECT_EQ(T.classify(encodeRType(0, 0, 0, 0, 0x3F)), InstCategory::Invalid);
+  // blez with rt != 0 is invalid.
+  EXPECT_EQ(T.classify(encodeIType(OpBlez, 3, 1, 4)), InstCategory::Invalid);
+}
+
+TEST(MriscTarget, ReadsWrites) {
+  using namespace mrisc;
+  const TargetInfo &T = mriscTarget();
+  MachWord Add = encodeRType(9, 10, 11, 0, FnAdd);
+  EXPECT_EQ(T.reads(Add), (RegSet{9, 10}));
+  EXPECT_EQ(T.writes(Add), (RegSet{11}));
+  MachWord Jal = encodeJType(OpJal, 0x400);
+  EXPECT_EQ(T.writes(Jal), (RegSet{31}));
+  MachWord Sw = encodeIType(OpSw, 29, 8, 16);
+  EXPECT_EQ(T.reads(Sw), (RegSet{29, 8}));
+  EXPECT_EQ(T.writes(Sw), RegSet{});
+  MachWord Syscall = encodeRType(0, 0, 0, 0, FnSyscall);
+  EXPECT_EQ(T.reads(Syscall), (RegSet{2, 4, 5, 6}));
+  EXPECT_EQ(T.writes(Syscall), (RegSet{2}));
+}
+
+TEST(MriscTarget, BranchTargetsRelativeToDelaySlot) {
+  using namespace mrisc;
+  const TargetInfo &T = mriscTarget();
+  Addr PC = 0x10000;
+  MachWord Beq = encodeIType(OpBeq, 1, 2, 4);
+  EXPECT_EQ(T.directTarget(Beq, PC), std::optional<Addr>(PC + 4 + 16));
+  MachWord J = encodeJType(OpJ, 0x5000 >> 2);
+  EXPECT_EQ(T.directTarget(J, PC), std::optional<Addr>(0x5000));
+  auto Re = T.retargetDirect(Beq, 0x20000, 0x20010);
+  ASSERT_TRUE(Re.has_value());
+  EXPECT_EQ(T.directTarget(*Re, 0x20000), std::optional<Addr>(0x20010));
+  auto ReJ = T.retargetDirect(J, 0x20000, 0x300000);
+  ASSERT_TRUE(ReJ.has_value());
+  EXPECT_EQ(T.directTarget(*ReJ, 0x20000), std::optional<Addr>(0x300000));
+}
+
+TEST(MriscTarget, NoAnnulment) {
+  using namespace mrisc;
+  const TargetInfo &T = mriscTarget();
+  EXPECT_EQ(T.delayBehavior(encodeIType(OpBeq, 1, 2, 4)),
+            DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeJType(OpJ, 4)), DelayBehavior::Always);
+  EXPECT_EQ(T.delayBehavior(encodeRType(31, 0, 0, 0, FnJr)),
+            DelayBehavior::Always);
+  EXPECT_FALSE(T.hasConditionCodes());
+}
+
+TEST(MriscTarget, DataOps) {
+  using namespace mrisc;
+  const TargetInfo &T = mriscTarget();
+  DataOp Op = T.dataOp(encodeIType(OpLui, 0, 5, 0x1234));
+  EXPECT_EQ(Op.Kind, DataOpKind::LoadImmHi);
+  EXPECT_EQ(Op.Imm, int32_t(0x12340000));
+  Op = T.dataOp(encodeIType(OpAddi, 3, 4, 0xFFFC)); // addi $4, $3, -4
+  EXPECT_EQ(Op.Kind, DataOpKind::Add);
+  EXPECT_EQ(Op.Rd, 4u);
+  EXPECT_EQ(Op.Rs1, 3u);
+  EXPECT_TRUE(Op.HasImm);
+  EXPECT_EQ(Op.Imm, -4);
+  Op = T.dataOp(encodeRType(0, 7, 8, 2, FnSll)); // sll $8, $7, 2
+  EXPECT_EQ(Op.Kind, DataOpKind::Sll);
+  EXPECT_EQ(Op.Rs1, 7u);
+  EXPECT_EQ(Op.Imm, 2);
+}
+
+// --- Cross-target disassembly smoke test --------------------------------------
+
+TEST(Disassemble, ProducesText) {
+  using namespace srisc;
+  const TargetInfo &S = sriscTarget();
+  EXPECT_EQ(S.disassemble(nop(), 0), "nop");
+  EXPECT_EQ(S.disassemble(encodeArithReg(Op3Add, 11, 9, 10), 0),
+            "add %o1, %o2, %o3");
+  EXPECT_EQ(S.disassemble(encodeJmplImm(0, 15, 8), 0), "jmpl %o7+8, %g0");
+  const TargetInfo &M = mriscTarget();
+  EXPECT_EQ(M.disassemble(0, 0), "nop");
+  EXPECT_EQ(M.disassemble(mrisc::encodeRType(9, 10, 11, 0, mrisc::FnAdd), 0),
+            "add $t3, $t1, $t2");
+}
+
+// --- Property sweep: decode totality ------------------------------------------
+
+/// Every 32-bit word must classify without crashing, and reads/writes must
+/// never contain the hard-zero register.
+TEST(TargetProperty, DecodeTotality) {
+  Rng R(99);
+  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+    const TargetInfo &T = targetFor(Arch);
+    for (int I = 0; I < 20000; ++I) {
+      MachWord W = static_cast<MachWord>(R.next());
+      InstCategory Cat = T.classify(W);
+      RegSet Reads = T.reads(W);
+      RegSet Writes = T.writes(W);
+      EXPECT_FALSE(Reads.contains(0));
+      EXPECT_FALSE(Writes.contains(0));
+      if (Cat == InstCategory::IndirectJump) {
+        EXPECT_TRUE(T.indirectTarget(W).has_value());
+      }
+      if (Cat == InstCategory::Load || Cat == InstCategory::Store) {
+        EXPECT_TRUE(T.memOp(W).has_value());
+      }
+      T.disassemble(W, 0x10000); // must not crash
+    }
+  }
+}

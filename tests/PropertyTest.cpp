@@ -1,0 +1,270 @@
+//===- tests/PropertyTest.cpp - Parameterized property sweeps ----------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized (TEST_P) property suites sweeping (architecture × seed ×
+/// workload style) over the invariants that make executable editing sound:
+///
+///  * P1 identity: re-laying out a program preserves behaviour exactly;
+///  * P2 instrumentation transparency: a fully profiled program behaves
+///    identically and its counters sum consistently;
+///  * P3 dual-interpreter agreement: handwritten VM and description-driven
+///    (spawn RTL) interpreter agree on whole programs;
+///  * P4 scavenging soundness: registers the allocator hands to snippets
+///    are genuinely dead (verified behaviourally by clobbering them);
+///  * P5 ablation safety: disabling slicing or fold-back never changes
+///    behaviour, only cost;
+///  * P6 analysis totality: every generated routine's analyses run and
+///    agree on basic invariants (edge symmetry, dominator reflexivity,
+///    liveness at block boundaries).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Dominators.h"
+#include "core/Executable.h"
+#include "core/Liveness.h"
+#include "spawn/Eval.h"
+#include "spawn/SpawnTarget.h"
+#include "tools/Qpt.h"
+#include "vm/Machine.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+namespace {
+
+struct SweepParam {
+  TargetArch Arch;
+  uint64_t Seed;
+  unsigned TailCallPercent;
+  bool Pathologies;
+};
+
+std::string paramName(const testing::TestParamInfo<SweepParam> &Info) {
+  const SweepParam &P = Info.param;
+  std::string Name = P.Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+  Name += "_seed" + std::to_string(P.Seed);
+  if (P.TailCallPercent)
+    Name += "_tail";
+  if (P.Pathologies)
+    Name += "_path";
+  return Name;
+}
+
+std::vector<SweepParam> sweepParams() {
+  std::vector<SweepParam> Params;
+  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+    for (uint64_t Seed : {101u, 102u, 103u, 104u, 105u, 106u}) {
+      Params.push_back({Arch, Seed, 0, false});
+      Params.push_back({Arch, Seed, 40, false});
+    }
+  }
+  // Symbol pathologies only make sense on SRISC (text-embedded data decodes
+  // as valid words on MRISC).
+  for (uint64_t Seed : {201u, 202u, 203u})
+    Params.push_back({TargetArch::Srisc, Seed, 20, true});
+  return Params;
+}
+
+SxfFile makeProgram(const SweepParam &P) {
+  WorkloadOptions Opts;
+  Opts.Seed = P.Seed;
+  Opts.Routines = 12;
+  Opts.SwitchPercent = 35;
+  Opts.TailCallPercent = P.TailCallPercent;
+  Opts.SymbolPathologies = P.Pathologies;
+  return generateWorkload(P.Arch, Opts);
+}
+
+class EditingSweep : public testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+// --- P1: identity --------------------------------------------------------------
+
+TEST_P(EditingSweep, IdentityRewrite) {
+  SxfFile File = makeProgram(GetParam());
+  RunResult Original = runToCompletion(File);
+  ASSERT_EQ(Original.Reason, StopReason::Exited);
+  Executable Exec(std::move(File));
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  ASSERT_TRUE(Edited.hasValue()) << Edited.error().message();
+  RunResult After = runToCompletion(Edited.value());
+  EXPECT_EQ(After.Output, Original.Output);
+  EXPECT_EQ(After.ExitCode, Original.ExitCode);
+}
+
+// --- P2: instrumentation transparency -----------------------------------------------
+
+TEST_P(EditingSweep, ProfiledProgramTransparent) {
+  SxfFile File = makeProgram(GetParam());
+  RunResult Original = runToCompletion(File);
+  Executable Exec(std::move(File));
+  Qpt2Profiler Profiler(Exec);
+  Profiler.instrument();
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  ASSERT_TRUE(Edited.hasValue()) << Edited.error().message();
+  Machine M(Edited.value());
+  RunResult After = M.run();
+  EXPECT_EQ(After.Output, Original.Output);
+  EXPECT_EQ(After.ExitCode, Original.ExitCode);
+
+  // Consistency: for every instrumented branch, taken + not-taken edge
+  // counts must equal the branch block's execution count.
+  std::vector<uint64_t> Counts = Profiler.readCounts(M.memory());
+  std::map<Addr, uint64_t> BlockCount;
+  std::map<Addr, uint64_t> EdgeSum;
+  std::map<Addr, bool> HasBothEdges;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    const Qpt2Profiler::CounterInfo &Info = Profiler.counters()[I];
+    if (Info.K == Qpt2Profiler::CounterInfo::Kind::Block)
+      BlockCount[Info.BlockAnchor] = Counts[I];
+    else if (Info.Edge == EdgeKind::Taken || Info.Edge == EdgeKind::NotTaken) {
+      EdgeSum[Info.BlockAnchor] += Counts[I];
+      HasBothEdges[Info.BlockAnchor] = true;
+    }
+  }
+  unsigned Checked = 0;
+  for (const auto &[Anchor, Sum] : EdgeSum) {
+    if (!HasBothEdges[Anchor] || !BlockCount.count(Anchor))
+      continue;
+    EXPECT_EQ(Sum, BlockCount[Anchor])
+        << "edge counts do not sum to block count @0x" << std::hex << Anchor;
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+// --- P3: dual-interpreter agreement ---------------------------------------------------
+
+TEST_P(EditingSweep, SpawnInterpreterAgrees) {
+  SxfFile File = makeProgram(GetParam());
+  RunResult Hand = runToCompletion(File);
+  RunResult Spawn = spawn::runWithDescription(
+      spawn::spawnTargetFor(GetParam().Arch).desc(), File);
+  EXPECT_EQ(static_cast<int>(Hand.Reason), static_cast<int>(Spawn.Reason));
+  EXPECT_EQ(Hand.ExitCode, Spawn.ExitCode);
+  EXPECT_EQ(Hand.Output, Spawn.Output);
+  EXPECT_EQ(Hand.Instructions, Spawn.Instructions);
+}
+
+// --- P5: ablation safety ---------------------------------------------------------------
+
+TEST_P(EditingSweep, AblationsPreserveBehavior) {
+  SxfFile File = makeProgram(GetParam());
+  RunResult Original = runToCompletion(File);
+  for (int Which = 0; Which < 2; ++Which) {
+    Executable::Options Opts;
+    if (Which == 0)
+      Opts.DisableSlicing = true;
+    else
+      Opts.DisableDelayFolding = true;
+    Executable Exec(SxfFile(File), Opts);
+    Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+    ASSERT_TRUE(Edited.hasValue())
+        << "ablation " << Which << ": " << Edited.error().message();
+    RunResult After = runToCompletion(Edited.value());
+    EXPECT_EQ(After.Output, Original.Output) << "ablation " << Which;
+    EXPECT_EQ(After.ExitCode, Original.ExitCode) << "ablation " << Which;
+  }
+}
+
+// --- P6: analysis totality and invariants -------------------------------------------------
+
+TEST_P(EditingSweep, AnalysisInvariants) {
+  SxfFile File = makeProgram(GetParam());
+  Executable Exec(std::move(File));
+  Exec.readContents();
+  for (const auto &R : Exec.routines()) {
+    if (R->isData())
+      continue;
+    Cfg *G = R->controlFlowGraph();
+    // Edge symmetry: every successor edge appears in its destination's
+    // predecessor list.
+    for (const auto &B : G->blocks()) {
+      for (const Edge *E : B->succ()) {
+        EXPECT_EQ(E->src(), B.get());
+        bool Found = false;
+        for (const Edge *P : E->dst()->pred())
+          if (P == E)
+            Found = true;
+        EXPECT_TRUE(Found);
+      }
+    }
+    if (G->unsupported())
+      continue;
+    Dominators Doms(*G);
+    Liveness Live(*G);
+    for (const auto &B : G->blocks()) {
+      if (Doms.reachable(B.get())) {
+        EXPECT_TRUE(Doms.dominates(B.get(), B.get()));
+      }
+      // Liveness boundary agreement: liveBefore(0) == liveIn for blocks
+      // with instructions.
+      if (!B->empty() && B->kind() != BlockKind::CallSurrogate) {
+        EXPECT_EQ(Live.liveBefore(B.get(), 0), Live.liveIn(B.get()));
+      }
+      // Entry blocks of the routine never consider reserved scratch
+      // (hard zero) live.
+      EXPECT_FALSE(Live.liveIn(B.get()).contains(0));
+    }
+    R->deleteControlFlowGraph();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EditingSweep,
+                         testing::ValuesIn(sweepParams()), paramName);
+
+// --- P4: scavenging soundness (its own fixture; SRISC) ---------------------------------
+
+namespace {
+
+class ScavengeSweep : public testing::TestWithParam<uint64_t> {};
+
+/// A snippet that CLOBBERS its scavenged registers with a poison value and
+/// never restores them. If the registers EEL hands out are genuinely dead,
+/// the program still behaves identically.
+SnippetPtr makePoisonSnippet(const TargetInfo &T) {
+  std::vector<MachWord> Body;
+  T.emitLoadConst(1, 0xDEAD0001u, Body);
+  T.emitLoadConst(2, 0xDEAD0002u, Body);
+  T.emitLoadConst(3, 0xDEAD0003u, Body);
+  return std::make_shared<CodeSnippet>(std::move(Body), RegSet{1, 2, 3});
+}
+
+} // namespace
+
+TEST_P(ScavengeSweep, ScavengedRegistersAreDead) {
+  WorkloadOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.Routines = 10;
+  SxfFile File = generateWorkload(TargetArch::Srisc, Opts);
+  RunResult Original = runToCompletion(File);
+  Executable Exec(std::move(File));
+  Exec.readContents();
+  for (const auto &R : Exec.routines()) {
+    if (R->isData())
+      continue;
+    Cfg *G = R->controlFlowGraph();
+    if (G->unsupported())
+      continue;
+    for (const auto &B : G->blocks()) {
+      if (B->kind() != BlockKind::Normal || !B->editable())
+        continue;
+      G->addCodeBefore(B.get(), 0, makePoisonSnippet(Exec.target()));
+    }
+  }
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  ASSERT_TRUE(Edited.hasValue()) << Edited.error().message();
+  RunResult After = runToCompletion(Edited.value());
+  EXPECT_EQ(After.Output, Original.Output);
+  EXPECT_EQ(After.ExitCode, Original.ExitCode);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScavengeSweep,
+                         testing::Values(11u, 12u, 13u, 14u, 15u, 16u));

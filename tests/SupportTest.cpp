@@ -1,0 +1,184 @@
+//===- tests/SupportTest.cpp - Support-library unit tests -----------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitOps.h"
+#include "support/ByteBuffer.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/FileIO.h"
+#include "support/RegSet.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+TEST(BitOps, ExtractInsertRoundTrip) {
+  uint32_t W = 0xDEADBEEF;
+  EXPECT_EQ(extractBits(W, 0, 31), W);
+  EXPECT_EQ(extractBits(W, 0, 3), 0xFu);
+  EXPECT_EQ(extractBits(W, 28, 31), 0xDu);
+  EXPECT_EQ(extractBits(W, 8, 15), 0xBEu);
+  uint32_t V = insertBits(W, 8, 15, 0x42);
+  EXPECT_EQ(extractBits(V, 8, 15), 0x42u);
+  EXPECT_EQ(extractBits(V, 0, 7), extractBits(W, 0, 7));
+  EXPECT_EQ(extractBits(V, 16, 31), extractBits(W, 16, 31));
+}
+
+TEST(BitOps, InsertMasksExcessBits) {
+  EXPECT_EQ(insertBits(0, 0, 3, 0xFF), 0xFu);
+}
+
+TEST(BitOps, SignExtend) {
+  EXPECT_EQ(signExtend(0xFFF, 12), -1);
+  EXPECT_EQ(signExtend(0x7FF, 12), 0x7FF);
+  EXPECT_EQ(signExtend(0x800, 12), -2048);
+  EXPECT_EQ(signExtend(0, 1), 0);
+  EXPECT_EQ(signExtend(1, 1), -1);
+  EXPECT_EQ(signExtend(0x80000000u, 32), INT32_MIN);
+}
+
+TEST(BitOps, FitsSignedUnsigned) {
+  EXPECT_TRUE(fitsSigned(-4096, 13));
+  EXPECT_TRUE(fitsSigned(4095, 13));
+  EXPECT_FALSE(fitsSigned(4096, 13));
+  EXPECT_FALSE(fitsSigned(-4097, 13));
+  EXPECT_TRUE(fitsUnsigned(8191, 13));
+  EXPECT_FALSE(fitsUnsigned(8192, 13));
+}
+
+TEST(RegSet, BasicOperations) {
+  RegSet S{1, 5, 31};
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_TRUE(S.contains(5));
+  EXPECT_FALSE(S.contains(4));
+  S.remove(5);
+  EXPECT_FALSE(S.contains(5));
+  S.insert(RegIdCC);
+  EXPECT_TRUE(S.contains(RegIdCC));
+  EXPECT_EQ(S.first(), 1u);
+}
+
+TEST(RegSet, SetAlgebra) {
+  RegSet A{1, 2, 3};
+  RegSet B{3, 4};
+  EXPECT_EQ((A | B).size(), 4u);
+  EXPECT_EQ((A & B).size(), 1u);
+  EXPECT_TRUE((A & B).contains(3));
+  EXPECT_EQ((A - B), (RegSet{1, 2}));
+}
+
+TEST(RegSet, IterationInOrder) {
+  RegSet S{9, 2, 17};
+  std::vector<unsigned> Ids;
+  for (unsigned Id : S)
+    Ids.push_back(Id);
+  EXPECT_EQ(Ids, (std::vector<unsigned>{2, 9, 17}));
+}
+
+TEST(Casting, KindBasedDispatch) {
+  struct Base {
+    enum Kind { KA, KB } K;
+    explicit Base(Kind K) : K(K) {}
+  };
+  struct A : Base {
+    A() : Base(KA) {}
+    static bool classof(const Base *B) { return B->K == KA; }
+  };
+  struct B : Base {
+    B() : Base(KB) {}
+    static bool classof(const Base *Bp) { return Bp->K == KB; }
+  };
+  A ValueA;
+  Base *P = &ValueA;
+  EXPECT_TRUE(isa<A>(P));
+  EXPECT_FALSE(isa<B>(P));
+  EXPECT_EQ(dyn_cast<A>(P), &ValueA);
+  EXPECT_EQ(dyn_cast<B>(P), nullptr);
+  EXPECT_EQ(dyn_cast_or_null<A>(static_cast<Base *>(nullptr)), nullptr);
+  bool Either = isa<A, B>(P);
+  EXPECT_TRUE(Either);
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> Good(42);
+  ASSERT_TRUE(Good.hasValue());
+  EXPECT_EQ(Good.value(), 42);
+  Expected<int> Bad{Error("something broke")};
+  ASSERT_TRUE(Bad.hasError());
+  EXPECT_EQ(Bad.error().message(), "something broke");
+}
+
+TEST(ByteBuffer, RoundTrip) {
+  ByteWriter W;
+  W.writeU8(0xAB);
+  W.writeU16(0x1234);
+  W.writeU32(0xDEADBEEF);
+  W.writeString("hello");
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readU8(), 0xAB);
+  EXPECT_EQ(R.readU16(), 0x1234);
+  EXPECT_EQ(R.readU32(), 0xDEADBEEFu);
+  EXPECT_EQ(R.readString(), "hello");
+  EXPECT_FALSE(R.failed());
+  R.readU32(); // past the end
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(ByteBuffer, PatchU32) {
+  ByteWriter W;
+  W.writeU32(0);
+  W.writeU8(7);
+  W.patchU32(0, 0xCAFEBABE);
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readU32(), 0xCAFEBABEu);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng A(12345), B(12345);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = C.below(17);
+    EXPECT_LT(V, 17u);
+    int64_t R = C.range(-5, 5);
+    EXPECT_GE(R, -5);
+    EXPECT_LE(R, 5);
+  }
+}
+
+TEST(CountCodeLines, SkipsCommentsAndBlanks) {
+  std::string Text = "// comment\n"
+                     "\n"
+                     "int x;\n"
+                     "  ! asm comment\n"
+                     "  -- desc comment\n"
+                     "# hash comment\n"
+                     "real line\n";
+  EXPECT_EQ(countCodeLines(Text), 2u);
+}
+
+TEST(Stats, RegistryCounts) {
+  StatRegistry::instance().resetAll();
+  bumpStat("test.counter");
+  bumpStat("test.counter", 4);
+  EXPECT_EQ(StatRegistry::instance().read("test.counter"), 5u);
+  EXPECT_EQ(StatRegistry::instance().read("test.missing"), 0u);
+  StatRegistry::instance().resetAll();
+  EXPECT_EQ(StatRegistry::instance().read("test.counter"), 0u);
+}
+
+TEST(FileIO, RoundTrip) {
+  std::string Path = testing::TempDir() + "/eel_fileio_test.bin";
+  std::vector<uint8_t> Bytes = {1, 2, 3, 0, 255};
+  ASSERT_TRUE(writeFileBytes(Path, Bytes).hasValue());
+  Expected<std::vector<uint8_t>> Read = readFileBytes(Path);
+  ASSERT_TRUE(Read.hasValue());
+  EXPECT_EQ(Read.value(), Bytes);
+  EXPECT_TRUE(readFileBytes(Path + ".missing").hasError());
+}

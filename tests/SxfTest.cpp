@@ -1,0 +1,118 @@
+//===- tests/SxfTest.cpp - Executable-format tests -------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sxf/Sxf.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+static SxfFile makeSample() {
+  SxfFile File;
+  File.Arch = TargetArch::Srisc;
+  File.Entry = 0x10000;
+
+  SxfSegment Text;
+  Text.Kind = SegKind::Text;
+  Text.VAddr = 0x10000;
+  Text.Bytes = {0x01, 0x02, 0x03, 0x04, 0xAA, 0xBB, 0xCC, 0xDD};
+  Text.MemSize = 8;
+  File.Segments.push_back(Text);
+
+  SxfSegment Data;
+  Data.Kind = SegKind::Data;
+  Data.VAddr = 0x400000;
+  Data.Bytes = {1, 0, 0, 0};
+  Data.MemSize = 4;
+  File.Segments.push_back(Data);
+
+  SxfSegment Bss;
+  Bss.Kind = SegKind::Bss;
+  Bss.VAddr = 0x400010;
+  Bss.MemSize = 64;
+  File.Segments.push_back(Bss);
+
+  File.Symbols.push_back({"main", 0x10000, 8, SymKind::Routine,
+                          SymBinding::Global});
+  File.Symbols.push_back({"counter", 0x400000, 4, SymKind::Object,
+                          SymBinding::Local});
+  File.Symbols.push_back({"Ltmp3", 0x10004, 0, SymKind::Temp,
+                          SymBinding::Local});
+  return File;
+}
+
+TEST(Sxf, SerializeDeserializeRoundTrip) {
+  SxfFile File = makeSample();
+  std::vector<uint8_t> Bytes = File.serialize();
+  Expected<SxfFile> Back = SxfFile::deserialize(Bytes);
+  ASSERT_TRUE(Back.hasValue());
+  const SxfFile &F = Back.value();
+  EXPECT_EQ(F.Arch, TargetArch::Srisc);
+  EXPECT_EQ(F.Entry, 0x10000u);
+  ASSERT_EQ(F.Segments.size(), 3u);
+  EXPECT_EQ(F.Segments[0].Bytes, File.Segments[0].Bytes);
+  EXPECT_EQ(F.Segments[2].MemSize, 64u);
+  EXPECT_TRUE(F.Segments[2].Bytes.empty());
+  ASSERT_EQ(F.Symbols.size(), 3u);
+  EXPECT_EQ(F.Symbols[0].Name, "main");
+  EXPECT_EQ(F.Symbols[0].Binding, SymBinding::Global);
+  EXPECT_EQ(F.Symbols[2].Kind, SymKind::Temp);
+}
+
+TEST(Sxf, WordAccess) {
+  SxfFile File = makeSample();
+  EXPECT_EQ(File.readWord(0x10000), 0x04030201u);
+  EXPECT_EQ(File.readWord(0x10004), 0xDDCCBBAAu);
+  EXPECT_EQ(File.readWord(0x10008), std::nullopt); // past text bytes
+  EXPECT_EQ(File.readWord(0x400010), std::nullopt); // bss has no bytes
+  ASSERT_TRUE(File.writeWord(0x10004, 0x11223344));
+  EXPECT_EQ(File.readWord(0x10004), 0x11223344u);
+  EXPECT_FALSE(File.writeWord(0x999999, 1));
+}
+
+TEST(Sxf, SegmentQueries) {
+  SxfFile File = makeSample();
+  ASSERT_NE(File.segment(SegKind::Text), nullptr);
+  EXPECT_EQ(File.segment(SegKind::Text)->VAddr, 0x10000u);
+  ASSERT_NE(File.segmentContaining(0x400020), nullptr);
+  EXPECT_EQ(File.segmentContaining(0x400020)->Kind, SegKind::Bss);
+  EXPECT_EQ(File.segmentContaining(0x999999), nullptr);
+}
+
+TEST(Sxf, SymbolLookupAndStrip) {
+  SxfFile File = makeSample();
+  ASSERT_NE(File.findSymbol("counter"), nullptr);
+  EXPECT_EQ(File.findSymbol("counter")->Value, 0x400000u);
+  EXPECT_EQ(File.findSymbol("nonesuch"), nullptr);
+  File.strip();
+  EXPECT_TRUE(File.Symbols.empty());
+  // A stripped file still round-trips.
+  Expected<SxfFile> Back = SxfFile::deserialize(File.serialize());
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_TRUE(Back.value().Symbols.empty());
+}
+
+TEST(Sxf, RejectsCorruptInput) {
+  EXPECT_TRUE(SxfFile::deserialize({}).hasError());
+  EXPECT_TRUE(SxfFile::deserialize({1, 2, 3, 4, 5}).hasError());
+  // Truncate a valid image.
+  std::vector<uint8_t> Bytes = makeSample().serialize();
+  Bytes.resize(Bytes.size() / 2);
+  EXPECT_TRUE(SxfFile::deserialize(Bytes).hasError());
+  // Corrupt the magic.
+  Bytes = makeSample().serialize();
+  Bytes[0] ^= 0xFF;
+  EXPECT_TRUE(SxfFile::deserialize(Bytes).hasError());
+}
+
+TEST(Sxf, FileRoundTrip) {
+  std::string Path = testing::TempDir() + "/eel_sxf_test.sxf";
+  SxfFile File = makeSample();
+  ASSERT_TRUE(File.writeToFile(Path).hasValue());
+  Expected<SxfFile> Back = SxfFile::readFromFile(Path);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(Back.value().serialize(), File.serialize());
+}

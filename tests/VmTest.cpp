@@ -1,0 +1,364 @@
+//===- tests/VmTest.cpp - Simulator tests ----------------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmkit/Assembler.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace eel;
+
+TEST(VmSrisc, ExitCode) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 42, %o0
+  sys 0
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(VmSrisc, ReturnFromMainExits) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 7, %o0
+  ret
+  nop
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(VmSrisc, ArithmeticAndLoop) {
+  // Sum 1..10 = 55.
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  mov 1, %o1
+loop:
+  add %o0, %o1, %o0
+  add %o1, 1, %o1
+  cmp %o1, 10
+  ble loop
+  nop
+  sys 0
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+TEST(VmSrisc, MemoryAndStrings) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 1, %o0
+  set msg, %o1
+  mov 6, %o2
+  sys 1
+  set value, %o3
+  ld [%o3 + 0], %o0
+  sys 0
+.data
+msg: .asciz "hello\n"
+.align 4
+value: .word 99
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Output, "hello\n");
+  EXPECT_EQ(R.ExitCode, 99);
+}
+
+TEST(VmSrisc, DelaySlotExecutesBeforeTransfer) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  ba done
+  add %o0, 5, %o0     ! delay slot: executes
+  add %o0, 100, %o0   ! skipped
+done:
+  sys 0
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 5);
+}
+
+TEST(VmSrisc, AnnulledBranchTaken) {
+  // be,a with the branch taken: delay slot executes.
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  cmp %g0, 0
+  be,a done
+  add %o0, 5, %o0     ! executes: branch taken
+  add %o0, 100, %o0
+done:
+  sys 0
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 5);
+}
+
+TEST(VmSrisc, AnnulledBranchUntakenSquashesDelay) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  cmp %g0, 1
+  be,a elsewhere
+  add %o0, 5, %o0     ! squashed: annulled, branch untaken
+  add %o0, 100, %o0   ! falls through to here
+  sys 0
+elsewhere:
+  mov 77, %o0
+  sys 0
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 100);
+}
+
+TEST(VmSrisc, BaAnnulAlwaysSquashes) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 0, %o0
+  ba,a done
+  add %o0, 5, %o0     ! squashed: ba,a annuls its delay slot
+done:
+  sys 0
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 0);
+}
+
+TEST(VmSrisc, CallAndReturn) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  call double_it
+  mov 21, %o0         ! delay slot sets the argument
+  sys 0
+double_it:
+  ret
+  add %o0, %o0, %o0   ! delay slot of ret computes the result
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 42);
+}
+
+TEST(VmSrisc, IndirectJumpThroughTable) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  set table, %o1
+  ld [%o1 + 4], %o2   ! second entry
+  jmpl %o2 + 0, %g0
+  nop
+case0:
+  mov 10, %o0
+  sys 0
+case1:
+  mov 20, %o0
+  sys 0
+.data
+.align 4
+table: .word case0, case1
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 20);
+}
+
+TEST(VmSrisc, ConditionCodeAccess) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  cmp %g0, 0           ! sets Z
+  rdcc %o1
+  cmp %g0, 1           ! clears Z
+  wrcc %o1             ! restore Z
+  be yes
+  nop
+  mov 0, %o0
+  sys 0
+yes:
+  mov 1, %o0
+  sys 0
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 1);
+}
+
+TEST(VmSrisc, SbrkAndHooks) {
+  SxfFile File = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  mov 64, %o0
+  sys 2                ! sbrk(64)
+  mov %o0, %o3
+  mov 7, %o4
+  st %o4, [%o3 + 0]
+  ld [%o3 + 0], %o0
+  sys 0
+)");
+  Machine M(File);
+  unsigned MemOps = 0, Transfers = 0;
+  uint64_t Insts = 0;
+  M.OnMemory = [&](Addr, Addr, unsigned, bool) { ++MemOps; };
+  M.OnTransfer = [&](Addr, Addr, bool) { ++Transfers; };
+  M.OnInst = [&](Addr, MachWord) { ++Insts; };
+  RunResult R = M.run();
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_EQ(MemOps, 2u);
+  EXPECT_EQ(Transfers, 0u);
+  EXPECT_EQ(Insts, R.Instructions);
+}
+
+TEST(VmSrisc, StepLimitAndBadInstruction) {
+  SxfFile Loop = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  ba main
+  nop
+)");
+  RunResult R = runToCompletion(Loop, 1000);
+  EXPECT_EQ(R.Reason, StopReason::StepLimit);
+
+  SxfFile Bad = assembleOrDie(TargetArch::Srisc, R"(
+.text
+main:
+  nop
+.word 0
+)");
+  R = runToCompletion(Bad);
+  EXPECT_EQ(R.Reason, StopReason::BadInstruction);
+}
+
+// --- MRISC ---------------------------------------------------------------------
+
+TEST(VmMrisc, ExitAndArithmetic) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  li $t0, 6
+  li $t1, 7
+  mul $a0, $t0, $t1
+  li $v0, 0
+  syscall
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(VmMrisc, ReturnFromMainExits) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  li $v0, 9
+  jr $ra
+  nop
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+TEST(VmMrisc, LoopAndMemory) {
+  // Sum array {3, 5, 9} = 17.
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  la $t0, arr
+  li $t1, 3
+  li $a0, 0
+loop:
+  lw $t2, 0($t0)
+  add $a0, $a0, $t2
+  addi $t0, $t0, 4
+  addi $t1, $t1, -1
+  bgtz $t1, loop
+  nop
+  li $v0, 0
+  syscall
+.data
+.align 4
+arr: .word 3, 5, 9
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 17);
+}
+
+TEST(VmMrisc, DelaySlotSemantics) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  li $a0, 0
+  j done
+  addi $a0, $a0, 5    ! delay slot executes
+  addi $a0, $a0, 100  ! skipped
+done:
+  li $v0, 0
+  syscall
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 5);
+}
+
+TEST(VmMrisc, CallAndIndirect) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  jal triple
+  li $a0, 5           ! delay slot: argument
+  move $a0, $v1
+  li $v0, 0
+  syscall
+triple:
+  add $v1, $a0, $a0
+  jr $ra
+  add $v1, $v1, $a0   ! delay slot finishes the sum
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 15);
+}
+
+TEST(VmMrisc, WriteSyscall) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  li $a0, 1
+  la $a1, msg
+  li $a2, 3
+  li $v0, 1
+  syscall
+  li $a0, 0
+  li $v0, 0
+  syscall
+.data
+msg: .asciz "ok\n"
+)");
+  RunResult R = runToCompletion(File);
+  EXPECT_EQ(R.Output, "ok\n");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(VmMrisc, FunctionPointerCall) {
+  SxfFile File = assembleOrDie(TargetArch::Mrisc, R"(
+.text
+main:
+  la $t0, fptr
+  lw $t1, 0($t0)
+  jalr $t1
+  nop
+  move $a0, $v1
+  li $v0, 0
+  syscall
+target:
+  li $v1, 33
+  jr $ra
+  nop
+.data
+.align 4
+fptr: .word target
+)");
+  EXPECT_EQ(runToCompletion(File).ExitCode, 33);
+}
