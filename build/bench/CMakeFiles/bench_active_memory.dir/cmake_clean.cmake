@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_memory.dir/bench_active_memory.cpp.o"
+  "CMakeFiles/bench_active_memory.dir/bench_active_memory.cpp.o.d"
+  "bench_active_memory"
+  "bench_active_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

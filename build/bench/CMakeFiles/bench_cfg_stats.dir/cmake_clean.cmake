@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfg_stats.dir/bench_cfg_stats.cpp.o"
+  "CMakeFiles/bench_cfg_stats.dir/bench_cfg_stats.cpp.o.d"
+  "bench_cfg_stats"
+  "bench_cfg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

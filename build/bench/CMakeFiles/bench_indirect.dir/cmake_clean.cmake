@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indirect.dir/bench_indirect.cpp.o"
+  "CMakeFiles/bench_indirect.dir/bench_indirect.cpp.o.d"
+  "bench_indirect"
+  "bench_indirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machdesc.dir/bench_machdesc.cpp.o"
+  "CMakeFiles/bench_machdesc.dir/bench_machdesc.cpp.o.d"
+  "bench_machdesc"
+  "bench_machdesc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machdesc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

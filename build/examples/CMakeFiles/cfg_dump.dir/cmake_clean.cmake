@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_dump.dir/cfg_dump.cpp.o"
+  "CMakeFiles/cfg_dump.dir/cfg_dump.cpp.o.d"
+  "cfg_dump"
+  "cfg_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sandbox_demo.cpp" "examples/CMakeFiles/sandbox_demo.dir/sandbox_demo.cpp.o" "gcc" "examples/CMakeFiles/sandbox_demo.dir/sandbox_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/eel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/eel_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spawn/CMakeFiles/eel_spawn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/eel_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/eel_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxf/CMakeFiles/eel_sxf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/eel_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_demo.dir/sandbox_demo.cpp.o"
+  "CMakeFiles/sandbox_demo.dir/sandbox_demo.cpp.o.d"
+  "sandbox_demo"
+  "sandbox_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_asmkit.dir/Assembler.cpp.o"
+  "CMakeFiles/eel_asmkit.dir/Assembler.cpp.o.d"
+  "CMakeFiles/eel_asmkit.dir/MriscAsm.cpp.o"
+  "CMakeFiles/eel_asmkit.dir/MriscAsm.cpp.o.d"
+  "CMakeFiles/eel_asmkit.dir/SriscAsm.cpp.o"
+  "CMakeFiles/eel_asmkit.dir/SriscAsm.cpp.o.d"
+  "libeel_asmkit.a"
+  "libeel_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CallGraph.cpp" "src/core/CMakeFiles/eel_core.dir/CallGraph.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/core/Cfg.cpp" "src/core/CMakeFiles/eel_core.dir/Cfg.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Cfg.cpp.o.d"
+  "/root/repo/src/core/CfgBuild.cpp" "src/core/CMakeFiles/eel_core.dir/CfgBuild.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/CfgBuild.cpp.o.d"
+  "/root/repo/src/core/Dominators.cpp" "src/core/CMakeFiles/eel_core.dir/Dominators.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Dominators.cpp.o.d"
+  "/root/repo/src/core/Executable.cpp" "src/core/CMakeFiles/eel_core.dir/Executable.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Executable.cpp.o.d"
+  "/root/repo/src/core/Instruction.cpp" "src/core/CMakeFiles/eel_core.dir/Instruction.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Instruction.cpp.o.d"
+  "/root/repo/src/core/Layout.cpp" "src/core/CMakeFiles/eel_core.dir/Layout.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Layout.cpp.o.d"
+  "/root/repo/src/core/Liveness.cpp" "src/core/CMakeFiles/eel_core.dir/Liveness.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Liveness.cpp.o.d"
+  "/root/repo/src/core/OutputWriter.cpp" "src/core/CMakeFiles/eel_core.dir/OutputWriter.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/OutputWriter.cpp.o.d"
+  "/root/repo/src/core/RegAlloc.cpp" "src/core/CMakeFiles/eel_core.dir/RegAlloc.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/RegAlloc.cpp.o.d"
+  "/root/repo/src/core/Routine.cpp" "src/core/CMakeFiles/eel_core.dir/Routine.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Routine.cpp.o.d"
+  "/root/repo/src/core/Slice.cpp" "src/core/CMakeFiles/eel_core.dir/Slice.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Slice.cpp.o.d"
+  "/root/repo/src/core/Snippet.cpp" "src/core/CMakeFiles/eel_core.dir/Snippet.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Snippet.cpp.o.d"
+  "/root/repo/src/core/SymbolRefine.cpp" "src/core/CMakeFiles/eel_core.dir/SymbolRefine.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/SymbolRefine.cpp.o.d"
+  "/root/repo/src/core/Translate.cpp" "src/core/CMakeFiles/eel_core.dir/Translate.cpp.o" "gcc" "src/core/CMakeFiles/eel_core.dir/Translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmkit/CMakeFiles/eel_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxf/CMakeFiles/eel_sxf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/eel_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

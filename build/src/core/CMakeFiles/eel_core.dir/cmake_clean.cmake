@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_core.dir/CallGraph.cpp.o"
+  "CMakeFiles/eel_core.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Cfg.cpp.o"
+  "CMakeFiles/eel_core.dir/Cfg.cpp.o.d"
+  "CMakeFiles/eel_core.dir/CfgBuild.cpp.o"
+  "CMakeFiles/eel_core.dir/CfgBuild.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Dominators.cpp.o"
+  "CMakeFiles/eel_core.dir/Dominators.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Executable.cpp.o"
+  "CMakeFiles/eel_core.dir/Executable.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Instruction.cpp.o"
+  "CMakeFiles/eel_core.dir/Instruction.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Layout.cpp.o"
+  "CMakeFiles/eel_core.dir/Layout.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Liveness.cpp.o"
+  "CMakeFiles/eel_core.dir/Liveness.cpp.o.d"
+  "CMakeFiles/eel_core.dir/OutputWriter.cpp.o"
+  "CMakeFiles/eel_core.dir/OutputWriter.cpp.o.d"
+  "CMakeFiles/eel_core.dir/RegAlloc.cpp.o"
+  "CMakeFiles/eel_core.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Routine.cpp.o"
+  "CMakeFiles/eel_core.dir/Routine.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Slice.cpp.o"
+  "CMakeFiles/eel_core.dir/Slice.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Snippet.cpp.o"
+  "CMakeFiles/eel_core.dir/Snippet.cpp.o.d"
+  "CMakeFiles/eel_core.dir/SymbolRefine.cpp.o"
+  "CMakeFiles/eel_core.dir/SymbolRefine.cpp.o.d"
+  "CMakeFiles/eel_core.dir/Translate.cpp.o"
+  "CMakeFiles/eel_core.dir/Translate.cpp.o.d"
+  "libeel_core.a"
+  "libeel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Descriptions.cpp" "src/isa/CMakeFiles/eel_isa.dir/Descriptions.cpp.o" "gcc" "src/isa/CMakeFiles/eel_isa.dir/Descriptions.cpp.o.d"
+  "/root/repo/src/isa/Mrisc.cpp" "src/isa/CMakeFiles/eel_isa.dir/Mrisc.cpp.o" "gcc" "src/isa/CMakeFiles/eel_isa.dir/Mrisc.cpp.o.d"
+  "/root/repo/src/isa/Srisc.cpp" "src/isa/CMakeFiles/eel_isa.dir/Srisc.cpp.o" "gcc" "src/isa/CMakeFiles/eel_isa.dir/Srisc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/isa/CMakeFiles/eel_isa.dir/Descriptions.cpp.o: \
+ /root/repo/src/isa/Descriptions.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/isa/Descriptions.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_isa.dir/Descriptions.cpp.o"
+  "CMakeFiles/eel_isa.dir/Descriptions.cpp.o.d"
+  "CMakeFiles/eel_isa.dir/Mrisc.cpp.o"
+  "CMakeFiles/eel_isa.dir/Mrisc.cpp.o.d"
+  "CMakeFiles/eel_isa.dir/Srisc.cpp.o"
+  "CMakeFiles/eel_isa.dir/Srisc.cpp.o.d"
+  "libeel_isa.a"
+  "libeel_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spawn/Analysis.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/Analysis.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/Analysis.cpp.o.d"
+  "/root/repo/src/spawn/Codegen.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/Codegen.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/Codegen.cpp.o.d"
+  "/root/repo/src/spawn/DescParser.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/DescParser.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/DescParser.cpp.o.d"
+  "/root/repo/src/spawn/Eval.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/Eval.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/Eval.cpp.o.d"
+  "/root/repo/src/spawn/Lexer.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/Lexer.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/Lexer.cpp.o.d"
+  "/root/repo/src/spawn/Rtl.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/Rtl.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/Rtl.cpp.o.d"
+  "/root/repo/src/spawn/SpawnTarget.cpp" "src/spawn/CMakeFiles/eel_spawn.dir/SpawnTarget.cpp.o" "gcc" "src/spawn/CMakeFiles/eel_spawn.dir/SpawnTarget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/eel_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/eel_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxf/CMakeFiles/eel_sxf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

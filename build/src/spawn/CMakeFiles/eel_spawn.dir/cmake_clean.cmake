@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_spawn.dir/Analysis.cpp.o"
+  "CMakeFiles/eel_spawn.dir/Analysis.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/Codegen.cpp.o"
+  "CMakeFiles/eel_spawn.dir/Codegen.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/DescParser.cpp.o"
+  "CMakeFiles/eel_spawn.dir/DescParser.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/Eval.cpp.o"
+  "CMakeFiles/eel_spawn.dir/Eval.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/Lexer.cpp.o"
+  "CMakeFiles/eel_spawn.dir/Lexer.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/Rtl.cpp.o"
+  "CMakeFiles/eel_spawn.dir/Rtl.cpp.o.d"
+  "CMakeFiles/eel_spawn.dir/SpawnTarget.cpp.o"
+  "CMakeFiles/eel_spawn.dir/SpawnTarget.cpp.o.d"
+  "libeel_spawn.a"
+  "libeel_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

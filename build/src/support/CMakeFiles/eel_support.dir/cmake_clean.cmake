@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_support.dir/FileIO.cpp.o"
+  "CMakeFiles/eel_support.dir/FileIO.cpp.o.d"
+  "CMakeFiles/eel_support.dir/Stats.cpp.o"
+  "CMakeFiles/eel_support.dir/Stats.cpp.o.d"
+  "libeel_support.a"
+  "libeel_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_sxf.dir/Sxf.cpp.o"
+  "CMakeFiles/eel_sxf.dir/Sxf.cpp.o.d"
+  "libeel_sxf.a"
+  "libeel_sxf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_sxf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

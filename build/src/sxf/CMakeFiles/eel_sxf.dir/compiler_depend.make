@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eel_sxf.
+# This may be replaced when dependencies are built.

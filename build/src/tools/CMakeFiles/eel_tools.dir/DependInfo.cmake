@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/ActiveMem.cpp" "src/tools/CMakeFiles/eel_tools.dir/ActiveMem.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/ActiveMem.cpp.o.d"
+  "/root/repo/src/tools/AdhocQpt.cpp" "src/tools/CMakeFiles/eel_tools.dir/AdhocQpt.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/AdhocQpt.cpp.o.d"
+  "/root/repo/src/tools/Optimizer.cpp" "src/tools/CMakeFiles/eel_tools.dir/Optimizer.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/tools/Qpt.cpp" "src/tools/CMakeFiles/eel_tools.dir/Qpt.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/Qpt.cpp.o.d"
+  "/root/repo/src/tools/RegFree.cpp" "src/tools/CMakeFiles/eel_tools.dir/RegFree.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/RegFree.cpp.o.d"
+  "/root/repo/src/tools/Sandbox.cpp" "src/tools/CMakeFiles/eel_tools.dir/Sandbox.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/Sandbox.cpp.o.d"
+  "/root/repo/src/tools/Tracer.cpp" "src/tools/CMakeFiles/eel_tools.dir/Tracer.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/Tracer.cpp.o.d"
+  "/root/repo/src/tools/WindTunnel.cpp" "src/tools/CMakeFiles/eel_tools.dir/WindTunnel.cpp.o" "gcc" "src/tools/CMakeFiles/eel_tools.dir/WindTunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/eel_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/eel_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sxf/CMakeFiles/eel_sxf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/eel_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

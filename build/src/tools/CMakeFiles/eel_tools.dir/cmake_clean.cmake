@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_tools.dir/ActiveMem.cpp.o"
+  "CMakeFiles/eel_tools.dir/ActiveMem.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/AdhocQpt.cpp.o"
+  "CMakeFiles/eel_tools.dir/AdhocQpt.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/Optimizer.cpp.o"
+  "CMakeFiles/eel_tools.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/Qpt.cpp.o"
+  "CMakeFiles/eel_tools.dir/Qpt.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/RegFree.cpp.o"
+  "CMakeFiles/eel_tools.dir/RegFree.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/Sandbox.cpp.o"
+  "CMakeFiles/eel_tools.dir/Sandbox.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/Tracer.cpp.o"
+  "CMakeFiles/eel_tools.dir/Tracer.cpp.o.d"
+  "CMakeFiles/eel_tools.dir/WindTunnel.cpp.o"
+  "CMakeFiles/eel_tools.dir/WindTunnel.cpp.o.d"
+  "libeel_tools.a"
+  "libeel_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/eel_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/eel_vm.dir/Machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sxf/CMakeFiles/eel_sxf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/eel_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_vm.dir/Machine.cpp.o"
+  "CMakeFiles/eel_vm.dir/Machine.cpp.o.d"
+  "libeel_vm.a"
+  "libeel_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

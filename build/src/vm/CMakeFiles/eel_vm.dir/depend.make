@@ -1,0 +1,2 @@
+# Empty dependencies file for eel_vm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eel_workload.dir/Generator.cpp.o"
+  "CMakeFiles/eel_workload.dir/Generator.cpp.o.d"
+  "libeel_workload.a"
+  "libeel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeel_workload.a"
+)

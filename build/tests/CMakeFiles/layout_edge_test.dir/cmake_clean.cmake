@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_edge_test.dir/LayoutEdgeTest.cpp.o"
+  "CMakeFiles/layout_edge_test.dir/LayoutEdgeTest.cpp.o.d"
+  "layout_edge_test"
+  "layout_edge_test.pdb"
+  "layout_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

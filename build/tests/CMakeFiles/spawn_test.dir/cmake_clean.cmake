@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_test.dir/SpawnTest.cpp.o"
+  "CMakeFiles/spawn_test.dir/SpawnTest.cpp.o.d"
+  "spawn_test"
+  "spawn_test.pdb"
+  "spawn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

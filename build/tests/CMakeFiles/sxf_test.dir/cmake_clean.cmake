@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sxf_test.dir/SxfTest.cpp.o"
+  "CMakeFiles/sxf_test.dir/SxfTest.cpp.o.d"
+  "sxf_test"
+  "sxf_test.pdb"
+  "sxf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sxf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
