@@ -454,6 +454,7 @@ std::unique_ptr<Cfg> CfgBuilder::build() {
 }
 
 std::unique_ptr<Cfg> eel::buildCfg(Routine &R) {
+  ScopedStatTimer Timer("time.cfg_build_us");
   CfgBuilder Builder(R);
   return Builder.build();
 }

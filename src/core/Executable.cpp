@@ -8,6 +8,8 @@
 
 #include "support/Error.h"
 
+#include <thread>
+
 using namespace eel;
 
 Executable::Executable(SxfFile ImageIn)
@@ -24,6 +26,13 @@ Executable::Executable(SxfFile ImageIn, Options OptsIn)
 }
 
 Executable::~Executable() = default;
+
+unsigned Executable::effectiveThreads() const {
+  if (Opts.Threads != 0)
+    return Opts.Threads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
 
 Addr Executable::textBase() const {
   const SxfSegment *Text = Image.segment(SegKind::Text);

@@ -63,6 +63,12 @@ public:
     /// slots, always materializing the §3.3.1 stub form instead. Measures
     /// the size/time cost fold-back avoids.
     bool DisableDelayFolding = false;
+    /// Worker threads for the per-routine analysis and editing phases
+    /// (CFG construction, liveness, slicing, layout, relocation patching).
+    /// 0 = hardware concurrency; 1 = the legacy serial path, kept as the
+    /// reference oracle. Output images and (non-time.*) statistics are
+    /// bit-identical across all settings.
+    unsigned Threads = 0;
   };
 
   explicit Executable(SxfFile Image);
@@ -73,6 +79,10 @@ public:
   const TargetInfo &target() const { return Target; }
   const Options &options() const { return Opts; }
   InstructionPool &pool() { return Pool; }
+
+  /// Resolved worker count for the parallel phases: Options::Threads, with
+  /// 0 mapped to std::thread::hardware_concurrency().
+  unsigned effectiveThreads() const;
 
   Addr startAddress() const { return Image.Entry; }
   Addr textBase() const;

@@ -63,13 +63,25 @@ std::unique_ptr<Instruction> eel::makeInstruction(const TargetInfo &Target,
 }
 
 const Instruction *InstructionPool::get(MachWord Word) {
-  ++Requested;
+  Requested.fetch_add(1, std::memory_order_relaxed);
   bumpStat("eel.inst.requested");
-  auto It = Pool.find(Word);
-  if (It != Pool.end())
+  Shard &S = shardFor(Word);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Word);
+  if (It != S.Map.end())
     return It->second.get();
+  // Constructed under the shard lock: exactly one Instruction per word.
   auto Inst = makeInstruction(Target, Word);
   const Instruction *Ptr = Inst.get();
-  Pool.emplace(Word, std::move(Inst));
+  S.Map.emplace(Word, std::move(Inst));
   return Ptr;
+}
+
+uint64_t InstructionPool::allocated() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Total += S.Map.size();
+  }
+  return Total;
 }

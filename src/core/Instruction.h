@@ -29,7 +29,10 @@
 #include "isa/Target.h"
 #include "support/Casting.h"
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -260,6 +263,14 @@ private:
 
 /// Flyweight pool: one Instruction per distinct machine word. Statistics
 /// "eel.inst.requested" / "eel.inst.allocated" feed bench_sharing.
+///
+/// Thread-safe: the map is split into shards, each behind its own mutex,
+/// so routine-analysis workers decoding disjoint words rarely contend and
+/// never serialize on one global lock. Instructions are immutable once
+/// constructed, so the returned pointers can be shared freely across
+/// threads; holding the shard lock through construction guarantees exactly
+/// one Instruction per word (allocated() stays equal whatever the thread
+/// count — the flyweight invariant bench_sharing measures).
 class InstructionPool {
 public:
   explicit InstructionPool(const TargetInfo &Target) : Target(Target) {}
@@ -268,13 +279,27 @@ public:
   const Instruction *get(MachWord Word);
 
   const TargetInfo &target() const { return Target; }
-  uint64_t requested() const { return Requested; }
-  uint64_t allocated() const { return Pool.size(); }
+  uint64_t requested() const {
+    return Requested.load(std::memory_order_relaxed);
+  }
+  uint64_t allocated() const;
 
 private:
+  static constexpr size_t ShardCount = 64; ///< Power of two.
+
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<MachWord, std::unique_ptr<Instruction>> Map;
+  };
+
+  Shard &shardFor(MachWord Word) {
+    // Multiplicative hash: opcode bits cluster, so mix before masking.
+    return Shards[(Word * 0x9E3779B9u >> 16) & (ShardCount - 1)];
+  }
+
   const TargetInfo &Target;
-  std::unordered_map<MachWord, std::unique_ptr<Instruction>> Pool;
-  uint64_t Requested = 0;
+  std::array<Shard, ShardCount> Shards;
+  std::atomic<uint64_t> Requested{0};
 };
 
 /// Builds the right subclass for \p Word — the Figure 6 factory.

@@ -119,7 +119,7 @@ private:
   Executable &Exec;
   const TargetInfo &Target;
   Cfg *Graph = nullptr;
-  std::unique_ptr<Liveness> Live;
+  Liveness *Live = nullptr; ///< Owned (and cached) by the routine.
   RoutineLayout Out;
 
   std::map<const BasicBlock *, std::vector<InstEditList>> BlockEdits;
@@ -764,7 +764,7 @@ Expected<RoutineLayout> RoutineLayouter::run() {
   }
 
   gatherEdits();
-  Live = std::make_unique<Liveness>(*Graph);
+  Live = R.liveness();
 
   // Normal blocks were created in ascending address order by the builder.
   for (const auto &Block : Graph->blocks()) {
@@ -802,6 +802,9 @@ Expected<RoutineLayout> RoutineLayouter::run() {
 }
 
 Expected<RoutineLayout> eel::layoutRoutine(Routine &R) {
+  // Nested phases (CFG build, liveness) that run lazily inside layout are
+  // also counted by their own time.* timers; see DESIGN.md.
+  ScopedStatTimer Timer("time.layout_us");
   RoutineLayouter L(R);
   return L.run();
 }

@@ -6,9 +6,12 @@
 
 #include "core/Liveness.h"
 
+#include "support/Stats.h"
+
 using namespace eel;
 
 Liveness::Liveness(const Cfg &G) : Graph(G) {
+  ScopedStatTimer Timer("time.liveness_us");
   const TargetInfo &Target = G.target();
   const TargetConventions &Conv = Target.conventions();
   for (unsigned Reg = 1; Reg < Target.numRegisters(); ++Reg)

@@ -21,6 +21,9 @@
 #include "core/Layout.h"
 #include "core/Translate.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
 
 using namespace eel;
 
@@ -42,19 +45,36 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   const asmkit::InstParser &Parser = asmkit::instParserFor(Image.Arch);
 
   // --- 1. Lay out every routine --------------------------------------------
+  // Per-routine layout (with the CFG construction, slicing, and liveness it
+  // pulls in when not already cached) is independent across routines, so it
+  // fans out over the pool. Results land in per-index slots and are merged
+  // in index order below, which makes placement, the address map, and the
+  // reported error (the lowest-index failure) identical to the serial path.
+  const unsigned NThreads = effectiveThreads();
+  const size_t NumRoutines = Routines.size();
+  std::vector<std::optional<Expected<RoutineLayout>>> LaidOut;
+  if (NThreads > 1) {
+    LaidOut.resize(NumRoutines);
+    parallelForEach(NThreads, NumRoutines, [this, &LaidOut](size_t Index) {
+      LaidOut[Index].emplace(layoutRoutine(*Routines[Index]));
+    });
+  }
+
   std::vector<PlacedRoutine> Placed;
   bool NeedTranslator = false;
-  for (const auto &R : Routines) {
-    Expected<RoutineLayout> Layout = layoutRoutine(*R);
+  for (size_t Index = 0; Index < NumRoutines; ++Index) {
+    Routine &R = *Routines[Index];
+    Expected<RoutineLayout> Layout =
+        NThreads > 1 ? std::move(*LaidOut[Index]) : layoutRoutine(R);
     if (Layout.hasError())
       return Layout.error();
     PlacedRoutine P;
-    P.R = R.get();
+    P.R = &R;
     P.Layout = Layout.takeValue();
     NeedTranslator |= P.Layout.NeedsTranslator;
     if (P.Layout.Verbatim)
       ++Stats.RoutinesVerbatim;
-    else if (R->cachedCfg() && R->cachedCfg()->edited())
+    else if (R.cachedCfg() && R.cachedCfg()->edited())
       ++Stats.RoutinesEdited;
     Stats.DelaySlotsFolded += P.Layout.DelayFolded;
     Stats.DelaySlotsMaterialized += P.Layout.DelayMaterialized;
@@ -120,52 +140,72 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 5. Patch relocations ------------------------------------------------------
-  for (PlacedRoutine &P : Placed) {
-    for (const Reloc &Rl : P.Layout.Relocs) {
-      Addr PC = P.Base + 4 * Rl.WordIndex;
-      MachWord &Word = P.Layout.Code[Rl.WordIndex];
-      switch (Rl.K) {
-      case Reloc::Kind::CallTo:
-      case Reloc::Kind::JumpTo: {
-        auto It = AddrMap.find(Rl.OrigTarget);
-        if (It == AddrMap.end())
-          break; // bogus transfer decoded from data: leave untouched
-        std::optional<MachWord> New =
-            Target.retargetDirect(Word, PC, It->second);
-        if (!New)
-          return Error("routine '" + P.R->name() +
-                       "': edited transfer target out of range");
-        Word = *New;
-        break;
-      }
-      case Reloc::Kind::Internal: {
-        Addr Dest = P.Base + 4 * Rl.DestWordIndex;
-        std::optional<MachWord> New = Target.retargetDirect(Word, PC, Dest);
-        if (!New)
-          return Error("routine '" + P.R->name() +
-                       "': internal transfer out of range");
-        Word = *New;
-        break;
-      }
-      case Reloc::Kind::AddrHi:
-      case Reloc::Kind::AddrLo: {
-        auto It = AddrMap.find(Rl.OrigTarget);
-        if (It == AddrMap.end())
-          break; // not a code address after all
-        Word = Rl.K == Reloc::Kind::AddrHi
-                   ? Parser.applyImmHi(Word, It->second)
-                   : Parser.applyImmLo(Word, It->second);
-        break;
-      }
-      case Reloc::Kind::TranslatorHi:
-        ++Stats.TranslationSites;
-        Word = Parser.applyImmHi(Word, TranslatorAddr);
-        break;
-      case Reloc::Kind::TranslatorLo:
-        Word = Parser.applyImmLo(Word, TranslatorAddr);
-        break;
-      }
-    }
+  // Per-routine and independent once the address map is frozen (phase 2):
+  // each worker writes only its own routine's code words and reads the
+  // shared map. Per-routine translation-site counts and error messages are
+  // merged in index order, so the serial oracle's result is reproduced.
+  std::vector<unsigned> SiteCounts(Placed.size(), 0);
+  std::vector<std::string> PatchErrors(Placed.size());
+  parallelForEach(
+      NThreads, Placed.size(),
+      [this, &Placed, &SiteCounts, &PatchErrors, &Parser,
+       TranslatorAddr](size_t Index) {
+        PlacedRoutine &P = Placed[Index];
+        for (const Reloc &Rl : P.Layout.Relocs) {
+          Addr PC = P.Base + 4 * Rl.WordIndex;
+          MachWord &Word = P.Layout.Code[Rl.WordIndex];
+          switch (Rl.K) {
+          case Reloc::Kind::CallTo:
+          case Reloc::Kind::JumpTo: {
+            auto It = AddrMap.find(Rl.OrigTarget);
+            if (It == AddrMap.end())
+              break; // bogus transfer decoded from data: leave untouched
+            std::optional<MachWord> New =
+                Target.retargetDirect(Word, PC, It->second);
+            if (!New) {
+              PatchErrors[Index] = "routine '" + P.R->name() +
+                                   "': edited transfer target out of range";
+              return;
+            }
+            Word = *New;
+            break;
+          }
+          case Reloc::Kind::Internal: {
+            Addr Dest = P.Base + 4 * Rl.DestWordIndex;
+            std::optional<MachWord> New =
+                Target.retargetDirect(Word, PC, Dest);
+            if (!New) {
+              PatchErrors[Index] = "routine '" + P.R->name() +
+                                   "': internal transfer out of range";
+              return;
+            }
+            Word = *New;
+            break;
+          }
+          case Reloc::Kind::AddrHi:
+          case Reloc::Kind::AddrLo: {
+            auto It = AddrMap.find(Rl.OrigTarget);
+            if (It == AddrMap.end())
+              break; // not a code address after all
+            Word = Rl.K == Reloc::Kind::AddrHi
+                       ? Parser.applyImmHi(Word, It->second)
+                       : Parser.applyImmLo(Word, It->second);
+            break;
+          }
+          case Reloc::Kind::TranslatorHi:
+            ++SiteCounts[Index];
+            Word = Parser.applyImmHi(Word, TranslatorAddr);
+            break;
+          case Reloc::Kind::TranslatorLo:
+            Word = Parser.applyImmLo(Word, TranslatorAddr);
+            break;
+          }
+        }
+      });
+  for (size_t Index = 0; Index < Placed.size(); ++Index) {
+    if (!PatchErrors[Index].empty())
+      return Error(PatchErrors[Index]);
+    Stats.TranslationSites += SiteCounts[Index];
   }
 
   // --- 6. Snippet call-backs ------------------------------------------------------

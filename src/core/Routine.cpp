@@ -6,9 +6,18 @@
 
 #include "core/Routine.h"
 
+#include "core/Liveness.h"
+
 #include <algorithm>
 
 using namespace eel;
+
+Routine::Routine(Executable &Parent, std::string Name, Addr Lo, Addr Hi)
+    : Parent(Parent), Name(std::move(Name)), Lo(Lo), Hi(Hi) {
+  Entries.push_back(Lo);
+}
+
+Routine::~Routine() = default;
 
 void Routine::addEntryPoint(Addr A) {
   assert(contains(A) && "entry point outside routine extent");
@@ -24,4 +33,13 @@ Cfg *Routine::controlFlowGraph() {
   return Graph.get();
 }
 
-void Routine::deleteControlFlowGraph() { Graph.reset(); }
+Liveness *Routine::liveness() {
+  if (!Live)
+    Live = std::make_unique<Liveness>(*controlFlowGraph());
+  return Live.get();
+}
+
+void Routine::deleteControlFlowGraph() {
+  Live.reset(); // refers into the graph; must go first
+  Graph.reset();
+}

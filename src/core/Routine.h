@@ -25,13 +25,13 @@
 namespace eel {
 
 class Executable;
+class Liveness;
 
 class Routine {
 public:
-  Routine(Executable &Parent, std::string Name, Addr Lo, Addr Hi)
-      : Parent(Parent), Name(std::move(Name)), Lo(Lo), Hi(Hi) {
-    Entries.push_back(Lo);
-  }
+  // Both out-of-line: the Liveness member is incomplete here.
+  Routine(Executable &Parent, std::string Name, Addr Lo, Addr Hi);
+  ~Routine();
 
   Executable &executable() const { return Parent; }
   const std::string &name() const { return Name; }
@@ -57,8 +57,14 @@ public:
   /// Builds (or returns the cached) control-flow graph.
   Cfg *controlFlowGraph();
 
-  /// Discards the CFG and any accumulated edits (the paper's
-  /// delete_control_flow_graph, used to bound memory while iterating).
+  /// Builds (or returns the cached) live-register analysis over the CFG.
+  /// Sound to cache across edits: edits accumulate separately and do not
+  /// change the graph's blocks or edges until layout applies them.
+  Liveness *liveness();
+
+  /// Discards the CFG, its liveness, and any accumulated edits (the
+  /// paper's delete_control_flow_graph, used to bound memory while
+  /// iterating).
   void deleteControlFlowGraph();
 
   /// Whether a CFG has been built and edited (queried by the editor).
@@ -74,6 +80,7 @@ private:
   bool Hidden = false;
   bool IsData = false;
   std::unique_ptr<Cfg> Graph;
+  std::unique_ptr<Liveness> Live;
 };
 
 } // namespace eel

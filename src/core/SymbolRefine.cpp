@@ -31,6 +31,7 @@
 #include "core/Executable.h"
 
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
@@ -279,4 +280,29 @@ void Executable::readContents() {
                const std::unique_ptr<Routine> &B) {
               return A->startAddr() < B->startAddr();
             });
+
+  // --- Parallel pre-analysis -----------------------------------------------
+  // The remaining per-routine analyses — CFG construction with delay-slot
+  // normalization, backward slicing of indirect-jump sites (both inside
+  // buildCfg), and liveness — are independent across routines, so with
+  // Threads != 1 they fan out over the pool now and later edits and layout
+  // find them cached. Each routine is touched by exactly one worker; the
+  // cross-routine state (instruction pool, stat registry) is sharded. The
+  // serial path computes the same results lazily inside layoutRoutine, so
+  // only the schedule differs, never the output.
+  if (effectiveThreads() > 1 && !Routines.empty()) {
+    bool WantTranslation = Opts.EnableRuntimeTranslation;
+    parallelForEach(effectiveThreads(), Routines.size(),
+                    [this, WantTranslation](size_t Index) {
+                      Routine &R = *Routines[Index];
+                      if (R.isData())
+                        return; // layout copies data verbatim, no CFG
+                      Cfg *G = R.controlFlowGraph();
+                      // Mirror layoutRoutine's condition so the set of
+                      // analyses run matches the serial oracle exactly.
+                      if (!G->unsupported() &&
+                          (G->complete() || WantTranslation))
+                        R.liveness();
+                    });
+  }
 }

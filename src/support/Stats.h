@@ -10,43 +10,100 @@
 /// profiler allocates against the ad-hoc baseline (the paper reports
 /// 317,494 vs 84,655), so allocation-heavy classes bump counters here.
 ///
+/// Sharded for the parallel editing pipeline: each thread accumulates into
+/// its own shard, so the hot path (bumpStat from CFG construction, slicing,
+/// and layout workers) never takes a lock or bounces a cache line between
+/// cores. read() and snapshot() merge the shards; call them only from
+/// quiescent points (after parallelForEach returns, which synchronizes
+/// with every worker's writes). Because merging sums per-thread deltas,
+/// totals are deterministic regardless of thread count or schedule.
+///
+/// `time.*` counters hold wall-clock phase timings and are exempt from the
+/// determinism guarantee — filter them out when comparing snapshots.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EEL_SUPPORT_STATS_H
 #define EEL_SUPPORT_STATS_H
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace eel {
 
-/// Process-wide registry of named counters. Not thread-safe; the project is
-/// single-threaded by design (the original EEL predates threads in tools).
+/// Process-wide registry of named counters, sharded per thread. Shards are
+/// created on a thread's first bump and retained for the life of the
+/// process (a worker's contribution survives the worker), so merged totals
+/// never lose updates.
 class StatRegistry {
 public:
   static StatRegistry &instance();
 
-  /// Returns a reference to the counter named \p Name, creating it at zero.
+  /// Returns a reference to the calling thread's counter named \p Name,
+  /// creating it at zero. The reference is THREAD-LOCAL: it aggregates
+  /// only this thread's increments and stays valid for the process's
+  /// lifetime, but reading it does not observe other threads' bumps — use
+  /// read() for merged totals.
   uint64_t &counter(const std::string &Name);
 
-  /// Reads a counter without creating it; missing counters read as zero.
+  /// Merged total of \p Name across all shards; missing counters read as
+  /// zero. Call from quiescent points only (no concurrent bumpers).
   uint64_t read(const std::string &Name) const;
 
-  /// Resets every registered counter to zero.
+  /// Resets every counter in every shard to zero. Call from quiescent
+  /// points only.
   void resetAll();
 
-  /// Snapshot of all counters in registration order.
+  /// Merged snapshot of all counters, sorted by name so the result is
+  /// identical whatever thread count produced it. Call from quiescent
+  /// points only.
   std::vector<std::pair<std::string, uint64_t>> snapshot() const;
 
 private:
-  std::vector<std::pair<std::string, uint64_t>> Counters;
+  struct Shard {
+    std::unordered_map<std::string, uint64_t> Counters;
+  };
+
+  Shard &localShard();
+
+  mutable std::mutex M; ///< Guards the shard list, not the counters.
+  std::vector<std::unique_ptr<Shard>> Shards;
 };
 
-/// Convenience: increments the named counter by \p Delta.
+/// Convenience: increments the named counter by \p Delta (this thread's
+/// shard; lock-free once the shard exists).
 inline void bumpStat(const std::string &Name, uint64_t Delta = 1) {
   StatRegistry::instance().counter(Name) += Delta;
 }
+
+/// Accumulates the enclosing scope's wall-clock duration, in microseconds,
+/// into the named counter on destruction. Used for the per-phase pipeline
+/// timers (time.cfg_build_us, time.liveness_us, time.layout_us); being
+/// wall-clock, these are excluded from determinism comparisons.
+class ScopedStatTimer {
+public:
+  explicit ScopedStatTimer(const char *Name)
+      : Name(Name), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedStatTimer() {
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    bumpStat(Name, static_cast<uint64_t>(
+                       std::chrono::duration_cast<std::chrono::microseconds>(
+                           Elapsed)
+                           .count()));
+  }
+
+  ScopedStatTimer(const ScopedStatTimer &) = delete;
+  ScopedStatTimer &operator=(const ScopedStatTimer &) = delete;
+
+private:
+  const char *Name;
+  std::chrono::steady_clock::time_point Start;
+};
 
 } // namespace eel
 

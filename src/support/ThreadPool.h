@@ -1,0 +1,106 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool and the parallelForEach helper the
+/// editing pipeline fans out on. EEL's per-routine analyses — CFG
+/// construction with delay-slot normalization, liveness, backward slicing
+/// of indirect jumps, and routine layout — are independent across routines,
+/// so whole-executable throughput scales with cores once the two pieces of
+/// cross-routine state (the instruction flyweight pool and the statistics
+/// registry) are sharded.
+///
+/// Scheduling model: each worker owns a deque; submissions are distributed
+/// round-robin; a worker pops its own deque LIFO and steals FIFO from
+/// others when empty. Blocking waits (parallelForEach on the calling
+/// thread) help execute pool tasks instead of sleeping, so nested
+/// fan-outs cannot deadlock even on a single-core pool.
+///
+/// Determinism contract: parallelForEach runs the body exactly once per
+/// index, and its return synchronizes-with every body invocation. Callers
+/// that want results identical to the serial path write into per-index
+/// slots and merge in index order afterwards; the schedule is the only
+/// thing that varies between runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_THREADPOOL_H
+#define EEL_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eel {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p WorkerCount persistent worker threads (0 is
+  /// allowed: every task then runs on helping callers).
+  explicit ThreadPool(unsigned WorkerCount);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Process-wide pool, lazily created with hardware_concurrency() - 1
+  /// workers. Grows on demand via ensureWorkers().
+  static ThreadPool &shared();
+
+  unsigned workerCount() const;
+
+  /// Grows the pool to at least \p N workers (bounded by MaxWorkers).
+  /// Lets tests request more threads than the machine has cores, which is
+  /// what shakes races out under -fsanitize=thread.
+  void ensureWorkers(unsigned N);
+
+  /// Enqueues \p Task on a worker deque (round-robin).
+  void submit(std::function<void()> Task);
+
+  /// Runs pool tasks on the calling thread until \p Done returns true.
+  /// Used by blocking waits so a caller that is itself a pool worker makes
+  /// progress instead of deadlocking.
+  void helpUntil(const std::function<bool()> &Done);
+
+  static constexpr unsigned MaxWorkers = 64;
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(size_t Index);
+  bool takeTask(size_t SelfIndex, std::function<void()> &Task);
+
+  mutable std::mutex GrowM; ///< Guards Workers/Threads growth.
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> WorkerCountA{0};
+  std::atomic<size_t> NextSubmit{0};
+  std::atomic<size_t> PendingTasks{0};
+  std::atomic<bool> Stopping{false};
+  std::mutex WakeM;
+  std::condition_variable WakeCV;
+};
+
+/// Runs Body(0), ..., Body(N-1), fanning out across \p Threads
+/// participants (the calling thread included). Threads <= 1 or N <= 1 runs
+/// inline in index order — the legacy serial path, kept as the reference
+/// oracle. Indices are handed out dynamically (self-balancing), each runs
+/// exactly once, and all invocations happen-before the return.
+void parallelForEach(unsigned Threads, size_t N,
+                     const std::function<void(size_t)> &Body);
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_THREADPOOL_H

@@ -13,6 +13,11 @@
 /// executable. Counters live in data space appended to the program; after
 /// a run they are read straight out of the simulator's memory.
 ///
+/// The analysis-heavy work a tool triggers — CFG construction, liveness,
+/// slicing — fans out across routines per Executable::Options::Threads:
+/// readContents() pre-computes it in parallel, so the serial instrument()
+/// walk here finds every graph cached. Tools need no changes to benefit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EEL_TOOLS_QPT_H

@@ -1,0 +1,222 @@
+//===- tests/ParallelTest.cpp - Parallel pipeline determinism tests ---------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel editing pipeline's contract is bit-identical output: for any
+/// Threads setting, the edited image and the (non-time.*) statistics must
+/// equal what the legacy serial path (Threads = 1) produces. These tests run
+/// the full pipeline — readContents, deterministic edits, and
+/// writeEditedExecutable — at Threads = 1 and Threads = 8 over SRISC and
+/// MRISC workloads, including the DisableSlicing / DisableDelayFolding
+/// ablations, and compare byte-for-byte. Also unit-tests the thread pool's
+/// parallelForEach (exactly-once coverage, nesting).
+///
+/// Registered under the ctest label `par` so a -DEEL_SANITIZE=thread build
+/// can run just these under TSan: `ctest -L par`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Executable.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "vm/Machine.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace eel;
+
+namespace {
+
+// --- ThreadPool unit tests --------------------------------------------------------
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  parallelForEach(8, N, [&Hits](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, SerialPathRunsInIndexOrder) {
+  std::vector<size_t> Order;
+  parallelForEach(1, 16, [&Order](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 16u);
+  for (size_t I = 0; I < Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, NestedFanOutCompletes) {
+  // A body that itself calls parallelForEach must not deadlock: blocked
+  // callers help execute pool tasks.
+  constexpr size_t Outer = 6, Inner = 40;
+  std::atomic<unsigned> Total{0};
+  parallelForEach(4, Outer, [&Total](size_t) {
+    parallelForEach(4, Inner, [&Total](size_t) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), Outer * Inner);
+}
+
+TEST(ThreadPoolTest, ShardedStatsMergeAcrossThreads) {
+  StatRegistry &Reg = StatRegistry::instance();
+  uint64_t Before = Reg.read("test.parallel_bumps");
+  constexpr size_t N = 500;
+  parallelForEach(8, N, [](size_t) { bumpStat("test.parallel_bumps"); });
+  EXPECT_EQ(Reg.read("test.parallel_bumps"), Before + N);
+}
+
+// --- Pipeline determinism ---------------------------------------------------------
+
+/// Everything the pipeline produces that must be schedule-independent.
+struct PipelineResult {
+  std::vector<uint8_t> Bytes; ///< Serialized edited image.
+  Executable::EditStats Stats;
+  std::vector<std::pair<std::string, uint64_t>> Counters; ///< Sans time.*.
+  SxfFile EditedFile;
+  SxfFile OriginalFile;
+};
+
+/// Runs the full pipeline at the given thread count: generate, analyze,
+/// apply a deterministic edit to every supported routine (a counter bump
+/// before its first instruction), and write the edited executable.
+PipelineResult runPipeline(TargetArch Arch, const WorkloadOptions &WOpts,
+                           Executable::Options EOpts, unsigned Threads) {
+  EOpts.Threads = Threads;
+  StatRegistry::instance().resetAll();
+
+  PipelineResult Result;
+  Result.OriginalFile = generateWorkload(Arch, WOpts);
+  Executable Exec(Result.OriginalFile, EOpts);
+  Exec.readContents();
+
+  for (const auto &R : Exec.routines()) {
+    if (R->isData())
+      continue;
+    Cfg *G = R->controlFlowGraph();
+    if (G->unsupported() || !G->complete())
+      continue;
+    BasicBlock *First = nullptr;
+    for (const auto &B : G->blocks())
+      if (B->kind() == BlockKind::Normal && !B->insts().empty()) {
+        First = B.get();
+        break;
+      }
+    if (!First)
+      continue;
+    Addr Counter = Exec.appendData(4, 4, "ctr_" + R->name());
+    std::vector<MachWord> Body;
+    const unsigned RegA = 1, RegB = 2;
+    const TargetInfo &T = Exec.target();
+    T.emitLoadConst(RegA, Counter, Body);
+    T.emitLoadWord(RegB, RegA, 0, Body);
+    T.emitAddImm(RegB, RegB, 1, Body);
+    T.emitStoreWord(RegB, RegA, 0, Body);
+    G->addCodeBefore(First, 0,
+                     std::make_shared<CodeSnippet>(Body, RegSet{RegA, RegB}));
+  }
+
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  EXPECT_FALSE(Edited.hasError())
+      << (Edited.hasError() ? Edited.error().message() : "");
+  if (Edited.hasError())
+    return Result;
+  Result.EditedFile = Edited.takeValue();
+  Result.Bytes = Result.EditedFile.serialize();
+  Result.Stats = Exec.editStats();
+  for (auto &Entry : StatRegistry::instance().snapshot())
+    if (Entry.first.rfind("time.", 0) != 0) // wall-clock: schedule-dependent
+      Result.Counters.push_back(std::move(Entry));
+  return Result;
+}
+
+void expectIdentical(const PipelineResult &Serial,
+                     const PipelineResult &Parallel) {
+  EXPECT_EQ(Serial.Bytes, Parallel.Bytes) << "edited images differ";
+
+  const Executable::EditStats &A = Serial.Stats, &B = Parallel.Stats;
+  EXPECT_EQ(A.RoutinesEdited, B.RoutinesEdited);
+  EXPECT_EQ(A.RoutinesVerbatim, B.RoutinesVerbatim);
+  EXPECT_EQ(A.DispatchEntriesRewritten, B.DispatchEntriesRewritten);
+  EXPECT_EQ(A.DataPointersRewritten, B.DataPointersRewritten);
+  EXPECT_EQ(A.TranslationSites, B.TranslationSites);
+  EXPECT_EQ(A.TranslationEntries, B.TranslationEntries);
+  EXPECT_EQ(A.DelaySlotsFolded, B.DelaySlotsFolded);
+  EXPECT_EQ(A.DelaySlotsMaterialized, B.DelaySlotsMaterialized);
+  EXPECT_EQ(A.SnippetInstances, B.SnippetInstances);
+  EXPECT_EQ(A.SnippetSpills, B.SnippetSpills);
+  EXPECT_EQ(A.SnippetCCSaves, B.SnippetCCSaves);
+
+  EXPECT_EQ(Serial.Counters, Parallel.Counters)
+      << "merged stat snapshots differ";
+}
+
+WorkloadOptions bigWorkload() {
+  WorkloadOptions W;
+  W.Seed = 42;
+  W.Routines = 24;
+  W.SegmentsPerRoutine = 6;
+  W.SwitchPercent = 40;
+  W.TailCallPercent = 25; // unanalyzable indirect jumps -> translator
+  W.SymbolPathologies = true;
+  return W;
+}
+
+TEST(ParallelDeterminism, SriscMatchesSerial) {
+  Executable::Options E;
+  PipelineResult Serial = runPipeline(TargetArch::Srisc, bigWorkload(), E, 1);
+  PipelineResult Parallel =
+      runPipeline(TargetArch::Srisc, bigWorkload(), E, 8);
+  expectIdentical(Serial, Parallel);
+}
+
+TEST(ParallelDeterminism, MriscMatchesSerial) {
+  WorkloadOptions W = bigWorkload();
+  W.AnnulledBranches = false; // SRISC-only idiom
+  Executable::Options E;
+  PipelineResult Serial = runPipeline(TargetArch::Mrisc, W, E, 1);
+  PipelineResult Parallel = runPipeline(TargetArch::Mrisc, W, E, 8);
+  expectIdentical(Serial, Parallel);
+}
+
+TEST(ParallelDeterminism, DisableSlicingAblation) {
+  Executable::Options E;
+  E.DisableSlicing = true;
+  PipelineResult Serial = runPipeline(TargetArch::Srisc, bigWorkload(), E, 1);
+  PipelineResult Parallel =
+      runPipeline(TargetArch::Srisc, bigWorkload(), E, 8);
+  expectIdentical(Serial, Parallel);
+}
+
+TEST(ParallelDeterminism, DisableDelayFoldingAblation) {
+  Executable::Options E;
+  E.DisableDelayFolding = true;
+  PipelineResult Serial = runPipeline(TargetArch::Srisc, bigWorkload(), E, 1);
+  PipelineResult Parallel =
+      runPipeline(TargetArch::Srisc, bigWorkload(), E, 8);
+  expectIdentical(Serial, Parallel);
+}
+
+TEST(ParallelDeterminism, EditedProgramStillBehaves) {
+  // Beyond byte-identity: the parallel-edited image runs like the original.
+  Executable::Options E;
+  PipelineResult P = runPipeline(TargetArch::Srisc, bigWorkload(), E, 8);
+  ASSERT_FALSE(P.Bytes.empty());
+  RunResult Original = runToCompletion(P.OriginalFile);
+  RunResult Edited = runToCompletion(P.EditedFile);
+  EXPECT_EQ(static_cast<int>(Original.Reason),
+            static_cast<int>(Edited.Reason));
+  EXPECT_EQ(Original.ExitCode, Edited.ExitCode);
+  EXPECT_EQ(Original.Output, Edited.Output);
+}
+
+} // namespace
