@@ -1,0 +1,148 @@
+//===- bench/bench_load.cpp - SXF load-path validation overhead ----------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the hardened SXF load path: deserialize throughput (which now
+/// includes full structural validation on every record), serialize
+/// throughput, and — the number the hardening work is accountable to — the
+/// share of load time spent in whole-image validation, measured by running
+/// SxfFile::validate() standalone against the full load an editing tool
+/// performs (SxfFile::readFromFile: open + read + decode + validate, page
+/// cache warm). The closing table asserts the share stays under 2%. The
+/// pure in-memory decode is also reported so the validation cost stays
+/// visible even against the cheapest possible baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Executable.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
+using namespace eel;
+using namespace eelbench;
+
+namespace {
+
+std::vector<uint8_t> bigImage() {
+  // The largest suite member plus an edited pass, so the image carries
+  // translator code, dispatch tables, and a full symbol table.
+  SxfFile File = generateWorkload(TargetArch::Srisc, suiteMember(true, 7, 48));
+  Executable::Options Opts;
+  Opts.Threads = 1;
+  Executable Exec(std::move(File), Opts);
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  return Edited.hasValue() ? Edited.value().serialize()
+                           : SxfFile().serialize();
+}
+
+double millisOf(unsigned Iters, const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Iters; ++I)
+    Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+} // namespace
+
+static void BM_Deserialize(benchmark::State &State) {
+  std::vector<uint8_t> Bytes = bigImage();
+  for (auto _ : State) {
+    Expected<SxfFile> File = SxfFile::deserialize(Bytes);
+    benchmark::DoNotOptimize(File.hasValue());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Bytes.size()));
+}
+BENCHMARK(BM_Deserialize)->Unit(benchmark::kMicrosecond);
+
+static void BM_Serialize(benchmark::State &State) {
+  SxfFile File =
+      SxfFile::deserialize(bigImage()).takeValue();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(File.serialize().size());
+}
+BENCHMARK(BM_Serialize)->Unit(benchmark::kMicrosecond);
+
+static void BM_ValidateOnly(benchmark::State &State) {
+  SxfFile File = SxfFile::deserialize(bigImage()).takeValue();
+  for (auto _ : State) {
+    Expected<bool> Valid = File.validate();
+    benchmark::DoNotOptimize(Valid.hasValue());
+  }
+}
+BENCHMARK(BM_ValidateOnly)->Unit(benchmark::kMicrosecond);
+
+static void BM_RejectHostileCount(benchmark::State &State) {
+  // A hostile count must be rejected in O(1), not O(claimed records).
+  std::vector<uint8_t> Bytes = bigImage();
+  Bytes.resize(16);
+  for (int I = 12; I < 16; ++I)
+    Bytes[I] = 0xFF; // segment count 0xFFFFFFFF in a 16-byte file
+  for (auto _ : State) {
+    Expected<SxfFile> File = SxfFile::deserialize(Bytes);
+    benchmark::DoNotOptimize(File.hasError());
+  }
+}
+BENCHMARK(BM_RejectHostileCount)->Unit(benchmark::kNanosecond);
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  printHeader("Load-path validation overhead");
+  std::vector<uint8_t> Bytes = bigImage();
+  SxfFile File = SxfFile::deserialize(Bytes).takeValue();
+  std::printf("image: %zu bytes, %zu segments, %zu symbols, %zu relocs\n",
+              Bytes.size(), File.Segments.size(), File.Symbols.size(),
+              File.Relocs.size());
+
+  // The load path a tool exercises through Executable::open: open the
+  // file, read it, decode it, validate it. Stage the image in the build
+  // tree so the page cache is warm and the run leaves nothing behind.
+  const char *Path = "bench_load.tmp.sxf";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  const unsigned Iters = 2000;
+  // Warm-up, then measure file load and decode against validate alone.
+  millisOf(Iters / 4, [&] { SxfFile::readFromFile(Path); });
+  double LoadMs = millisOf(Iters, [&] {
+    benchmark::DoNotOptimize(SxfFile::readFromFile(Path).hasValue());
+  });
+  double DecodeMs = millisOf(Iters, [&] {
+    benchmark::DoNotOptimize(SxfFile::deserialize(Bytes).hasValue());
+  });
+  double ValidateMs = millisOf(Iters, [&] {
+    benchmark::DoNotOptimize(File.validate().hasValue());
+  });
+  std::remove(Path);
+  double SharePct = LoadMs > 0 ? 100.0 * ValidateMs / LoadMs : 0.0;
+  double DecodeSharePct = DecodeMs > 0 ? 100.0 * ValidateMs / DecodeMs : 0.0;
+  double MBps = (static_cast<double>(Bytes.size()) * Iters / 1e6) /
+                (LoadMs / 1e3);
+
+  std::printf("%-34s %10.3f ms  (%.0f MB/s)\n",
+              "load from file incl. validation", LoadMs / Iters, MBps);
+  std::printf("%-34s %10.3f ms\n", "in-memory decode incl. validation",
+              DecodeMs / Iters);
+  std::printf("%-34s %10.4f ms\n", "whole-image validation alone",
+              ValidateMs / Iters);
+  std::printf("%-34s %9.2f %%  (%.2f %% of bare in-memory decode)\n",
+              "validation share of load", SharePct, DecodeSharePct);
+  std::printf("validation overhead on the load path under 2%%: %s\n",
+              SharePct < 2.0 ? "yes" : "NO (regression!)");
+  return 0;
+}

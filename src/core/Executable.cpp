@@ -27,6 +27,39 @@ Executable::Executable(SxfFile ImageIn, Options OptsIn)
 
 Executable::~Executable() = default;
 
+Expected<std::unique_ptr<Executable>>
+Executable::open(const std::string &Path, Options Opts) {
+  Expected<SxfFile> File = SxfFile::readFromFile(Path);
+  if (File.hasError())
+    return File.error();
+  Expected<std::unique_ptr<Executable>> Exec =
+      openImage(std::move(File.value()), Opts);
+  if (Exec.hasError())
+    return Error(Exec.error()).inFile(Path);
+  return Exec;
+}
+
+Expected<std::unique_ptr<Executable>> Executable::openImage(SxfFile Image,
+                                                            Options Opts) {
+  Expected<bool> Valid = Image.validate();
+  if (Valid.hasError())
+    return Valid.error();
+  const SxfSegment *Text = Image.segment(SegKind::Text);
+  if (!Text || Text->Bytes.empty())
+    return Error(ErrorCode::NoTextSegment,
+                 "image has no text segment to analyze");
+  return std::make_unique<Executable>(std::move(Image), Opts);
+}
+
+Expected<std::unique_ptr<Executable>>
+Executable::open(const std::string &Path) {
+  return open(Path, Options());
+}
+
+Expected<std::unique_ptr<Executable>> Executable::openImage(SxfFile Image) {
+  return openImage(std::move(Image), Options());
+}
+
 unsigned Executable::effectiveThreads() const {
   if (Opts.Threads != 0)
     return Opts.Threads;

@@ -75,6 +75,22 @@ public:
   Executable(SxfFile Image, Options Opts);
   ~Executable();
 
+  /// Opens an executable file: reads and validates the SXF image (the full
+  /// hostile-input validation in SxfFile::deserialize), requires a text
+  /// segment, and returns the ready-to-analyze Executable. All failures —
+  /// I/O, malformed image, no text — come back as structured Errors with
+  /// the path attached; nothing on this path aborts. This is the entry
+  /// point tools should use for untrusted files.
+  static Expected<std::unique_ptr<Executable>> open(const std::string &Path,
+                                                    Options Opts);
+  static Expected<std::unique_ptr<Executable>> open(const std::string &Path);
+
+  /// Same, for an image already decoded or built in memory. Runs
+  /// SxfFile::validate() before accepting it.
+  static Expected<std::unique_ptr<Executable>> openImage(SxfFile Image,
+                                                         Options Opts);
+  static Expected<std::unique_ptr<Executable>> openImage(SxfFile Image);
+
   const SxfFile &image() const { return Image; }
   const TargetInfo &target() const { return Target; }
   const Options &options() const { return Opts; }
@@ -95,8 +111,11 @@ public:
   // --- Analysis -------------------------------------------------------------
 
   /// Runs symbol-table refinement and routine discovery (§3.1 stages 1–4).
-  /// Idempotent.
-  void readContents();
+  /// Idempotent. Returns an error (instead of asserting) when the image is
+  /// not analyzable — e.g. it has no text segment; callers holding images
+  /// from Executable::open()/openImage() may ignore the result, since those
+  /// constructors already validated it.
+  Expected<bool> readContents();
 
   const std::vector<std::unique_ptr<Routine>> &routines() const {
     return Routines;

@@ -38,7 +38,9 @@ struct PlacedRoutine {
 } // namespace
 
 Expected<SxfFile> Executable::writeEditedExecutable() {
-  readContents();
+  Expected<bool> Read = readContents();
+  if (Read.hasError())
+    return Read.error();
   Stats = EditStats();
   AddrMap.clear();
 

@@ -118,9 +118,12 @@ static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
   return AllValid;
 }
 
-void Executable::readContents() {
+Expected<bool> Executable::readContents() {
   if (Analyzed)
-    return;
+    return true;
+  if (!Image.segment(SegKind::Text))
+    return Error(ErrorCode::NoTextSegment,
+                 "image has no text segment to analyze");
   Analyzed = true;
 
   const Addr TB = textBase();
@@ -305,4 +308,5 @@ void Executable::readContents() {
                         R.liveness();
                     });
   }
+  return true;
 }

@@ -86,7 +86,9 @@ static uint32_t evalBuiltin(RtlFn Fn, const std::vector<uint32_t> &Args) {
   case RtlFn::Sra:
     return static_cast<uint32_t>(SA(0) >> (A(1) & 31));
   case RtlFn::Mul:
-    return static_cast<uint32_t>(SA(0) * SA(1));
+    // Wrapping semantics; unsigned multiply has the same low 32 bits and
+    // no signed-overflow UB.
+    return A(0) * A(1);
   case RtlFn::Div:
     if (SA(1) == 0)
       return 0;

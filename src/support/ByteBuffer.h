@@ -60,7 +60,10 @@ private:
 
 /// Consumes little-endian scalars from a byte buffer. Reads past the end
 /// are flagged rather than asserting so that a malformed input file produces
-/// a recoverable error in the SXF reader.
+/// a recoverable error in the SXF reader. All bounds checks are written in
+/// subtraction form (`Len > N - Pos`, with the invariant Pos <= N) — the
+/// addition form `Pos + Len > N` silently passes when the sum wraps, which
+/// is exactly the case a hostile length field produces.
 class ByteReader {
 public:
   ByteReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
@@ -70,8 +73,11 @@ public:
   bool failed() const { return Failed; }
   size_t remaining() const { return N - Pos; }
 
+  /// Current read cursor; the byte offset attached to decode errors.
+  size_t pos() const { return Pos; }
+
   uint8_t readU8() {
-    if (Pos + 1 > N) {
+    if (Pos >= N) {
       Failed = true;
       return 0;
     }
@@ -92,7 +98,7 @@ public:
 
   std::string readString() {
     uint32_t Len = readU32();
-    if (Pos + Len > N) {
+    if (Failed || Len > N - Pos) {
       Failed = true;
       return std::string();
     }
@@ -102,12 +108,16 @@ public:
   }
 
   bool readBytes(uint8_t *Out, size_t Count) {
-    if (Pos + Count > N) {
+    if (Count > N - Pos) {
       Failed = true;
       return false;
     }
-    std::memcpy(Out, Data + Pos, Count);
-    Pos += Count;
+    // Count == 0 must not reach memcpy: an empty destination vector hands
+    // us a null Out, and memcpy's arguments are declared never-null.
+    if (Count != 0) {
+      std::memcpy(Out, Data + Pos, Count);
+      Pos += Count;
+    }
     return true;
   }
 

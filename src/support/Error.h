@@ -10,12 +10,18 @@
 /// Expected<T> (a value or an error message) and infallible-by-contract
 /// call sites use takeValue() which asserts success.
 ///
+/// Errors optionally carry machine-readable context — an ErrorCode from the
+/// load-path taxonomy, the file they arose in, the byte offset of the
+/// offending record, and the field being decoded — so callers (and the
+/// fault-injection harness) can classify failures without parsing prose.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EEL_SUPPORT_ERROR_H
 #define EEL_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,16 +30,155 @@
 
 namespace eel {
 
+/// Machine-readable failure classification. The Sxf* codes form the
+/// load-time validation taxonomy (see DESIGN.md "Load-time validation and
+/// error taxonomy"); every rejection of an untrusted input maps to exactly
+/// one code, and the fuzz harness asserts that mapping is total.
+enum class ErrorCode : uint8_t {
+  Unspecified = 0,   ///< Legacy message-only error.
+  IoError,           ///< File could not be opened/read/written.
+  BadMagic,          ///< Input is not an SXF file at all.
+  BadArch,           ///< Architecture byte names no known target.
+  BadHeader,         ///< Reserved header fields are not zero.
+  Truncated,         ///< Input ends inside a record.
+  ImplausibleCount,  ///< A count field exceeds what the input could hold.
+  BadSegmentKind,    ///< Segment kind byte outside the SegKind enum.
+  SegmentOverrun,    ///< Segment claims more file bytes than remain.
+  BadMemSize,        ///< Segment MemSize smaller than its file bytes.
+  AddressWrap,       ///< Segment or symbol extent wraps the address space.
+  SegmentOverlap,    ///< Two segments' memory extents intersect.
+  BadEntryPoint,     ///< Entry point outside the text segment's bytes.
+  BadSymbolKind,     ///< Symbol kind/binding byte outside its enum.
+  SymbolOutOfRange,  ///< Symbol value outside every segment's extent.
+  BadRelocKind,      ///< Relocation kind byte outside the RelocKind enum.
+  RelocOutOfRange,   ///< Relocation site not a patchable word.
+  TrailingBytes,     ///< Well-formed image followed by unconsumed bytes.
+  NoTextSegment,     ///< Image cannot be opened as an executable: no text.
+};
+
+/// Stable lower-case name for an ErrorCode (used in describe() output and
+/// by the fuzz harness's outcome histogram).
+inline const char *errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Unspecified:
+    return "unspecified";
+  case ErrorCode::IoError:
+    return "io_error";
+  case ErrorCode::BadMagic:
+    return "bad_magic";
+  case ErrorCode::BadArch:
+    return "bad_arch";
+  case ErrorCode::BadHeader:
+    return "bad_header";
+  case ErrorCode::Truncated:
+    return "truncated";
+  case ErrorCode::ImplausibleCount:
+    return "implausible_count";
+  case ErrorCode::BadSegmentKind:
+    return "bad_segment_kind";
+  case ErrorCode::SegmentOverrun:
+    return "segment_overrun";
+  case ErrorCode::BadMemSize:
+    return "bad_mem_size";
+  case ErrorCode::AddressWrap:
+    return "address_wrap";
+  case ErrorCode::SegmentOverlap:
+    return "segment_overlap";
+  case ErrorCode::BadEntryPoint:
+    return "bad_entry_point";
+  case ErrorCode::BadSymbolKind:
+    return "bad_symbol_kind";
+  case ErrorCode::SymbolOutOfRange:
+    return "symbol_out_of_range";
+  case ErrorCode::BadRelocKind:
+    return "bad_reloc_kind";
+  case ErrorCode::RelocOutOfRange:
+    return "reloc_out_of_range";
+  case ErrorCode::TrailingBytes:
+    return "trailing_bytes";
+  case ErrorCode::NoTextSegment:
+    return "no_text_segment";
+  }
+  return "unknown";
+}
+
 /// A failure description. Errors carry a human-readable message following
-/// the style "file.sx: line 3: unknown mnemonic 'foo'".
+/// the style "file.sx: line 3: unknown mnemonic 'foo'", plus optional
+/// structured context (code, file, byte offset, field name).
 class Error {
 public:
   explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(ErrorCode Code, std::string Message)
+      : Message(std::move(Message)), Code(Code) {}
 
   const std::string &message() const { return Message; }
+  ErrorCode code() const { return Code; }
+
+  bool hasOffset() const { return OffsetValid; }
+  uint64_t offset() const {
+    assert(OffsetValid && "Error carries no offset");
+    return Offset;
+  }
+  const std::string &file() const { return File; }
+  const std::string &field() const { return Field; }
+
+  /// Fluent context setters, usable on a temporary:
+  ///   return Error(ErrorCode::Truncated, "...").atOffset(R.pos());
+  Error &&atOffset(uint64_t Off) && {
+    Offset = Off;
+    OffsetValid = true;
+    return std::move(*this);
+  }
+  Error &&inField(std::string F) && {
+    Field = std::move(F);
+    return std::move(*this);
+  }
+  Error &&inFile(std::string F) && {
+    File = std::move(F);
+    return std::move(*this);
+  }
+  Error &atOffset(uint64_t Off) & {
+    Offset = Off;
+    OffsetValid = true;
+    return *this;
+  }
+  Error &inField(std::string F) & {
+    Field = std::move(F);
+    return *this;
+  }
+  Error &inFile(std::string F) & {
+    File = std::move(F);
+    return *this;
+  }
+
+  /// Full human-readable rendering with all attached context:
+  /// "a.sxf: offset 0x21: segment[1].nbytes: segment overruns file
+  /// [segment_overrun]".
+  std::string describe() const {
+    std::string S;
+    if (!File.empty())
+      S += File + ": ";
+    if (OffsetValid) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "offset 0x%llx: ",
+                    static_cast<unsigned long long>(Offset));
+      S += Buf;
+    }
+    if (!Field.empty())
+      S += Field + ": ";
+    S += Message;
+    if (Code != ErrorCode::Unspecified)
+      S += std::string(" [") + errorCodeName(Code) + "]";
+    return S;
+  }
 
 private:
   std::string Message;
+  std::string File;
+  std::string Field;
+  uint64_t Offset = 0;
+  ErrorCode Code = ErrorCode::Unspecified;
+  bool OffsetValid = false;
 };
 
 /// Either a value of type T or an Error. The discriminator must be checked
@@ -65,7 +210,7 @@ public:
   /// error. For call sites where failure indicates a program bug.
   T takeValue() {
     if (hasError()) {
-      std::fprintf(stderr, "fatal error: %s\n", error().message().c_str());
+      std::fprintf(stderr, "fatal error: %s\n", error().describe().c_str());
       std::abort();
     }
     return std::move(std::get<T>(Storage));

@@ -13,7 +13,8 @@ using namespace eel;
 Expected<std::vector<uint8_t>> eel::readFileBytes(const std::string &Path) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return Error(Path + ": cannot open file for reading");
+    return Error(ErrorCode::IoError, "cannot open file for reading")
+        .inFile(Path);
   std::vector<uint8_t> Bytes;
   uint8_t Buffer[4096];
   size_t N;
@@ -22,7 +23,7 @@ Expected<std::vector<uint8_t>> eel::readFileBytes(const std::string &Path) {
   bool Bad = std::ferror(F);
   std::fclose(F);
   if (Bad)
-    return Error(Path + ": read error");
+    return Error(ErrorCode::IoError, "read error").inFile(Path);
   return Bytes;
 }
 
@@ -30,13 +31,14 @@ Expected<bool> eel::writeFileBytes(const std::string &Path,
                                    const std::vector<uint8_t> &Bytes) {
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
-    return Error(Path + ": cannot open file for writing");
+    return Error(ErrorCode::IoError, "cannot open file for writing")
+        .inFile(Path);
   size_t N = Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
   bool Bad = N != Bytes.size();
   if (std::fclose(F) != 0)
     Bad = true;
   if (Bad)
-    return Error(Path + ": write error");
+    return Error(ErrorCode::IoError, "write error").inFile(Path);
   return true;
 }
 

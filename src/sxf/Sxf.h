@@ -115,9 +115,26 @@ public:
   /// Removes relocation information (the paper's fully linked setting).
   void stripRelocations() { Relocs.clear(); }
 
+  // --- Validation ---------------------------------------------------------
+
+  /// Whole-image structural checks: segment overlap and address-space
+  /// wrap, MemSize covering the file bytes, entry point inside text, and
+  /// symbol/relocation range checks. deserialize() runs this on every
+  /// decoded image (attaching file offsets to any failure); call it
+  /// directly to check an image built in memory. Errors carry an
+  /// ErrorCode from the load-time taxonomy (see support/Error.h).
+  Expected<bool> validate() const;
+
   // --- Serialization ------------------------------------------------------
 
   std::vector<uint8_t> serialize() const;
+
+  /// Decodes and validates \p Bytes. The input is treated as hostile:
+  /// counts are checked against remaining bytes before any allocation,
+  /// enum bytes are validated before casting, and the reader is strict
+  /// enough (reserved fields zero, canonical binding bytes, no trailing
+  /// bytes) that serialize() is an exact inverse on every accepted input.
+  /// Failures are structured Errors with an ErrorCode and byte offset.
   static Expected<SxfFile> deserialize(const std::vector<uint8_t> &Bytes);
 
   Expected<bool> writeToFile(const std::string &Path) const;

@@ -1,0 +1,217 @@
+//===- tools/SxfFuzz.cpp - Deterministic SXF fault injection --------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/SxfFuzz.h"
+
+#include "core/Executable.h"
+#include "support/ByteBuffer.h"
+#include "support/Rng.h"
+
+using namespace eel;
+
+namespace {
+
+/// A scalar field located inside a serialized SXF image, for targeted
+/// corruption. Width is 1, 2, or 4 bytes.
+struct FieldSlot {
+  size_t Offset = 0;
+  unsigned Width = 4;
+};
+
+/// Walks a *valid* serialized image and records the offset of every scalar
+/// field (magic, arch, reserved, entry, every count, every segment/symbol/
+/// reloc field). Mirrors the reader's traversal; stops quietly if the walk
+/// runs off the end (the corpus images are valid, so it never does).
+std::vector<FieldSlot> mapFields(const std::vector<uint8_t> &Bytes) {
+  std::vector<FieldSlot> Slots;
+  ByteReader R(Bytes);
+  auto Scalar = [&](unsigned Width) -> uint32_t {
+    Slots.push_back({R.pos(), Width});
+    if (Width == 1)
+      return R.readU8();
+    if (Width == 2)
+      return R.readU16();
+    return R.readU32();
+  };
+  Scalar(4);                       // magic
+  Scalar(1);                       // arch
+  Scalar(1);                       // reserved flags
+  Scalar(2);                       // reserved
+  Scalar(4);                       // entry
+  uint32_t NumSegments = Scalar(4);
+  for (uint32_t I = 0; I < NumSegments && !R.failed(); ++I) {
+    Scalar(1);                     // kind
+    Scalar(4);                     // vaddr
+    Scalar(4);                     // memsize
+    uint32_t NumBytes = Scalar(4); // nbytes
+    std::vector<uint8_t> Skip(NumBytes);
+    R.readBytes(Skip.data(), NumBytes);
+  }
+  uint32_t NumSymbols = Scalar(4);
+  for (uint32_t I = 0; I < NumSymbols && !R.failed(); ++I) {
+    Slots.push_back({R.pos(), 4}); // name length
+    R.readString();
+    Scalar(4);                     // value
+    Scalar(4);                     // size
+    Scalar(1);                     // kind
+    Scalar(1);                     // binding
+  }
+  uint32_t NumRelocs = Scalar(4);
+  for (uint32_t I = 0; I < NumRelocs && !R.failed(); ++I) {
+    Scalar(4);                     // site
+    Scalar(4);                     // target
+    Scalar(1);                     // kind
+  }
+  return Slots;
+}
+
+void storeScalar(std::vector<uint8_t> &Bytes, const FieldSlot &Slot,
+                 uint32_t Value) {
+  for (unsigned I = 0; I < Slot.Width && Slot.Offset + I < Bytes.size(); ++I)
+    Bytes[Slot.Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+/// Produces one mutant of \p Original, chosen and parameterized by \p G.
+std::vector<uint8_t> mutate(const std::vector<uint8_t> &Original,
+                            const std::vector<FieldSlot> &Fields, Rng &G) {
+  std::vector<uint8_t> M = Original;
+  switch (G.below(5)) {
+  case 0: { // random bit flips
+    unsigned Flips = 1 + static_cast<unsigned>(G.below(8));
+    for (unsigned I = 0; I < Flips && !M.empty(); ++I)
+      M[G.below(M.size())] ^= static_cast<uint8_t>(1u << G.below(8));
+    break;
+  }
+  case 1: { // byte splats
+    unsigned Splats = 1 + static_cast<unsigned>(G.below(16));
+    for (unsigned I = 0; I < Splats && !M.empty(); ++I)
+      M[G.below(M.size())] = static_cast<uint8_t>(G.below(256));
+    break;
+  }
+  case 2: // truncation at a random length
+    M.resize(G.below(M.size() + 1));
+    break;
+  case 3: { // extension with random trailing bytes
+    unsigned Extra = 1 + static_cast<unsigned>(G.below(64));
+    for (unsigned I = 0; I < Extra; ++I)
+      M.push_back(static_cast<uint8_t>(G.below(256)));
+    break;
+  }
+  default: { // targeted field corruption
+    if (Fields.empty())
+      break;
+    const FieldSlot &Slot = Fields[G.below(Fields.size())];
+    static const uint32_t Interesting[] = {
+        0xFFFFFFFFu, 0xFFFFFFF0u, 0x80000000u, 0x7FFFFFFFu,
+        0u,          1u,          0xFFu,       0x10000u,
+    };
+    uint32_t Value;
+    switch (G.below(4)) {
+    case 0:
+      Value = Interesting[G.below(sizeof(Interesting) /
+                                  sizeof(Interesting[0]))];
+      break;
+    case 1: { // off-by-one on the original value
+      uint32_t Orig = 0;
+      for (unsigned B = 0; B < Slot.Width; ++B)
+        Orig |= static_cast<uint32_t>(M[Slot.Offset + B]) << (8 * B);
+      Value = Orig + (G.chance(50) ? 1u : 0xFFFFFFFFu);
+      break;
+    }
+    case 2: // sign/top-bit flip
+      Value = 0x80000000u;
+      break;
+    default:
+      Value = static_cast<uint32_t>(G.next());
+      break;
+    }
+    storeScalar(M, Slot, Value);
+    break;
+  }
+  }
+  return M;
+}
+
+/// Checks the loader contract on one input. Returns an empty string when
+/// the contract holds, else a description of the violation.
+std::string checkOne(const std::vector<uint8_t> &Input, bool OpenAccepted,
+                     std::map<std::string, unsigned> &Histogram,
+                     bool &WasAccepted) {
+  Expected<SxfFile> File = SxfFile::deserialize(Input);
+  if (File.hasError()) {
+    WasAccepted = false;
+    const Error &E = File.error();
+    if (E.code() == ErrorCode::Unspecified)
+      return "rejection without an ErrorCode: " + E.describe();
+    if (!E.hasOffset())
+      return "rejection without a byte offset: " + E.describe();
+    ++Histogram[errorCodeName(E.code())];
+    return std::string();
+  }
+  WasAccepted = true;
+  // Accepted: the strict reader guarantees serialize() inverts exactly.
+  std::vector<uint8_t> Back = File.value().serialize();
+  if (Back != Input)
+    return "accepted input did not round-trip byte-identically (" +
+           std::to_string(Input.size()) + " bytes in, " +
+           std::to_string(Back.size()) + " out)";
+  if (OpenAccepted) {
+    // Everything past the decoder must also degrade cleanly. Serial mode
+    // keeps the run deterministic and cheap.
+    Executable::Options Opts;
+    Opts.Threads = 1;
+    Expected<std::unique_ptr<Executable>> Exec =
+        Executable::openImage(std::move(File.value()), Opts);
+    if (Exec.hasValue()) {
+      Expected<bool> Read = Exec.value()->readContents();
+      (void)Read; // may fail cleanly; must not abort
+    }
+  }
+  return std::string();
+}
+
+} // namespace
+
+FuzzReport eel::runFaultInjection(
+    const std::vector<std::vector<uint8_t>> &Corpus,
+    const FuzzOptions &Options) {
+  FuzzReport Report;
+  Rng G(Options.Seed);
+  for (size_t ImageIndex = 0; ImageIndex < Corpus.size(); ++ImageIndex) {
+    const std::vector<uint8_t> &Original = Corpus[ImageIndex];
+    // The corpus itself must load cleanly — a validator strict enough to
+    // reject real images would make the whole run vacuous.
+    bool Accepted = false;
+    std::string Violation =
+        checkOne(Original, Options.OpenAccepted, Report.ErrorHistogram,
+                 Accepted);
+    if (!Violation.empty() || !Accepted) {
+      Report.Failures.push_back(
+          {ImageIndex, 0,
+           "corpus image rejected or invalid: " +
+               (Violation.empty() ? std::string("loader refused valid image")
+                                  : Violation)});
+      continue;
+    }
+    std::vector<FieldSlot> Fields = mapFields(Original);
+    for (unsigned MutantIndex = 0; MutantIndex < Options.MutantsPerImage;
+         ++MutantIndex) {
+      std::vector<uint8_t> Mutant = mutate(Original, Fields, G);
+      ++Report.Total;
+      Violation = checkOne(Mutant, Options.OpenAccepted,
+                           Report.ErrorHistogram, Accepted);
+      if (!Violation.empty()) {
+        Report.Failures.push_back({ImageIndex, MutantIndex, Violation});
+        continue;
+      }
+      if (Accepted)
+        ++Report.RoundTripped;
+      else
+        ++Report.Rejected;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,76 @@
+//===- tools/SxfFuzz.h - Deterministic SXF fault injection -----*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for the SXF load path. Given a
+/// corpus of valid images (typically workload-generated and edited
+/// executables), it derives a seeded stream of mutants — random bit flips,
+/// byte splats, truncations, extensions, and *targeted* corruptions of
+/// individual header/record fields located by walking the format — and
+/// checks the loader's contract on every one:
+///
+///   * an accepted mutant must re-serialize byte-identically (the reader is
+///     strict, so deserialize/serialize are exact inverses), and must then
+///     survive Executable::openImage()/readContents() without aborting;
+///   * a rejected mutant must yield a structured Error carrying a non-
+///     Unspecified ErrorCode and a byte offset — never an abort, oversized
+///     allocation, or sanitizer finding.
+///
+/// Everything is driven by support/Rng.h from one seed, so a failing mutant
+/// index reproduces exactly (also under ASan/UBSan via -DEEL_SANITIZE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_TOOLS_SXFFUZZ_H
+#define EEL_TOOLS_SXFFUZZ_H
+
+#include "sxf/Sxf.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// Mutants generated per corpus image.
+  unsigned MutantsPerImage = 1000;
+  /// Also push every accepted mutant through Executable::openImage() and
+  /// readContents() to shake out aborts past the decoder.
+  bool OpenAccepted = true;
+};
+
+/// One mutant whose outcome violated the loader contract.
+struct FuzzFailure {
+  size_t ImageIndex = 0;
+  unsigned MutantIndex = 0;
+  std::string What; ///< Human-readable description of the violation.
+};
+
+struct FuzzReport {
+  unsigned Total = 0;        ///< Mutants executed.
+  unsigned RoundTripped = 0; ///< Accepted and byte-identical.
+  unsigned Rejected = 0;     ///< Clean structured error.
+  /// Rejections by ErrorCode name — the taxonomy coverage histogram.
+  std::map<std::string, unsigned> ErrorHistogram;
+  /// Contract violations (accepted but not byte-identical, or an error
+  /// missing its code/offset). Empty on a clean run.
+  std::vector<FuzzFailure> Failures;
+
+  bool clean() const { return Failures.empty(); }
+};
+
+/// Runs MutantsPerImage mutants against each image in \p Corpus. Every
+/// image must itself load cleanly (checked first; a corpus image the
+/// validator rejects is reported as a failure at MutantIndex 0).
+FuzzReport runFaultInjection(const std::vector<std::vector<uint8_t>> &Corpus,
+                             const FuzzOptions &Options);
+
+} // namespace eel
+
+#endif // EEL_TOOLS_SXFFUZZ_H

@@ -315,8 +315,9 @@ RunResult Machine::runSrisc(uint64_t MaxSteps) {
                                       static_cast<int32_t>(B & 31));
         break;
       case Op3Smul:
-        Value = static_cast<uint32_t>(static_cast<int32_t>(A) *
-                                      static_cast<int32_t>(B));
+        // Wrapping semantics; computed unsigned because the low 32 bits of
+        // signed and unsigned products agree and signed overflow is UB.
+        Value = A * B;
         break;
       case Op3Sdiv: {
         int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
@@ -609,8 +610,9 @@ RunResult Machine::runMrisc(uint64_t MaxSteps) {
         break;
       }
       case FnMul:
-        SetReg(Rd, static_cast<uint32_t>(static_cast<int32_t>(R[Rs]) *
-                                         static_cast<int32_t>(R[Rt])));
+        // Wrapping semantics; computed unsigned because the low 32 bits of
+        // signed and unsigned products agree and signed overflow is UB.
+        SetReg(Rd, R[Rs] * R[Rt]);
         break;
       case FnDiv: {
         int32_t SA = static_cast<int32_t>(R[Rs]);

@@ -268,3 +268,116 @@ TEST_P(ScavengeSweep, ScavengedRegistersAreDead) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScavengeSweep,
                          testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+//===----------------------------------------------------------------------===//
+// P7 — writer/reader inverse: for randomized *valid* images (random segment
+// layouts, symbol tables, and relocation sets), serialize() ∘ deserialize()
+// is the identity, deserialize() accepts, and validate() agrees. This is
+// the positive half of the loader contract; the fault-injection harness
+// (tests/FuzzTest.cpp) checks the negative half.
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+namespace {
+
+SxfFile randomValidImage(uint64_t Seed) {
+  Rng G(Seed);
+  SxfFile File;
+  File.Arch = G.chance(50) ? TargetArch::Srisc : TargetArch::Mrisc;
+
+  Addr Next = 0x1000 + static_cast<Addr>(G.below(256)) * 16;
+  unsigned NumSegs = 1 + static_cast<unsigned>(G.below(4));
+  for (unsigned I = 0; I < NumSegs; ++I) {
+    SxfSegment Seg;
+    Seg.Kind = I == 0 ? SegKind::Text
+                      : static_cast<SegKind>(G.below(3));
+    Seg.VAddr = Next;
+    if (Seg.Kind == SegKind::Bss) {
+      Seg.MemSize = 4 + static_cast<uint32_t>(G.below(64)) * 4;
+    } else {
+      unsigned Words = 1 + static_cast<unsigned>(G.below(64));
+      for (unsigned W = 0; W < Words * 4; ++W)
+        Seg.Bytes.push_back(static_cast<uint8_t>(G.below(256)));
+      Seg.MemSize = static_cast<uint32_t>(Seg.Bytes.size()) +
+                    static_cast<uint32_t>(G.below(8)) * 4;
+    }
+    Next = Seg.VAddr + Seg.MemSize + 4 + static_cast<Addr>(G.below(64)) * 4;
+    File.Segments.push_back(std::move(Seg));
+  }
+
+  const SxfSegment &Text = File.Segments[0];
+  File.Entry =
+      Text.VAddr + 4 * static_cast<Addr>(G.below(Text.Bytes.size() / 4));
+
+  unsigned NumSyms = static_cast<unsigned>(G.below(12));
+  for (unsigned I = 0; I < NumSyms; ++I) {
+    SxfSymbol Sym;
+    unsigned Len = static_cast<unsigned>(G.below(12));
+    for (unsigned C = 0; C < Len; ++C)
+      Sym.Name.push_back(static_cast<char>('a' + G.below(26)));
+    const SxfSegment &Seg = File.Segments[G.below(File.Segments.size())];
+    Sym.Value = Seg.VAddr + static_cast<Addr>(G.below(Seg.MemSize + 1));
+    Sym.Size = static_cast<uint32_t>(G.below(16)) * 4;
+    Sym.Kind = static_cast<SymKind>(G.below(5));
+    Sym.Binding = static_cast<SymBinding>(G.below(2));
+    File.Symbols.push_back(std::move(Sym));
+  }
+
+  unsigned NumRelocs = static_cast<unsigned>(G.below(8));
+  for (unsigned I = 0; I < NumRelocs; ++I) {
+    SxfReloc Reloc;
+    // Site: a patchable word in a file-backed segment.
+    const SxfSegment *Seg = nullptr;
+    for (unsigned Tries = 0; Tries < 8 && !Seg; ++Tries) {
+      const SxfSegment &Cand =
+          File.Segments[G.below(File.Segments.size())];
+      if (Cand.Bytes.size() >= 4)
+        Seg = &Cand;
+    }
+    if (!Seg)
+      Seg = &File.Segments[0];
+    Reloc.Site =
+        Seg->VAddr + 4 * static_cast<Addr>(G.below(Seg->Bytes.size() / 4));
+    const SxfSegment &TargetSeg =
+        File.Segments[G.below(File.Segments.size())];
+    Reloc.Target =
+        TargetSeg.VAddr + static_cast<Addr>(G.below(TargetSeg.MemSize + 1));
+    Reloc.Kind = static_cast<RelocKind>(G.below(4));
+    File.Relocs.push_back(Reloc);
+  }
+  return File;
+}
+
+} // namespace
+
+TEST(RoundTripProperty, WriterReaderInverseOnRandomImages) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    SxfFile File = randomValidImage(Seed);
+    ASSERT_TRUE(File.validate().hasValue())
+        << "seed " << Seed << ": " << File.validate().error().describe();
+    std::vector<uint8_t> Bytes = File.serialize();
+    Expected<SxfFile> Back = SxfFile::deserialize(Bytes);
+    ASSERT_TRUE(Back.hasValue())
+        << "seed " << Seed << ": " << Back.error().describe();
+    EXPECT_EQ(Back.value().serialize(), Bytes) << "seed " << Seed;
+    const SxfFile &B = Back.value();
+    EXPECT_EQ(B.Arch, File.Arch);
+    EXPECT_EQ(B.Entry, File.Entry);
+    ASSERT_EQ(B.Segments.size(), File.Segments.size());
+    for (size_t I = 0; I < B.Segments.size(); ++I) {
+      EXPECT_EQ(B.Segments[I].Kind, File.Segments[I].Kind);
+      EXPECT_EQ(B.Segments[I].VAddr, File.Segments[I].VAddr);
+      EXPECT_EQ(B.Segments[I].MemSize, File.Segments[I].MemSize);
+      EXPECT_EQ(B.Segments[I].Bytes, File.Segments[I].Bytes);
+    }
+    ASSERT_EQ(B.Symbols.size(), File.Symbols.size());
+    for (size_t I = 0; I < B.Symbols.size(); ++I) {
+      EXPECT_EQ(B.Symbols[I].Name, File.Symbols[I].Name);
+      EXPECT_EQ(B.Symbols[I].Value, File.Symbols[I].Value);
+      EXPECT_EQ(B.Symbols[I].Kind, File.Symbols[I].Kind);
+      EXPECT_EQ(B.Symbols[I].Binding, File.Symbols[I].Binding);
+    }
+    ASSERT_EQ(B.Relocs.size(), File.Relocs.size());
+  }
+}

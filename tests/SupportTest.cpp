@@ -111,6 +111,58 @@ TEST(Expected, ValueAndError) {
   Expected<int> Bad{Error("something broke")};
   ASSERT_TRUE(Bad.hasError());
   EXPECT_EQ(Bad.error().message(), "something broke");
+  EXPECT_EQ(Bad.error().code(), ErrorCode::Unspecified);
+  EXPECT_FALSE(Bad.error().hasOffset());
+}
+
+TEST(ErrorTaxonomy, StructuredContext) {
+  Error E = Error(ErrorCode::SegmentOverrun, "segment overruns file")
+                .atOffset(0x21)
+                .inField("segment[1].nbytes")
+                .inFile("a.sxf");
+  EXPECT_EQ(E.code(), ErrorCode::SegmentOverrun);
+  ASSERT_TRUE(E.hasOffset());
+  EXPECT_EQ(E.offset(), 0x21u);
+  EXPECT_EQ(E.field(), "segment[1].nbytes");
+  EXPECT_EQ(E.file(), "a.sxf");
+  // message() stays the bare message; describe() renders everything.
+  EXPECT_EQ(E.message(), "segment overruns file");
+  EXPECT_EQ(E.describe(),
+            "a.sxf: offset 0x21: segment[1].nbytes: segment overruns file "
+            "[segment_overrun]");
+  // Every code has a distinct stable name.
+  EXPECT_STREQ(errorCodeName(ErrorCode::BadMagic), "bad_magic");
+  EXPECT_STREQ(errorCodeName(ErrorCode::TrailingBytes), "trailing_bytes");
+}
+
+// The reader's bounds checks are in subtraction form; hostile lengths near
+// the top of the integer range must fail cleanly rather than wrap the
+// additive check and read out of bounds.
+TEST(ByteBuffer, HostileLengthsFailCleanly) {
+  std::vector<uint8_t> Small = {1, 2, 3, 4};
+  {
+    ByteReader R(Small);
+    uint8_t Out[4];
+    EXPECT_FALSE(R.readBytes(Out, SIZE_MAX - 2)); // Pos + Count wraps
+    EXPECT_TRUE(R.failed());
+  }
+  {
+    // A string whose length claims nearly 4 GB in a 12-byte buffer.
+    ByteWriter W;
+    W.writeU32(0xFFFFFFFF);
+    W.writeU32(0);
+    W.writeU32(0);
+    ByteReader R(W.bytes());
+    EXPECT_EQ(R.readString(), "");
+    EXPECT_TRUE(R.failed());
+  }
+  {
+    ByteReader R(Small);
+    EXPECT_EQ(R.pos(), 0u);
+    R.readU16();
+    EXPECT_EQ(R.pos(), 2u);
+    EXPECT_EQ(R.remaining(), 2u);
+  }
 }
 
 TEST(ByteBuffer, RoundTrip) {

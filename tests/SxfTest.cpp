@@ -6,6 +6,8 @@
 
 #include "sxf/Sxf.h"
 
+#include "support/ByteBuffer.h"
+
 #include <gtest/gtest.h>
 
 using namespace eel;
@@ -106,6 +108,218 @@ TEST(Sxf, RejectsCorruptInput) {
   Bytes = makeSample().serialize();
   Bytes[0] ^= 0xFF;
   EXPECT_TRUE(SxfFile::deserialize(Bytes).hasError());
+}
+
+// Regression: a tiny file claiming a 0xFFFFFFFF-byte segment must fail with
+// a structured error before any allocation is sized by the claim — the old
+// reader resized the segment buffer first and could allocate 4 GB from a
+// 16-byte input.
+TEST(Sxf, HugeSegmentClaimInTinyFile) {
+  ByteWriter W;
+  W.writeU32(0x31465853); // magic
+  W.writeU8(0);           // arch
+  W.writeU8(0);
+  W.writeU16(0);
+  W.writeU32(0x10000);    // entry
+  W.writeU32(1);          // one segment...
+  W.writeU8(0);           // text
+  W.writeU32(0x10000);    // vaddr
+  W.writeU32(0xFFFFFFFF); // memsize
+  W.writeU32(0xFFFFFFFF); // ...claiming 4 GB of file bytes
+  Expected<SxfFile> R = SxfFile::deserialize(W.take());
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::SegmentOverrun);
+  EXPECT_TRUE(R.error().hasOffset());
+
+  // The 16-byte prefix (header only, count unreadable) fails cleanly too.
+  ByteWriter W16;
+  W16.writeU32(0x31465853);
+  W16.writeU8(0);
+  W16.writeU8(0);
+  W16.writeU16(0);
+  W16.writeU32(0x10000);
+  W16.writeU32(0xFFFFFFFF); // segment count with no bytes behind it
+  std::vector<uint8_t> Tiny = W16.take();
+  ASSERT_EQ(Tiny.size(), 16u);
+  Expected<SxfFile> R16 = SxfFile::deserialize(Tiny);
+  ASSERT_TRUE(R16.hasError());
+  EXPECT_EQ(R16.error().code(), ErrorCode::ImplausibleCount);
+}
+
+// Hostile symbol/relocation counts must be rejected up front, not spun on
+// for 4 billion iterations of failing reads.
+TEST(Sxf, HugeSymbolAndRelocCounts) {
+  SxfFile File = makeSample();
+  File.Symbols.clear();
+  File.Relocs.clear();
+  std::vector<uint8_t> Bytes = File.serialize();
+  // nsymbols is the u32 nine bytes from the end (nsymbols + nrelocs,
+  // both zero, then... recompute: layout ends with nsymbols, nrelocs).
+  size_t NSymOff = Bytes.size() - 8;
+  size_t NRelOff = Bytes.size() - 4;
+  std::vector<uint8_t> Corrupt = Bytes;
+  for (int I = 0; I < 4; ++I)
+    Corrupt[NSymOff + I] = 0xFF;
+  Expected<SxfFile> R = SxfFile::deserialize(Corrupt);
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::ImplausibleCount);
+  Corrupt = Bytes;
+  for (int I = 0; I < 4; ++I)
+    Corrupt[NRelOff + I] = 0xFF;
+  R = SxfFile::deserialize(Corrupt);
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::ImplausibleCount);
+}
+
+// Truncation sweep: every strict prefix of a valid image must produce a
+// clean structured error — an ErrorCode plus the offset of the offending
+// record — and never a crash or an accepted partial image.
+TEST(Sxf, TruncationSweep) {
+  std::vector<uint8_t> Bytes = makeSample().serialize();
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
+    Expected<SxfFile> R = SxfFile::deserialize(Prefix);
+    ASSERT_TRUE(R.hasError()) << "prefix of length " << Len << " accepted";
+    EXPECT_NE(R.error().code(), ErrorCode::Unspecified)
+        << "prefix " << Len << " rejected without a code";
+    EXPECT_TRUE(R.error().hasOffset())
+        << "prefix " << Len << " rejected without an offset";
+    EXPECT_LE(R.error().offset(), Len) << "offset past the input";
+  }
+}
+
+// Kind/binding bytes are validated before the enum cast (UB under UBSan
+// otherwise), each with its own code.
+TEST(Sxf, RejectsOutOfRangeEnumBytes) {
+  SxfFile File = makeSample();
+  File.Relocs.push_back({0x400000, 0x10000, RelocKind::Word32});
+  std::vector<uint8_t> Bytes = File.serialize();
+  // Tail: ... nrelocs(4) site(4) target(4) kind(1)
+  std::vector<uint8_t> Corrupt = Bytes;
+  Corrupt[Corrupt.size() - 1] = 0xEE; // reloc kind
+  Expected<SxfFile> R = SxfFile::deserialize(Corrupt);
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::BadRelocKind);
+
+  // Symbol binding byte: last symbol's binding sits just before nrelocs +
+  // reloc record (4 + 9 bytes from the end).
+  Corrupt = Bytes;
+  Corrupt[Corrupt.size() - 14] = 7; // binding must be 0 or 1
+  R = SxfFile::deserialize(Corrupt);
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::BadSymbolKind);
+
+  // Segment kind byte (first segment record starts after the 16-byte
+  // header).
+  Corrupt = Bytes;
+  Corrupt[16] = 9;
+  R = SxfFile::deserialize(Corrupt);
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::BadSegmentKind);
+}
+
+// Whole-image validation: overlap, wrap, memsize, entry point, symbol and
+// relocation ranges, trailing bytes.
+TEST(Sxf, StructuralValidation) {
+  {
+    SxfFile File = makeSample();
+    File.Segments[1].VAddr = 0x10004; // data overlaps text
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::SegmentOverlap);
+    EXPECT_TRUE(R.error().hasOffset());
+    // validate() reports the same without offsets for in-memory images.
+    EXPECT_TRUE(File.validate().hasError());
+  }
+  {
+    SxfFile File = makeSample();
+    File.Segments[2].VAddr = 0xFFFFFFF0; // bss wraps 2^32
+    File.Segments[2].MemSize = 0x100;
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::AddressWrap);
+  }
+  {
+    SxfFile File = makeSample();
+    File.Segments[0].MemSize = 4; // smaller than its 8 file bytes
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::BadMemSize);
+  }
+  {
+    SxfFile File = makeSample();
+    File.Entry = 0x400000; // in data, not text
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::BadEntryPoint);
+  }
+  {
+    SxfFile File = makeSample();
+    File.Entry = 0x10002; // misaligned
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::BadEntryPoint);
+  }
+  {
+    SxfFile File = makeSample();
+    File.Symbols[0].Value = 0x999999; // outside every segment
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::SymbolOutOfRange);
+  }
+  {
+    SxfFile File = makeSample();
+    File.Relocs.push_back({0x400020, 0x10000, RelocKind::Word32}); // bss site
+    Expected<SxfFile> R = SxfFile::deserialize(File.serialize());
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::RelocOutOfRange);
+  }
+  {
+    std::vector<uint8_t> Bytes = makeSample().serialize();
+    Bytes.push_back(0); // trailing byte
+    Expected<SxfFile> R = SxfFile::deserialize(Bytes);
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::TrailingBytes);
+  }
+  {
+    std::vector<uint8_t> Bytes = makeSample().serialize();
+    Bytes[5] = 1; // reserved flags byte
+    Expected<SxfFile> R = SxfFile::deserialize(Bytes);
+    ASSERT_TRUE(R.hasError());
+    EXPECT_EQ(R.error().code(), ErrorCode::BadHeader);
+  }
+}
+
+// readWord/writeWord near the top of the address space: the old additive
+// bounds check (`A + 4 > VAddr + size`) wrapped for A near 2^32 and read
+// past the segment buffer.
+TEST(Sxf, WordAccessAtAddressSpaceTop) {
+  SxfFile File;
+  SxfSegment Seg;
+  Seg.Kind = SegKind::Data;
+  Seg.VAddr = 0xFFFFFFF0;
+  Seg.Bytes = {0, 1, 2, 3, 4, 5, 6, 7};
+  Seg.MemSize = 8;
+  File.Segments.push_back(Seg);
+  EXPECT_EQ(File.readWord(0xFFFFFFF0), 0x03020100u);
+  EXPECT_EQ(File.readWord(0xFFFFFFF4), 0x07060504u);
+  // Only 3 bytes left in the segment — and A + 4 wraps to a small value.
+  EXPECT_EQ(File.readWord(0xFFFFFFF5), std::nullopt);
+  EXPECT_EQ(File.readWord(0xFFFFFFFE), std::nullopt);
+  EXPECT_FALSE(File.writeWord(0xFFFFFFFE, 1));
+  EXPECT_FALSE(File.writeWord(0xFFFFFFF6, 1));
+  EXPECT_TRUE(File.writeWord(0xFFFFFFF4, 0xAABBCCDD));
+  EXPECT_EQ(File.readWord(0xFFFFFFF4), 0xAABBCCDDu);
+}
+
+// Errors from file-level entry points carry the path.
+TEST(Sxf, FileErrorsCarryPath) {
+  Expected<SxfFile> R = SxfFile::readFromFile("/nonexistent/x.sxf");
+  ASSERT_TRUE(R.hasError());
+  EXPECT_EQ(R.error().code(), ErrorCode::IoError);
+  EXPECT_EQ(R.error().file(), "/nonexistent/x.sxf");
+  EXPECT_NE(R.error().describe().find("/nonexistent/x.sxf"),
+            std::string::npos);
 }
 
 TEST(Sxf, FileRoundTrip) {
