@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "core/Executable.h"
 #include "tools/Qpt.h"
 #include "vm/Machine.h"
@@ -69,6 +70,17 @@ int main(int argc, char **argv) {
   Expected<SxfFile> Edited = Exec.writeEditedExecutable();
   if (Edited.hasError()) {
     std::fprintf(stderr, "error: %s\n", Edited.error().message().c_str());
+    return 1;
+  }
+
+  // Lint the edit before trusting it: the static verifier re-disassembles
+  // the output and checks it against the edited CFGs (see eel-lint for the
+  // standalone version of this check).
+  DiagnosticReport Verified = verifyEdit(Exec, Edited.value());
+  std::printf("verifier: %u checks run, %u error(s)\n", Verified.checksRun(),
+              Verified.errorCount());
+  if (Verified.hasErrors()) {
+    std::fprintf(stderr, "%s", Verified.renderText().c_str());
     return 1;
   }
 

@@ -25,7 +25,11 @@ using namespace eel;
 
 static int sandboxAndRun(SxfFile File, const char *Label) {
   RunResult Original = runToCompletion(File);
-  Executable Exec(std::move(File));
+  // Verify-gated: the edited image must pass the static verifier before
+  // writeEditedExecutable returns it.
+  Executable::Options ExecOptions;
+  ExecOptions.Verify = true;
+  Executable Exec(std::move(File), ExecOptions);
   Sandboxer SFI(Exec, /*DataRegionBase=*/0x400000,
                 /*StackRegionBase=*/0x7FE00000);
   SFI.instrument();

@@ -35,8 +35,11 @@ int main() {
   };
   RunResult OriginalResult = Original.run();
 
-  // Self-observation by editing.
-  Executable Exec(std::move(File));
+  // Self-observation by editing. Options::Verify gates the output on the
+  // static verifier: writeEditedExecutable fails if any check errors.
+  Executable::Options ExecOptions;
+  ExecOptions.Verify = true;
+  Executable Exec(std::move(File), ExecOptions);
   MemoryTracer Tracer(Exec, /*CapacityEntries=*/1u << 16);
   Tracer.instrument();
   Expected<SxfFile> Edited = Exec.writeEditedExecutable();

@@ -1,0 +1,238 @@
+//===- analysis/Diagnostics.h - Verifier diagnostics -------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured findings produced by the static verifier (see DESIGN.md
+/// "Static verification and translation validation"). Each Diagnostic
+/// names the pass that produced it, a severity, and the routine / block /
+/// address it pinpoints, in the same machine-readable spirit as the SXF
+/// load-path error taxonomy (support/Error.h): callers and tests classify
+/// findings without parsing prose. A DiagnosticReport renders either
+/// human-readable (one finding per line) or as a JSON array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ANALYSIS_DIAGNOSTICS_H
+#define EEL_ANALYSIS_DIAGNOSTICS_H
+
+#include "isa/Target.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// The verifier's passes. Stable ids: tests assert on them and tools key
+/// suppressions off them.
+enum class VerifyPass : uint8_t {
+  ImageLoad,     ///< The image could not be loaded/analyzed at all.
+  CfgWellFormed, ///< Pass 1: structural CFG invariants.
+  DelaySlot,     ///< Pass 2: delay-slot/annul normalization and re-layout.
+  ScavengeAudit, ///< Pass 3: independently recomputed liveness vs. RegAlloc.
+  LayoutConsistency, ///< Pass 4: emitted branches/tables hit intended targets.
+  TranslationValidation, ///< Pass 5: re-disassembled CFG matches edited CFG.
+};
+
+inline const char *verifyPassName(VerifyPass Pass) {
+  switch (Pass) {
+  case VerifyPass::ImageLoad:
+    return "image-load";
+  case VerifyPass::CfgWellFormed:
+    return "cfg-wellformed";
+  case VerifyPass::DelaySlot:
+    return "delay-slot";
+  case VerifyPass::ScavengeAudit:
+    return "scavenge-audit";
+  case VerifyPass::LayoutConsistency:
+    return "layout-consistency";
+  case VerifyPass::TranslationValidation:
+    return "translation-validation";
+  }
+  return "unknown";
+}
+
+enum class DiagSeverity : uint8_t {
+  Note,    ///< A check was skipped or could not run; not a defect.
+  Warning, ///< Suspicious but tolerated (lint on arbitrary images).
+  Error,   ///< A soundness violation; eel-lint exits nonzero on these.
+};
+
+inline const char *diagSeverityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+struct Diagnostic {
+  VerifyPass Pass = VerifyPass::ImageLoad;
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Routine; ///< Empty for image-level findings.
+  int Block = -1;      ///< Block id when the finding is block-scoped.
+  Addr Address = 0;    ///< Meaningful only when HasAddress.
+  bool HasAddress = false;
+  std::string Message;
+
+  /// "error: cfg-wellformed: routine 'f': block 3 @ 0x1040: <message>".
+  std::string render() const {
+    std::string S = diagSeverityName(Severity);
+    S += ": ";
+    S += verifyPassName(Pass);
+    S += ": ";
+    if (!Routine.empty())
+      S += "routine '" + Routine + "': ";
+    if (Block >= 0)
+      S += "block " + std::to_string(Block) + ": ";
+    if (HasAddress) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "@ 0x%x: ", Address);
+      S += Buf;
+    }
+    S += Message;
+    return S;
+  }
+};
+
+/// An ordered collection of diagnostics. Verification over parallel-edited
+/// images merges per-routine reports in routine-index order, so the
+/// rendered output is deterministic across thread counts.
+class DiagnosticReport {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  /// Convenience: append one finding.
+  void add(VerifyPass Pass, DiagSeverity Severity, std::string Routine,
+           int Block, Addr Address, bool HasAddress, std::string Message) {
+    Diagnostic D;
+    D.Pass = Pass;
+    D.Severity = Severity;
+    D.Routine = std::move(Routine);
+    D.Block = Block;
+    D.Address = Address;
+    D.HasAddress = HasAddress;
+    D.Message = std::move(Message);
+    Diags.push_back(std::move(D));
+  }
+
+  void append(DiagnosticReport &&Other) {
+    for (Diagnostic &D : Other.Diags)
+      Diags.push_back(std::move(D));
+    ChecksRun += Other.ChecksRun;
+    Other.Diags.clear();
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  unsigned count(DiagSeverity S) const {
+    unsigned N = 0;
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == S)
+        ++N;
+    return N;
+  }
+  unsigned errorCount() const { return count(DiagSeverity::Error); }
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == DiagSeverity::Error)
+        return true;
+    return false;
+  }
+
+  /// True when pass \p Pass reported at least one finding at \p Severity.
+  bool has(VerifyPass Pass, DiagSeverity Severity) const {
+    for (const Diagnostic &D : Diags)
+      if (D.Pass == Pass && D.Severity == Severity)
+        return true;
+    return false;
+  }
+
+  /// Number of individual checks the verifier evaluated (an anti-vacuity
+  /// signal: a clean report with zero checks proves nothing).
+  unsigned checksRun() const { return ChecksRun; }
+  void noteChecks(unsigned N = 1) { ChecksRun += N; }
+
+  /// One finding per line; empty string when clean.
+  std::string renderText() const {
+    std::string S;
+    for (const Diagnostic &D : Diags) {
+      S += D.render();
+      S += '\n';
+    }
+    return S;
+  }
+
+  /// JSON array of finding objects (stable key order).
+  std::string renderJson() const {
+    auto Escape = [](const std::string &In) {
+      std::string Out;
+      for (char C : In) {
+        switch (C) {
+        case '"':
+          Out += "\\\"";
+          break;
+        case '\\':
+          Out += "\\\\";
+          break;
+        case '\n':
+          Out += "\\n";
+          break;
+        case '\t':
+          Out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(C) < 0x20) {
+            char Buf[8];
+            std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+            Out += Buf;
+          } else {
+            Out += C;
+          }
+        }
+      }
+      return Out;
+    };
+    std::string S = "[";
+    for (size_t I = 0; I < Diags.size(); ++I) {
+      const Diagnostic &D = Diags[I];
+      if (I)
+        S += ",";
+      S += "\n  {\"pass\": \"";
+      S += verifyPassName(D.Pass);
+      S += "\", \"severity\": \"";
+      S += diagSeverityName(D.Severity);
+      S += "\"";
+      if (!D.Routine.empty())
+        S += ", \"routine\": \"" + Escape(D.Routine) + "\"";
+      if (D.Block >= 0)
+        S += ", \"block\": " + std::to_string(D.Block);
+      if (D.HasAddress) {
+        char Buf[24];
+        std::snprintf(Buf, sizeof(Buf), "\"0x%x\"", D.Address);
+        S += ", \"address\": ";
+        S += Buf;
+      }
+      S += ", \"message\": \"" + Escape(D.Message) + "\"}";
+    }
+    S += Diags.empty() ? "]" : "\n]";
+    return S;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ChecksRun = 0;
+};
+
+} // namespace eel
+
+#endif // EEL_ANALYSIS_DIAGNOSTICS_H

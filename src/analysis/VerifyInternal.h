@@ -1,0 +1,104 @@
+//===- analysis/VerifyInternal.h - Verifier internals ------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing between Verifier.cpp (entry points, independent
+/// liveness solver) and VerifyPasses.cpp (the pass bodies). Not installed;
+/// include only from within src/analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ANALYSIS_VERIFYINTERNAL_H
+#define EEL_ANALYSIS_VERIFYINTERNAL_H
+
+#include "analysis/Verifier.h"
+#include "core/Executable.h"
+#include "core/Liveness.h"
+
+#include <map>
+
+namespace eel {
+namespace verify {
+
+/// Liveness recomputed from scratch with a worklist algorithm — deliberately
+/// a different solver from core/Liveness.cpp's round-robin fixpoint, so the
+/// two implementations only agree when both are right. Boundary conventions
+/// (return-live set, call transfer, unresolved exits) follow the documented
+/// contract in core/Liveness.h.
+class WorklistLiveness {
+public:
+  explicit WorklistLiveness(const Cfg &G);
+
+  RegSet liveBefore(const BasicBlock *B, unsigned InstIndex) const;
+  RegSet liveAfter(const BasicBlock *B, unsigned InstIndex) const {
+    return liveBefore(B, InstIndex + 1);
+  }
+  RegSet liveOnEdge(const Edge *E) const;
+
+private:
+  RegSet outOf(const BasicBlock *B) const;
+  RegSet transferCall(RegSet LiveOut) const;
+
+  const Cfg &Graph;
+  RegSet All;
+  RegSet ReturnLive;
+  std::vector<RegSet> In, Out;
+};
+
+/// Everything the per-routine checks need. IR-only runs leave the edited
+/// fields null.
+struct RoutineCheckContext {
+  RoutineCheckContext(Executable &Exec, Routine &R) : Exec(Exec), R(R) {}
+
+  Executable &Exec;
+  Routine &R;
+  Cfg *G = nullptr; ///< Null for data routines.
+  bool Verbatim = false; ///< Routine is copied verbatim by the editor.
+
+  // Edit-side state (verifyEdit only).
+  const SxfFile *Edited = nullptr;
+  const std::map<Addr, Addr> *AddrMap = nullptr;
+  Executable *EditedExec = nullptr; ///< Re-opened edited image.
+  Addr TranslatorAddr = 0;          ///< 0 when no translator was emitted.
+
+  DiagnosticReport Report;
+
+  void diag(VerifyPass Pass, DiagSeverity Severity, int Block, Addr A,
+            bool HasA, std::string Msg) {
+    Report.add(Pass, Severity, R.name(), Block, A, HasA, std::move(Msg));
+  }
+  void check(unsigned N = 1) { Report.noteChecks(N); }
+};
+
+/// Pass 1: structural CFG invariants.
+void checkCfgWellFormed(RoutineCheckContext &Ctx);
+
+/// Pass 2, IR side: delay-slot/annul normalization invariants.
+void checkDelaySlotsIR(RoutineCheckContext &Ctx);
+
+/// Pass 2, image side: annul bits and slot contents in the emitted image.
+void checkDelaySlotsImage(RoutineCheckContext &Ctx);
+
+/// Pass 3: scavenging audit over the routine's snippet sites.
+void checkScavenging(RoutineCheckContext &Ctx);
+
+/// Pass 4: relocated calls, sethi/or pairs, and dispatch tables in the
+/// emitted image resolve to the intended targets' edited addresses.
+void checkLayoutConsistency(RoutineCheckContext &Ctx);
+
+/// Pass 5: quotient-graph comparison of the re-disassembled routine
+/// against the edited in-memory CFG.
+void checkTranslation(RoutineCheckContext &Ctx);
+
+/// The editor's verbatim-copy condition for a routine (mirrors
+/// RoutineLayouter::run); content checks needing per-word layout facts are
+/// skipped or reduced for verbatim routines.
+bool isVerbatimRoutine(Executable &Exec, Routine &R);
+
+} // namespace verify
+} // namespace eel
+
+#endif // EEL_ANALYSIS_VERIFYINTERNAL_H

@@ -96,6 +96,7 @@ public:
 
 private:
   friend class Cfg;
+  friend struct VerifierTestAccess; ///< Negative tests corrupt graphs.
   unsigned Id;
   BasicBlock *Src;
   BasicBlock *Dst;
@@ -141,6 +142,7 @@ public:
 private:
   friend class Cfg;
   friend class CfgBuilder;
+  friend struct VerifierTestAccess; ///< Negative tests corrupt graphs.
   unsigned Id;
   BlockKind Kind;
   Addr Anchor;
@@ -265,6 +267,7 @@ public:
 private:
   friend class CfgBuilder;
   friend class Routine;
+  friend struct VerifierTestAccess; ///< Negative tests corrupt graphs.
 
   BasicBlock *newBlock(BlockKind Kind, Addr Anchor);
   Edge *newEdge(BasicBlock *Src, BasicBlock *Dst, EdgeKind Kind);

@@ -76,9 +76,13 @@ BasicBlock *CfgBuilder::destFor(BasicBlock *From, Addr TargetAddr,
                                 bool &External) {
   External = false;
   if (R.contains(TargetAddr)) {
-    BasicBlock *Dst = Graph->blockAt(TargetAddr);
-    assert(Dst && "transfer target was not made a leader");
-    return Dst;
+    if (BasicBlock *Dst = Graph->blockAt(TargetAddr))
+      return Dst;
+    // The target was scheduled but discovery dropped it (it decodes as
+    // data, or its delay slot falls outside the routine). Control reaching
+    // it would execute garbage; poison the routine instead of crashing.
+    Graph->ReachedInvalid = true;
+    return Graph->Exit;
   }
   External = true;
   Graph->InterJumps.push_back({From, TargetAddr});
@@ -88,7 +92,14 @@ BasicBlock *CfgBuilder::destFor(BasicBlock *From, Addr TargetAddr,
 BasicBlock *CfgBuilder::makeDelayBlock(Addr TransferAddr) {
   Addr DelayAddr = TransferAddr + 4;
   const Instruction *DI = instAt(DelayAddr);
-  assert(DI && "delay slot outside routine");
+  if (!DI) {
+    // Discovery rejects transfers whose delay slot leaves the routine, so
+    // this is unreachable from well-formed input; stay defensive for the
+    // NDEBUG build and substitute a nop rather than dereference null.
+    assert(false && "delay slot outside routine");
+    Graph->ReachedInvalid = true;
+    DI = Exec.pool().get(Target.nopWord());
+  }
   BasicBlock *DB = Graph->newBlock(BlockKind::DelaySlot, DelayAddr);
   DB->Insts.push_back({DI, DelayAddr});
   return DB;
@@ -274,16 +285,22 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
       TE->setUneditable();
       TakenDelay->setUneditable();
     }
-    // Not-taken path: duplicated delay instruction unless annulled.
+    // Not-taken path: duplicated delay instruction unless annulled. The
+    // fallthrough block is missing when A+8 lies outside the routine or
+    // decodes as data; such control flow cannot be edited soundly.
+    BasicBlock *FallDst = Graph->blockAt(A + 8);
+    if (!FallDst) {
+      if (!Graph->Unsupported) {
+        Graph->Unsupported = true;
+        Graph->UnsupportedReason = "branch fallthrough is not code";
+      }
+      return;
+    }
     if (Delay == DelayBehavior::AnnulUntaken) {
-      BasicBlock *FallDst = Graph->blockAt(A + 8);
-      assert(FallDst && "branch fallthrough not discovered");
       Graph->newEdge(B, FallDst, EdgeKind::NotTaken);
     } else {
       BasicBlock *FallDelay = makeDelayBlock(A);
       Graph->newEdge(B, FallDelay, EdgeKind::NotTaken);
-      BasicBlock *FallDst = Graph->blockAt(A + 8);
-      assert(FallDst && "branch fallthrough not discovered");
       Graph->newEdge(FallDelay, FallDst, EdgeKind::NotTaken);
     }
     return;
@@ -359,7 +376,12 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
         if (!Seen.insert(T).second)
           continue; // duplicate table entries share one CFG edge
         BasicBlock *Dst = Graph->blockAt(T);
-        assert(Dst && "dispatch target not discovered");
+        if (!Dst) {
+          // A table entry pointing at data or a misaligned word; discovery
+          // skipped it. Poison the routine — a jump there is garbage.
+          Graph->ReachedInvalid = true;
+          continue;
+        }
         Graph->newEdge(DelayB, Dst, EdgeKind::SwitchCase);
       }
       break;

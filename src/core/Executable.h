@@ -69,6 +69,14 @@ public:
     /// reference oracle. Output images and (non-time.*) statistics are
     /// bit-identical across all settings.
     unsigned Threads = 0;
+    /// Run the static verifier (analysis/Verifier.h) over every emitted
+    /// image; writeEditedExecutable() fails with the findings if any check
+    /// reports an error. The gate runs the re-analysis-free profile
+    /// (VerifyOptions::writeGate(): CFG well-formedness, delay-slot/annul
+    /// invariants, the scavenging audit, and layout consistency), adding
+    /// only a few percent to the write path; full translation validation
+    /// is the explicit verifyEdit()/eel-lint step. Off by default.
+    bool Verify = false;
   };
 
   explicit Executable(SxfFile Image);
@@ -150,6 +158,10 @@ public:
   /// mapping exists (writeEditedExecutable must have succeeded).
   Addr editedAddr(Addr A) const;
   bool hasEditedAddr(Addr A) const { return AddrMap.count(A) != 0; }
+
+  /// The full original→edited instruction address map of the last
+  /// writeEditedExecutable() call (the verifier checks images against it).
+  const std::map<Addr, Addr> &addrMap() const { return AddrMap; }
 
   /// Entry address of an added routine in the edited image.
   Addr editedAddrOfAdded(unsigned Id) const;

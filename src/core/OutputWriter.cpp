@@ -16,6 +16,7 @@
 
 #include "core/Executable.h"
 
+#include "analysis/Verifier.h"
 #include "asmkit/Assembler.h"
 #include "asmkit/TargetAsm.h"
 #include "core/Layout.h"
@@ -372,5 +373,17 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   if (EntryIt == AddrMap.end())
     return Error("program entry point did not survive editing");
   Out.Entry = EntryIt->second;
+
+  // --- 11. Optional verification gate -----------------------------------------------
+  if (Opts.Verify) {
+    // The gate runs the re-analysis-free profile (passes 1-4); full
+    // translation validation re-disassembles the output and is a separate
+    // verifyEdit()/eel-lint step when a tool can afford it.
+    DiagnosticReport Report = verifyEdit(*this, Out, VerifyOptions::writeGate());
+    if (Report.hasErrors())
+      return Error("edited image failed verification (" +
+                   std::to_string(Report.errorCount()) + " error(s)):\n" +
+                   Report.renderText());
+  }
   return Out;
 }

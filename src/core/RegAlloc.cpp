@@ -12,14 +12,10 @@
 
 using namespace eel;
 
-Expected<SnippetInstance> eel::instantiateSnippet(const TargetInfo &Target,
-                                                  const CodeSnippet &Snippet,
-                                                  const RegSet &Live) {
-  bumpStat("eel.snippet.instances");
+Expected<ScavengePlan> eel::planScavenge(const TargetInfo &Target,
+                                         const CodeSnippet &Snippet,
+                                         const RegSet &Live) {
   const TargetConventions &Conv = Target.conventions();
-  SnippetInstance Inst;
-  for (unsigned Reg = 0; Reg < 32; ++Reg)
-    Inst.RegMap[Reg] = static_cast<uint8_t>(Reg);
 
   // Registers the body names literally (reads or writes) that are not
   // placeholders must keep their identity; they cannot receive a
@@ -47,41 +43,73 @@ Expected<SnippetInstance> eel::instantiateSnippet(const TargetInfo &Target,
 
   // How many registers do we need? One per placeholder, plus one scratch
   // for condition-code save/restore if the snippet clobbers live CC.
-  bool NeedCCSave = Snippet.clobbersCC() && Target.hasConditionCodes() &&
+  ScavengePlan Plan;
+  Plan.NeedCCSave = Snippet.clobbersCC() && Target.hasConditionCodes() &&
                     Live.contains(RegIdCC);
-  unsigned Needed = Snippet.regsToAllocate().size() + (NeedCCSave ? 1 : 0);
+  unsigned Needed =
+      Snippet.regsToAllocate().size() + (Plan.NeedCCSave ? 1 : 0);
 
   // Assign from the dead pool first; spill live registers for the rest.
-  std::vector<unsigned> Granted;
   for (unsigned Reg : Dead) {
-    if (Granted.size() >= Needed)
+    if (Plan.Granted.size() >= Needed)
       break;
-    Granted.push_back(Reg);
+    Plan.Granted.push_back(Reg);
   }
-  std::vector<unsigned> Spilled;
-  if (Granted.size() < Needed) {
+  if (Plan.Granted.size() < Needed && Snippet.requireDeadRegs())
+    return Error(ErrorCode::NoDeadRegisters,
+                 "snippet needs " + std::to_string(Needed) +
+                     " dead registers at this site but only " +
+                     std::to_string(Plan.Granted.size()) +
+                     " are dead and spilling is disallowed");
+  if (Plan.Granted.size() < Needed) {
     RegSet SpillPool = Universe & Live;
     for (unsigned Reg : SpillPool) {
-      if (Granted.size() >= Needed)
+      if (Plan.Granted.size() >= Needed)
         break;
-      Granted.push_back(Reg);
-      Spilled.push_back(Reg);
+      Plan.Granted.push_back(Reg);
+      Plan.SpilledSet.insert(Reg);
     }
   }
-  if (Granted.size() < Needed)
-    return Error("snippet needs " + std::to_string(Needed) +
-                 " registers but only " + std::to_string(Granted.size()) +
-                 " can be scavenged or spilled");
+  if (Plan.Granted.size() < Needed)
+    return Error(ErrorCode::NoDeadRegisters,
+                 "snippet needs " + std::to_string(Needed) +
+                     " registers but only " +
+                     std::to_string(Plan.Granted.size()) +
+                     " can be scavenged or spilled");
   unsigned MaxSpillSlots =
       static_cast<unsigned>((SnippetSpillBase - SnippetSpillLimit) / 4);
-  if (Spilled.size() > MaxSpillSlots)
-    return Error("snippet spill area exhausted");
+  if (Plan.SpilledSet.size() > MaxSpillSlots)
+    return Error(ErrorCode::SpillExhausted, "snippet spill area exhausted");
+  for (unsigned Reg : Plan.Granted)
+    Plan.GrantedSet.insert(Reg);
+  return Plan;
+}
+
+Expected<SnippetInstance> eel::instantiateSnippet(const TargetInfo &Target,
+                                                  const CodeSnippet &Snippet,
+                                                  const RegSet &Live) {
+  bumpStat("eel.snippet.instances");
+  Expected<ScavengePlan> Planned = planScavenge(Target, Snippet, Live);
+  if (Planned.hasError())
+    return Planned.error();
+  const ScavengePlan &Plan = Planned.value();
+  const TargetConventions &Conv = Target.conventions();
+
+  SnippetInstance Inst;
+  for (unsigned Reg = 0; Reg < 32; ++Reg)
+    Inst.RegMap[Reg] = static_cast<uint8_t>(Reg);
+  Inst.Granted = Plan.GrantedSet;
+  Inst.Spilled = Plan.SpilledSet;
+  bool NeedCCSave = Plan.NeedCCSave;
+  std::vector<unsigned> Spilled;
+  for (unsigned Reg : Plan.SpilledSet)
+    Spilled.push_back(Reg);
 
   // Bind placeholders (in ascending order) to granted registers.
   unsigned Cursor = 0;
   for (unsigned Placeholder : Snippet.regsToAllocate())
-    Inst.RegMap[Placeholder] = static_cast<uint8_t>(Granted[Cursor++]);
-  unsigned CCScratch = NeedCCSave ? Granted[Cursor++] : 0;
+    Inst.RegMap[Placeholder] = static_cast<uint8_t>(Plan.Granted[Cursor++]);
+  unsigned CCScratch = NeedCCSave ? Plan.Granted[Cursor++] : 0;
 
   // Prologue: spill stores, then CC save.
   unsigned SP = Conv.StackPointer;

@@ -28,6 +28,27 @@ namespace eel {
 /// no red-zone use by compilers), which makes both safe.
 enum : int32_t { SnippetSpillBase = -96, SnippetSpillLimit = -160 };
 
+/// The allocator's decision for one site, computed without emitting any
+/// code: which registers the snippet receives (in assignment order), the
+/// subset that must be spilled because they are live, and whether the
+/// condition codes need save/restore. instantiateSnippet realizes exactly
+/// this plan; the verifier's scavenging audit judges the plan directly and
+/// skips the emission cost.
+struct ScavengePlan {
+  std::vector<unsigned> Granted; ///< Assignment order: placeholders, then
+                                 ///< the CC scratch register if needed.
+  RegSet GrantedSet;             ///< The same registers as a set.
+  RegSet SpilledSet;             ///< Granted registers that were live.
+  bool NeedCCSave = false;       ///< Snippet clobbers live condition codes.
+};
+
+/// Plans the register assignment for \p Snippet at a site where \p Live
+/// registers are live. Fails only if the snippet demands more registers
+/// than can be scavenged or spilled.
+Expected<ScavengePlan> planScavenge(const TargetInfo &Target,
+                                    const CodeSnippet &Snippet,
+                                    const RegSet &Live);
+
 /// Instantiates \p Snippet for a site where \p Live registers are live.
 /// Returns the wrapped, register-allocated code. Fails only if the snippet
 /// demands more registers than can be spilled.

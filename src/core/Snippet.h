@@ -42,6 +42,11 @@ struct SnippetInstance {
   /// Indices into Words of the snippet body proper (excluding spill/CC
   /// wrapper code), so callbacks can find their instructions.
   unsigned BodyBegin = 0;
+  /// Registers the allocator handed to the snippet, and the subset it had
+  /// to spill because they were live. The scavenging audit proves every
+  /// granted-but-not-spilled register dead with an independent solver.
+  RegSet Granted;
+  RegSet Spilled;
 };
 
 /// Machine-specific foreign code plus its register-allocation contract.
@@ -74,11 +79,19 @@ public:
   void setCallback(Callback CB) { Finish = std::move(CB); }
   const Callback &callback() const { return Finish; }
 
+  /// When set, allocation fails with ErrorCode::NoDeadRegisters instead of
+  /// spilling live registers around the snippet. Tools that cannot afford
+  /// the memory traffic of a spill (e.g. a tracing snippet on a hot path)
+  /// opt in and pick a cheaper snippet at sites the error names.
+  void setRequireDeadRegs(bool Value) { RequireDeadRegs = Value; }
+  bool requireDeadRegs() const { return RequireDeadRegs; }
+
 private:
   std::vector<MachWord> Body;
   RegSet RegsToAllocate;
   RegSet Forbidden;
   bool ClobbersCC = false;
+  bool RequireDeadRegs = false;
   Callback Finish;
 };
 

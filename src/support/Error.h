@@ -54,6 +54,10 @@ enum class ErrorCode : uint8_t {
   RelocOutOfRange,   ///< Relocation site not a patchable word.
   TrailingBytes,     ///< Well-formed image followed by unconsumed bytes.
   NoTextSegment,     ///< Image cannot be opened as an executable: no text.
+  NoDeadRegisters,   ///< Snippet site has no dead register and spilling is
+                     ///< disallowed (CodeSnippet::setRequireDeadRegs).
+  SpillExhausted,    ///< Snippet needed more spill slots than the reserved
+                     ///< stack scratch area holds.
 };
 
 /// Stable lower-case name for an ErrorCode (used in describe() output and
@@ -98,6 +102,10 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "trailing_bytes";
   case ErrorCode::NoTextSegment:
     return "no_text_segment";
+  case ErrorCode::NoDeadRegisters:
+    return "no_dead_registers";
+  case ErrorCode::SpillExhausted:
+    return "spill_exhausted";
   }
   return "unknown";
 }

@@ -6,6 +6,7 @@
 
 #include "tools/SxfFuzz.h"
 
+#include "analysis/Verifier.h"
 #include "core/Executable.h"
 #include "support/ByteBuffer.h"
 #include "support/Rng.h"
@@ -137,9 +138,10 @@ std::vector<uint8_t> mutate(const std::vector<uint8_t> &Original,
 
 /// Checks the loader contract on one input. Returns an empty string when
 /// the contract holds, else a description of the violation.
-std::string checkOne(const std::vector<uint8_t> &Input, bool OpenAccepted,
+std::string checkOne(const std::vector<uint8_t> &Input,
+                     const FuzzOptions &Options,
                      std::map<std::string, unsigned> &Histogram,
-                     bool &WasAccepted) {
+                     bool &WasAccepted, unsigned &Verified) {
   Expected<SxfFile> File = SxfFile::deserialize(Input);
   if (File.hasError()) {
     WasAccepted = false;
@@ -158,7 +160,7 @@ std::string checkOne(const std::vector<uint8_t> &Input, bool OpenAccepted,
     return "accepted input did not round-trip byte-identically (" +
            std::to_string(Input.size()) + " bytes in, " +
            std::to_string(Back.size()) + " out)";
-  if (OpenAccepted) {
+  if (Options.OpenAccepted) {
     // Everything past the decoder must also degrade cleanly. Serial mode
     // keeps the run deterministic and cheap.
     Executable::Options Opts;
@@ -167,7 +169,22 @@ std::string checkOne(const std::vector<uint8_t> &Input, bool OpenAccepted,
         Executable::openImage(std::move(File.value()), Opts);
     if (Exec.hasValue()) {
       Expected<bool> Read = Exec.value()->readContents();
-      (void)Read; // may fail cleanly; must not abort
+      if (Read.hasValue() && Options.VerifyAccepted) {
+        // The verify gate: whatever bytes a mutant decodes to, the analysis
+        // must yield IR the structural passes accept — CfgBuild either
+        // builds a consistent graph or poisons the routine into verbatim
+        // mode, and an inconsistent graph here is a bug worth a failure.
+        VerifyOptions VOpts;
+        VOpts.CheckScavenge = false;
+        VOpts.CheckLayout = false;
+        VOpts.CheckTranslation = false;
+        VOpts.Threads = 1;
+        DiagnosticReport Lint = verifyIR(*Exec.value(), VOpts);
+        if (Lint.hasErrors())
+          return "accepted mutant failed structural verification: " +
+                 Lint.renderText();
+        ++Verified;
+      }
     }
   }
   return std::string();
@@ -185,9 +202,8 @@ FuzzReport eel::runFaultInjection(
     // The corpus itself must load cleanly — a validator strict enough to
     // reject real images would make the whole run vacuous.
     bool Accepted = false;
-    std::string Violation =
-        checkOne(Original, Options.OpenAccepted, Report.ErrorHistogram,
-                 Accepted);
+    std::string Violation = checkOne(Original, Options, Report.ErrorHistogram,
+                                     Accepted, Report.Verified);
     if (!Violation.empty() || !Accepted) {
       Report.Failures.push_back(
           {ImageIndex, 0,
@@ -201,8 +217,8 @@ FuzzReport eel::runFaultInjection(
          ++MutantIndex) {
       std::vector<uint8_t> Mutant = mutate(Original, Fields, G);
       ++Report.Total;
-      Violation = checkOne(Mutant, Options.OpenAccepted,
-                           Report.ErrorHistogram, Accepted);
+      Violation = checkOne(Mutant, Options, Report.ErrorHistogram, Accepted,
+                           Report.Verified);
       if (!Violation.empty()) {
         Report.Failures.push_back({ImageIndex, MutantIndex, Violation});
         continue;

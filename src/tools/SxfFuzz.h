@@ -43,6 +43,11 @@ struct FuzzOptions {
   /// Also push every accepted mutant through Executable::openImage() and
   /// readContents() to shake out aborts past the decoder.
   bool OpenAccepted = true;
+  /// Run the structural verifier (analysis/Verifier.h) over every accepted,
+  /// analyzable mutant: whatever code bytes a mutant contains, CfgBuild must
+  /// either produce internally consistent IR or mark the routine verbatim —
+  /// never an inconsistent graph. Requires OpenAccepted.
+  bool VerifyAccepted = true;
 };
 
 /// One mutant whose outcome violated the loader contract.
@@ -56,6 +61,7 @@ struct FuzzReport {
   unsigned Total = 0;        ///< Mutants executed.
   unsigned RoundTripped = 0; ///< Accepted and byte-identical.
   unsigned Rejected = 0;     ///< Clean structured error.
+  unsigned Verified = 0;     ///< Accepted mutants that passed the verifier.
   /// Rejections by ErrorCode name — the taxonomy coverage histogram.
   std::map<std::string, unsigned> ErrorHistogram;
   /// Contract violations (accepted but not byte-identical, or an error

@@ -77,6 +77,9 @@ TEST(Fuzz, TenThousandMutantsHonorLoaderContract) {
   // gentle; one where nothing survives would mean the oracle is vacuous.
   EXPECT_GT(Report.Rejected, 1000u);
   EXPECT_GT(Report.RoundTripped, 0u);
+  // The verify gate must actually fire: accepted, analyzable mutants run
+  // the structural verifier and none may error (expectClean covers that).
+  EXPECT_GT(Report.Verified, 0u);
 }
 
 // A different seed must produce a different mutant stream (the harness is

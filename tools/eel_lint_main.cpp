@@ -1,0 +1,136 @@
+//===- tools/eel_lint_main.cpp - Standalone image checker ---------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// eel-lint: runs the static verifier (analysis/Verifier.h) over SXF
+/// images from the command line.
+///
+///   eel-lint [options] image.sxf...
+///     --json        render findings as a JSON array instead of text
+///     --roundtrip   additionally re-edit the image with no changes and run
+///                   the full five-pass verification (including layout and
+///                   translation validation) on the result
+///     --threads N   worker threads for the per-routine fan-out (0 = auto)
+///     --quiet       print nothing on clean images
+///
+/// Exit status: 0 clean, 1 when any error-severity finding was reported,
+/// 2 when an image failed to load at all or the command line is malformed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "core/Executable.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace eel;
+
+namespace {
+
+struct LintConfig {
+  bool Json = false;
+  bool Roundtrip = false;
+  bool Quiet = false;
+  unsigned Threads = 0;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--roundtrip] [--threads N] [--quiet] "
+               "image.sxf...\n",
+               Argv0);
+  return 2;
+}
+
+/// Lints one image; merges findings into \p Report. Returns false when the
+/// image could not even be loaded.
+bool lintOne(const std::string &Path, const LintConfig &Config,
+             DiagnosticReport &Report) {
+  Expected<SxfFile> Image = SxfFile::readFromFile(Path);
+  if (Image.hasError()) {
+    Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0, false,
+               Path + ": " + Image.error().describe());
+    return false;
+  }
+  VerifyOptions Opts;
+  Opts.Threads = Config.Threads;
+  Report.append(lintImage(Image.value(), Opts));
+
+  if (Config.Roundtrip) {
+    // An identity edit exercises the whole pipeline: the verify gate plus
+    // an explicit verifyEdit give the full five passes over the output.
+    Executable::Options EOpts;
+    EOpts.Threads = Config.Threads ? Config.Threads : 0;
+    Expected<std::unique_ptr<Executable>> Exec =
+        Executable::openImage(Image.value(), EOpts);
+    if (Exec.hasError()) {
+      Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0,
+                 false, Path + ": " + Exec.error().describe());
+      return false;
+    }
+    Expected<SxfFile> Edited = Exec.value()->writeEditedExecutable();
+    if (Edited.hasError()) {
+      Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0,
+                 false,
+                 Path + ": roundtrip edit failed: " +
+                     Edited.error().describe());
+      return false;
+    }
+    VerifyOptions EditOpts;
+    EditOpts.Threads = Config.Threads;
+    Report.append(verifyEdit(*Exec.value(), Edited.value(), EditOpts));
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  LintConfig Config;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!std::strcmp(Arg, "--json")) {
+      Config.Json = true;
+    } else if (!std::strcmp(Arg, "--roundtrip")) {
+      Config.Roundtrip = true;
+    } else if (!std::strcmp(Arg, "--quiet")) {
+      Config.Quiet = true;
+    } else if (!std::strcmp(Arg, "--threads")) {
+      if (I + 1 >= argc)
+        return usage(argv[0]);
+      Config.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty())
+    return usage(argv[0]);
+
+  DiagnosticReport Report;
+  bool AllLoaded = true;
+  for (const std::string &Path : Paths)
+    AllLoaded &= lintOne(Path, Config, Report);
+
+  if (Config.Json) {
+    std::printf("%s\n", Report.renderJson().c_str());
+  } else if (!Report.empty()) {
+    std::printf("%s", Report.renderText().c_str());
+  }
+  if (!Config.Quiet && !Config.Json)
+    std::printf("%u finding(s), %u error(s), %u check(s) run\n",
+                static_cast<unsigned>(Report.diagnostics().size()),
+                Report.errorCount(), Report.checksRun());
+
+  if (!AllLoaded)
+    return 2;
+  return Report.hasErrors() ? 1 : 0;
+}

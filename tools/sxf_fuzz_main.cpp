@@ -107,6 +107,7 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Options.Seed), Corpus.size(),
               Report.Total);
   std::printf("  round-tripped identically: %u\n", Report.RoundTripped);
+  std::printf("  passed the structural verifier: %u\n", Report.Verified);
   std::printf("  rejected with structured error: %u\n", Report.Rejected);
   for (const auto &[Name, Count] : Report.ErrorHistogram)
     std::printf("    %-20s %u\n", Name.c_str(), Count);
