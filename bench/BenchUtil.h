@@ -17,9 +17,12 @@
 #define EEL_BENCH_BENCHUTIL_H
 
 #include "support/FileIO.h"
+#include "support/Json.h"
 #include "workload/Generator.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -69,6 +72,94 @@ inline unsigned sourceLines(const std::string &RelPath) {
 inline void printHeader(const char *Title) {
   std::printf("\n==== %s ====\n", Title);
 }
+
+/// Machine-readable benchmark results. Construct one per bench binary
+/// BEFORE benchmark::Initialize — the constructor strips `--json=FILE`
+/// from argv (google-benchmark aborts on flags it does not recognize).
+/// Each headline number a bench prints is also handed to metric(); when
+/// --json was given, the destructor writes them as one JSON document
+///
+///   {"schema": "eel-bench/1", "bench": NAME,
+///    "metrics": [{"name": ..., "value": ..., "unit": ...}, ...]}
+///
+/// scripts/run_benches.sh runs every bench this way and splices the
+/// per-bench documents into BENCH_observability.json.
+class JsonSink {
+public:
+  JsonSink(const char *BenchName, int *Argc, char **Argv) : Bench(BenchName) {
+    int Kept = 1;
+    for (int I = 1; I < *Argc; ++I) {
+      if (!std::strncmp(Argv[I], "--json=", 7))
+        Path = Argv[I] + 7;
+      else
+        Argv[Kept++] = Argv[I];
+    }
+    *Argc = Kept;
+  }
+
+  JsonSink(const JsonSink &) = delete;
+  JsonSink &operator=(const JsonSink &) = delete;
+
+  bool enabled() const { return !Path.empty(); }
+
+  void metric(const std::string &Name, double Value, const char *Unit = "") {
+    Rows.push_back({Name, Value, Unit});
+  }
+
+  ~JsonSink() {
+    if (Path.empty())
+      return;
+    eel::JsonWriter S(/*Indent=*/false);
+    S.beginObject();
+    S.key("schema");
+    S.value("eel-bench/1");
+    S.key("bench");
+    S.value(Bench);
+    S.key("metrics");
+    S.beginArray();
+    for (const Row &R : Rows) {
+      S.beginObject();
+      S.key("name");
+      S.value(R.Name);
+      S.key("value");
+      S.valueRaw(formatNumber(R.Value));
+      S.key("unit");
+      S.value(R.Unit);
+      S.endObject();
+    }
+    S.endArray();
+    S.endObject();
+    std::string Text = S.take();
+    Text.push_back('\n');
+    eel::Expected<bool> Wrote = eel::writeFileBytes(
+        Path, std::vector<uint8_t>(Text.begin(), Text.end()));
+    if (Wrote.hasError())
+      std::fprintf(stderr, "warning: --json=%s: %s\n", Path.c_str(),
+                   Wrote.error().describe().c_str());
+  }
+
+private:
+  struct Row {
+    std::string Name;
+    double Value;
+    std::string Unit;
+  };
+
+  /// Counters print exactly; measurements keep 9 significant digits
+  /// (JsonWriter's default %.6g would round large instruction counts).
+  static std::string formatNumber(double V) {
+    char Buf[64];
+    if (std::nearbyint(V) == V && std::fabs(V) < 9.007199254740992e15)
+      std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+    return Buf;
+  }
+
+  std::string Bench;
+  std::string Path;
+  std::vector<Row> Rows;
+};
 
 } // namespace eelbench
 

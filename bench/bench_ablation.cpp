@@ -84,6 +84,7 @@ static void BM_EditWithoutSlicing(benchmark::State &State) {
 BENCHMARK(BM_EditWithoutSlicing)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_ablation", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -125,6 +126,11 @@ int main(int argc, char **argv) {
                 "(paper: translation\nbecomes \"a rare occurrence\"; the "
                 "safety net alone still keeps programs correct).\n",
                 AblSites - BaseSites, AblSites);
+    Sink.metric("no_slicing_insts_ratio",
+                static_cast<double>(AblInsts) /
+                    static_cast<double>(BaseInsts),
+                "x");
+    Sink.metric("slicing_sites_removed", AblSites - BaseSites, "count");
   }
 
   printHeader("Ablation 2 (§3.3.1): delay-slot fold-back");
@@ -164,6 +170,12 @@ int main(int argc, char **argv) {
                 "unreversed duplication).\n",
                 100.0 * (static_cast<double>(AblBytes) / BaseBytes - 1.0),
                 100.0 * (static_cast<double>(AblInsts) / BaseInsts - 1.0));
+    Sink.metric("foldback_text_growth_avoided",
+                100.0 * (static_cast<double>(AblBytes) / BaseBytes - 1.0),
+                "percent");
+    Sink.metric("foldback_insts_growth_avoided",
+                100.0 * (static_cast<double>(AblInsts) / BaseInsts - 1.0),
+                "percent");
   }
   return 0;
 }

@@ -39,6 +39,7 @@ static void BM_InstrumentActiveMem(benchmark::State &State) {
 BENCHMARK(BM_InstrumentActiveMem)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_active_memory", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -79,14 +80,18 @@ int main(int argc, char **argv) {
         Misses += AM.misses(M.memory());
         CCSaves += Exec.editStats().SnippetCCSaves;
       }
+      const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+      double Slowdown =
+          static_cast<double>(EditInsts) / static_cast<double>(OrigInsts);
       std::printf("%-8s %6u %6u %12llu %12llu %8.2fx %9llu %7llu %8u\n",
-                  Arch == TargetArch::Srisc ? "srisc" : "mrisc", C.Lines,
-                  C.LineBytes, static_cast<unsigned long long>(OrigInsts),
-                  static_cast<unsigned long long>(EditInsts),
-                  static_cast<double>(EditInsts) /
-                      static_cast<double>(OrigInsts),
+                  ArchName, C.Lines, C.LineBytes,
+                  static_cast<unsigned long long>(OrigInsts),
+                  static_cast<unsigned long long>(EditInsts), Slowdown,
                   static_cast<unsigned long long>(Accesses),
                   static_cast<unsigned long long>(Misses), CCSaves);
+      Sink.metric("slowdown_" + std::string(ArchName) + "_l" +
+                      std::to_string(C.Lines),
+                  Slowdown, "x");
     }
   }
   std::printf("\npaper: Active Memory runs cache simulation at a 2-7x "

@@ -79,7 +79,7 @@ main:
   std::printf("the `add` appears only on the taken path, as in Figure 3\n");
 }
 
-static void printBlockComposition() {
+static void printBlockComposition(eelbench::JsonSink &Sink) {
   printHeader("§5 footnote: block composition and §3.3 uneditable fraction");
   for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
     Cfg::Stats Total;
@@ -126,13 +126,24 @@ static void printBlockComposition() {
     std::printf("  unedited layouts: %u delay slots folded back, %u "
                 "materialized\n",
                 Folded, Materialized);
+    const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+    Sink.metric(std::string("blocks_total_") + ArchName, AllBlocks, "count");
+    Sink.metric(std::string("block_ratio_") + ArchName,
+                static_cast<double>(AllBlocks) /
+                    static_cast<double>(Total.NormalBlocks),
+                "x");
+    Sink.metric(std::string("uneditable_edges_pct_") + ArchName,
+                100.0 * Total.UneditableEdges / Total.TotalEdges, "percent");
+    Sink.metric(std::string("delay_slots_folded_") + ArchName, Folded,
+                "count");
   }
 }
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_cfg_stats", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printFigure3();
-  printBlockComposition();
+  printBlockComposition(Sink);
   return 0;
 }

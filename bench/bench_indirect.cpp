@@ -138,6 +138,7 @@ static void BM_BackwardSlice(benchmark::State &State) {
 BENCHMARK(BM_BackwardSlice)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_indirect", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -149,6 +150,11 @@ int main(int argc, char **argv) {
   printRow("gcc-style (SunOS 4.1.3)", Gcc);
   SuiteStats Sunpro = analyzeSuite(true, 12);
   printRow("sunpro-style (Solaris 2.4)", Sunpro);
+  Sink.metric("gcc_indirect_jumps", Gcc.IndirectJumps, "count");
+  Sink.metric("gcc_unanalyzable", Gcc.Unanalyzable, "count");
+  Sink.metric("sunpro_indirect_jumps", Sunpro.IndirectJumps, "count");
+  Sink.metric("sunpro_unanalyzable", Sunpro.Unanalyzable, "count");
+  Sink.metric("sunpro_tail_call_idiom", Sunpro.TailCallIdiom, "count");
   std::printf("\npaper: gcc-style had 0/1,325 unanalyzable; sunpro-style "
               "138/1,244, all from\nthe frame-popping tail-call idiom. "
               "Expected shape: gcc row unanalyzable == 0,\nsunpro row "

@@ -96,6 +96,7 @@ static void BM_RejectHostileCount(benchmark::State &State) {
 BENCHMARK(BM_RejectHostileCount)->Unit(benchmark::kNanosecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_load", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -144,5 +145,10 @@ int main(int argc, char **argv) {
               "validation share of load", SharePct, DecodeSharePct);
   std::printf("validation overhead on the load path under 2%%: %s\n",
               SharePct < 2.0 ? "yes" : "NO (regression!)");
+  Sink.metric("load_time", LoadMs / Iters, "ms");
+  Sink.metric("decode_time", DecodeMs / Iters, "ms");
+  Sink.metric("validate_time", ValidateMs / Iters, "ms");
+  Sink.metric("validate_share_of_load", SharePct, "percent");
+  Sink.metric("load_throughput", MBps, "MB/s");
   return 0;
 }

@@ -88,6 +88,7 @@ static void BM_SpawnParseDescription(benchmark::State &State) {
 BENCHMARK(BM_SpawnParseDescription)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_machdesc", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -108,6 +109,12 @@ int main(int argc, char **argv) {
               SriscHand, SriscGen);
   std::printf("%-8s %11u ln %13u ln %11u ln\n", "mrisc", MriscDesc,
               MriscHand, MriscGen);
+  Sink.metric("description_lines_srisc", SriscDesc, "lines");
+  Sink.metric("handwritten_lines_srisc", SriscHand, "lines");
+  Sink.metric("generated_lines_srisc", SriscGen, "lines");
+  Sink.metric("description_lines_mrisc", MriscDesc, "lines");
+  Sink.metric("handwritten_lines_mrisc", MriscHand, "lines");
+  Sink.metric("generated_lines_mrisc", MriscGen, "lines");
   std::printf("\npaper: SPARC 145-line description vs 2,268 handwritten "
               "vs 6,178 generated;\nMIPS description 128 lines. Expected "
               "shape: description << handwritten < generated.\n");

@@ -12,12 +12,16 @@
 ///    needed spill wrapping or condition-code saves;
 ///  * the cost of run-time address translation on tail-call-heavy
 ///    (sunpro-style) programs — the §3.3 fallback in action;
-///  * sandboxing (SFI) overhead, the paper's first application class.
+///  * sandboxing (SFI) overhead, the paper's first application class;
+///  * the observability tax: EEL_TRACE_SCOPE compiled in but disabled
+///    must cost under 1% of the edit path (asserted — this bench exits
+///    nonzero on regression).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/Executable.h"
+#include "support/Trace.h"
 #include "tools/Qpt.h"
 #include "tools/Sandbox.h"
 #include "tools/WindTunnel.h"
@@ -26,6 +30,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 
 using namespace eel;
@@ -105,18 +110,22 @@ OverheadRow measure(const char *Name, TargetArch Arch, bool Sunpro,
   return Row;
 }
 
-void printRow(const OverheadRow &Row) {
+void printRow(eelbench::JsonSink &Sink, const OverheadRow &Row) {
   std::printf("%-34s %8.2fx %9llu %7llu %8llu %7llu\n", Row.Name,
               Row.Slowdown,
               static_cast<unsigned long long>(Row.SnippetInstances),
               static_cast<unsigned long long>(Row.Spills),
               static_cast<unsigned long long>(Row.CCSaves),
               static_cast<unsigned long long>(Row.TranslationSites));
+  Sink.metric(std::string("slowdown: ") + Row.Name, Row.Slowdown, "x");
+  Sink.metric(std::string("spills: ") + Row.Name,
+              static_cast<double>(Row.Spills), "count");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_overhead", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -124,36 +133,36 @@ int main(int argc, char **argv) {
   std::printf("%-34s %9s %9s %7s %8s %7s\n", "configuration", "slowdown",
               "snippets", "spills", "ccsaves", "xlate");
 
-  printRow(measure("identity rewrite (srisc)", TargetArch::Srisc, false,
+  printRow(Sink, measure("identity rewrite (srisc)", TargetArch::Srisc, false,
                    [](Executable &) {}));
-  printRow(measure("identity rewrite, tail calls", TargetArch::Srisc, true,
+  printRow(Sink, measure("identity rewrite, tail calls", TargetArch::Srisc, true,
                    [](Executable &) {}));
-  printRow(measure("qpt2 edge+block profile (srisc)", TargetArch::Srisc,
+  printRow(Sink, measure("qpt2 edge+block profile (srisc)", TargetArch::Srisc,
                    false, [](Executable &Exec) {
                      auto *P = new Qpt2Profiler(Exec);
                      P->instrument();
                    }));
-  printRow(measure("qpt2 edge+block profile (mrisc)", TargetArch::Mrisc,
+  printRow(Sink, measure("qpt2 edge+block profile (mrisc)", TargetArch::Mrisc,
                    false, [](Executable &Exec) {
                      auto *P = new Qpt2Profiler(Exec);
                      P->instrument();
                    }));
-  printRow(measure("qpt2 profile + translation", TargetArch::Srisc, true,
+  printRow(Sink, measure("qpt2 profile + translation", TargetArch::Srisc, true,
                    [](Executable &Exec) {
                      auto *P = new Qpt2Profiler(Exec);
                      P->instrument();
                    }));
-  printRow(measure("sandbox store checks (srisc)", TargetArch::Srisc, false,
+  printRow(Sink, measure("sandbox store checks (srisc)", TargetArch::Srisc, false,
                    [](Executable &Exec) {
                      auto *S = new Sandboxer(Exec, 0x400000, 0x7FE00000);
                      S->instrument();
                    }));
-  printRow(measure("WWT cycle counter (srisc)", TargetArch::Srisc, false,
+  printRow(Sink, measure("WWT cycle counter (srisc)", TargetArch::Srisc, false,
                    [](Executable &Exec) {
                      auto *C = new CycleCounter(Exec, /*Quantum=*/1024);
                      C->instrument();
                    }));
-  printRow(measure("dead-code elimination (srisc)", TargetArch::Srisc,
+  printRow(Sink, measure("dead-code elimination (srisc)", TargetArch::Srisc,
                    false,
                    [](Executable &Exec) {
                      auto *D = new DeadCodeEliminator(Exec);
@@ -203,11 +212,83 @@ int main(int argc, char **argv) {
     std::printf("  edit+write, verify on:  %8.3f ms\n", On * 1e3);
     std::printf("  verify gate adds:       %8.2f%%\n",
                 (On / Off - 1.0) * 100.0);
+    Sink.metric("verify_gate_overhead", (On / Off - 1.0) * 100.0, "percent");
+  }
+
+  // Tracing compiled in but disabled must be invisible: a disabled
+  // EEL_TRACE_SCOPE is one relaxed atomic load and a branch, paid once
+  // per span site the pipeline passes. The bench measures that per-site
+  // cost directly, counts the sites one edit actually crosses (by running
+  // it once traced), and asserts the product stays under 1% of the
+  // untraced edit time.
+  printHeader("EEL_TRACE_SCOPE compiled in but disabled (acceptance: <1%)");
+  bool TraceOverheadOk = true;
+  {
+    traceSetEnabled(false);
+    using Clock = std::chrono::steady_clock;
+    const uint64_t Iters = 1u << 21;
+    // Minimum-of-N again: interference only inflates a rep.
+    auto bestLoopNs = [&](bool WithScope) {
+      double Best = 1e18;
+      for (int Rep = 0; Rep < 7; ++Rep) {
+        auto T0 = Clock::now();
+        for (uint64_t I = 0; I < Iters; ++I) {
+          if (WithScope) {
+            EEL_TRACE_SCOPE("bench.noop");
+            benchmark::DoNotOptimize(I);
+          } else {
+            benchmark::DoNotOptimize(I);
+          }
+        }
+        auto T1 = Clock::now();
+        Best = std::min(
+            Best, std::chrono::duration<double, std::nano>(T1 - T0).count());
+      }
+      return Best / static_cast<double>(Iters);
+    };
+    double PerSiteNs = std::max(0.0, bestLoopNs(true) - bestLoopNs(false));
+
+    SxfFile File =
+        generateWorkload(TargetArch::Srisc, suiteMember(false, 13, 24));
+    auto editOnce = [&File](bool Trace) {
+      Executable::Options Opts;
+      Opts.Trace = Trace;
+      Executable Exec(SxfFile(File), Opts);
+      Qpt2Profiler Profiler(Exec);
+      Profiler.instrument();
+      benchmark::DoNotOptimize(Exec.writeEditedExecutable().hasValue());
+    };
+    // Count the span sites one edit crosses.
+    TraceCollector::instance().reset();
+    editOnce(true);
+    traceSetEnabled(false);
+    uint64_t Sites = TraceCollector::instance().drain().size();
+    // Time the same edit with tracing disabled (the shipping default).
+    editOnce(false);
+    double BestEditNs = 1e18;
+    for (int Rep = 0; Rep < 10; ++Rep) {
+      auto T0 = Clock::now();
+      editOnce(false);
+      auto T1 = Clock::now();
+      BestEditNs = std::min(
+          BestEditNs, std::chrono::duration<double, std::nano>(T1 - T0).count());
+    }
+    double OverheadPct = 100.0 * PerSiteNs * static_cast<double>(Sites) /
+                         BestEditNs;
+    TraceOverheadOk = OverheadPct < 1.0;
+    std::printf("  disabled span site:   %8.3f ns\n", PerSiteNs);
+    std::printf("  sites per edit:       %8llu\n",
+                static_cast<unsigned long long>(Sites));
+    std::printf("  edit path (untraced): %8.3f ms\n", BestEditNs / 1e6);
+    std::printf("  disabled-tracing tax: %8.4f%%  -> %s\n", OverheadPct,
+                TraceOverheadOk ? "under 1%, ok" : "OVER 1% (regression!)");
+    Sink.metric("trace_disabled_overhead", OverheadPct, "percent");
+    Sink.metric("trace_sites_per_edit", static_cast<double>(Sites), "count");
   }
 
   std::printf("\nshape: identity ~1x; profiling a small-integer factor; "
               "translation adds the\nbinary-search cost only on "
               "translated jumps; scavenging keeps spills rare\n(§3.5: "
               "dead registers usually suffice).\n");
-  return 0;
+  return TraceOverheadOk ? 0 : 1;
 }

@@ -66,6 +66,7 @@ BENCHMARK(BM_PipelineParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(
     benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_parallel", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -97,6 +98,10 @@ int main(int argc, char **argv) {
       Identical &= editPipeline(Suite[I], Threads) == Reference[I];
     std::printf("%-10u %12.1f %8.2fx %11s\n", Threads, Millis, Base / Millis,
                 Identical ? "yes" : "NO (bug!)");
+    Sink.metric("suite_time_t" + std::to_string(Threads), Millis, "ms");
+    Sink.metric("speedup_t" + std::to_string(Threads), Base / Millis, "x");
+    Sink.metric("identical_t" + std::to_string(Threads), Identical ? 1 : 0,
+                "bool");
   }
   std::printf("output is bit-identical at every thread count; speedup tracks\n"
               "physical cores (a 1-core host shows ~1.0x with the same "

@@ -54,6 +54,7 @@ static void BM_UnpooledDecode(benchmark::State &State) {
 BENCHMARK(BM_UnpooledDecode)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_sharing", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -67,12 +68,15 @@ int main(int argc, char **argv) {
       for (size_t Off = 0; Off + 4 <= Text->Bytes.size(); Off += 4)
         Pool.get(*File.readWord(Text->VAddr + Off));
     }
-    std::printf("%-10s %12llu %12llu %7.2fx\n",
-                Arch == TargetArch::Srisc ? "srisc" : "mrisc",
+    const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+    double Ratio = static_cast<double>(Pool.requested()) /
+                   static_cast<double>(Pool.allocated());
+    std::printf("%-10s %12llu %12llu %7.2fx\n", ArchName,
                 static_cast<unsigned long long>(Pool.requested()),
-                static_cast<unsigned long long>(Pool.allocated()),
-                static_cast<double>(Pool.requested()) /
-                    static_cast<double>(Pool.allocated()));
+                static_cast<unsigned long long>(Pool.allocated()), Ratio);
+    Sink.metric(std::string("flyweight_ratio_") + ArchName, Ratio, "x");
+    Sink.metric(std::string("instructions_allocated_") + ArchName,
+                static_cast<double>(Pool.allocated()), "count");
   }
   std::printf("\npaper: the flyweight cuts allocations ~4x\n");
   return 0;

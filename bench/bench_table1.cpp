@@ -80,7 +80,7 @@ static void BM_Qpt2(benchmark::State &State) {
 }
 BENCHMARK(BM_Qpt2)->Unit(benchmark::kMillisecond);
 
-static void printTable1() {
+static void printTable1(eelbench::JsonSink &Sink) {
   printHeader("Table 1: qpt (ad hoc) vs qpt2 (EEL-based)");
   SxfFile File = spimLike();
   const SxfSegment *Text = File.segment(SegKind::Text);
@@ -150,12 +150,25 @@ static void printTable1() {
               "paper's qpt2 was 6,276 lines because EEL was linked in "
               "separately)\n",
               EelLibLines, EelToolLines);
+  Sink.metric("qpt_adhoc_time", AdhocMs, "ms");
+  Sink.metric("qpt2_eel_time", EelMs, "ms");
+  Sink.metric("qpt2_time_ratio", EelMs / AdhocMs, "x");
+  Sink.metric("qpt2_object_ratio",
+              static_cast<double>(EelObjects) /
+                  static_cast<double>(AdhocObjects),
+              "x");
+  Sink.metric("qpt2_block_ratio",
+              static_cast<double>(EelBlocks) /
+                  static_cast<double>(Adhoc.value().BlocksFound),
+              "x");
+  Sink.metric("eel_library_lines", EelLibLines, "lines");
   (void)Edited;
 }
 
 int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_table1", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printTable1();
+  printTable1(Sink);
   return 0;
 }

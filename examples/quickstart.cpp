@@ -18,8 +18,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Report.h"
 #include "analysis/Verifier.h"
 #include "core/Executable.h"
+#include "support/Stats.h"
 #include "tools/Qpt.h"
 #include "vm/Machine.h"
 #include "workload/Generator.h"
@@ -57,7 +59,10 @@ int main(int argc, char **argv) {
 
   // Instrument: FOREACH_ROUTINE { FOREACH_BB { if (1 < succ size)
   // FOREACH_EDGE e->add_code_along(incr_count(num)); } }  (Figure 1).
-  Executable Exec(std::move(File));
+  // Tracing on, so the run-report summary below has a phase tree.
+  Executable::Options ExecOptions;
+  ExecOptions.Trace = true;
+  Executable Exec(std::move(File), ExecOptions);
   Qpt2Profiler::Options ProfilerOptions;
   ProfilerOptions.CountBlocks = false;
   Qpt2Profiler Profiler(Exec, ProfilerOptions);
@@ -119,6 +124,43 @@ int main(int argc, char **argv) {
                 Info.TermAddr, Kind, Info.DestAnchor,
                 static_cast<unsigned long long>(Counts[Order[I]]));
   }
+  // One-screen run-report summary: the same data eel-report emits as JSON
+  // (phase tree from the drained spans, key counters, histogram medians).
+  traceSetEnabled(false);
+  std::printf("\nrun report:\n");
+  std::vector<PhaseNode> Phases =
+      buildPhaseTree(TraceCollector::instance().drain());
+  struct Printer {
+    static void print(const std::vector<PhaseNode> &Level, int Depth) {
+      for (const PhaseNode &N : Level) {
+        std::printf("  %*s%-*s %9.1f us  x%llu\n", 2 * Depth, "",
+                    30 - 2 * Depth, N.Name.c_str(), N.TotalNs / 1000.0,
+                    static_cast<unsigned long long>(N.Count));
+        if (Depth < 2)
+          print(N.Children, Depth + 1);
+      }
+    }
+  };
+  Printer::print(Phases, 0);
+  std::printf("  counters: %llu CFGs built, %llu snippet instances, "
+              "%u translation sites\n",
+              static_cast<unsigned long long>(
+                  StatRegistry::instance().read("eel.cfg.built")),
+              static_cast<unsigned long long>(
+                  StatRegistry::instance().read("eel.snippet.instances")),
+              Exec.editStats().TranslationSites);
+  for (const char *Name :
+       {"cfg.blocks_per_routine", "layout.words_per_routine"}) {
+    HistogramSnapshot H = HistogramRegistry::instance().read(Name);
+    if (H.Count)
+      std::printf("  %-28s n=%-5llu median<=%llu max=%llu\n", Name,
+                  static_cast<unsigned long long>(H.Count),
+                  static_cast<unsigned long long>(H.quantileUpperBound(0.5)),
+                  static_cast<unsigned long long>(H.Max));
+  }
+  std::printf("  verifier: %u checks, %u errors\n", Verified.checksRun(),
+              Verified.errorCount());
+
   std::printf("\nbranch-counting tool finished: the edited program measured "
               "itself and behaved\nidentically to the original.\n");
   return 0;

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+#===- scripts/run_benches.sh - Populate the perf trajectory ---------------===#
+#
+# Runs every benchmark binary in --json mode and splices the per-bench
+# documents into one machine-readable suite file at the repository root:
+#
+#   BENCH_observability.json
+#     {"schema": "eel-bench/1", "suite": "observability",
+#      "benches": [<one object per bench, see bench/BenchUtil.h>]}
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+#
+# google-benchmark microbenchmarks are throttled with a small
+# --benchmark_min_time so the suite finishes quickly; the headline tables
+# each bench computes after RunSpecifiedBenchmarks (the numbers that land
+# in the JSON) are unaffected by that knob.
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT="$REPO_ROOT/BENCH_observability.json"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+BENCHES=(
+  bench_table1
+  bench_indirect
+  bench_cfg_stats
+  bench_sharing
+  bench_machdesc
+  bench_active_memory
+  bench_overhead
+  bench_ablation
+  bench_parallel
+  bench_load
+)
+
+for B in "${BENCHES[@]}"; do
+  if [ ! -x "$BENCH_DIR/$B" ]; then
+    echo "error: $BENCH_DIR/$B not built (cmake --build \"$BUILD_DIR\" -j)" >&2
+    exit 1
+  fi
+done
+
+for B in "${BENCHES[@]}"; do
+  echo "== $B"
+  "$BENCH_DIR/$B" --json="$TMP_DIR/$B.json" \
+    --benchmark_min_time=0.05 > "$TMP_DIR/$B.log"
+done
+
+# Splice the single-line per-bench documents into the suite envelope.
+{
+  printf '{"schema": "eel-bench/1", "suite": "observability", "benches": ['
+  FIRST=1
+  for B in "${BENCHES[@]}"; do
+    [ "$FIRST" -eq 1 ] || printf ', '
+    FIRST=0
+    tr -d '\n' < "$TMP_DIR/$B.json"
+  done
+  printf ']}\n'
+} > "$OUT"
+
+# A malformed splice must fail loudly, not get committed.
+if [ -x "$BUILD_DIR/tools/json-check" ]; then
+  "$BUILD_DIR/tools/json-check" --require-key benches "$OUT"
+fi
+
+echo "wrote $OUT"

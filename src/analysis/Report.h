@@ -1,0 +1,126 @@
+//===- analysis/Report.h - Machine-readable run reports ---------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "eel-report/1" JSON envelope: one provenance-carrying document
+/// combining input identity (content hash), the options a pipeline ran
+/// with, a phase-timing tree reconstructed from drained trace spans,
+/// counter and histogram tables, and verifier findings. eel-report emits
+/// it for edit pipelines, eel-lint --json and sxf-fuzz --json reuse the
+/// same envelope for their diagnostics, so downstream tooling parses one
+/// schema regardless of which tool produced the document.
+///
+/// Phase trees are rebuilt from the flat span list by interval
+/// containment: spans from one thread are sorted by (start ascending,
+/// duration descending, push-sequence descending) and nested with a stack.
+/// The sequence tiebreak matters for zero-length spans — rings record
+/// spans at completion, so at equal start and duration a parent has a
+/// HIGHER sequence number than its children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ANALYSIS_REPORT_H
+#define EEL_ANALYSIS_REPORT_H
+
+#include "analysis/Diagnostics.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// FNV-1a 64-bit content hash; used for input provenance in run reports.
+inline uint64_t fnv1a64(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// One node of the aggregated phase-timing tree. Spans with the same name
+/// under the same parent path merge: Count is how many spans merged,
+/// TotalNs their summed duration.
+struct PhaseNode {
+  std::string Name;
+  uint64_t TotalNs = 0;
+  uint64_t Count = 0;
+  std::vector<PhaseNode> Children;
+};
+
+/// Reconstructs an aggregated phase tree from flat \p Events (any thread
+/// mix). Per-thread nesting is derived from interval containment; the
+/// per-name aggregation across threads makes the tree's *shape* and span
+/// counts deterministic even though durations are wall-clock.
+std::vector<PhaseNode> buildPhaseTree(const std::vector<TraceEvent> &Events);
+
+/// Builder for one "eel-report/1" document.
+class RunReport {
+public:
+  explicit RunReport(std::string Tool) : Tool(std::move(Tool)) {}
+
+  /// Records one input file: path plus FNV-1a hash of its bytes.
+  void addInput(const std::string &Path, uint64_t Hash, uint64_t SizeBytes);
+
+  /// Records one option the run was configured with (stringified value).
+  void addOption(const std::string &Key, const std::string &Value);
+  void addOption(const std::string &Key, uint64_t Value) {
+    addOption(Key, std::to_string(Value));
+  }
+  void addOption(const std::string &Key, bool Value) {
+    addOption(Key, Value ? std::string("true") : std::string("false"));
+  }
+
+  /// Snapshots the global counter and histogram registries into the
+  /// report. Call from a quiescent point after the instrumented work.
+  void captureMetrics();
+
+  /// Builds the phase-timing tree from \p Events (typically
+  /// TraceCollector::instance().drain()).
+  void capturePhases(const std::vector<TraceEvent> &Events);
+
+  /// Copies verifier findings into the report.
+  void captureDiagnostics(const DiagnosticReport &Report);
+
+  /// Extra tool-specific summary fields, spliced verbatim under "summary".
+  /// \p Json must be a complete JSON value.
+  void setSummaryJson(std::string Json) { SummaryJson = std::move(Json); }
+
+  /// Renders the complete envelope:
+  ///   {"schema": "eel-report/1", "tool": ..., "inputs": [...],
+  ///    "options": {...}, "phases": [...], "counters": {...},
+  ///    "histograms": [...], "diagnostics": [...],
+  ///    "checks_run": N, "error_count": N, "summary": ...}
+  std::string renderJson() const;
+
+private:
+  struct Input {
+    std::string Path;
+    uint64_t Hash;
+    uint64_t SizeBytes;
+  };
+
+  std::string Tool;
+  std::vector<Input> Inputs;
+  std::vector<std::pair<std::string, std::string>> Options;
+  std::vector<PhaseNode> Phases;
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<HistogramSnapshot> Histograms;
+  std::vector<Diagnostic> Diagnostics;
+  unsigned ChecksRun = 0;
+  uint64_t DroppedSpans = 0;
+  bool HasPhases = false;
+  std::string SummaryJson;
+};
+
+} // namespace eel
+
+#endif // EEL_ANALYSIS_REPORT_H

@@ -9,6 +9,7 @@
 #include "core/RegAlloc.h"
 #include "core/Routine.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <vector>
 
@@ -193,19 +194,28 @@ void eel::auditScavengeSite(const TargetInfo &Target,
 namespace {
 
 void runRoutinePasses(RoutineCheckContext &Ctx, const VerifyOptions &Opts) {
-  if (Opts.CheckCfg)
+  if (Opts.CheckCfg) {
+    EEL_TRACE_SCOPE("verify.cfg_wellformed", "routine", Ctx.R.name());
     checkCfgWellFormed(Ctx);
+  }
   if (Opts.CheckDelay) {
+    EEL_TRACE_SCOPE("verify.delay_slot", "routine", Ctx.R.name());
     checkDelaySlotsIR(Ctx);
     if (Ctx.Edited)
       checkDelaySlotsImage(Ctx);
   }
-  if (Opts.CheckScavenge)
+  if (Opts.CheckScavenge) {
+    EEL_TRACE_SCOPE("verify.scavenge_audit", "routine", Ctx.R.name());
     checkScavenging(Ctx);
-  if (Opts.CheckLayout && Ctx.Edited)
+  }
+  if (Opts.CheckLayout && Ctx.Edited) {
+    EEL_TRACE_SCOPE("verify.layout_consistency", "routine", Ctx.R.name());
     checkLayoutConsistency(Ctx);
-  if (Opts.CheckTranslation && Ctx.EditedExec)
+  }
+  if (Opts.CheckTranslation && Ctx.EditedExec) {
+    EEL_TRACE_SCOPE("verify.translation_validation", "routine", Ctx.R.name());
     checkTranslation(Ctx);
+  }
 }
 
 /// Fans the per-routine passes out over \p Threads workers and merges the
@@ -242,6 +252,7 @@ unsigned resolveThreads(const Executable &Exec, const VerifyOptions &Opts) {
 } // namespace
 
 DiagnosticReport eel::verifyIR(Executable &Exec, const VerifyOptions &Opts) {
+  EEL_TRACE_SCOPE("verifyIR");
   DiagnosticReport Report;
   Expected<bool> Analyzed = Exec.readContents();
   Report.noteChecks();
@@ -257,6 +268,7 @@ DiagnosticReport eel::verifyIR(Executable &Exec, const VerifyOptions &Opts) {
 
 DiagnosticReport eel::verifyEdit(Executable &Exec, const SxfFile &Edited,
                                  const VerifyOptions &Opts) {
+  EEL_TRACE_SCOPE("verifyEdit");
   DiagnosticReport Report;
   Expected<bool> Analyzed = Exec.readContents();
   Report.noteChecks();
@@ -337,6 +349,7 @@ DiagnosticReport eel::verifyEdit(Executable &Exec, const SxfFile &Edited,
 
 DiagnosticReport eel::lintImage(const SxfFile &Image,
                                 const VerifyOptions &Opts) {
+  EEL_TRACE_SCOPE("lintImage");
   DiagnosticReport Report;
   Executable::Options OpenOpts;
   OpenOpts.Threads = Opts.Threads ? Opts.Threads : 1;

@@ -7,6 +7,7 @@
 #include "core/Executable.h"
 
 #include "support/Error.h"
+#include "support/Trace.h"
 
 #include <thread>
 
@@ -18,6 +19,11 @@ Executable::Executable(SxfFile ImageIn)
 Executable::Executable(SxfFile ImageIn, Options OptsIn)
     : Image(std::move(ImageIn)), Opts(OptsIn),
       Target(targetFor(Image.Arch)), Pool(Target) {
+  // Construction is a quiescent point, so flipping the process-wide trace
+  // gate here is safe. Only enable — never disable — so one untraced
+  // Executable can't silence another's active trace.
+  if (Opts.Trace)
+    traceSetEnabled(true);
   // Fresh data (counters, tables) goes after the highest existing segment.
   Addr High = 0;
   for (const SxfSegment &Seg : Image.Segments)

@@ -77,6 +77,13 @@ public:
     /// only a few percent to the write path; full translation validation
     /// is the explicit verifyEdit()/eel-lint step. Off by default.
     bool Verify = false;
+    /// Enable span tracing (support/Trace.h) for this run: every pipeline
+    /// phase records RAII spans into per-thread rings, drainable at
+    /// quiescent points and exportable as Chrome trace-event JSON. The
+    /// flag is process-wide (it flips the global trace gate at
+    /// construction); disabled, the instrumentation costs <1% of pipeline
+    /// time (asserted by bench_overhead). Off by default.
+    bool Trace = false;
   };
 
   explicit Executable(SxfFile Image);

@@ -11,7 +11,9 @@
 #include "core/RegAlloc.h"
 #include "core/Routine.h"
 #include "core/Translate.h"
+#include "support/Metrics.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <climits>
@@ -803,8 +805,12 @@ Expected<RoutineLayout> RoutineLayouter::run() {
 
 Expected<RoutineLayout> eel::layoutRoutine(Routine &R) {
   // Nested phases (CFG build, liveness) that run lazily inside layout are
-  // also counted by their own time.* timers; see DESIGN.md.
+  // also counted by their own time.* timers; see DESIGN.md "Timer nesting".
   ScopedStatTimer Timer("time.layout_us");
+  EEL_TRACE_SCOPE("layout_routine", "routine", R.name());
   RoutineLayouter L(R);
-  return L.run();
+  Expected<RoutineLayout> Out = L.run();
+  if (!Out.hasError())
+    bumpHistogram("layout.words_per_routine", Out.value().Code.size());
+  return Out;
 }

@@ -23,7 +23,9 @@
 #include "core/Translate.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
+#include <memory>
 #include <optional>
 
 using namespace eel;
@@ -45,6 +47,16 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   Stats = EditStats();
   AddrMap.clear();
 
+  ScopedStatTimer WriteTimer("time.write_us");
+  EEL_TRACE_SCOPE("writeEditedExecutable");
+  // One span per numbered phase below, sequential and non-overlapping:
+  // starting a phase ends the previous one.
+  std::optional<TraceSpan> PhaseSpan;
+  auto BeginPhase = [&PhaseSpan](const char *Name) {
+    PhaseSpan.reset();
+    PhaseSpan.emplace(Name);
+  };
+
   const asmkit::InstParser &Parser = asmkit::instParserFor(Image.Arch);
 
   // --- 1. Lay out every routine --------------------------------------------
@@ -53,6 +65,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   // fans out over the pool. Results land in per-index slots and are merged
   // in index order below, which makes placement, the address map, and the
   // reported error (the lowest-index failure) identical to the serial path.
+  BeginPhase("write.layout");
   const unsigned NThreads = effectiveThreads();
   const size_t NumRoutines = Routines.size();
   std::vector<std::optional<Expected<RoutineLayout>>> LaidOut;
@@ -92,6 +105,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   // that original and edited instruction addresses never collide: the
   // run-time translator can then distinguish untranslated original
   // addresses (in its table) from values that were already rewritten.
+  BeginPhase("write.place");
   Addr NewTextBase = (textEnd() + 0xFFFu) & ~0xFFFu;
   Addr Cursor = NewTextBase;
   for (PlacedRoutine &P : Placed) {
@@ -102,6 +116,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 3. Translation table and translator ----------------------------------
+  BeginPhase("write.translator");
   Addr TranslatorAddr = 0;
   std::vector<MachWord> TranslatorCode;
   Addr TableAddr = 0;
@@ -125,6 +140,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 4. Tool-added routines -------------------------------------------------
+  BeginPhase("write.added_routines");
   std::vector<std::vector<MachWord>> AddedCode;
   for (AddedRoutine &Added : AddedRoutines) {
     Added.PlacedAddr = Cursor;
@@ -147,6 +163,8 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   // each worker writes only its own routine's code words and reads the
   // shared map. Per-routine translation-site counts and error messages are
   // merged in index order, so the serial oracle's result is reproduced.
+  BeginPhase("write.reloc_patch");
+  auto RelocTimer = std::make_unique<ScopedStatTimer>("time.reloc_us");
   std::vector<unsigned> SiteCounts(Placed.size(), 0);
   std::vector<std::string> PatchErrors(Placed.size());
   parallelForEach(
@@ -210,8 +228,10 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
       return Error(PatchErrors[Index]);
     Stats.TranslationSites += SiteCounts[Index];
   }
+  RelocTimer.reset();
 
   // --- 6. Snippet call-backs ------------------------------------------------------
+  BeginPhase("write.callbacks");
   for (PlacedRoutine &P : Placed) {
     for (PendingCallback &CB : P.Layout.Callbacks) {
       SnippetInstance &Inst = CB.Instance;
@@ -225,6 +245,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 7. Build the output image ----------------------------------------------------
+  BeginPhase("write.emit");
   SxfFile Out;
   Out.Arch = Image.Arch;
 
@@ -283,6 +304,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   // with relocation information, when available"); otherwise fall back to
   // the heuristic whole-segment scan, which can mistake an integer for a
   // code pointer.
+  BeginPhase("write.data_pointers");
   if (Opts.RewriteDataPointers && !Image.Relocs.empty()) {
     Addr TB = textBase(), TE = textEnd();
     for (const SxfReloc &Reloc : Image.Relocs) {
@@ -323,6 +345,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 9. Dispatch-table rewriting --------------------------------------------------
+  BeginPhase("write.dispatch_tables");
   for (const PlacedRoutine &P : Placed) {
     for (const TableFix &Fix : P.Layout.TableFixes) {
       const SxfSegment *Seg = Image.segmentContaining(Fix.TableAddr);
@@ -346,6 +369,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   }
 
   // --- 10. Symbols and entry point --------------------------------------------------
+  BeginPhase("write.symbols");
   for (const PlacedRoutine &P : Placed) {
     SxfSymbol Sym;
     Sym.Name = P.R->name();
@@ -375,6 +399,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   Out.Entry = EntryIt->second;
 
   // --- 11. Optional verification gate -----------------------------------------------
+  BeginPhase("write.verify_gate");
   if (Opts.Verify) {
     // The gate runs the re-analysis-free profile (passes 1-4); full
     // translation validation re-disassembles the output and is a separate

@@ -6,6 +6,7 @@
 
 #include "core/RegAlloc.h"
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
 
 #include <numeric>
@@ -93,6 +94,11 @@ Expected<SnippetInstance> eel::instantiateSnippet(const TargetInfo &Target,
   if (Planned.hasError())
     return Planned.error();
   const ScavengePlan &Plan = Planned.value();
+  // Scavenge-quality distributions: how many registers each site got for
+  // free vs. had to spill. Per-site values, so deterministic across
+  // thread counts.
+  bumpHistogram("scavenge.granted_per_site", Plan.Granted.size());
+  bumpHistogram("scavenge.spilled_per_site", Plan.SpilledSet.size());
   const TargetConventions &Conv = Target.conventions();
 
   SnippetInstance Inst;

@@ -9,6 +9,7 @@
 #include "core/Executable.h"
 #include "core/Routine.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <set>
 
@@ -290,6 +291,10 @@ static bool looksLikeTailCall(Executable &Exec, Routine &R, Addr JumpAddr) {
 
 IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
                                         Addr JumpAddr) {
+  // The pipeline's only entry into slicing — backwardSlice() calls nested
+  // here would double-count, so the timer and span live here alone.
+  ScopedStatTimer Timer("time.slice_us");
+  EEL_TRACE_SCOPE("slice.resolve_indirect", "routine", R.name());
   IndirectResolution Res;
   std::optional<MachWord> W = Exec.fetchWord(JumpAddr);
   assert(W && "indirect jump outside image");

@@ -30,8 +30,10 @@
 
 #include "core/Executable.h"
 
+#include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -125,6 +127,15 @@ Expected<bool> Executable::readContents() {
     return Error(ErrorCode::NoTextSegment,
                  "image has no text segment to analyze");
   Analyzed = true;
+
+  EEL_TRACE_SCOPE("readContents");
+  // Stages 1-4 below are the symbol-refinement analysis proper; the
+  // parallel pre-analysis at the end accounts to time.cfg_build_us /
+  // time.liveness_us instead (see DESIGN.md "Timer nesting").
+  std::unique_ptr<TraceSpan> RefineSpan;
+  if (traceEnabled())
+    RefineSpan = std::make_unique<TraceSpan>("symbol_refine");
+  auto RefineTimer = std::make_unique<ScopedStatTimer>("time.symbol_refine_us");
 
   const Addr TB = textBase();
   const Addr TE = textEnd();
@@ -283,6 +294,9 @@ Expected<bool> Executable::readContents() {
                const std::unique_ptr<Routine> &B) {
               return A->startAddr() < B->startAddr();
             });
+  RefineTimer.reset();
+  RefineSpan.reset();
+  bumpHistogram("refine.routines_per_image", Routines.size());
 
   // --- Parallel pre-analysis -----------------------------------------------
   // The remaining per-routine analyses — CFG construction with delay-slot
@@ -294,6 +308,9 @@ Expected<bool> Executable::readContents() {
   // serial path computes the same results lazily inside layoutRoutine, so
   // only the schedule differs, never the output.
   if (effectiveThreads() > 1 && !Routines.empty()) {
+    // "pool." prefix: this span's presence depends on the thread count, so
+    // determinism comparisons across 1 vs N threads exclude pool.* names.
+    EEL_TRACE_SCOPE("pool.prebuild", "routines", uint64_t(Routines.size()));
     bool WantTranslation = Opts.EnableRuntimeTranslation;
     parallelForEach(effectiveThreads(), Routines.size(),
                     [this, WantTranslation](size_t Index) {

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <chrono>
 
@@ -104,6 +106,12 @@ void ThreadPool::workerLoop(size_t Index) {
   while (!Stopping.load(std::memory_order_acquire)) {
     std::function<void()> Task;
     if (takeTask(Index, Task)) {
+      // No tracing here: a task's completion signal lives inside Task()
+      // (parallelForEach helpers decrement ActiveHelpers there), and the
+      // caller treats that as a quiescent point where rings may be
+      // drained. Any ring write after Task() would race; occupancy spans
+      // are recorded inside the batch lambdas instead, where they close
+      // before the completion signal.
       Task();
       PendingTasks.fetch_sub(1, std::memory_order_release);
       WakeCV.notify_all(); // a waiter may be blocked on this completion
@@ -124,7 +132,7 @@ void ThreadPool::helpUntil(const std::function<bool()> &Done) {
   while (!Done()) {
     std::function<void()> Task;
     if (takeTask(HelperIndex, Task)) {
-      Task();
+      Task(); // untraced for the same reason as workerLoop
       PendingTasks.fetch_sub(1, std::memory_order_release);
       WakeCV.notify_all();
       continue;
@@ -163,8 +171,16 @@ void eel::parallelForEach(unsigned Threads, size_t N,
   unsigned Helpers = std::min(Participants - 1, Pool.workerCount());
   State->ActiveHelpers.store(Helpers, std::memory_order_release);
   for (unsigned I = 0; I < Helpers; ++I)
-    Pool.submit([State, Drain] {
-      Drain();
+    Pool.submit([State, Drain, I] {
+      {
+        // Occupancy span: must close (and hit the ring) before the
+        // ActiveHelpers decrement that the caller treats as quiescence,
+        // or the caller's drain would race the write. "pool." prefix:
+        // presence depends on the schedule, so determinism comparisons
+        // exclude it.
+        EEL_TRACE_SCOPE("pool.worker", "worker", uint64_t(I + 1));
+        Drain();
+      }
       State->ActiveHelpers.fetch_sub(1, std::memory_order_acq_rel);
     });
 

@@ -1,0 +1,426 @@
+//===- tests/TraceTest.cpp - Observability layer tests -------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the tracing/metrics/report stack (label: obs):
+///
+///  * histogram bucketing boundaries and the value-keyed determinism
+///    guarantee — counter and histogram snapshots from the same pipeline
+///    are bit-identical at 1 and 8 worker threads (time.* excluded, the
+///    documented wall-clock exemption);
+///  * the span-name multiset is thread-count-deterministic too (pool.*
+///    spans excluded — worker occupancy is schedule-dependent by design);
+///  * exported Chrome trace JSON and eel-report JSON parse with the strict
+///    in-tree parser and are dump/parse round-trip fixpoints;
+///  * disabled-mode tracing records nothing and creates no ring buffers;
+///  * phase-tree reconstruction from interval containment, including the
+///    zero-length-span sequence tiebreak;
+///  * Prometheus text exposition shape and malformed-JSON rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+#include "analysis/Verifier.h"
+#include "core/Executable.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace eel;
+
+namespace {
+
+/// Everything one traced pipeline run leaves behind at its quiescent end.
+struct PipelineArtifacts {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<HistogramSnapshot> Histograms;
+  std::vector<TraceEvent> Spans;
+  unsigned VerifierChecks = 0;
+  unsigned VerifierErrors = 0;
+};
+
+/// Runs generate -> readContents -> writeEditedExecutable -> verifyEdit
+/// with tracing on and \p Threads workers, against fresh registries.
+PipelineArtifacts runTracedPipeline(unsigned Threads) {
+  StatRegistry::instance().resetAll();
+  HistogramRegistry::instance().resetAll();
+  TraceCollector::instance().reset();
+
+  WorkloadOptions WOpts;
+  WOpts.Seed = 11;
+  WOpts.Routines = 16;
+  WOpts.SwitchPercent = 35;
+  WOpts.TailCallPercent = 10;
+  SxfFile File = generateWorkload(TargetArch::Srisc, WOpts);
+
+  Executable::Options EOpts;
+  EOpts.Threads = Threads;
+  EOpts.Trace = true;
+  Executable Exec(std::move(File), EOpts);
+  Expected<bool> Read = Exec.readContents();
+  EXPECT_FALSE(Read.hasError());
+  Expected<SxfFile> Edited = Exec.writeEditedExecutable();
+  EXPECT_FALSE(Edited.hasError());
+
+  PipelineArtifacts Out;
+  if (Edited.hasValue()) {
+    VerifyOptions VOpts;
+    VOpts.Threads = Threads;
+    DiagnosticReport Findings = verifyEdit(Exec, Edited.value(), VOpts);
+    Out.VerifierChecks = Findings.checksRun();
+    Out.VerifierErrors = Findings.errorCount();
+  }
+
+  traceSetEnabled(false);
+  Out.Counters = StatRegistry::instance().snapshot();
+  Out.Histograms = HistogramRegistry::instance().snapshot();
+  Out.Spans = TraceCollector::instance().drain();
+  return Out;
+}
+
+bool isWallClockName(const std::string &Name) {
+  return Name.rfind("time.", 0) == 0;
+}
+
+bool isScheduleDependentSpan(const std::string &Name) {
+  return Name.rfind("pool.", 0) == 0;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Histogram bucketing
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(histogramBucket(0), 0u);
+  EXPECT_EQ(histogramBucket(1), 1u);
+  EXPECT_EQ(histogramBucket(2), 2u);
+  EXPECT_EQ(histogramBucket(3), 2u);
+  EXPECT_EQ(histogramBucket(4), 3u);
+  EXPECT_EQ(histogramBucket(7), 3u);
+  EXPECT_EQ(histogramBucket(8), 4u);
+  EXPECT_EQ(histogramBucket(std::numeric_limits<uint64_t>::max()), 64u);
+
+  EXPECT_EQ(histogramBucketLe(0), 0u);
+  EXPECT_EQ(histogramBucketLe(1), 1u);
+  EXPECT_EQ(histogramBucketLe(2), 3u);
+  EXPECT_EQ(histogramBucketLe(3), 7u);
+  EXPECT_EQ(histogramBucketLe(64), std::numeric_limits<uint64_t>::max());
+
+  // Every sample lands in the bucket whose le bound covers it.
+  for (uint64_t V : {0ull, 1ull, 2ull, 5ull, 1000ull, 123456789ull}) {
+    unsigned B = histogramBucket(V);
+    EXPECT_LE(V, histogramBucketLe(B));
+    if (B > 0) {
+      EXPECT_GT(V, histogramBucketLe(B - 1));
+    }
+  }
+}
+
+TEST(Histogram, RecordAndQuantile) {
+  HistogramRegistry::instance().resetAll();
+  for (uint64_t V : {1ull, 2ull, 3ull, 100ull})
+    bumpHistogram("test.hist.record", V);
+  HistogramSnapshot H = HistogramRegistry::instance().read("test.hist.record");
+  EXPECT_EQ(H.Count, 4u);
+  EXPECT_EQ(H.Sum, 106u);
+  EXPECT_EQ(H.Min, 1u);
+  EXPECT_EQ(H.Max, 100u);
+  // Median sample is 2 or 3, both in bucket [2,3] -> le bound 3.
+  EXPECT_EQ(H.quantileUpperBound(0.5), 3u);
+  // The top quantile lands in 100's bucket: [64,127] -> le bound 127.
+  EXPECT_EQ(H.quantileUpperBound(1.0), 127u);
+  // Absent histograms read back empty rather than failing.
+  EXPECT_EQ(HistogramRegistry::instance().read("test.hist.absent").Count, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-count determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Determinism, SnapshotsIdenticalAcrossThreadCounts) {
+  PipelineArtifacts Serial = runTracedPipeline(1);
+  PipelineArtifacts Parallel = runTracedPipeline(8);
+
+  // Counters: bit-identical, wall-clock timers excluded.
+  auto filterCounters =
+      [](const std::vector<std::pair<std::string, uint64_t>> &In) {
+        std::vector<std::pair<std::string, uint64_t>> Out;
+        for (const auto &C : In)
+          if (!isWallClockName(C.first))
+            Out.push_back(C);
+        return Out;
+      };
+  EXPECT_EQ(filterCounters(Serial.Counters), filterCounters(Parallel.Counters));
+
+  // Histograms: same set of names, and every field of every snapshot
+  // matches, bucket by bucket.
+  auto filterHists = [](const std::vector<HistogramSnapshot> &In) {
+    std::vector<HistogramSnapshot> Out;
+    for (const HistogramSnapshot &H : In)
+      if (!isWallClockName(H.Name))
+        Out.push_back(H);
+    return Out;
+  };
+  std::vector<HistogramSnapshot> A = filterHists(Serial.Histograms);
+  std::vector<HistogramSnapshot> B = filterHists(Parallel.Histograms);
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_GE(A.size(), 3u); // the acceptance floor: >= 3 histograms populated
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Count, B[I].Count) << A[I].Name;
+    EXPECT_EQ(A[I].Sum, B[I].Sum) << A[I].Name;
+    EXPECT_EQ(A[I].Min, B[I].Min) << A[I].Name;
+    EXPECT_EQ(A[I].Max, B[I].Max) << A[I].Name;
+    for (unsigned J = 0; J < HistogramBuckets; ++J)
+      EXPECT_EQ(A[I].Buckets[J], B[I].Buckets[J]) << A[I].Name << " bucket "
+                                                  << J;
+  }
+
+  // The verifier did the same amount of work either way.
+  EXPECT_EQ(Serial.VerifierChecks, Parallel.VerifierChecks);
+  EXPECT_EQ(Serial.VerifierErrors, 0u);
+  EXPECT_EQ(Parallel.VerifierErrors, 0u);
+}
+
+TEST(Determinism, SpanNamesIdenticalAcrossThreadCounts) {
+  PipelineArtifacts Serial = runTracedPipeline(1);
+  PipelineArtifacts Parallel = runTracedPipeline(8);
+  ASSERT_FALSE(Serial.Spans.empty());
+
+  auto names = [](const std::vector<TraceEvent> &Spans) {
+    std::multiset<std::string> Out;
+    for (const TraceEvent &Ev : Spans)
+      if (!isScheduleDependentSpan(Ev.Name))
+        Out.insert(Ev.Name);
+    return Out;
+  };
+  EXPECT_EQ(names(Serial.Spans), names(Parallel.Spans));
+
+  // Every span is well-formed: end >= start, and nothing was dropped on a
+  // workload this small.
+  for (const TraceEvent &Ev : Serial.Spans)
+    EXPECT_GE(Ev.EndNs, Ev.StartNs);
+  EXPECT_EQ(TraceCollector::instance().droppedCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Export formats
+//===----------------------------------------------------------------------===//
+
+TEST(Export, ChromeTraceParsesAndRoundTrips) {
+  PipelineArtifacts Run = runTracedPipeline(1);
+  ASSERT_FALSE(Run.Spans.empty());
+  std::string Text = renderChromeTrace(Run.Spans);
+
+  Expected<JsonValue> Doc = parseJson(Text);
+  ASSERT_FALSE(Doc.hasError()) << Doc.error().message();
+  ASSERT_TRUE(Doc.value().isObject());
+  const JsonValue *Events = Doc.value().find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  EXPECT_EQ(Events->Arr.size(), Run.Spans.size());
+  for (const JsonValue &Ev : Events->Arr) {
+    ASSERT_TRUE(Ev.isObject());
+    EXPECT_NE(Ev.find("name"), nullptr);
+    ASSERT_NE(Ev.find("ph"), nullptr);
+    EXPECT_EQ(Ev.find("ph")->Str, "X");
+    EXPECT_NE(Ev.find("ts"), nullptr);
+    EXPECT_NE(Ev.find("dur"), nullptr);
+    EXPECT_NE(Ev.find("tid"), nullptr);
+  }
+
+  // Canonical dump is a parse/dump fixpoint.
+  std::string Dump = dumpJson(Doc.value());
+  Expected<JsonValue> Again = parseJson(Dump);
+  ASSERT_FALSE(Again.hasError());
+  EXPECT_EQ(dumpJson(Again.value()), Dump);
+}
+
+TEST(Export, RunReportParsesAndRoundTrips) {
+  PipelineArtifacts Run = runTracedPipeline(1);
+
+  RunReport Report("trace-test");
+  Report.addInput("<generated>", 0x1234, 99);
+  Report.addOption("threads", uint64_t(1));
+  Report.captureMetrics();
+  Report.capturePhases(Run.Spans);
+  std::string Text = Report.renderJson();
+
+  Expected<JsonValue> Doc = parseJson(Text);
+  ASSERT_FALSE(Doc.hasError()) << Doc.error().message();
+  const JsonValue &Root = Doc.value();
+  ASSERT_TRUE(Root.isObject());
+  ASSERT_NE(Root.find("schema"), nullptr);
+  EXPECT_EQ(Root.find("schema")->Str, "eel-report/1");
+  EXPECT_EQ(Root.find("tool")->Str, "trace-test");
+
+  // The phase tree covers both halves of the pipeline at top level.
+  const JsonValue *Phases = Root.find("phases");
+  ASSERT_NE(Phases, nullptr);
+  ASSERT_TRUE(Phases->isArray());
+  std::set<std::string> TopLevel;
+  for (const JsonValue &P : Phases->Arr)
+    TopLevel.insert(P.find("name")->Str);
+  EXPECT_TRUE(TopLevel.count("readContents"));
+  EXPECT_TRUE(TopLevel.count("writeEditedExecutable"));
+
+  const JsonValue *Hists = Root.find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  EXPECT_GE(Hists->Arr.size(), 3u);
+
+  std::string Dump = dumpJson(Root);
+  Expected<JsonValue> Again = parseJson(Dump);
+  ASSERT_FALSE(Again.hasError());
+  EXPECT_EQ(dumpJson(Again.value()), Dump);
+}
+
+TEST(Export, PrometheusTextFormat) {
+  StatRegistry::instance().resetAll();
+  HistogramRegistry::instance().resetAll();
+  bumpStat("test.prom.counter", 7);
+  bumpHistogram("test.prom.hist", 5); // bucket [4,7], le bound 7
+
+  std::string Text =
+      metricsPrometheus(StatRegistry::instance().snapshot(),
+                        HistogramRegistry::instance().snapshot());
+  EXPECT_NE(Text.find("test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(Text.find("test_prom_hist_bucket{le=\"7\"} 1"), std::string::npos);
+  EXPECT_NE(Text.find("test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("test_prom_hist_sum 5"), std::string::npos);
+  EXPECT_NE(Text.find("test_prom_hist_count 1"), std::string::npos);
+  // Exactly one +Inf series per histogram (the bucket-64 dedup).
+  size_t First = Text.find("le=\"+Inf\"");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Text.find("le=\"+Inf\"", First + 1), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled mode
+//===----------------------------------------------------------------------===//
+
+TEST(Disabled, RecordsNothingAndCreatesNoRings) {
+  traceSetEnabled(false);
+  size_t RingsBefore = TraceCollector::instance().bufferCount();
+  size_t RecordedBefore = TraceCollector::instance().recordedCount();
+  std::string Routine = "some_routine";
+  for (int I = 0; I < 10000; ++I) {
+    EEL_TRACE_SCOPE("test.disabled", "routine", Routine);
+  }
+  EXPECT_EQ(TraceCollector::instance().bufferCount(), RingsBefore);
+  EXPECT_EQ(TraceCollector::instance().recordedCount(), RecordedBefore);
+
+  // Flipping the gate on makes the very next span land.
+  traceSetEnabled(true);
+  {
+    EEL_TRACE_SCOPE("test.enabled", "routine", Routine);
+  }
+  traceSetEnabled(false);
+#ifndef EEL_TRACE_DISABLED
+  EXPECT_EQ(TraceCollector::instance().recordedCount(), RecordedBefore + 1);
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Phase-tree reconstruction
+//===----------------------------------------------------------------------===//
+
+namespace {
+TraceEvent mkSpan(const char *Name, uint64_t Start, uint64_t End, uint32_t Tid,
+                  uint64_t Seq) {
+  TraceEvent Ev;
+  Ev.Name = Name;
+  Ev.StartNs = Start;
+  Ev.EndNs = End;
+  Ev.Tid = Tid;
+  Ev.Seq = Seq;
+  return Ev;
+}
+} // namespace
+
+TEST(PhaseTree, NestsByContainmentAndAggregatesByName) {
+  // Rings record at completion, so children precede their parent.
+  std::vector<TraceEvent> Events;
+  Events.push_back(mkSpan("child", 10, 20, 0, 0));
+  Events.push_back(mkSpan("child", 30, 40, 0, 1));
+  Events.push_back(mkSpan("other", 50, 60, 0, 2));
+  Events.push_back(mkSpan("parent", 0, 100, 0, 3));
+  Events.push_back(mkSpan("sibling", 200, 230, 0, 4));
+
+  std::vector<PhaseNode> Tree = buildPhaseTree(Events);
+  ASSERT_EQ(Tree.size(), 2u); // siblings sorted by name
+  EXPECT_EQ(Tree[0].Name, "parent");
+  EXPECT_EQ(Tree[0].TotalNs, 100u);
+  EXPECT_EQ(Tree[0].Count, 1u);
+  EXPECT_EQ(Tree[1].Name, "sibling");
+
+  ASSERT_EQ(Tree[0].Children.size(), 2u);
+  EXPECT_EQ(Tree[0].Children[0].Name, "child"); // two spans merged
+  EXPECT_EQ(Tree[0].Children[0].Count, 2u);
+  EXPECT_EQ(Tree[0].Children[0].TotalNs, 20u);
+  EXPECT_EQ(Tree[0].Children[1].Name, "other");
+  EXPECT_EQ(Tree[0].Children[1].Count, 1u);
+}
+
+TEST(PhaseTree, ZeroLengthSpansNestByCompletionOrder) {
+  // Both spans are [5,5]; the parent completed after the child, so its
+  // sequence number is higher and it must come out on top.
+  std::vector<TraceEvent> Events;
+  Events.push_back(mkSpan("inner", 5, 5, 0, 0));
+  Events.push_back(mkSpan("outer", 5, 5, 0, 1));
+  std::vector<PhaseNode> Tree = buildPhaseTree(Events);
+  ASSERT_EQ(Tree.size(), 1u);
+  EXPECT_EQ(Tree[0].Name, "outer");
+  ASSERT_EQ(Tree[0].Children.size(), 1u);
+  EXPECT_EQ(Tree[0].Children[0].Name, "inner");
+}
+
+TEST(PhaseTree, ThreadsDoNotNestAcrossEachOther) {
+  // Identical intervals on different threads are independent roots.
+  std::vector<TraceEvent> Events;
+  Events.push_back(mkSpan("a", 0, 100, 0, 0));
+  Events.push_back(mkSpan("b", 10, 20, 1, 0));
+  std::vector<PhaseNode> Tree = buildPhaseTree(Events);
+  ASSERT_EQ(Tree.size(), 2u);
+  EXPECT_TRUE(Tree[0].Children.empty());
+  EXPECT_TRUE(Tree[1].Children.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser strictness
+//===----------------------------------------------------------------------===//
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char *Bad :
+       {"", "{", "[1,2", "{\"a\":1,}", "{} trailing", "nul", "{\"a\" 1}",
+        "\"unterminated", "{\"a\":01}", "[1 2]", "{1: 2}"}) {
+    EXPECT_TRUE(parseJson(Bad).hasError()) << "accepted: " << Bad;
+  }
+}
+
+TEST(Json, AcceptsAndRoundTripsValidDocuments) {
+  for (const char *Good :
+       {"{}", "[]", "null", "true", "-1.5e3", "\"s\\u00e9q\"",
+        "{\"a\": [1, 2.5, \"x\", null, true], \"b\": {\"c\": []}}"}) {
+    Expected<JsonValue> Doc = parseJson(Good);
+    ASSERT_FALSE(Doc.hasError()) << Good << ": " << Doc.error().message();
+    std::string Dump = dumpJson(Doc.value());
+    Expected<JsonValue> Again = parseJson(Dump);
+    ASSERT_FALSE(Again.hasError()) << Dump;
+    EXPECT_EQ(dumpJson(Again.value()), Dump) << Good;
+  }
+}

@@ -9,7 +9,9 @@
 /// images from the command line.
 ///
 ///   eel-lint [options] image.sxf...
-///     --json        render findings as a JSON array instead of text
+///     --json        emit an "eel-report/1" JSON envelope (the same schema
+///                   eel-report and sxf-fuzz --json produce): inputs with
+///                   content hashes, diagnostics, counters, histograms
 ///     --roundtrip   additionally re-edit the image with no changes and run
 ///                   the full five-pass verification (including layout and
 ///                   translation validation) on the result
@@ -21,8 +23,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Report.h"
 #include "analysis/Verifier.h"
 #include "core/Executable.h"
+#include "support/FileIO.h"
 
 #include <cstdio>
 #include <cstring>
@@ -48,11 +52,20 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-/// Lints one image; merges findings into \p Report. Returns false when the
-/// image could not even be loaded.
+/// Lints one image; merges findings into \p Report and records the input's
+/// provenance in \p Run. Returns false when the image could not even be
+/// loaded.
 bool lintOne(const std::string &Path, const LintConfig &Config,
-             DiagnosticReport &Report) {
-  Expected<SxfFile> Image = SxfFile::readFromFile(Path);
+             DiagnosticReport &Report, RunReport &Run) {
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (Bytes.hasError()) {
+    Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0, false,
+               Path + ": " + Bytes.error().describe());
+    return false;
+  }
+  Run.addInput(Path, fnv1a64(Bytes.value().data(), Bytes.value().size()),
+               Bytes.value().size());
+  Expected<SxfFile> Image = SxfFile::deserialize(Bytes.value());
   if (Image.hasError()) {
     Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0, false,
                Path + ": " + Image.error().describe());
@@ -116,12 +129,17 @@ int main(int argc, char **argv) {
     return usage(argv[0]);
 
   DiagnosticReport Report;
+  RunReport Run("eel-lint");
+  Run.addOption("roundtrip", Config.Roundtrip);
+  Run.addOption("threads", uint64_t(Config.Threads));
   bool AllLoaded = true;
   for (const std::string &Path : Paths)
-    AllLoaded &= lintOne(Path, Config, Report);
+    AllLoaded &= lintOne(Path, Config, Report, Run);
 
   if (Config.Json) {
-    std::printf("%s\n", Report.renderJson().c_str());
+    Run.captureDiagnostics(Report);
+    Run.captureMetrics();
+    std::printf("%s\n", Run.renderJson().c_str());
   } else if (!Report.empty()) {
     std::printf("%s", Report.renderText().c_str());
   }

@@ -1,0 +1,88 @@
+//===- tools/json_check_main.cpp - JSON document validator ---------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// json-check: validates that each argument file (or stdin with no
+/// arguments) is one well-formed JSON document, using the strict parser in
+/// support/Json.h. Backs the `make reports` target, so malformed output
+/// from quickstart/eel-report fails the build without any external JSON
+/// dependency.
+///
+///   json-check [--require-key KEY] file.json...
+///
+/// --require-key additionally demands a top-level object member named KEY
+/// in every file (e.g. --require-key schema for eel-report documents).
+///
+/// Exit status: 0 when every document parses (and has the required key),
+/// 1 otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace eel;
+
+static bool checkOne(const std::string &Name, const std::string &Text,
+                     const std::string &RequiredKey) {
+  Expected<JsonValue> Parsed = parseJson(Text);
+  if (Parsed.hasError()) {
+    std::fprintf(stderr, "json-check: %s: %s\n", Name.c_str(),
+                 Parsed.error().describe().c_str());
+    return false;
+  }
+  if (!RequiredKey.empty() && !Parsed.value().find(RequiredKey)) {
+    std::fprintf(stderr,
+                 "json-check: %s: missing required top-level key \"%s\"\n",
+                 Name.c_str(), RequiredKey.c_str());
+    return false;
+  }
+  return true;
+}
+
+int main(int argc, char **argv) {
+  std::string RequiredKey;
+  std::vector<std::string> Paths;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--require-key") && I + 1 < argc) {
+      RequiredKey = argv[++I];
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr, "usage: %s [--require-key KEY] file.json...\n",
+                   argv[0]);
+      return 1;
+    } else {
+      Paths.push_back(argv[I]);
+    }
+  }
+
+  bool AllGood = true;
+  if (Paths.empty()) {
+    std::string Text;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), stdin)) > 0)
+      Text.append(Buf, N);
+    AllGood = checkOne("<stdin>", Text, RequiredKey);
+  }
+  for (const std::string &Path : Paths) {
+    Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+    if (Bytes.hasError()) {
+      std::fprintf(stderr, "json-check: %s\n",
+                   Bytes.error().describe().c_str());
+      AllGood = false;
+      continue;
+    }
+    AllGood &= checkOne(
+        Path, std::string(Bytes.value().begin(), Bytes.value().end()),
+        RequiredKey);
+  }
+  return AllGood ? 0 : 1;
+}

@@ -7,7 +7,11 @@
 /// \file
 /// Command-line driver for the deterministic SXF fault-injection harness.
 ///
-///   sxf-fuzz [--seed N] [--mutants N] [--image FILE]...
+///   sxf-fuzz [--json] [--seed N] [--mutants N] [--image FILE]...
+///
+/// --json emits the same "eel-report/1" envelope eel-report and eel-lint
+/// produce, with the harness tallies under "summary" and contract
+/// violations as image-load diagnostics.
 ///
 /// Without --image, the corpus is generated: one workload per target
 /// architecture (plus a symbol-pathology variant and an edited image), the
@@ -22,8 +26,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Report.h"
 #include "core/Executable.h"
 #include "support/FileIO.h"
+#include "support/Json.h"
 #include "tools/SxfFuzz.h"
 #include "workload/Generator.h"
 
@@ -64,9 +70,12 @@ static std::vector<std::vector<uint8_t>> generatedCorpus() {
 int main(int Argc, char **Argv) {
   FuzzOptions Options;
   Options.MutantsPerImage = 2500;
+  bool Json = false;
   std::vector<std::string> ImagePaths;
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc) {
+    if (!std::strcmp(Argv[I], "--json")) {
+      Json = true;
+    } else if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc) {
       Options.Seed = std::strtoull(Argv[++I], nullptr, 0);
     } else if (!std::strcmp(Argv[I], "--mutants") && I + 1 < Argc) {
       Options.MutantsPerImage =
@@ -74,16 +83,20 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Argv[I], "--image") && I + 1 < Argc) {
       ImagePaths.push_back(Argv[++I]);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--seed N] [--mutants N] [--image FILE]...\n",
-                   Argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--json] [--seed N] [--mutants N] [--image FILE]...\n",
+          Argv[0]);
       return 1;
     }
   }
 
   std::vector<std::vector<uint8_t>> Corpus;
+  std::vector<std::string> CorpusNames;
   if (ImagePaths.empty()) {
     Corpus = generatedCorpus();
+    for (size_t I = 0; I < Corpus.size(); ++I)
+      CorpusNames.push_back("<generated corpus " + std::to_string(I) + ">");
   } else {
     for (const std::string &Path : ImagePaths) {
       // Validate through the same front door tools use; report structured
@@ -95,6 +108,7 @@ int main(int Argc, char **Argv) {
         continue;
       }
       Corpus.push_back(Exec.value()->image().serialize());
+      CorpusNames.push_back(Path);
     }
   }
   if (Corpus.empty()) {
@@ -103,6 +117,45 @@ int main(int Argc, char **Argv) {
   }
 
   FuzzReport Report = runFaultInjection(Corpus, Options);
+
+  if (Json) {
+    RunReport Run("sxf-fuzz");
+    for (size_t I = 0; I < Corpus.size(); ++I)
+      Run.addInput(CorpusNames[I], fnv1a64(Corpus[I].data(), Corpus[I].size()),
+                   Corpus[I].size());
+    Run.addOption("seed", Options.Seed);
+    Run.addOption("mutants_per_image", uint64_t(Options.MutantsPerImage));
+    DiagnosticReport Diags;
+    Diags.noteChecks(Report.Total);
+    for (const FuzzFailure &F : Report.Failures)
+      Diags.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0, false,
+                "image " + std::to_string(F.ImageIndex) + " mutant " +
+                    std::to_string(F.MutantIndex) + ": " + F.What);
+    Run.captureDiagnostics(Diags);
+    Run.captureMetrics();
+    JsonWriter S(/*Indent=*/false);
+    S.beginObject();
+    S.key("mutants");
+    S.value(uint64_t(Report.Total));
+    S.key("round_tripped");
+    S.value(uint64_t(Report.RoundTripped));
+    S.key("verified");
+    S.value(uint64_t(Report.Verified));
+    S.key("rejected");
+    S.value(uint64_t(Report.Rejected));
+    S.key("error_histogram");
+    S.beginObject();
+    for (const auto &[Name, Count] : Report.ErrorHistogram) {
+      S.key(Name);
+      S.value(uint64_t(Count));
+    }
+    S.endObject();
+    S.endObject();
+    Run.setSummaryJson(S.take());
+    std::printf("%s\n", Run.renderJson().c_str());
+    return Report.clean() ? 0 : 1;
+  }
+
   std::printf("sxf-fuzz: seed=%llu images=%zu mutants=%u\n",
               static_cast<unsigned long long>(Options.Seed), Corpus.size(),
               Report.Total);
