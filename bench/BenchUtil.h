@@ -75,15 +75,20 @@ inline void printHeader(const char *Title) {
 
 /// Machine-readable benchmark results. Construct one per bench binary
 /// BEFORE benchmark::Initialize — the constructor strips `--json=FILE`
-/// from argv (google-benchmark aborts on flags it does not recognize).
-/// Each headline number a bench prints is also handed to metric(); when
-/// --json was given, the destructor writes them as one JSON document
+/// and `--smoke` from argv (google-benchmark aborts on flags it does not
+/// recognize). Each headline number a bench prints is also handed to
+/// metric(); when --json was given, the destructor writes them as one
+/// JSON document
 ///
 ///   {"schema": "eel-bench/1", "bench": NAME,
 ///    "metrics": [{"name": ..., "value": ..., "unit": ...}, ...]}
 ///
 /// scripts/run_benches.sh runs every bench this way and splices the
-/// per-bench documents into BENCH_observability.json.
+/// per-bench documents into BENCH_observability.json / BENCH_ir.json.
+/// The `bench-smoke` build target passes --smoke; benches that do heavy
+/// headline work shrink workloads and repetition counts when smoke() is
+/// set (and skip throughput assertions — a smoke rep proves the bench
+/// runs and emits valid JSON, not that the host is fast).
 class JsonSink {
 public:
   JsonSink(const char *BenchName, int *Argc, char **Argv) : Bench(BenchName) {
@@ -91,6 +96,8 @@ public:
     for (int I = 1; I < *Argc; ++I) {
       if (!std::strncmp(Argv[I], "--json=", 7))
         Path = Argv[I] + 7;
+      else if (!std::strcmp(Argv[I], "--smoke"))
+        Smoke = true;
       else
         Argv[Kept++] = Argv[I];
     }
@@ -101,6 +108,7 @@ public:
   JsonSink &operator=(const JsonSink &) = delete;
 
   bool enabled() const { return !Path.empty(); }
+  bool smoke() const { return Smoke; }
 
   void metric(const std::string &Name, double Value, const char *Unit = "") {
     Rows.push_back({Name, Value, Unit});
@@ -158,6 +166,7 @@ private:
 
   std::string Bench;
   std::string Path;
+  bool Smoke = false;
   std::vector<Row> Rows;
 };
 

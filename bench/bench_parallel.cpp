@@ -27,10 +27,13 @@ using namespace eelbench;
 
 namespace {
 
-/// One full pipeline pass; returns the serialized edited image.
-std::vector<uint8_t> editPipeline(const SxfFile &File, unsigned Threads) {
+/// One full pipeline pass; returns the serialized edited image. \p Legacy
+/// selects the pre-arena byte-push writer (the pre-PR baseline path).
+std::vector<uint8_t> editPipeline(const SxfFile &File, unsigned Threads,
+                                  bool Legacy = false) {
   Executable::Options Opts;
   Opts.Threads = Threads;
+  Opts.LegacyWriter = Legacy;
   Executable Exec(SxfFile(File), Opts);
   Exec.readContents();
   Expected<SxfFile> Edited = Exec.writeEditedExecutable();
@@ -39,10 +42,11 @@ std::vector<uint8_t> editPipeline(const SxfFile &File, unsigned Threads) {
   return Edited.value().serialize();
 }
 
-double suiteMillis(const std::vector<SxfFile> &Suite, unsigned Threads) {
+double suiteMillis(const std::vector<SxfFile> &Suite, unsigned Threads,
+                   bool Legacy = false) {
   auto Start = std::chrono::steady_clock::now();
   for (const SxfFile &File : Suite)
-    benchmark::DoNotOptimize(editPipeline(File, Threads));
+    benchmark::DoNotOptimize(editPipeline(File, Threads, Legacy));
   auto End = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(End - Start).count();
 }
@@ -75,8 +79,12 @@ int main(int argc, char **argv) {
               std::thread::hardware_concurrency());
 
   // The largest suite: both compiler styles, big routine counts.
-  std::vector<SxfFile> Suite = makeSuite(TargetArch::Srisc, false, 3, 32);
-  for (SxfFile &F : makeSuite(TargetArch::Srisc, true, 3, 32))
+  const bool SmokeMode = Sink.smoke();
+  const unsigned SuiteCount = SmokeMode ? 1 : 3;
+  const unsigned Routines = SmokeMode ? 8 : 32;
+  std::vector<SxfFile> Suite =
+      makeSuite(TargetArch::Srisc, false, SuiteCount, Routines);
+  for (SxfFile &F : makeSuite(TargetArch::Srisc, true, SuiteCount, Routines))
     Suite.push_back(std::move(F));
 
   // Reference images from the serial oracle.
@@ -87,15 +95,20 @@ int main(int argc, char **argv) {
   std::printf("%-10s %12s %9s %11s\n", "threads", "suite ms", "speedup",
               "identical");
   double Base = 0.0;
+  double Time8 = 0.0;
+  bool AllIdentical = true;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     // Warm-up pass (pool growth, flyweight-pool population), then measure.
     suiteMillis(Suite, Threads);
     double Millis = suiteMillis(Suite, Threads);
     if (Threads == 1)
       Base = Millis;
+    if (Threads == 8)
+      Time8 = Millis;
     bool Identical = true;
     for (size_t I = 0; I < Suite.size(); ++I)
       Identical &= editPipeline(Suite[I], Threads) == Reference[I];
+    AllIdentical &= Identical;
     std::printf("%-10u %12.1f %8.2fx %11s\n", Threads, Millis, Base / Millis,
                 Identical ? "yes" : "NO (bug!)");
     Sink.metric("suite_time_t" + std::to_string(Threads), Millis, "ms");
@@ -106,5 +119,51 @@ int main(int argc, char **argv) {
   std::printf("output is bit-identical at every thread count; speedup tracks\n"
               "physical cores (a 1-core host shows ~1.0x with the same "
               "images).\n");
+
+  // Zero-copy images must also match the pre-arena legacy writer: the old
+  // byte-push path is kept in tree to be exactly this oracle.
+  bool LegacyIdentical = true;
+  for (size_t I = 0; I < Suite.size(); ++I)
+    LegacyIdentical &=
+        editPipeline(Suite[I], 1, /*Legacy=*/true) == Reference[I];
+  std::printf("zero-copy vs legacy-writer images: %s\n",
+              LegacyIdentical ? "byte-identical" : "MISMATCH (bug!)");
+  Sink.metric("legacy_identical", LegacyIdentical ? 1 : 0, "bool");
+  if (!AllIdentical || !LegacyIdentical) {
+    std::fprintf(stderr, "FAIL: edited images diverged from the serial "
+                         "reference\n");
+    return 1;
+  }
+
+  // Asserted throughput gate: the arena IR + zero-copy writer at 8 threads
+  // must beat the pre-PR baseline (legacy writer, serial) by >2x. Only
+  // meaningful with >=8 real cores — a smaller host still runs the byte-
+  // identity checks above but reports the ratio without asserting it.
+  printHeader("Edit+write throughput gate (8 threads vs pre-PR serial)");
+  double LegacySerial = 1e300;
+  double ZeroCopy8 = Time8;
+  for (int Rep = 0; Rep < (SmokeMode ? 1 : 3); ++Rep) {
+    LegacySerial =
+        std::min(LegacySerial, suiteMillis(Suite, 1, /*Legacy=*/true));
+    ZeroCopy8 = std::min(ZeroCopy8, suiteMillis(Suite, 8));
+  }
+  double Gain = ZeroCopy8 > 0.0 ? LegacySerial / ZeroCopy8 : 0.0;
+  std::printf("legacy serial:      %10.1f ms\n", LegacySerial);
+  std::printf("zero-copy, 8 thr:   %10.1f ms\n", ZeroCopy8);
+  std::printf("edit+write gain:    %9.2fx\n", Gain);
+  Sink.metric("legacy_serial_ms", LegacySerial, "ms");
+  Sink.metric("zero_copy_t8_ms", ZeroCopy8, "ms");
+  Sink.metric("edit_write_gain", Gain, "x");
+  if (!SmokeMode && std::thread::hardware_concurrency() >= 8) {
+    if (Gain < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: edit+write gain %.2fx < 2x at 8 threads\n", Gain);
+      return 1;
+    }
+    std::printf("gate: %.2fx >= 2x — PASS\n", Gain);
+  } else {
+    std::printf("gate: skipped (%s); byte identity asserted above.\n",
+                SmokeMode ? "--smoke" : "host has <8 hardware threads");
+  }
   return 0;
 }

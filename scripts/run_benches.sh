@@ -2,11 +2,14 @@
 #===- scripts/run_benches.sh - Populate the perf trajectory ---------------===#
 #
 # Runs every benchmark binary in --json mode and splices the per-bench
-# documents into one machine-readable suite file at the repository root:
+# documents into machine-readable suite files at the repository root:
 #
 #   BENCH_observability.json
 #     {"schema": "eel-bench/1", "suite": "observability",
 #      "benches": [<one object per bench, see bench/BenchUtil.h>]}
+#   BENCH_ir.json
+#     {"schema": "eel-bench/1", "suite": "ir", "benches": [...]}
+#       (the arena/SoA IR and zero-copy-writer benches)
 #
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 #
@@ -21,11 +24,10 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 BENCH_DIR="$BUILD_DIR/bench"
-OUT="$REPO_ROOT/BENCH_observability.json"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-BENCHES=(
+OBSERVABILITY_BENCHES=(
   bench_table1
   bench_indirect
   bench_cfg_stats
@@ -38,34 +40,45 @@ BENCHES=(
   bench_load
 )
 
-for B in "${BENCHES[@]}"; do
+IR_BENCHES=(
+  bench_ir
+)
+
+for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}"; do
   if [ ! -x "$BENCH_DIR/$B" ]; then
     echo "error: $BENCH_DIR/$B not built (cmake --build \"$BUILD_DIR\" -j)" >&2
     exit 1
   fi
 done
 
-for B in "${BENCHES[@]}"; do
+for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}"; do
   echo "== $B"
   "$BENCH_DIR/$B" --json="$TMP_DIR/$B.json" \
     --benchmark_min_time=0.05 > "$TMP_DIR/$B.log"
 done
 
-# Splice the single-line per-bench documents into the suite envelope.
-{
-  printf '{"schema": "eel-bench/1", "suite": "observability", "benches": ['
-  FIRST=1
-  for B in "${BENCHES[@]}"; do
-    [ "$FIRST" -eq 1 ] || printf ', '
-    FIRST=0
-    tr -d '\n' < "$TMP_DIR/$B.json"
-  done
-  printf ']}\n'
-} > "$OUT"
+# Splice the single-line per-bench documents into one suite envelope.
+write_suite() {
+  local SUITE="$1" OUT="$2"
+  shift 2
+  {
+    printf '{"schema": "eel-bench/1", "suite": "%s", "benches": [' "$SUITE"
+    local FIRST=1
+    for B in "$@"; do
+      [ "$FIRST" -eq 1 ] || printf ', '
+      FIRST=0
+      tr -d '\n' < "$TMP_DIR/$B.json"
+    done
+    printf ']}\n'
+  } > "$OUT"
 
-# A malformed splice must fail loudly, not get committed.
-if [ -x "$BUILD_DIR/tools/json-check" ]; then
-  "$BUILD_DIR/tools/json-check" --require-key benches "$OUT"
-fi
+  # A malformed splice must fail loudly, not get committed.
+  if [ -x "$BUILD_DIR/tools/json-check" ]; then
+    "$BUILD_DIR/tools/json-check" --require-key benches "$OUT"
+  fi
+  echo "wrote $OUT"
+}
 
-echo "wrote $OUT"
+write_suite observability "$REPO_ROOT/BENCH_observability.json" \
+  "${OBSERVABILITY_BENCHES[@]}"
+write_suite ir "$REPO_ROOT/BENCH_ir.json" "${IR_BENCHES[@]}"

@@ -51,7 +51,7 @@ WorklistLiveness::WorklistLiveness(const Cfg &G) : Graph(G) {
   while (Head < Work.size()) {
     size_t Index = Work[Head++];
     Queued[Index] = false;
-    const BasicBlock *B = G.blocks()[Index].get();
+    const BasicBlock *B = G.blocks()[Index];
 
     RegSet NewOut = outOf(B);
     RegSet NewIn = NewOut;
@@ -223,7 +223,7 @@ void runRoutinePasses(RoutineCheckContext &Ctx, const VerifyOptions &Opts) {
 /// thread count.
 DiagnosticReport
 runOverRoutines(Executable &Exec, unsigned Threads, const VerifyOptions &Opts,
-                const SxfFile *Edited, const std::map<Addr, Addr> *AddrMap,
+                const SxfFile *Edited, const FlatAddrMap *AddrMap,
                 Executable *EditedExec, Addr TranslatorAddr) {
   const auto &Routines = Exec.routines();
   std::vector<DiagnosticReport> Slots(Routines.size());
@@ -277,7 +277,7 @@ DiagnosticReport eel::verifyEdit(Executable &Exec, const SxfFile &Edited,
                "image is not analyzable: " + Analyzed.error().describe());
     return Report;
   }
-  const std::map<Addr, Addr> &AddrMap = Exec.addrMap();
+  const FlatAddrMap &AddrMap = Exec.addrMap();
   if (AddrMap.empty()) {
     Report.add(VerifyPass::ImageLoad, DiagSeverity::Error, "", -1, 0, false,
                "executable has no address map; verifyEdit must run after "

@@ -18,8 +18,6 @@
 #include "core/Executable.h"
 #include "core/Liveness.h"
 
-#include <map>
-
 namespace eel {
 namespace verify {
 
@@ -60,7 +58,7 @@ struct RoutineCheckContext {
 
   // Edit-side state (verifyEdit only).
   const SxfFile *Edited = nullptr;
-  const std::map<Addr, Addr> *AddrMap = nullptr;
+  const FlatAddrMap *AddrMap = nullptr;
   Executable *EditedExec = nullptr; ///< Re-opened edited image.
   Addr TranslatorAddr = 0;          ///< 0 when no translator was emitted.
 

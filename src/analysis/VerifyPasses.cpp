@@ -120,11 +120,11 @@ void eel::verify::checkCfgWellFormed(RoutineCheckContext &Ctx) {
     }
     const auto &Succ = E->src()->succ();
     const auto &Pred = E->dst()->pred();
-    if (std::find(Succ.begin(), Succ.end(), E.get()) == Succ.end())
+    if (std::find(Succ.begin(), Succ.end(), E) == Succ.end())
       Ctx.diag(VerifyPass::CfgWellFormed, DiagSeverity::Error,
                static_cast<int>(E->src()->id()), E->src()->anchor(), true,
                "edge not recorded in its source block's successor list");
-    if (std::find(Pred.begin(), Pred.end(), E.get()) == Pred.end())
+    if (std::find(Pred.begin(), Pred.end(), E) == Pred.end())
       Ctx.diag(VerifyPass::CfgWellFormed, DiagSeverity::Error,
                static_cast<int>(E->dst()->id()), E->dst()->anchor(), true,
                "edge not recorded in its destination block's predecessor "
@@ -132,7 +132,7 @@ void eel::verify::checkCfgWellFormed(RoutineCheckContext &Ctx) {
   }
 
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     const int Id = static_cast<int>(B->id());
     switch (B->kind()) {
     case BlockKind::Normal: {
@@ -346,7 +346,7 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
   Routine &R = Ctx.R;
 
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     if (B->kind() != BlockKind::Normal || B->empty())
       continue;
     const Instruction *Term = B->terminator();
@@ -450,11 +450,11 @@ void eel::verify::checkDelaySlotsImage(RoutineCheckContext &Ctx) {
     return;
   Executable &Exec = Ctx.Exec;
   const TargetInfo &Target = Exec.target();
-  const std::map<Addr, Addr> &Map = *Ctx.AddrMap;
+  const FlatAddrMap &Map = *Ctx.AddrMap;
   TouchedBlocks Touched(*G);
 
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     if (B->kind() != BlockKind::Normal || B->empty())
       continue;
     const Instruction *Term = B->terminator();
@@ -649,7 +649,7 @@ void eel::verify::checkLayoutConsistency(RoutineCheckContext &Ctx) {
   Routine &R = Ctx.R;
   Executable &Exec = Ctx.Exec;
   const TargetInfo &Target = Exec.target();
-  const std::map<Addr, Addr> &Map = *Ctx.AddrMap;
+  const FlatAddrMap &Map = *Ctx.AddrMap;
   auto Mapped = [&Map](Addr A) -> std::optional<Addr> {
     auto It = Map.find(A);
     if (It == Map.end())
@@ -698,7 +698,7 @@ void eel::verify::checkLayoutConsistency(RoutineCheckContext &Ctx) {
   // (a) Direct calls: the relocated call word must reach the callee's
   // edited entry.
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     if (B->kind() != BlockKind::Normal || B->empty())
       continue;
     const Instruction *Term = B->terminator();
@@ -734,7 +734,7 @@ void eel::verify::checkLayoutConsistency(RoutineCheckContext &Ctx) {
   // (b) sethi/or (lui/ori) pairs that materialize a code address must now
   // materialize the edited address.
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     if (B->kind() != BlockKind::Normal || Touched.count(B))
       continue;
     for (unsigned I = 1; I < B->size(); ++I) {
@@ -1016,7 +1016,7 @@ void eel::verify::checkTranslation(RoutineCheckContext &Ctx) {
       !Ctx.AddrMap)
     return;
   Routine &R = Ctx.R;
-  const std::map<Addr, Addr> &Map = *Ctx.AddrMap;
+  const FlatAddrMap &Map = *Ctx.AddrMap;
 
   auto StartMapped = Map.find(R.startAddr());
   if (StartMapped == Map.end()) {
@@ -1067,7 +1067,7 @@ void eel::verify::checkTranslation(RoutineCheckContext &Ctx) {
       for (const CfgInst &CI : BP->insts())
         DelayWords.insert(CI.OrigAddr);
     } else if (BP->kind() == BlockKind::Normal && !BP->empty() &&
-               Reachable.count(BP.get())) {
+               Reachable.count(BP)) {
       Heads.insert(BP->anchor());
     }
   }
@@ -1098,7 +1098,7 @@ void eel::verify::checkTranslation(RoutineCheckContext &Ctx) {
       continue;
     for (unsigned I = 0; I < BP->size(); ++I)
       EditedPos.emplace(BP->insts()[I].OrigAddr,
-                        std::make_pair(BP.get(), I));
+                        std::make_pair(BP, I));
   }
 
   std::map<const BasicBlock *, Addr> OrigJumps = interJumpTargets(*G);
@@ -1110,7 +1110,7 @@ void eel::verify::checkTranslation(RoutineCheckContext &Ctx) {
   TouchedBlocks Touched(*G);
 
   for (const auto &BP : G->blocks()) {
-    const BasicBlock *B = BP.get();
+    const BasicBlock *B = BP;
     if (B->kind() != BlockKind::Normal || B->empty() || !Reachable.count(B))
       continue;
     bool HasSnippets = blockOrSuccTouched(Touched, B);

@@ -6,22 +6,32 @@
 
 #include "core/Cfg.h"
 
+#include "core/Executable.h"
 #include "core/Routine.h"
 #include "support/Stats.h"
 
+#include <algorithm>
+
 using namespace eel;
 
-Cfg::Cfg(Routine &Parent, const TargetInfo &Target)
-    : Parent(Parent), Target(Target) {}
+// Blocks and edges are bump-allocated and never destroyed; the arena
+// reclaims their storage when the graph dies.
+static_assert(std::is_trivially_destructible_v<BasicBlock>,
+              "BasicBlock must stay trivially destructible (arena-placed)");
+static_assert(std::is_trivially_destructible_v<Edge>,
+              "Edge must stay trivially destructible (arena-placed)");
+
+Cfg::Cfg(Routine &ParentRoutine, const TargetInfo &Target)
+    : Parent(ParentRoutine), Target(Target),
+      OpsTable(&ParentRoutine.executable().pool().operands()) {}
 
 Cfg::~Cfg() = default;
 
 BasicBlock *Cfg::newBlock(BlockKind Kind, Addr Anchor) {
   bumpStat("eel.cfg.blocks");
-  auto Block = std::make_unique<BasicBlock>(
-      static_cast<unsigned>(Blocks.size()), Kind, Anchor);
-  BasicBlock *Ptr = Block.get();
-  Blocks.push_back(std::move(Block));
+  BasicBlock *Ptr = IR.create<BasicBlock>(
+      *this, static_cast<unsigned>(Blocks.size()), Kind, Anchor);
+  Blocks.push_back(Ptr);
   if (Kind == BlockKind::Normal)
     ByAddr[Anchor] = Ptr;
   return Ptr;
@@ -29,14 +39,53 @@ BasicBlock *Cfg::newBlock(BlockKind Kind, Addr Anchor) {
 
 Edge *Cfg::newEdge(BasicBlock *Src, BasicBlock *Dst, EdgeKind Kind) {
   bumpStat("eel.cfg.edges");
-  auto E = std::make_unique<Edge>(static_cast<unsigned>(Edges.size()), Src,
-                                  Dst, Kind);
-  E->Parent = this;
-  Edge *Ptr = E.get();
-  Edges.push_back(std::move(E));
-  Src->SuccEdges.push_back(Ptr);
-  Dst->PredEdges.push_back(Ptr);
+  Edge *Ptr =
+      IR.create<Edge>(static_cast<unsigned>(Edges.size()), Src, Dst, Kind);
+  Ptr->Parent = this;
+  Edges.push_back(Ptr);
+  Src->addSucc(Ptr, IR);
+  Dst->addPred(Ptr, IR);
   return Ptr;
+}
+
+void Cfg::appendInst(BasicBlock *Block, const Instruction *I, Addr OrigAddr) {
+  if (Block->NumRows == 0)
+    Block->FirstRow = static_cast<InstrIdx>(Rows.size());
+  assert(Block->FirstRow + Block->NumRows == Rows.size() &&
+         "blocks must be filled in creation order to keep rows contiguous");
+  Rows.push_back({I, OrigAddr});
+  RowOps.push_back(I->opIndex());
+  ++Block->NumRows;
+}
+
+void BasicBlock::addSucc(Edge *E, BumpArena &Arena) {
+  if (SuccCount == SuccCap) {
+    uint32_t NewCap = SuccCap ? SuccCap * 2 : 2;
+    Edge **NewArr = Arena.allocateArray<Edge *>(NewCap);
+    std::copy(SuccArr, SuccArr + SuccCount, NewArr);
+    SuccArr = NewArr;
+    SuccCap = NewCap;
+  }
+  SuccArr[SuccCount++] = E;
+}
+
+void BasicBlock::addPred(Edge *E, BumpArena &Arena) {
+  if (PredCount == PredCap) {
+    uint32_t NewCap = PredCap ? PredCap * 2 : 2;
+    Edge **NewArr = Arena.allocateArray<Edge *>(NewCap);
+    std::copy(PredArr, PredArr + PredCount, NewArr);
+    PredArr = NewArr;
+    PredCap = NewCap;
+  }
+  PredArr[PredCount++] = E;
+}
+
+void BasicBlock::removePred(Edge *E) {
+  Edge **End = PredArr + PredCount;
+  Edge **It = std::find(PredArr, End, E);
+  assert(It != End && "edge not in predecessor list");
+  std::copy(It + 1, End, It);
+  --PredCount;
 }
 
 BasicBlock *Cfg::blockAt(Addr A) const {

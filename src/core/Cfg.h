@@ -33,11 +33,13 @@
 
 #include "core/Instruction.h"
 #include "core/Snippet.h"
+#include "support/Arena.h"
 
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace eel {
@@ -46,6 +48,14 @@ class BasicBlock;
 class Cfg;
 class Executable;
 class Routine;
+
+/// 32-bit handles into a graph's flat instruction-row and block arrays.
+/// The IR is structure-of-arrays: instruction occurrences live as dense
+/// rows owned by the Cfg, and blocks address contiguous row ranges instead
+/// of owning per-block vectors.
+using InstrIdx = uint32_t;
+using BlockIdx = uint32_t;
+inline constexpr InstrIdx InvalidInstrIdx = 0xFFFFFFFFu;
 
 enum class BlockKind : uint8_t {
   Normal,
@@ -105,10 +115,13 @@ private:
   Cfg *Parent = nullptr;
 };
 
+/// A basic block: a dense row range in its graph's flat instruction
+/// arrays plus arena-packed adjacency. Trivially destructible — blocks
+/// are bump-allocated by their Cfg and never individually destroyed.
 class BasicBlock {
 public:
-  BasicBlock(unsigned Id, BlockKind Kind, Addr Anchor)
-      : Id(Id), Kind(Kind), Anchor(Anchor) {}
+  BasicBlock(Cfg &ParentGraph, unsigned Id, BlockKind Kind, Addr Anchor)
+      : Parent(&ParentGraph), Id(Id), Kind(Kind), Anchor(Anchor) {}
 
   unsigned id() const { return Id; }
   BlockKind kind() const { return Kind; }
@@ -117,23 +130,25 @@ public:
   /// blocks, the address they are anchored at.
   Addr anchor() const { return Anchor; }
 
-  const std::vector<CfgInst> &insts() const { return Insts; }
-  unsigned size() const { return static_cast<unsigned>(Insts.size()); }
-  bool empty() const { return Insts.empty(); }
+  /// This block's instruction occurrences: a contiguous slice of the
+  /// graph's flat row array (defined after Cfg below).
+  std::span<const CfgInst> insts() const;
 
-  const std::vector<Edge *> &succ() const { return SuccEdges; }
-  const std::vector<Edge *> &pred() const { return PredEdges; }
+  /// Index of the block's first row in Cfg::instRows(); rows
+  /// [firstInstr(), firstInstr() + size()) belong to this block.
+  InstrIdx firstInstr() const { return FirstRow; }
+
+  unsigned size() const { return NumRows; }
+  bool empty() const { return NumRows == 0; }
+
+  std::span<Edge *const> succ() const { return {SuccArr, SuccCount}; }
+  std::span<Edge *const> pred() const { return {PredArr, PredCount}; }
 
   bool editable() const { return Editable; }
   void setUneditable() { Editable = false; }
 
   /// The control transfer terminating this block, if any.
-  const Instruction *terminator() const {
-    if (Insts.empty())
-      return nullptr;
-    const Instruction *Last = Insts.back().Inst;
-    return Last->isControlTransfer() ? Last : nullptr;
-  }
+  const Instruction *terminator() const;
 
   /// For CallSurrogate blocks: the direct callee address, if known.
   std::optional<Addr> callTarget() const { return CallTarget; }
@@ -143,12 +158,21 @@ private:
   friend class Cfg;
   friend class CfgBuilder;
   friend struct VerifierTestAccess; ///< Negative tests corrupt graphs.
+
+  void addSucc(Edge *E, BumpArena &Arena);
+  void addPred(Edge *E, BumpArena &Arena);
+  void removePred(Edge *E);
+
+  Cfg *Parent;
   unsigned Id;
   BlockKind Kind;
   Addr Anchor;
-  std::vector<CfgInst> Insts;
-  std::vector<Edge *> SuccEdges;
-  std::vector<Edge *> PredEdges;
+  InstrIdx FirstRow = 0;
+  uint32_t NumRows = 0;
+  Edge **SuccArr = nullptr;
+  uint32_t SuccCount = 0, SuccCap = 0;
+  Edge **PredArr = nullptr;
+  uint32_t PredCount = 0, PredCap = 0;
   bool Editable = true;
   std::optional<Addr> CallTarget;
   bool CallIndirect = false;
@@ -200,10 +224,25 @@ public:
   Routine &routine() const { return Parent; }
   const TargetInfo &target() const { return Target; }
 
-  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
-    return Blocks;
-  }
-  const std::vector<std::unique_ptr<Edge>> &edges() const { return Edges; }
+  /// Blocks and edges in creation order, bump-allocated from this graph's
+  /// arena; index position equals id().
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+  const std::vector<Edge *> &edges() const { return Edges; }
+
+  /// The flat instruction rows, in block-emission order: each block's
+  /// occurrences are the contiguous slice [firstInstr(), +size()).
+  std::span<const CfgInst> instRows() const { return Rows; }
+
+  /// Per-row interned-operand indices, parallel to instRows(); resolve
+  /// through operandTable() (Pair::First = reads mask, Second = writes).
+  std::span<const uint32_t> rowOps() const { return RowOps; }
+
+  /// The owning pool's interned-operand table (null only for graphs built
+  /// outside an executable, which analyses fall back from).
+  const InternedPairTable *operandTable() const { return OpsTable; }
+
+  /// Arena holding the graph's blocks, edges, and adjacency arrays.
+  BumpArena &arena() { return IR; }
 
   const std::vector<BasicBlock *> &entryBlocks() const { return Entries; }
   BasicBlock *exitBlock() const { return Exit; }
@@ -272,13 +311,22 @@ private:
   BasicBlock *newBlock(BlockKind Kind, Addr Anchor);
   Edge *newEdge(BasicBlock *Src, BasicBlock *Dst, EdgeKind Kind);
 
+  /// Appends one instruction row to \p Block. Blocks are filled strictly
+  /// in creation order (asserted), which is what keeps each block's rows
+  /// contiguous in the flat array.
+  void appendInst(BasicBlock *Block, const Instruction *I, Addr OrigAddr);
+
   Routine &Parent;
   const TargetInfo &Target;
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
-  std::vector<std::unique_ptr<Edge>> Edges;
+  BumpArena IR;
+  std::vector<BasicBlock *> Blocks;
+  std::vector<Edge *> Edges;
+  std::vector<CfgInst> Rows;
+  std::vector<uint32_t> RowOps;
+  const InternedPairTable *OpsTable = nullptr;
   std::vector<BasicBlock *> Entries;
   BasicBlock *Exit = nullptr;
-  std::map<Addr, BasicBlock *> ByAddr;
+  std::unordered_map<Addr, BasicBlock *> ByAddr;
   bool Complete = true;
   bool Exotic = false;
   bool ReachedInvalid = false;
@@ -289,6 +337,20 @@ private:
   std::vector<Edit> Edits;
   unsigned NextSeq = 0;
 };
+
+inline std::span<const CfgInst> BasicBlock::insts() const {
+  // Computed against the graph's current row storage on every call: the
+  // rows vector may reallocate while the graph is still being built, so
+  // blocks hold indices, never pointers.
+  return Parent->instRows().subspan(FirstRow, NumRows);
+}
+
+inline const Instruction *BasicBlock::terminator() const {
+  if (NumRows == 0)
+    return nullptr;
+  const Instruction *Last = Parent->instRows()[FirstRow + NumRows - 1].Inst;
+  return Last->isControlTransfer() ? Last : nullptr;
+}
 
 /// Builds the CFG for \p R. Defined in CfgBuild.cpp.
 std::unique_ptr<Cfg> buildCfg(Routine &R);

@@ -47,7 +47,7 @@ private:
     std::optional<MachWord> W = Exec.fetchWord(A);
     if (!W)
       return nullptr;
-    return Exec.pool().get(*W);
+    return Exec.pool().getAt(A, *W);
   }
 
   void discover(std::vector<Addr> Roots, bool Speculative);
@@ -104,7 +104,7 @@ BasicBlock *CfgBuilder::makeDelayBlock(Addr TransferAddr) {
     DI = Exec.pool().get(Target.nopWord());
   }
   BasicBlock *DB = Graph->newBlock(BlockKind::DelaySlot, DelayAddr);
-  DB->Insts.push_back({DI, DelayAddr});
+  Graph->appendInst(DB, DI, DelayAddr);
   return DB;
 }
 
@@ -248,7 +248,7 @@ void CfgBuilder::formBlocks() {
       Current = Graph->newBlock(BlockKind::Normal, A);
       Leaders.insert(A); // every block start acts as a leader from here on
     }
-    Current->Insts.push_back({I, A});
+    Graph->appendInst(Current, I, A);
     if (I->isControlTransfer()) {
       Current = nullptr; // block ends; the delay word is not part of it
       Expected = 0;
@@ -260,7 +260,7 @@ void CfgBuilder::formBlocks() {
 
 void CfgBuilder::connectBlock(BasicBlock *B) {
   assert(!B->empty() && "normal blocks hold at least one instruction");
-  const CfgInst &LastInst = B->Insts.back();
+  const CfgInst &LastInst = B->insts().back();
   const Instruction *I = LastInst.Inst;
   Addr A = LastInst.OrigAddr;
 
@@ -418,9 +418,9 @@ void CfgBuilder::connect() {
 
   // Snapshot: connectBlock appends delay/surrogate blocks while iterating.
   std::vector<BasicBlock *> Normals;
-  for (const auto &Block : Graph->Blocks)
+  for (BasicBlock *Block : Graph->Blocks)
     if (Block->kind() == BlockKind::Normal)
-      Normals.push_back(Block.get());
+      Normals.push_back(Block);
   for (BasicBlock *B : Normals)
     connectBlock(B);
 

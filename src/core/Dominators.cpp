@@ -102,7 +102,7 @@ Dominators::Dominators(const Cfg &G) : Graph(G) {
 
 const BasicBlock *Dominators::idom(const BasicBlock *B) const {
   int Index = IdomIndex[B->id()];
-  return Index < 0 ? nullptr : Graph.blocks()[Index].get();
+  return Index < 0 ? nullptr : Graph.blocks()[Index];
 }
 
 bool Dominators::dominates(const BasicBlock *A, const BasicBlock *B) const {

@@ -29,6 +29,10 @@ Executable::Executable(SxfFile ImageIn, Options OptsIn)
   for (const SxfSegment &Seg : Image.Segments)
     High = std::max(High, Seg.VAddr + Seg.MemSize);
   NextDataAddr = (High + 15) & ~15u;
+  // One decode-index slot per text word: the per-address probe that makes
+  // repeat decoding of the same address a single load.
+  if (const SxfSegment *Text = Image.segment(SegKind::Text))
+    Pool.attachDecodeIndex(Text->VAddr, Text->Bytes.size() / 4);
 }
 
 Executable::~Executable() = default;

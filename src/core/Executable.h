@@ -32,6 +32,7 @@
 #define EEL_CORE_EXECUTABLE_H
 
 #include "core/Routine.h"
+#include "support/FlatMap.h"
 #include "sxf/Sxf.h"
 
 #include <map>
@@ -69,6 +70,12 @@ public:
     /// reference oracle. Output images and (non-time.*) statistics are
     /// bit-identical across all settings.
     unsigned Threads = 0;
+    /// Use the seed (pre-arena) emission path: serialize each routine's
+    /// words into the text segment byte by byte after patching, instead of
+    /// the zero-copy preallocated-buffer writer. Kept as the byte-identity
+    /// reference oracle; bench_overhead measures the two against each
+    /// other.
+    bool LegacyWriter = false;
     /// Run the static verifier (analysis/Verifier.h) over every emitted
     /// image; writeEditedExecutable() fails with the findings if any check
     /// reports an error. The gate runs the re-analysis-free profile
@@ -168,7 +175,9 @@ public:
 
   /// The full original→edited instruction address map of the last
   /// writeEditedExecutable() call (the verifier checks images against it).
-  const std::map<Addr, Addr> &addrMap() const { return AddrMap; }
+  /// Sorted by original address; lookups are binary searches over the
+  /// flat entry array.
+  const FlatAddrMap &addrMap() const { return AddrMap; }
 
   /// Entry address of an added routine in the edited image.
   Addr editedAddrOfAdded(unsigned Id) const;
@@ -216,7 +225,7 @@ private:
   };
   std::vector<AddedRoutine> AddedRoutines;
 
-  std::map<Addr, Addr> AddrMap;
+  FlatAddrMap AddrMap;
   EditStats Stats;
 };
 

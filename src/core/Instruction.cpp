@@ -16,35 +16,46 @@ Instruction::~Instruction() = default;
 Instruction::Instruction(InstKind Kind, const TargetInfo &Target,
                          MachWord Word)
     : Kind(Kind), Word(Word), Target(Target) {
-  Reads = Target.reads(Word);
-  Writes = Target.writes(Word);
-  DelaySlot = Target.hasDelaySlot(Word);
-  Delay = Target.delayBehavior(Word);
-  Conditional = Target.isConditional(Word);
+  // One decode pass gathers every per-word fact (backends override
+  // decodeMeta with a single-classify implementation).
+  TargetInfo::InstMeta Meta = Target.decodeMeta(Word);
+  Reads = Meta.Reads;
+  Writes = Meta.Writes;
+  DelaySlot = Meta.HasDelaySlot;
+  Delay = Meta.Delay;
+  Conditional = Meta.Conditional;
 }
 
-std::unique_ptr<Instruction> eel::makeInstruction(const TargetInfo &Target,
-                                                  MachWord Word) {
+namespace {
+
+/// Shared factory skeleton: invokes Make<T>(args...) with the subclass
+/// matching the word's category.
+template <template <typename> class MakeT, typename Result, typename... Extra>
+Result buildInstruction(const TargetInfo &Target, MachWord Word,
+                        Extra &&...E) {
   bumpStat("eel.inst.allocated");
   switch (Target.classify(Word)) {
   case InstCategory::Invalid:
-    return std::make_unique<InvalidInst>(Target, Word);
+    return MakeT<InvalidInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::Computation:
-    return std::make_unique<ComputationInst>(Target, Word);
+    return MakeT<ComputationInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::Load:
-    return std::make_unique<MemoryInst>(InstKind::Load, Target, Word);
+    return MakeT<MemoryInst>()(std::forward<Extra>(E)..., InstKind::Load,
+                               Target, Word);
   case InstCategory::Store:
-    return std::make_unique<MemoryInst>(InstKind::Store, Target, Word);
+    return MakeT<MemoryInst>()(std::forward<Extra>(E)..., InstKind::Store,
+                               Target, Word);
   case InstCategory::LoadStore:
-    return std::make_unique<MemoryInst>(InstKind::LoadStore, Target, Word);
+    return MakeT<MemoryInst>()(std::forward<Extra>(E)..., InstKind::LoadStore,
+                               Target, Word);
   case InstCategory::BranchDirect:
-    return std::make_unique<BranchInst>(Target, Word);
+    return MakeT<BranchInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::JumpDirect:
-    return std::make_unique<JumpInst>(Target, Word);
+    return MakeT<JumpInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::CallDirect:
-    return std::make_unique<CallInst>(Target, Word);
+    return MakeT<CallInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::System:
-    return std::make_unique<SystemCallInst>(Target, Word);
+    return MakeT<SystemCallInst>()(std::forward<Extra>(E)..., Target, Word);
   case InstCategory::IndirectJump: {
     // Resolve the overloaded uses by convention (Figure 6 of the paper):
     // writing the link register makes it a call; jumping through the link
@@ -52,36 +63,102 @@ std::unique_ptr<Instruction> eel::makeInstruction(const TargetInfo &Target,
     const TargetConventions &Conv = Target.conventions();
     IndirectTargetInfo Info = *Target.indirectTarget(Word);
     if (Info.LinkReg == Conv.LinkReg && Conv.LinkReg != 0)
-      return std::make_unique<IndirectCallInst>(Target, Word);
+      return MakeT<IndirectCallInst>()(std::forward<Extra>(E)..., Target,
+                                       Word);
     if (Info.LinkReg == 0 && !Info.HasIndex && Info.BaseReg == Conv.LinkReg &&
         Info.Offset == Conv.ReturnOffset)
-      return std::make_unique<ReturnInst>(Target, Word);
-    return std::make_unique<IndirectJumpInst>(Target, Word);
+      return MakeT<ReturnInst>()(std::forward<Extra>(E)..., Target, Word);
+    return MakeT<IndirectJumpInst>()(std::forward<Extra>(E)..., Target, Word);
   }
   }
   unreachable("unhandled instruction category");
 }
 
+template <typename T> struct MakeUnique {
+  template <typename... Args>
+  std::unique_ptr<Instruction> operator()(Args &&...A) {
+    return std::make_unique<T>(std::forward<Args>(A)...);
+  }
+};
+
+template <typename T> struct MakeInArena {
+  template <typename... Args>
+  Instruction *operator()(BumpArena &Arena, Args &&...A) {
+    // Placement-new outside BumpArena::create: the virtual destructor
+    // makes instructions formally non-trivially-destructible, but pool
+    // instructions own nothing and are deliberately never destroyed.
+    return new (Arena.allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(A)...);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Instruction> eel::makeInstruction(const TargetInfo &Target,
+                                                  MachWord Word) {
+  return buildInstruction<MakeUnique, std::unique_ptr<Instruction>>(Target,
+                                                                    Word);
+}
+
+Instruction *eel::makeInstructionIn(BumpArena &Arena, const TargetInfo &Target,
+                                    MachWord Word) {
+  return buildInstruction<MakeInArena, Instruction *>(Target, Word, Arena);
+}
+
+const Instruction *InstructionPool::lookup(MachWord Word) {
+  size_t ShardIdx = shardIndexFor(Word);
+  ShardedBumpArena::Shard &S = Arenas.shard(ShardIdx);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto &Map = Maps[ShardIdx];
+  auto It = Map.find(Word);
+  if (It != Map.end())
+    return It->second;
+  // Constructed under the shard lock: exactly one Instruction per word.
+  Instruction *Inst = makeInstructionIn(S.Arena, Target, Word);
+  Inst->OpIdx = Ops.intern(Inst->reads().mask(), Inst->writes().mask());
+  Map.emplace(Word, Inst);
+  return Inst;
+}
+
 const Instruction *InstructionPool::get(MachWord Word) {
   Requested.fetch_add(1, std::memory_order_relaxed);
   bumpStat("eel.inst.requested");
-  Shard &S = shardFor(Word);
-  std::lock_guard<std::mutex> Lock(S.M);
-  auto It = S.Map.find(Word);
-  if (It != S.Map.end())
-    return It->second.get();
-  // Constructed under the shard lock: exactly one Instruction per word.
-  auto Inst = makeInstruction(Target, Word);
-  const Instruction *Ptr = Inst.get();
-  S.Map.emplace(Word, std::move(Inst));
-  return Ptr;
+  return lookup(Word);
+}
+
+void InstructionPool::attachDecodeIndex(Addr TextBase, size_t WordCount) {
+  IndexBase = TextBase;
+  IndexWords = WordCount;
+  DecodeIndex =
+      std::make_unique<std::atomic<const Instruction *>[]>(WordCount);
+}
+
+const Instruction *InstructionPool::getAt(Addr A, MachWord Word) {
+  Requested.fetch_add(1, std::memory_order_relaxed);
+  bumpStat("eel.inst.requested");
+  if (DecodeIndex && !(A & 3) && A >= IndexBase) {
+    size_t Slot = (A - IndexBase) / 4;
+    if (Slot < IndexWords) {
+      if (const Instruction *I =
+              DecodeIndex[Slot].load(std::memory_order_acquire)) {
+        assert(I->word() == Word && "decode index out of sync with image");
+        return I;
+      }
+      const Instruction *I = lookup(Word);
+      // Racing decoders of the same address publish the same pointer (the
+      // flyweight invariant), so the store order is immaterial.
+      DecodeIndex[Slot].store(I, std::memory_order_release);
+      return I;
+    }
+  }
+  return lookup(Word);
 }
 
 uint64_t InstructionPool::allocated() const {
   uint64_t Total = 0;
-  for (const Shard &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S.M);
-    Total += S.Map.size();
+  for (size_t I = 0; I < ShardCount; ++I) {
+    std::lock_guard<std::mutex> Lock(Arenas.shard(I).M);
+    Total += Maps[I].size();
   }
   return Total;
 }

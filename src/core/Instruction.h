@@ -27,6 +27,7 @@
 #define EEL_CORE_INSTRUCTION_H
 
 #include "isa/Target.h"
+#include "support/Arena.h"
 #include "support/Casting.h"
 
 #include <array>
@@ -103,12 +104,20 @@ public:
     return Target.disassemble(Word, PC);
   }
 
+  /// Index of this instruction's (reads, writes) pair in its pool's
+  /// interned-operand table (InstructionPool::operands()), or NoOpIndex
+  /// for instructions built outside a pool. Analyses walking flat CFG rows
+  /// resolve operands through the table instead of chasing this object.
+  static constexpr uint32_t NoOpIndex = 0xFFFFFFFFu;
+  uint32_t opIndex() const { return OpIdx; }
+
   static bool classof(const Instruction *) { return true; }
 
 protected:
   Instruction(InstKind Kind, const TargetInfo &Target, MachWord Word);
 
 private:
+  friend class InstructionPool;
   InstKind Kind;
   MachWord Word;
   const TargetInfo &Target;
@@ -116,6 +125,7 @@ private:
   bool DelaySlot = false;
   DelayBehavior Delay = DelayBehavior::None;
   bool Conditional = false;
+  uint32_t OpIdx = NoOpIndex;
 };
 
 /// A word that does not decode: probably data (§3.1 stage 4 uses these to
@@ -264,19 +274,39 @@ private:
 /// Flyweight pool: one Instruction per distinct machine word. Statistics
 /// "eel.inst.requested" / "eel.inst.allocated" feed bench_sharing.
 ///
-/// Thread-safe: the map is split into shards, each behind its own mutex,
-/// so routine-analysis workers decoding disjoint words rarely contend and
-/// never serialize on one global lock. Instructions are immutable once
-/// constructed, so the returned pointers can be shared freely across
-/// threads; holding the shard lock through construction guarantees exactly
-/// one Instruction per word (allocated() stays equal whatever the thread
-/// count — the flyweight invariant bench_sharing measures).
+/// Thread-safe: the word→instruction maps are split into shards folded
+/// into a sharded bump arena — shard i's mutex guards both its map and the
+/// arena chunk its instructions are placed in, so routine-analysis workers
+/// decoding disjoint words rarely contend and never serialize on one
+/// global lock. Instructions are immutable once constructed, so the
+/// returned pointers can be shared freely across threads; holding the
+/// shard lock through construction guarantees exactly one Instruction per
+/// word (allocated() stays equal whatever the thread count — the flyweight
+/// invariant bench_sharing measures). Pool instructions are arena-placed
+/// and never individually destroyed (they own nothing); they die with the
+/// pool.
+///
+/// On the decode hot path the per-word hash probe is replaced by a dense
+/// per-address index: attachDecodeIndex() reserves one atomic slot per
+/// text word, and getAt() resolves (addr - textBase) / 4 with a single
+/// lock-free load after first decode.
 class InstructionPool {
 public:
-  explicit InstructionPool(const TargetInfo &Target) : Target(Target) {}
+  explicit InstructionPool(const TargetInfo &Target)
+      : Target(Target), Arenas(ShardCount) {}
 
   /// Returns the shared instruction for \p Word (creating it on first use).
   const Instruction *get(MachWord Word);
+
+  /// Reserves the dense decode index for text addresses
+  /// [TextBase, TextBase + 4 * WordCount). Call before concurrent decoding
+  /// (Executable's constructor does).
+  void attachDecodeIndex(Addr TextBase, size_t WordCount);
+
+  /// get(Word) for the word fetched from text address \p A: first decode
+  /// of an address publishes the instruction into its index slot; every
+  /// later decode is one acquire load, no lock, no hashing.
+  const Instruction *getAt(Addr A, MachWord Word);
 
   const TargetInfo &target() const { return Target; }
   uint64_t requested() const {
@@ -284,27 +314,45 @@ public:
   }
   uint64_t allocated() const;
 
+  /// Interned (reads, writes) register-mask pairs: Pair::First is the
+  /// reads mask, Pair::Second the writes mask, indexed by
+  /// Instruction::opIndex().
+  const InternedPairTable &operands() const { return Ops; }
+
+  /// Payload bytes bump-allocated for pool instructions.
+  size_t arenaBytes() const { return Arenas.bytesAllocated(); }
+
 private:
   static constexpr size_t ShardCount = 64; ///< Power of two.
 
-  struct Shard {
-    mutable std::mutex M;
-    std::unordered_map<MachWord, std::unique_ptr<Instruction>> Map;
-  };
-
-  Shard &shardFor(MachWord Word) {
+  size_t shardIndexFor(MachWord Word) const {
     // Multiplicative hash: opcode bits cluster, so mix before masking.
-    return Shards[(Word * 0x9E3779B9u >> 16) & (ShardCount - 1)];
+    return (Word * 0x9E3779B9u >> 16) & (ShardCount - 1);
   }
 
+  /// Shard-locked find-or-create, without the request accounting.
+  const Instruction *lookup(MachWord Word);
+
   const TargetInfo &Target;
-  std::array<Shard, ShardCount> Shards;
+  ShardedBumpArena Arenas; ///< Shard i's mutex also guards Maps[i].
+  std::array<std::unordered_map<MachWord, const Instruction *>, ShardCount>
+      Maps;
+  InternedPairTable Ops;
   std::atomic<uint64_t> Requested{0};
+
+  Addr IndexBase = 0;
+  size_t IndexWords = 0;
+  std::unique_ptr<std::atomic<const Instruction *>[]> DecodeIndex;
 };
 
 /// Builds the right subclass for \p Word — the Figure 6 factory.
 std::unique_ptr<Instruction> makeInstruction(const TargetInfo &Target,
                                              MachWord Word);
+
+/// Arena-placing variant of the factory: the instruction lives until the
+/// arena dies and is never destroyed (pool instructions own no resources).
+Instruction *makeInstructionIn(BumpArena &Arena, const TargetInfo &Target,
+                               MachWord Word);
 
 } // namespace eel
 

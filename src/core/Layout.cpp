@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <map>
 
 using namespace eel;
 
@@ -35,7 +36,9 @@ struct InstEditList {
 class RoutineLayouter {
 public:
   explicit RoutineLayouter(Routine &R)
-      : R(R), Exec(R.executable()), Target(Exec.target()) {}
+      : R(R), Exec(R.executable()), Target(Exec.target()),
+        ExtentBase(R.startAddr()),
+        Mapped((R.endAddr() - R.startAddr()) / 4, false) {}
 
   Expected<RoutineLayout> run();
 
@@ -43,7 +46,36 @@ private:
   unsigned here() const { return static_cast<unsigned>(Out.Code.size()); }
   void emitWord(MachWord W) { Out.Code.push_back(W); }
 
-  void mapAddr(Addr A) { Out.AddrMap.emplace(A, here()); }
+  /// Records A → here() with first-mapping-wins semantics. A word-indexed
+  /// bitmask over the routine extent both suppresses duplicate entries and
+  /// answers the O(1) membership queries the remainder loop in run() needs;
+  /// the map itself is a flat vector sealed (sorted) before return.
+  void mapAddr(Addr A) {
+    if (A >= ExtentBase && A < ExtentBase + 4 * Mapped.size()) {
+      std::vector<bool>::reference Bit = Mapped[(A - ExtentBase) / 4];
+      if (Bit)
+        return;
+      Bit = true;
+    }
+    Out.AddrMap.emplace_back(A, here());
+  }
+  bool addrMapped(Addr A) const {
+    return A >= ExtentBase && A < ExtentBase + 4 * Mapped.size() &&
+           Mapped[(A - ExtentBase) / 4];
+  }
+  /// Sorts the flat address map by original address, keeping the first
+  /// mapping of any key that slipped past the extent bitmask (exactly
+  /// std::map::emplace's first-wins semantics).
+  void sealAddrMap() {
+    std::stable_sort(
+        Out.AddrMap.begin(), Out.AddrMap.end(),
+        [](const auto &L, const auto &R) { return L.first < R.first; });
+    Out.AddrMap.erase(std::unique(Out.AddrMap.begin(), Out.AddrMap.end(),
+                                  [](const auto &L, const auto &R) {
+                                    return L.first == R.first;
+                                  }),
+                      Out.AddrMap.end());
+  }
 
   MachWord origWordAt(Addr A) const {
     std::optional<MachWord> W = Exec.fetchWord(A);
@@ -148,6 +180,11 @@ private:
   };
   std::vector<PendingInternal> Internals;
   std::map<const BasicBlock *, unsigned> BlockOffset;
+
+  /// One bit per word of the routine extent: whether its address has been
+  /// mapped already (mapAddr dedup + remainder-loop membership).
+  Addr ExtentBase = 0;
+  std::vector<bool> Mapped;
 };
 
 } // namespace
@@ -698,7 +735,7 @@ Expected<bool> RoutineLayouter::runVerbatim() {
       Prev = nullptr;
       continue; // pure data: no decoding, no relocations
     }
-    const Instruction *I = Exec.pool().get(W);
+    const Instruction *I = Exec.pool().getAt(A, W);
     // Cross-routine direct transfers must follow their targets. To avoid
     // corrupting data that happens to decode as a transfer, only words
     // whose target is a routine entry point are patched.
@@ -746,6 +783,7 @@ Expected<RoutineLayout> RoutineLayouter::run() {
     Expected<bool> Result = runVerbatim();
     if (Result.hasError())
       return Result.error();
+    sealAddrMap();
     return std::move(Out);
   }
 
@@ -762,6 +800,7 @@ Expected<RoutineLayout> RoutineLayouter::run() {
     Expected<bool> Result = runVerbatim();
     if (Result.hasError())
       return Result.error();
+    sealAddrMap();
     return std::move(Out);
   }
 
@@ -769,10 +808,10 @@ Expected<RoutineLayout> RoutineLayouter::run() {
   Live = R.liveness();
 
   // Normal blocks were created in ascending address order by the builder.
-  for (const auto &Block : Graph->blocks()) {
+  for (const BasicBlock *Block : Graph->blocks()) {
     if (Block->kind() != BlockKind::Normal)
       continue;
-    Expected<bool> Result = emitBlock(Block.get());
+    Expected<bool> Result = emitBlock(Block);
     if (Result.hasError())
       return Result.error();
   }
@@ -784,7 +823,7 @@ Expected<RoutineLayout> RoutineLayouter::run() {
   // padding, text-embedded data): append them so their bytes survive, and
   // map their addresses.
   for (Addr A = R.startAddr(); A + 4 <= R.endAddr(); A += 4) {
-    if (Out.AddrMap.count(A))
+    if (addrMapped(A))
       continue;
     mapAddr(A);
     emitWord(origWordAt(A));
@@ -800,6 +839,7 @@ Expected<RoutineLayout> RoutineLayouter::run() {
     Rl.DestWordIndex = It->second;
     Out.Relocs.push_back(Rl);
   }
+  sealAddrMap();
   return std::move(Out);
 }
 

@@ -28,7 +28,7 @@
 #include "core/Snippet.h"
 #include "support/Error.h"
 
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace eel {
@@ -75,7 +75,9 @@ struct RoutineLayout {
   std::vector<Reloc> Relocs;
   /// Original address → word index of its edited location (block starts
   /// point before any code inserted ahead of their first instruction).
-  std::map<Addr, unsigned> AddrMap;
+  /// Sorted by original address with unique keys (first mapping wins);
+  /// the layouter seals it before returning.
+  std::vector<std::pair<Addr, unsigned>> AddrMap;
   std::vector<TableFix> TableFixes;
   std::vector<PendingCallback> Callbacks;
   bool Verbatim = false;

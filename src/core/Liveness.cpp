@@ -44,13 +44,31 @@ void Liveness::compute(const Cfg &G) {
   In.assign(N, RegSet());
   Out.assign(N, RegSet());
 
+  // Resolve each row's operand masks once up front through the interned
+  // table: the backward scans below then run over two dense uint64 arrays
+  // instead of chasing an Instruction pointer per row per fixpoint round.
+  std::span<const uint32_t> RowOps = G.rowOps();
+  const InternedPairTable *Ops = G.operandTable();
+  std::vector<uint64_t> RowReads(RowOps.size()), RowWrites(RowOps.size());
+  for (size_t I = 0; I < RowOps.size(); ++I) {
+    if (Ops && RowOps[I] != Instruction::NoOpIndex) {
+      InternedPairTable::Pair P = Ops->get(RowOps[I]);
+      RowReads[I] = P.First;
+      RowWrites[I] = P.Second;
+    } else {
+      const Instruction *Inst = G.instRows()[I].Inst;
+      RowReads[I] = Inst->reads().mask();
+      RowWrites[I] = Inst->writes().mask();
+    }
+  }
+
   bool Changed = true;
   while (Changed) {
     Changed = false;
     // Iterate blocks in reverse creation order — close enough to reverse
     // topological order that the fixpoint converges quickly.
     for (size_t Index = N; Index-- > 0;) {
-      const BasicBlock *B = G.blocks()[Index].get();
+      const BasicBlock *B = G.blocks()[Index];
       RegSet NewOut;
       for (const Edge *E : B->succ()) {
         switch (E->kind()) {
@@ -74,11 +92,11 @@ void Liveness::compute(const Cfg &G) {
       if (B->kind() == BlockKind::CallSurrogate) {
         NewIn = transferCall(B, NewOut);
       } else {
-        for (size_t I = B->insts().size(); I-- > 0;) {
-          const Instruction *Inst = B->insts()[I].Inst;
-          NewIn.remove(Inst->writes());
-          NewIn |= Inst->reads();
-        }
+        uint64_t Mask = NewIn.mask();
+        const InstrIdx First = B->firstInstr();
+        for (InstrIdx I = First + B->size(); I-- > First;)
+          Mask = (Mask & ~RowWrites[I]) | RowReads[I];
+        NewIn = RegSet::fromMask(Mask);
       }
       if (NewIn != In[Index] || NewOut != Out[Index]) {
         In[Index] = NewIn;

@@ -38,6 +38,22 @@ struct PlacedRoutine {
   Addr Base = 0;
 };
 
+// The zero-copy emitter writes machine words straight into the final text
+// buffer; all word accesses go through these so the image is little-endian
+// regardless of host byte order.
+inline void storeLE32(uint8_t *Ptr, MachWord W) {
+  Ptr[0] = static_cast<uint8_t>(W);
+  Ptr[1] = static_cast<uint8_t>(W >> 8);
+  Ptr[2] = static_cast<uint8_t>(W >> 16);
+  Ptr[3] = static_cast<uint8_t>(W >> 24);
+}
+
+inline MachWord loadLE32(const uint8_t *Ptr) {
+  return static_cast<MachWord>(Ptr[0]) | (static_cast<MachWord>(Ptr[1]) << 8) |
+         (static_cast<MachWord>(Ptr[2]) << 16) |
+         (static_cast<MachWord>(Ptr[3]) << 24);
+}
+
 } // namespace
 
 Expected<SxfFile> Executable::writeEditedExecutable() {
@@ -112,8 +128,12 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
     P.Base = Cursor;
     Cursor += static_cast<Addr>(P.Layout.Code.size() * 4);
     for (const auto &[Orig, WordIndex] : P.Layout.AddrMap)
-      AddrMap.emplace(Orig, P.Base + 4 * WordIndex);
+      AddrMap.append(Orig, P.Base + 4 * WordIndex);
   }
+  // First mapping wins for any key mapped by more than one routine, same
+  // as the seed's std::map::emplace; the sealed map then serves concurrent
+  // binary-search lookups from the patch workers below.
+  AddrMap.seal();
 
   // --- 3. Translation table and translator ----------------------------------
   BeginPhase("write.translator");
@@ -158,10 +178,70 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
     AddedCode.push_back(std::move(Words));
   }
 
-  // --- 5. Patch relocations ------------------------------------------------------
+  // --- 5. Emit text, patch relocations, run call-backs ----------------------
+  // The default path is zero-copy: placement (phase 2) fixed the exact text
+  // size, so one contiguous buffer is allocated up front, every routine's
+  // words are emitted directly at their placed offsets, and relocation
+  // patching and snippet call-backs then operate in place on that buffer.
+  // The legacy (seed) path patches each routine's word vector first and
+  // serializes them byte by byte afterwards. Both orders write the same
+  // values to the same words — the patches depend only on the frozen
+  // address map and placement, never on neighbouring emitted bytes — so
+  // the images are byte-identical; tests assert this on a full corpus.
+  SxfFile Out;
+  Out.Arch = Image.Arch;
+
+  SxfSegment TextSeg;
+  TextSeg.Kind = SegKind::Text;
+  TextSeg.VAddr = NewTextBase;
+
+  uint8_t *TextBuf = nullptr; // non-null selects the zero-copy accessors
+  if (!Opts.LegacyWriter) {
+    BeginPhase("write.emit");
+    auto EmitTimer = std::make_unique<ScopedStatTimer>("time.emit_us");
+    TextSeg.Bytes.resize(static_cast<size_t>(Cursor - NewTextBase));
+    TextBuf = TextSeg.Bytes.data();
+    parallelForEach(NThreads, Placed.size(),
+                    [&Placed, TextBuf, NewTextBase](size_t Index) {
+                      const PlacedRoutine &P = Placed[Index];
+                      uint8_t *Dst = TextBuf + (P.Base - NewTextBase);
+                      for (MachWord W : P.Layout.Code) {
+                        storeLE32(Dst, W);
+                        Dst += 4;
+                      }
+                    });
+    if (!TranslatorCode.empty()) {
+      uint8_t *Dst = TextBuf + (TranslatorAddr - NewTextBase);
+      for (MachWord W : TranslatorCode) {
+        storeLE32(Dst, W);
+        Dst += 4;
+      }
+    }
+    for (size_t I = 0; I < AddedCode.size(); ++I) {
+      uint8_t *Dst = TextBuf + (AddedRoutines[I].PlacedAddr - NewTextBase);
+      for (MachWord W : AddedCode[I]) {
+        storeLE32(Dst, W);
+        Dst += 4;
+      }
+    }
+    EmitTimer.reset();
+  }
+
+  auto LoadWord = [&](const PlacedRoutine &P, unsigned WI) -> MachWord {
+    if (TextBuf)
+      return loadLE32(TextBuf + (P.Base - NewTextBase) + size_t(4) * WI);
+    return P.Layout.Code[WI];
+  };
+  auto StoreWord = [&](PlacedRoutine &P, unsigned WI, MachWord W) {
+    if (TextBuf)
+      storeLE32(TextBuf + (P.Base - NewTextBase) + size_t(4) * WI, W);
+    else
+      P.Layout.Code[WI] = W;
+  };
+
   // Per-routine and independent once the address map is frozen (phase 2):
-  // each worker writes only its own routine's code words and reads the
-  // shared map. Per-routine translation-site counts and error messages are
+  // each worker writes only its own routine's words and reads the shared
+  // sealed map. Per-routine translation-site counts and error messages are
   // merged in index order, so the serial oracle's result is reproduced.
   BeginPhase("write.reloc_patch");
   auto RelocTimer = std::make_unique<ScopedStatTimer>("time.reloc_us");
@@ -169,12 +249,12 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
   std::vector<std::string> PatchErrors(Placed.size());
   parallelForEach(
       NThreads, Placed.size(),
-      [this, &Placed, &SiteCounts, &PatchErrors, &Parser,
-       TranslatorAddr](size_t Index) {
+      [this, &Placed, &SiteCounts, &PatchErrors, &Parser, &LoadWord,
+       &StoreWord, TranslatorAddr](size_t Index) {
         PlacedRoutine &P = Placed[Index];
         for (const Reloc &Rl : P.Layout.Relocs) {
           Addr PC = P.Base + 4 * Rl.WordIndex;
-          MachWord &Word = P.Layout.Code[Rl.WordIndex];
+          MachWord Word = LoadWord(P, Rl.WordIndex);
           switch (Rl.K) {
           case Reloc::Kind::CallTo:
           case Reloc::Kind::JumpTo: {
@@ -221,6 +301,7 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
             Word = Parser.applyImmLo(Word, TranslatorAddr);
             break;
           }
+          StoreWord(P, Rl.WordIndex, Word);
         }
       });
   for (size_t Index = 0; Index < Placed.size(); ++Index) {
@@ -237,34 +318,34 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
       SnippetInstance &Inst = CB.Instance;
       Inst.StartAddr = P.Base + 4 * CB.WordIndex;
       for (size_t I = 0; I < Inst.Words.size(); ++I)
-        Inst.Words[I] = P.Layout.Code[CB.WordIndex + I];
+        Inst.Words[I] = LoadWord(P, CB.WordIndex + static_cast<unsigned>(I));
       CB.Snippet->callback()(Inst);
       for (size_t I = 0; I < Inst.Words.size(); ++I)
-        P.Layout.Code[CB.WordIndex + I] = Inst.Words[I];
+        StoreWord(P, CB.WordIndex + static_cast<unsigned>(I), Inst.Words[I]);
     }
   }
 
   // --- 7. Build the output image ----------------------------------------------------
-  BeginPhase("write.emit");
-  SxfFile Out;
-  Out.Arch = Image.Arch;
-
-  SxfSegment TextSeg;
-  TextSeg.Kind = SegKind::Text;
-  TextSeg.VAddr = NewTextBase;
-  auto AppendWords = [&TextSeg](const std::vector<MachWord> &Words) {
-    for (MachWord W : Words) {
-      TextSeg.Bytes.push_back(static_cast<uint8_t>(W));
-      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 8));
-      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 16));
-      TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 24));
-    }
-  };
-  for (const PlacedRoutine &P : Placed)
-    AppendWords(P.Layout.Code);
-  AppendWords(TranslatorCode);
-  for (const auto &Words : AddedCode)
-    AppendWords(Words);
+  if (Opts.LegacyWriter) {
+    // Seed emission path: serialize the patched word vectors byte by byte.
+    BeginPhase("write.emit");
+    auto EmitTimer = std::make_unique<ScopedStatTimer>("time.emit_us");
+    auto AppendWords = [&TextSeg](const std::vector<MachWord> &Words) {
+      for (MachWord W : Words) {
+        TextSeg.Bytes.push_back(static_cast<uint8_t>(W));
+        TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 8));
+        TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 16));
+        TextSeg.Bytes.push_back(static_cast<uint8_t>(W >> 24));
+      }
+    };
+    for (const PlacedRoutine &P : Placed)
+      AppendWords(P.Layout.Code);
+    AppendWords(TranslatorCode);
+    for (const auto &Words : AddedCode)
+      AppendWords(Words);
+    EmitTimer.reset();
+  }
+  BeginPhase("write.image");
   TextSeg.MemSize = static_cast<uint32_t>(TextSeg.Bytes.size());
   Out.Segments.push_back(std::move(TextSeg));
 
@@ -287,8 +368,8 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
     Out.Segments.push_back(std::move(Blob));
   }
 
-  // Translation table contents: sorted (orig, edited) pairs. std::map
-  // iteration is already sorted by original address.
+  // Translation table contents: sorted (orig, edited) pairs. The sealed
+  // flat map iterates in original-address order.
   if (TableCount) {
     Addr At = TableAddr;
     for (const auto &[Orig, Edited] : AddrMap) {

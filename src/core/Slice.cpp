@@ -43,7 +43,7 @@ public:
     std::optional<MachWord> W = Exec.fetchWord(A);
     if (!W)
       return nullptr;
-    return Exec.pool().get(*W);
+    return Exec.pool().getAt(A, *W);
   }
 
   /// Value of \p Reg immediately before the instruction at \p At.
@@ -258,7 +258,7 @@ static std::optional<unsigned> findBoundsCheck(Executable &Exec, Routine &R,
     std::optional<MachWord> W = Exec.fetchWord(A);
     if (!W)
       return std::nullopt;
-    const Instruction *I = Exec.pool().get(*W);
+    const Instruction *I = Exec.pool().getAt(A, *W);
     DataOp Op = I->dataOp();
     if (Op.Kind == DataOpKind::Sub && Op.SetsCC && Op.HasImm &&
         Op.Rs1 == IdxReg && Op.Imm >= 0)
@@ -281,7 +281,7 @@ static bool looksLikeTailCall(Executable &Exec, Routine &R, Addr JumpAddr) {
     std::optional<MachWord> W = Exec.fetchWord(A);
     if (!W)
       return false;
-    DataOp Op = Exec.pool().get(*W)->dataOp();
+    DataOp Op = Exec.pool().getAt(A, *W)->dataOp();
     if (Op.Kind == DataOpKind::Add && Op.Rd == SP && Op.Rs1 == SP &&
         Op.HasImm && Op.Imm > 0)
       return true;
@@ -298,7 +298,7 @@ IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
   IndirectResolution Res;
   std::optional<MachWord> W = Exec.fetchWord(JumpAddr);
   assert(W && "indirect jump outside image");
-  const auto *Jump = dyn_cast<IndirectInst>(Exec.pool().get(*W));
+  const auto *Jump = dyn_cast<IndirectInst>(Exec.pool().getAt(JumpAddr, *W));
   assert(Jump && "resolveIndirect on a non-indirect instruction");
   const IndirectTargetInfo &Info = Jump->targetInfo();
 

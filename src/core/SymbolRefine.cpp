@@ -68,7 +68,7 @@ static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
       AllValid = false;
       continue;
     }
-    const Instruction *I = Exec.pool().get(*W);
+    const Instruction *I = Exec.pool().getAt(A, *W);
     Reached.insert(A);
     if (isa<InvalidInst>(I)) {
       AllValid = false;
@@ -85,7 +85,7 @@ static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
       std::optional<MachWord> DW = Exec.fetchWord(A + 4);
       if (DW) {
         Reached.insert(A + 4);
-        if (isa<InvalidInst>(Exec.pool().get(*DW)))
+        if (isa<InvalidInst>(Exec.pool().getAt(A + 4, *DW)))
           AllValid = false;
       }
     }

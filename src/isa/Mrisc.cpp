@@ -265,6 +265,31 @@ public:
     }
   }
 
+  InstMeta decodeMeta(MachWord W) const override {
+    // Single-decode path: every MRISC transfer has an unconditionally
+    // executed delay slot, so the category determines the delay facts.
+    InstMeta M;
+    M.Category = classify(W);
+    if (M.Category == InstCategory::Invalid)
+      return M;
+    M.Reads = reads(W);
+    M.Writes = writes(W);
+    switch (M.Category) {
+    case InstCategory::BranchDirect:
+      M.Conditional = true;
+      [[fallthrough]];
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+    case InstCategory::IndirectJump:
+      M.HasDelaySlot = true;
+      M.Delay = DelayBehavior::Always;
+      break;
+    default:
+      break;
+    }
+    return M;
+  }
+
   std::optional<Addr> directTarget(MachWord W, Addr PC) const override {
     switch (classify(W)) {
     case InstCategory::BranchDirect:

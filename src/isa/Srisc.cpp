@@ -26,6 +26,19 @@ using namespace eel::srisc;
 
 TargetInfo::~TargetInfo() = default;
 
+TargetInfo::InstMeta TargetInfo::decodeMeta(MachWord Word) const {
+  // Generic fallback: one virtual call per fact, each re-decoding the
+  // word. Backends override this with a single-decode version.
+  InstMeta M;
+  M.Category = classify(Word);
+  M.Reads = reads(Word);
+  M.Writes = writes(Word);
+  M.HasDelaySlot = hasDelaySlot(Word);
+  M.Delay = delayBehavior(Word);
+  M.Conditional = isConditional(Word);
+  return M;
+}
+
 static bool isValidArithOp3(uint32_t Op3) {
   switch (Op3) {
   case Op3Add:
@@ -270,6 +283,40 @@ public:
       return false;
     uint32_t C = fieldCond(W);
     return C != CondA && C != CondN;
+  }
+
+  InstMeta decodeMeta(MachWord W) const override {
+    // Single-decode path: classify once and derive the delay-slot facts
+    // from the category and raw fields instead of re-classifying per query.
+    InstMeta M;
+    M.Category = classify(W);
+    if (M.Category == InstCategory::Invalid)
+      return M;
+    M.Reads = reads(W);
+    M.Writes = writes(W);
+    switch (M.Category) {
+    case InstCategory::BranchDirect:
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+    case InstCategory::IndirectJump:
+      M.HasDelaySlot = true;
+      if (fieldOp(W) == OpFormat2 && fieldOp2(W) == Op2Bicc) {
+        uint32_t C = fieldCond(W);
+        if (!fieldAnnul(W))
+          M.Delay = DelayBehavior::Always;
+        else if (C == CondA || C == CondN)
+          M.Delay = DelayBehavior::AnnulAlways;
+        else
+          M.Delay = DelayBehavior::AnnulUntaken;
+      } else {
+        M.Delay = DelayBehavior::Always; // call, jmpl
+      }
+      break;
+    default:
+      break;
+    }
+    M.Conditional = isConditional(W);
+    return M;
   }
 
   std::optional<Addr> directTarget(MachWord W, Addr PC) const override {

@@ -1,0 +1,98 @@
+//===- support/FlatMap.h - Sorted flat address map -------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted-vector map from 32-bit addresses to 32-bit values, replacing
+/// the red-black trees on the writer's hot paths. The original→edited
+/// address map is built append-mostly in placement order, sealed once, and
+/// then probed millions of times by the parallel relocation-patch phase —
+/// a binary search over a contiguous array beats pointer-chasing a
+/// std::map node per probe, and iteration (the run-time translation table
+/// is this map serialized) is a linear walk.
+///
+/// seal() reproduces std::map::emplace semantics exactly: entries are kept
+/// in key order and, among duplicates of a key, the first appended wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SUPPORT_FLATMAP_H
+#define EEL_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace eel {
+
+/// Map of uint32 key → uint32 value stored as a sorted flat vector.
+/// Mirrors the read-side std::map API (find/end/count/empty/iteration)
+/// so call sites did not have to change shape.
+class FlatAddrMap {
+public:
+  using value_type = std::pair<uint32_t, uint32_t>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  void clear() {
+    Entries.clear();
+    Sealed = true; // empty is trivially sorted
+  }
+
+  /// Appends (\p Key, \p Value); lookups require seal() afterwards.
+  void append(uint32_t Key, uint32_t Value) {
+    Entries.emplace_back(Key, Value);
+    Sealed = false;
+  }
+
+  /// Sorts and deduplicates (first append of a key wins, matching
+  /// std::map::emplace). Idempotent.
+  void seal() {
+    if (Sealed)
+      return;
+    std::stable_sort(
+        Entries.begin(), Entries.end(),
+        [](const value_type &A, const value_type &B) { return A.first < B.first; });
+    Entries.erase(std::unique(Entries.begin(), Entries.end(),
+                              [](const value_type &A, const value_type &B) {
+                                return A.first == B.first;
+                              }),
+                  Entries.end());
+    Sealed = true;
+  }
+
+  const_iterator find(uint32_t Key) const {
+    assert(Sealed && "FlatAddrMap::find before seal()");
+    auto It = std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const value_type &E, uint32_t K) { return E.first < K; });
+    return (It != Entries.end() && It->first == Key) ? It : Entries.end();
+  }
+
+  size_t count(uint32_t Key) const { return find(Key) != end() ? 1 : 0; }
+
+  /// Value for \p Key; asserts presence (std::map::at's contract, minus
+  /// the throw — absent keys are programming errors on these paths).
+  uint32_t at(uint32_t Key) const {
+    const_iterator It = find(Key);
+    assert(It != end() && "FlatAddrMap::at: key not present");
+    return It->second;
+  }
+
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::vector<value_type> Entries;
+  bool Sealed = true;
+};
+
+} // namespace eel
+
+#endif // EEL_SUPPORT_FLATMAP_H

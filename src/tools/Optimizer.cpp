@@ -24,7 +24,7 @@ unsigned DeadCodeEliminator::run() {
         continue;
       // Backward scan with a running live set so that a chain of dead
       // computations dies in one pass.
-      RegSet LiveNow = Live.liveOut(Block.get());
+      RegSet LiveNow = Live.liveOut(Block);
       // Recompute the block's own backward flow, marking deletions.
       for (size_t I = Block->size(); I-- > 0;) {
         const Instruction *Inst = Block->insts()[I].Inst;
@@ -32,7 +32,7 @@ unsigned DeadCodeEliminator::run() {
                          !Inst->writes().empty() &&
                          (Inst->writes() & LiveNow).empty();
         if (Deletable) {
-          G->deleteInst(Block.get(), static_cast<unsigned>(I));
+          G->deleteInst(Block, static_cast<unsigned>(I));
           ++Removed;
           // A deleted instruction contributes neither uses nor defs.
           continue;

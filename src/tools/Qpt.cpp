@@ -58,7 +58,7 @@ void Qpt2Profiler::instrument() {
         Info.K = CounterInfo::Kind::Block;
         Info.BlockAnchor = Block->anchor();
         Addr Counter = NewCounter(Info);
-        G->addCodeBefore(Block.get(), 0,
+        G->addCodeBefore(Block, 0,
                          makeCounterIncrementSnippet(Target, Counter));
       }
       if (!Opts.CountEdges)

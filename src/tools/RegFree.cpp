@@ -29,7 +29,7 @@ RegFreeResult eel::freeRegisterEverywhere(Executable &Exec, unsigned Reg) {
         std::optional<MachWord> W = Exec.fetchWord(A);
         if (!W)
           break;
-        const Instruction *I = Exec.pool().get(*W);
+        const Instruction *I = Exec.pool().getAt(A, *W);
         if (I->reads().contains(Reg) || I->writes().contains(Reg))
           Uses = true;
       }
@@ -119,7 +119,7 @@ RegFreeResult eel::freeRegisterEverywhere(Executable &Exec, unsigned Reg) {
           Failed = true;
           break;
         }
-        Plan.push_back({Block.get(), I, *New});
+        Plan.push_back({Block, I, *New});
       }
       if (Failed)
         break;

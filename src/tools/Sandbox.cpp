@@ -101,7 +101,7 @@ void Sandboxer::instrument() {
         const auto *Mem = dyn_cast<MemoryInst>(Block->insts()[I].Inst);
         if (!Mem || !Mem->isStore())
           continue;
-        G->addCodeBefore(Block.get(), I, makeStoreGuard(Mem->memOp()));
+        G->addCodeBefore(Block, I, makeStoreGuard(Mem->memOp()));
         ++Sites;
       }
     }

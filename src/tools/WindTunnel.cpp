@@ -94,11 +94,11 @@ void CycleCounter::instrument() {
         if (!Weight)
           return;
         if (FirstSegment) {
-          G->addCodeBefore(Block.get(), 0,
+          G->addCodeBefore(Block, 0,
                            makeAddSnippet(Weight, Quantum != 0));
           FirstSegment = false;
         } else {
-          G->addCodeAfter(Block.get(), LastSyscall,
+          G->addCodeAfter(Block, LastSyscall,
                           makeAddSnippet(Weight, Quantum != 0));
         }
       };

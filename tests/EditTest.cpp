@@ -247,7 +247,7 @@ TEST(SnippetEdit, CountAlongBranchEdges) {
   for (const auto &B : G->blocks())
     if (B->kind() == BlockKind::Normal && B->terminator() &&
         B->terminator()->kind() == InstKind::Branch)
-      BranchBlock = B.get();
+      BranchBlock = B;
   ASSERT_NE(BranchBlock, nullptr);
   for (Edge *E : BranchBlock->succ()) {
     if (E->kind() == EdgeKind::Taken)

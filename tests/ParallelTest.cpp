@@ -108,7 +108,7 @@ PipelineResult runPipeline(TargetArch Arch, const WorkloadOptions &WOpts,
     BasicBlock *First = nullptr;
     for (const auto &B : G->blocks())
       if (B->kind() == BlockKind::Normal && !B->insts().empty()) {
-        First = B.get();
+        First = B;
         break;
       }
     if (!First)

@@ -188,7 +188,7 @@ TEST_P(EditingSweep, AnalysisInvariants) {
     // predecessor list.
     for (const auto &B : G->blocks()) {
       for (const Edge *E : B->succ()) {
-        EXPECT_EQ(E->src(), B.get());
+        EXPECT_EQ(E->src(), B);
         bool Found = false;
         for (const Edge *P : E->dst()->pred())
           if (P == E)
@@ -201,17 +201,17 @@ TEST_P(EditingSweep, AnalysisInvariants) {
     Dominators Doms(*G);
     Liveness Live(*G);
     for (const auto &B : G->blocks()) {
-      if (Doms.reachable(B.get())) {
-        EXPECT_TRUE(Doms.dominates(B.get(), B.get()));
+      if (Doms.reachable(B)) {
+        EXPECT_TRUE(Doms.dominates(B, B));
       }
       // Liveness boundary agreement: liveBefore(0) == liveIn for blocks
       // with instructions.
       if (!B->empty() && B->kind() != BlockKind::CallSurrogate) {
-        EXPECT_EQ(Live.liveBefore(B.get(), 0), Live.liveIn(B.get()));
+        EXPECT_EQ(Live.liveBefore(B, 0), Live.liveIn(B));
       }
       // Entry blocks of the routine never consider reserved scratch
       // (hard zero) live.
-      EXPECT_FALSE(Live.liveIn(B.get()).contains(0));
+      EXPECT_FALSE(Live.liveIn(B).contains(0));
     }
     R->deleteControlFlowGraph();
   }
@@ -256,7 +256,7 @@ TEST_P(ScavengeSweep, ScavengedRegistersAreDead) {
     for (const auto &B : G->blocks()) {
       if (B->kind() != BlockKind::Normal || !B->editable())
         continue;
-      G->addCodeBefore(B.get(), 0, makePoisonSnippet(Exec.target()));
+      G->addCodeBefore(B, 0, makePoisonSnippet(Exec.target()));
     }
   }
   Expected<SxfFile> Edited = Exec.writeEditedExecutable();

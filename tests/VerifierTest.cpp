@@ -39,10 +39,9 @@ struct VerifierTestAccess {
   /// Re-aims \p E at \p NewDst, keeping succ/pred symmetry intact so only
   /// the semantic target is wrong (the "edge into mid-block" defect).
   static void retarget(Edge *E, BasicBlock *NewDst) {
-    auto &Pred = E->Dst->PredEdges;
-    Pred.erase(std::find(Pred.begin(), Pred.end(), E));
+    E->Dst->removePred(E);
     E->Dst = NewDst;
-    NewDst->PredEdges.push_back(E);
+    NewDst->addPred(E, E->Parent->IR);
   }
 
   /// Re-aims \p E without fixing the predecessor lists (the asymmetric-
@@ -180,8 +179,8 @@ TEST(Verifier, WorklistLivenessAgreesWithProduction) {
     for (const auto &BP : G->blocks()) {
       if (BP->kind() != BlockKind::Normal || BP->empty())
         continue;
-      EXPECT_EQ(Prod->liveBefore(BP.get(), 0),
-                auditLiveBefore(*R, BP.get(), 0))
+      EXPECT_EQ(Prod->liveBefore(BP, 0),
+                auditLiveBefore(*R, BP, 0))
           << "routine " << R->name() << " block " << BP->id();
       if (++Compared >= 64)
         return;
@@ -210,7 +209,7 @@ TEST(Verifier, Pass1FlagsEdgeIntoMidBlock) {
     if (!G || G->unsupported())
       continue;
     for (const auto &BP : G->blocks()) {
-      BasicBlock *B = BP.get();
+      BasicBlock *B = BP;
       const Instruction *Term = B->terminator();
       if (B->kind() != BlockKind::Normal || !Term ||
           Term->kind() != InstKind::Branch)
@@ -233,7 +232,7 @@ TEST(Verifier, Pass1FlagsEdgeIntoMidBlock) {
       for (const auto &OP : G->blocks()) {
         if (OP->kind() == BlockKind::Normal && !OP->empty() &&
             OP->anchor() != Final->dst()->anchor()) {
-          VerifierTestAccess::retarget(Final, OP.get());
+          VerifierTestAccess::retarget(Final, OP);
           Corrupted = true;
           break;
         }
@@ -267,10 +266,10 @@ TEST(Verifier, Pass1FlagsAsymmetricEdge) {
     if (!G || G->unsupported() || G->edges().empty())
       continue;
     for (const auto &EP : G->edges()) {
-      Edge *E = EP.get();
+      Edge *E = EP;
       for (const auto &OP : G->blocks()) {
-        if (OP.get() != E->dst() && OP->kind() == BlockKind::Normal) {
-          VerifierTestAccess::retargetAsymmetric(E, OP.get());
+        if (OP != E->dst() && OP->kind() == BlockKind::Normal) {
+          VerifierTestAccess::retargetAsymmetric(E, OP);
           Corrupted = true;
           break;
         }
@@ -298,7 +297,7 @@ TEST(Verifier, Pass1FlagsAsymmetricEdge) {
 // than in the original program.
 TEST(Verifier, Pass2FlagsWrongAnnulBit) {
   EditedWorkload W = makeEditedWorkload(9, /*Instrument=*/false);
-  const std::map<Addr, Addr> &Map = W.Exec->addrMap();
+  const FlatAddrMap &Map = W.Exec->addrMap();
 
   bool Corrupted = false;
   for (const auto &R : W.Exec->routines()) {
@@ -457,7 +456,7 @@ TEST(Verifier, Pass4FlagsOffByFourDispatchEntry) {
 // image delivers control somewhere the edited CFG never intended.
 TEST(Verifier, Pass5FlagsCorruptedBranchDisplacement) {
   EditedWorkload W = makeEditedWorkload(17, /*Instrument=*/false);
-  const std::map<Addr, Addr> &Map = W.Exec->addrMap();
+  const FlatAddrMap &Map = W.Exec->addrMap();
 
   bool Corrupted = false;
   for (const auto &R : W.Exec->routines()) {
@@ -471,7 +470,7 @@ TEST(Verifier, Pass5FlagsCorruptedBranchDisplacement) {
     for (const auto &BP : G->blocks()) {
       const Instruction *Term = BP->terminator();
       if (BP->kind() != BlockKind::Normal || !Term ||
-          Term->kind() != InstKind::Branch || !Reachable.count(BP.get()))
+          Term->kind() != InstKind::Branch || !Reachable.count(BP))
         continue;
       Addr A = BP->insts().back().OrigAddr;
       std::optional<Addr> T = Term->directTarget(A);
