@@ -1,0 +1,255 @@
+//===- bench/bench_serve.cpp - Edit-service throughput and caching ------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures eel-serve's EditService: cold-vs-warm request latency (the
+/// content-addressed analysis cache's payoff), byte identity of warm hits
+/// against the cold pipeline, and sustained edits/sec with p50/p99 latency
+/// under 1/4/8 concurrent clients. The asserted gate: a warm cache hit —
+/// resetEdits + instrument + layout + write — must beat the cold path —
+/// deserialize + analyze + everything — by >= 3x, with identical bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "serve/Serve.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace eel;
+using namespace eelbench;
+
+namespace {
+
+ServeRequest makeRequest(const std::vector<uint8_t> &ImageBytes,
+                         const std::string &Tool) {
+  ServeRequest Req;
+  Req.ToolSpec = Tool;
+  Req.Threads = 1; // Deterministic single-thread pipeline per request.
+  Req.ImageBytes = ImageBytes;
+  return Req;
+}
+
+double requestMillis(EditService &Service, const ServeRequest &Req,
+                     ServeResponse *Out = nullptr) {
+  auto Start = std::chrono::steady_clock::now();
+  ServeResponse Resp = Service.handle(Req);
+  auto End = std::chrono::steady_clock::now();
+  if (Resp.Status != ServeStatus::Ok) {
+    std::fprintf(stderr, "FAIL: request not Ok: %s\n",
+                 Resp.EnvelopeJson.c_str());
+    std::exit(1);
+  }
+  if (Out)
+    *Out = std::move(Resp);
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+std::vector<std::vector<uint8_t>> serializeSuite(unsigned Count,
+                                                 unsigned Routines) {
+  std::vector<std::vector<uint8_t>> Images;
+  for (const SxfFile &File :
+       makeSuite(TargetArch::Srisc, false, Count, Routines))
+    Images.push_back(File.serialize());
+  return Images;
+}
+
+} // namespace
+
+static void BM_ServeCold(benchmark::State &State) {
+  std::vector<uint8_t> Image = serializeSuite(1, 12)[0];
+  ServeLimits Limits;
+  Limits.CacheCapacity = 0; // Every request cold.
+  EditService Service(Limits);
+  ServeRequest Req = makeRequest(Image, "null");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service.handle(Req));
+}
+BENCHMARK(BM_ServeCold)->Unit(benchmark::kMillisecond);
+
+static void BM_ServeWarm(benchmark::State &State) {
+  std::vector<uint8_t> Image = serializeSuite(1, 12)[0];
+  EditService Service(ServeLimits{});
+  ServeRequest Req = makeRequest(Image, "null");
+  Service.handle(Req); // Prime.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Service.handle(Req));
+}
+BENCHMARK(BM_ServeWarm)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  eelbench::JsonSink Sink("bench_serve", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const bool SmokeMode = Sink.smoke();
+  const unsigned Routines = SmokeMode ? 8 : 32;
+  const unsigned SuiteCount = SmokeMode ? 2 : 4;
+  const unsigned Reps = SmokeMode ? 2 : 8;
+
+  // --- Cold vs warm latency, byte identity --------------------------------
+  printHeader("eel-serve: cold vs warm request latency (tool=null)");
+  std::vector<std::vector<uint8_t>> Images =
+      serializeSuite(SuiteCount, Routines);
+
+  // Cold baseline: caching disabled, so every request pays full analysis.
+  ServeLimits ColdLimits;
+  ColdLimits.CacheCapacity = 0;
+  EditService ColdService(ColdLimits);
+  std::vector<std::vector<uint8_t>> ColdOutputs;
+  double ColdTotal = 0.0;
+  unsigned ColdRuns = 0;
+  for (const std::vector<uint8_t> &Image : Images) {
+    ServeRequest Req = makeRequest(Image, "null");
+    ServeResponse Resp;
+    requestMillis(ColdService, Req, &Resp); // Warm-up (flyweight pools).
+    for (unsigned R = 0; R < Reps; ++R) {
+      ColdTotal += requestMillis(ColdService, Req, &Resp);
+      ++ColdRuns;
+    }
+    ColdOutputs.push_back(std::move(Resp.EditedImage));
+  }
+  double ColdMean = ColdTotal / ColdRuns;
+
+  // Warm path: prime once per image, then every request is a cache hit.
+  EditService WarmService(ServeLimits{});
+  double WarmTotal = 0.0;
+  unsigned WarmRuns = 0;
+  bool Identical = true;
+  for (size_t I = 0; I < Images.size(); ++I) {
+    ServeRequest Req = makeRequest(Images[I], "null");
+    ServeResponse Resp;
+    requestMillis(WarmService, Req, &Resp); // Prime (cold fill).
+    for (unsigned R = 0; R < Reps; ++R) {
+      WarmTotal += requestMillis(WarmService, Req, &Resp);
+      ++WarmRuns;
+      Identical &= Resp.EditedImage == ColdOutputs[I];
+    }
+  }
+  double WarmMean = WarmTotal / WarmRuns;
+  AnalysisCache::Stats WarmStats = WarmService.cacheStats();
+  double Speedup = WarmMean > 0.0 ? ColdMean / WarmMean : 0.0;
+
+  std::printf("cold mean:   %9.2f ms   (cache disabled)\n", ColdMean);
+  std::printf("warm mean:   %9.2f ms   (%llu hits / %llu misses)\n", WarmMean,
+              static_cast<unsigned long long>(WarmStats.Hits),
+              static_cast<unsigned long long>(WarmStats.Misses));
+  std::printf("speedup:     %8.2fx\n", Speedup);
+  std::printf("warm hits byte-identical to cold pipeline: %s\n",
+              Identical ? "yes" : "NO (bug!)");
+  Sink.metric("cold_mean_ms", ColdMean, "ms");
+  Sink.metric("warm_mean_ms", WarmMean, "ms");
+  Sink.metric("warm_speedup", Speedup, "x");
+  Sink.metric("warm_identical", Identical ? 1 : 0, "bool");
+  if (!Identical) {
+    std::fprintf(stderr,
+                 "FAIL: warm cache hit produced different bytes than the "
+                 "cold pipeline\n");
+    return 1;
+  }
+  if (!SmokeMode && Speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: warm-cache speedup %.2fx < 3x\n", Speedup);
+    return 1;
+  }
+
+  // --- Sustained throughput under concurrent clients ----------------------
+  printHeader("eel-serve: sustained edits/sec under concurrent clients");
+  std::printf("%-9s %11s %10s %10s %9s\n", "clients", "edits/sec", "p50 ms",
+              "p99 ms", "hit rate");
+  const unsigned PerClient = SmokeMode ? 3 : 24;
+  for (unsigned Clients : {1u, 4u, 8u}) {
+    ServeLimits Limits;
+    Limits.MaxInFlight = 0; // Throughput run: measure, don't shed.
+    Limits.CacheCapacity = 16;
+    EditService Service(Limits);
+    // Prime the cache so steady-state traffic is warm.
+    for (const std::vector<uint8_t> &Image : Images)
+      requestMillis(Service, makeRequest(Image, "null"));
+    AnalysisCache::Stats Before = Service.cacheStats();
+
+    std::vector<std::vector<double>> Latencies(Clients);
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        for (unsigned R = 0; R < PerClient; ++R) {
+          const std::vector<uint8_t> &Image =
+              Images[(C + R) % Images.size()];
+          ServeRequest Req = makeRequest(Image, "null");
+          Latencies[C].push_back(requestMillis(Service, Req));
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    auto End = std::chrono::steady_clock::now();
+    double WallSec = std::chrono::duration<double>(End - Start).count();
+
+    std::vector<double> All;
+    for (const std::vector<double> &L : Latencies)
+      All.insert(All.end(), L.begin(), L.end());
+    double EditsPerSec = WallSec > 0.0 ? All.size() / WallSec : 0.0;
+    double P50 = percentile(All, 0.50);
+    double P99 = percentile(All, 0.99);
+    AnalysisCache::Stats After = Service.cacheStats();
+    uint64_t DeltaHits = After.Hits - Before.Hits;
+    uint64_t DeltaTotal =
+        (After.Hits + After.Misses) - (Before.Hits + Before.Misses);
+    double HitRate = DeltaTotal ? 100.0 * DeltaHits / DeltaTotal : 0.0;
+    std::printf("%-9u %11.1f %10.2f %10.2f %8.1f%%\n", Clients, EditsPerSec,
+                P50, P99, HitRate);
+    std::string Tag = "c" + std::to_string(Clients);
+    Sink.metric("edits_per_sec_" + Tag, EditsPerSec, "1/s");
+    Sink.metric("p50_" + Tag, P50, "ms");
+    Sink.metric("p99_" + Tag, P99, "ms");
+    Sink.metric("hit_rate_" + Tag, HitRate, "%");
+  }
+  std::printf("concurrent identical submissions may miss (claimed entries),\n"
+              "so hit rate under concurrency is < 100%% by design.\n");
+
+  // --- Instrumenting tools through the cache ------------------------------
+  // The same image under qpt:all, warm vs cold: identity must hold with
+  // real instrumentation too, not just the null re-layout.
+  printHeader("eel-serve: qpt:all warm identity");
+  ServeRequest QReq = makeRequest(Images[0], "qpt:all");
+  ServeResponse QCold, QWarm;
+  {
+    ServeLimits L;
+    L.CacheCapacity = 0;
+    EditService S(L);
+    requestMillis(S, QReq, &QCold);
+  }
+  {
+    EditService S(ServeLimits{});
+    requestMillis(S, QReq, &QWarm); // Prime.
+    requestMillis(S, QReq, &QWarm); // Hit.
+  }
+  bool QIdentical = QWarm.EditedImage == QCold.EditedImage;
+  std::printf("qpt:all warm hit vs cold: %s\n",
+              QIdentical ? "byte-identical" : "MISMATCH (bug!)");
+  Sink.metric("qpt_warm_identical", QIdentical ? 1 : 0, "bool");
+  if (!QIdentical) {
+    std::fprintf(stderr, "FAIL: qpt:all warm hit diverged from cold run\n");
+    return 1;
+  }
+  if (!SmokeMode)
+    std::printf("gate: warm speedup %.2fx >= 3x, all hits byte-identical "
+                "— PASS\n",
+                Speedup);
+  return 0;
+}

@@ -10,6 +10,9 @@
 #   BENCH_ir.json
 #     {"schema": "eel-bench/1", "suite": "ir", "benches": [...]}
 #       (the arena/SoA IR and zero-copy-writer benches)
+#   BENCH_serve.json
+#     {"schema": "eel-bench/1", "suite": "serve", "benches": [...]}
+#       (the eel-serve edit-service latency/throughput/caching bench)
 #
 # Usage: scripts/run_benches.sh [build-dir]   (default: build)
 #
@@ -44,14 +47,20 @@ IR_BENCHES=(
   bench_ir
 )
 
-for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}"; do
+SERVE_BENCHES=(
+  bench_serve
+)
+
+for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}" \
+         "${SERVE_BENCHES[@]}"; do
   if [ ! -x "$BENCH_DIR/$B" ]; then
     echo "error: $BENCH_DIR/$B not built (cmake --build \"$BUILD_DIR\" -j)" >&2
     exit 1
   fi
 done
 
-for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}"; do
+for B in "${OBSERVABILITY_BENCHES[@]}" "${IR_BENCHES[@]}" \
+         "${SERVE_BENCHES[@]}"; do
   echo "== $B"
   "$BENCH_DIR/$B" --json="$TMP_DIR/$B.json" \
     --benchmark_min_time=0.05 > "$TMP_DIR/$B.log"
@@ -82,3 +91,4 @@ write_suite() {
 write_suite observability "$REPO_ROOT/BENCH_observability.json" \
   "${OBSERVABILITY_BENCHES[@]}"
 write_suite ir "$REPO_ROOT/BENCH_ir.json" "${IR_BENCHES[@]}"
+write_suite serve "$REPO_ROOT/BENCH_serve.json" "${SERVE_BENCHES[@]}"

@@ -91,9 +91,35 @@ eel::buildPhaseTree(const std::vector<TraceEvent> &Events) {
   return Roots;
 }
 
+std::string eel::canonicalOptionsString(const Executable::Options &Opts) {
+  // Field order is declaration order in Executable::Options; adding a
+  // field there without extending this string silently aliases digests,
+  // so keep the two in lockstep.
+  std::string S;
+  auto Flag = [&S](const char *Key, bool V) {
+    S += Key;
+    S += V ? "=1;" : "=0;";
+  };
+  Flag("rewrite_data_pointers", Opts.RewriteDataPointers);
+  Flag("runtime_translation", Opts.EnableRuntimeTranslation);
+  Flag("translate_indirect_calls", Opts.TranslateIndirectCalls);
+  Flag("disable_slicing", Opts.DisableSlicing);
+  Flag("disable_delay_folding", Opts.DisableDelayFolding);
+  S += "threads=" + std::to_string(Opts.Threads) + ";";
+  Flag("legacy_writer", Opts.LegacyWriter);
+  Flag("verify", Opts.Verify);
+  Flag("trace", Opts.Trace);
+  return S;
+}
+
 void RunReport::addInput(const std::string &Path, uint64_t Hash,
                          uint64_t SizeBytes) {
   Inputs.push_back({Path, Hash, SizeBytes});
+}
+
+void RunReport::setProvenance(uint64_t ImageHash, uint64_t ToolDigest,
+                              uint64_t OptsDigest) {
+  Prov = {ImageHash, ToolDigest, OptsDigest, /*Set=*/true};
 }
 
 void RunReport::addOption(const std::string &Key, const std::string &Value) {
@@ -183,6 +209,20 @@ std::string RunReport::renderJson() const {
     W.endObject();
   }
   W.endArray();
+
+  if (Prov.Set) {
+    W.key("provenance");
+    W.beginObject();
+    W.key("image_fnv1a64");
+    W.valueHex(Prov.ImageHash);
+    W.key("tool_digest");
+    W.valueHex(Prov.ToolDigest);
+    W.key("options_digest");
+    W.valueHex(Prov.OptsDigest);
+    W.key("combined");
+    W.valueHex(provenanceKey(Prov.ImageHash, Prov.ToolDigest, Prov.OptsDigest));
+    W.endObject();
+  }
 
   W.key("options");
   W.beginObject();

@@ -26,12 +26,14 @@
 #define EEL_ANALYSIS_REPORT_H
 
 #include "analysis/Diagnostics.h"
+#include "core/Executable.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace eel {
@@ -43,6 +45,41 @@ inline uint64_t fnv1a64(const uint8_t *Data, size_t Size) {
     H ^= Data[I];
     H *= 0x100000001b3ull;
   }
+  return H;
+}
+
+/// FNV-1a over a string (tool specs, canonical option strings).
+inline uint64_t fnv1a64(std::string_view S) {
+  return fnv1a64(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+}
+
+/// Canonical, stable rendering of every Executable::Options field, in
+/// declaration order (`rewrite_data_pointers=1;...;trace=0`). Two option
+/// sets produce the same string iff they configure identical pipelines —
+/// the digestable identity of "how" a run was configured, alongside the
+/// image hash's "what".
+std::string canonicalOptionsString(const Executable::Options &Opts);
+
+/// Digest of an option set, for provenance records and cache keys.
+inline uint64_t optionsDigest(const Executable::Options &Opts) {
+  return fnv1a64(canonicalOptionsString(Opts));
+}
+
+/// Combined provenance key folding the image content hash, the tool-spec
+/// digest, and the options digest — in that fixed order — into one value.
+/// An edit-result or analysis cache MUST key on this (not the image hash
+/// alone): the image bytes say nothing about which tool edited them or
+/// which options shaped analysis and output, and a cache keyed on content
+/// alone serves stale results the moment either differs.
+inline uint64_t provenanceKey(uint64_t ImageHash, uint64_t ToolDigest,
+                              uint64_t OptsDigest) {
+  uint64_t Parts[3] = {ImageHash, ToolDigest, OptsDigest};
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t Part : Parts)
+    for (unsigned I = 0; I < 8; ++I) {
+      H ^= (Part >> (8 * I)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
   return H;
 }
 
@@ -69,6 +106,14 @@ public:
 
   /// Records one input file: path plus FNV-1a hash of its bytes.
   void addInput(const std::string &Path, uint64_t Hash, uint64_t SizeBytes);
+
+  /// Records the run's full provenance: image content hash plus the
+  /// tool-spec and options digests, rendered as a "provenance" object with
+  /// the combined provenanceKey(). Reports carrying only the image hash
+  /// were ambiguous — identical inputs edited by different tools or under
+  /// different options hashed the same.
+  void setProvenance(uint64_t ImageHash, uint64_t ToolDigest,
+                     uint64_t OptsDigest);
 
   /// Records one option the run was configured with (stringified value).
   void addOption(const std::string &Key, const std::string &Value);
@@ -108,8 +153,16 @@ private:
     uint64_t SizeBytes;
   };
 
+  struct Provenance {
+    uint64_t ImageHash = 0;
+    uint64_t ToolDigest = 0;
+    uint64_t OptsDigest = 0;
+    bool Set = false;
+  };
+
   std::string Tool;
   std::vector<Input> Inputs;
+  Provenance Prov;
   std::vector<std::pair<std::string, std::string>> Options;
   std::vector<PhaseNode> Phases;
   std::vector<std::pair<std::string, uint64_t>> Counters;

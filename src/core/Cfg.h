@@ -286,6 +286,12 @@ public:
   const std::vector<Edit> &edits() const { return Edits; }
   bool edited() const { return !Edits.empty(); }
 
+  /// Discards every pending edit, returning the graph to its just-built
+  /// state. Edits are a batch applied at write time — the graph itself is
+  /// never mutated by them — so after clearing, the same analyzed CFG can
+  /// host a fresh batch (eel-serve reuses cached analyses this way).
+  void clearEdits() { Edits.clear(); }
+
   // --- Lookup helpers ------------------------------------------------------
 
   /// Block whose first instruction is at \p A (Normal blocks only).

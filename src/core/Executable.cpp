@@ -111,6 +111,23 @@ std::vector<Routine *> Executable::hiddenRoutines() const {
   return Result;
 }
 
+void Executable::resetEdits() {
+  for (const auto &R : Routines)
+    if (Cfg *Graph = R->cachedCfg())
+      Graph->clearEdits();
+  AppendedData.clear();
+  AddedRoutines.clear();
+  // Recompute the fresh-data base exactly as construction did, so a
+  // reused analysis hands appendData the same addresses a cold run would
+  // (byte-identity of cached-analysis output depends on it).
+  Addr High = 0;
+  for (const SxfSegment &Seg : Image.Segments)
+    High = std::max(High, Seg.VAddr + Seg.MemSize);
+  NextDataAddr = (High + 15) & ~15u;
+  AddrMap.clear();
+  Stats = EditStats();
+}
+
 Addr Executable::appendData(uint32_t Bytes, unsigned Align,
                             const std::string &Name,
                             std::vector<uint8_t> Initial) {

@@ -164,6 +164,15 @@ public:
 
   // --- Output ---------------------------------------------------------------
 
+  /// Reverts every accumulated edit — CFG edit batches, appended data,
+  /// added routines, the address map, and edit statistics — returning the
+  /// executable to its just-analyzed state. The expensive analysis results
+  /// (routine discovery, CFGs, liveness, slices) survive untouched, so a
+  /// long-lived process (eel-serve) can cache an analyzed Executable and
+  /// run many independent edit+write passes over it, each byte-identical
+  /// to a cold open+analyze+edit run of the same tool.
+  void resetEdits();
+
   /// Produces the edited executable. After this succeeds, editedAddr()
   /// maps original instruction addresses into the new image.
   Expected<SxfFile> writeEditedExecutable();

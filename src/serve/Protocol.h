@@ -1,0 +1,94 @@
+//===- serve/Protocol.h - eel-serve wire protocol --------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eel-serve request/response encoding: a minimal length-prefixed
+/// binary protocol usable over any byte stream (the daemon's local socket,
+/// or files in --once mode). One stream frame is
+///
+///   u32 payload_length | payload
+///
+/// and this header defines the payloads. All scalars are little-endian
+/// (ByteBuffer.h). A request payload is
+///
+///   u32 magic "ELRq" | u8 version | u8 flags | u32 threads
+///   | string tool_spec | u32 image_length | image bytes (an SXF file)
+///
+/// and a response payload is
+///
+///   u32 magic "ELRs" | u8 version | u8 status
+///   | string envelope (an eel-report/1 JSON document)
+///   | u32 image_length | edited image bytes (empty unless status == Ok)
+///
+/// Decoding treats input as hostile exactly like the SXF loader: every
+/// length is checked in subtraction form before any allocation sized from
+/// it, enum bytes are range-checked, and each rejection maps to one
+/// ErrorCode from the PR 2 taxonomy (BadMagic, BadHeader, Truncated,
+/// ImplausibleCount, TrailingBytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SERVE_PROTOCOL_H
+#define EEL_SERVE_PROTOCOL_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+constexpr uint32_t ServeRequestMagic = 0x71524c45u;  // "ELRq" little-endian
+constexpr uint32_t ServeResponseMagic = 0x73524c45u; // "ELRs"
+constexpr uint8_t ServeProtocolVersion = 1;
+
+/// Request flag bits (the `flags` byte).
+enum : uint8_t {
+  ServeFlagVerify = 1u << 0,       ///< Run the verifier gate on the write.
+  ServeFlagLegacyWriter = 1u << 1, ///< Use the byte-push reference writer.
+  ServeFlagMetrics = 1u << 2,      ///< Per-request counters/histograms and
+                                   ///< a phase tree in the envelope (the
+                                   ///< request runs isolated; see Serve.h).
+};
+
+/// One edit request: which tool to run, how, and over what image.
+struct ServeRequest {
+  std::string ToolSpec;            ///< e.g. "qpt:edges", "tracer", "null".
+  uint32_t Threads = 1;            ///< Executable::Options::Threads.
+  bool Verify = false;
+  bool LegacyWriter = false;
+  bool WantMetrics = false;
+  std::vector<uint8_t> ImageBytes; ///< Serialized SXF input image.
+};
+
+/// Response status byte.
+enum class ServeStatus : uint8_t {
+  Ok = 0,       ///< Edit succeeded; the edited image follows the envelope.
+  Rejected = 1, ///< Admission control refused the request (retryable).
+  Error = 2,    ///< The request was admitted but the pipeline failed.
+};
+
+struct ServeResponse {
+  ServeStatus Status = ServeStatus::Ok;
+  std::string EnvelopeJson;             ///< eel-report/1 document.
+  std::vector<uint8_t> EditedImage;     ///< Empty unless Status == Ok.
+};
+
+/// Encodes \p Req as one payload (no outer length prefix; transports add
+/// their own frame).
+std::vector<uint8_t> encodeRequest(const ServeRequest &Req);
+
+/// Decodes a request payload. Hostile-input strict: structured error on
+/// any malformed byte, trailing bytes included.
+Expected<ServeRequest> decodeRequest(const std::vector<uint8_t> &Payload);
+
+std::vector<uint8_t> encodeResponse(const ServeResponse &Resp);
+Expected<ServeResponse> decodeResponse(const std::vector<uint8_t> &Payload);
+
+} // namespace eel
+
+#endif // EEL_SERVE_PROTOCOL_H

@@ -1,0 +1,342 @@
+//===- serve/Serve.cpp - Long-lived edit service --------------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "analysis/Report.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+#include "sxf/Sxf.h"
+#include "tools/Qpt.h"
+#include "tools/Tracer.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+using namespace eel;
+
+// --- AnalysisCache ----------------------------------------------------------
+
+std::unique_ptr<Executable> AnalysisCache::claim(uint64_t Key) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  std::unique_ptr<Executable> Exec = std::move(It->second->second);
+  Lru.erase(It->second);
+  Index.erase(It);
+  return Exec;
+}
+
+void AnalysisCache::insert(uint64_t Key, std::unique_ptr<Executable> Exec) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> G(M);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    // A concurrent cold run of the same request beat us here; the newer
+    // executable replaces it (both are just-analyzed, either is fine).
+    Lru.erase(It->second);
+    Index.erase(It);
+  }
+  Lru.emplace_front(Key, std::move(Exec));
+  Index[Key] = Lru.begin();
+  while (Lru.size() > Capacity) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> G(M);
+  Stats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Entries = Lru.size();
+  return S;
+}
+
+// --- Tool specs -------------------------------------------------------------
+
+Expected<ServeTool> eel::parseToolSpec(const std::string &Spec) {
+  if (Spec == "null")
+    return ServeTool::Null;
+  if (Spec == "qpt:blocks")
+    return ServeTool::QptBlocks;
+  if (Spec == "qpt:edges")
+    return ServeTool::QptEdges;
+  if (Spec == "qpt:all")
+    return ServeTool::QptAll;
+  if (Spec == "tracer")
+    return ServeTool::Tracer;
+  return Error(ErrorCode::BadToolSpec,
+               "unknown tool spec '" + Spec +
+                   "' (expected null, qpt:blocks, qpt:edges, qpt:all, "
+                   "or tracer)")
+      .inField("tool_spec");
+}
+
+// --- Envelopes --------------------------------------------------------------
+
+namespace {
+
+/// Renders the minimal eel-report/1 envelope for a request that never ran
+/// the pipeline: the taxonomy code and message under "summary".
+std::string failureEnvelope(const char *Status, const Error &E) {
+  RunReport Report("eel-serve");
+  JsonWriter S(/*Indent=*/false);
+  S.beginObject();
+  S.key("status");
+  S.value(Status);
+  S.key("error_code");
+  S.value(errorCodeName(E.code()));
+  S.key("error");
+  S.value(E.describe());
+  S.endObject();
+  Report.setSummaryJson(S.take());
+  return Report.renderJson();
+}
+
+/// Trace capacity for "tracer" requests: fixed so identical requests
+/// produce identical images whatever served them.
+constexpr uint32_t ServeTracerCapacity = 4096;
+
+} // namespace
+
+// --- EditService ------------------------------------------------------------
+
+EditService::EditService(ServeLimits LimitsIn)
+    : Limits(LimitsIn), Cache(LimitsIn.CacheCapacity),
+      Pool(LimitsIn.DispatchWorkers
+               ? LimitsIn.DispatchWorkers
+               : std::max(2u, std::min(4u,
+                                       std::thread::hardware_concurrency()))) {
+}
+
+EditService::~EditService() = default;
+
+ServeResponse EditService::reject(ErrorCode Code, const std::string &Message) {
+  bumpStat("serve.rejected");
+  ServeResponse Resp;
+  Resp.Status = ServeStatus::Rejected;
+  Resp.EnvelopeJson = failureEnvelope("rejected", Error(Code, Message));
+  return Resp;
+}
+
+ServeResponse EditService::errorResponse(const Error &E) {
+  bumpStat("serve.errors");
+  ServeResponse Resp;
+  Resp.Status = ServeStatus::Error;
+  Resp.EnvelopeJson = failureEnvelope("error", E);
+  return Resp;
+}
+
+ServeResponse EditService::handleEncoded(const std::vector<uint8_t> &Payload) {
+  Expected<ServeRequest> Req = decodeRequest(Payload);
+  if (Req.hasError()) {
+    bumpStat("serve.requests");
+    return errorResponse(Req.error());
+  }
+  return handle(Req.value());
+}
+
+ServeResponse EditService::handle(const ServeRequest &Req) {
+  bumpStat("serve.requests");
+
+  // Admission: image size first (checked before any decode so a hostile
+  // length never sizes an allocation), then the tool spec, then load.
+  if (Limits.MaxImageBytes && Req.ImageBytes.size() > Limits.MaxImageBytes)
+    return reject(ErrorCode::ImageTooLarge,
+                  "request image is " + std::to_string(Req.ImageBytes.size()) +
+                      " bytes; the service accepts at most " +
+                      std::to_string(Limits.MaxImageBytes));
+  Expected<ServeTool> Tool = parseToolSpec(Req.ToolSpec);
+  if (Tool.hasError())
+    return reject(ErrorCode::BadToolSpec, Tool.error().describe());
+  unsigned Prior = InFlight.fetch_add(1, std::memory_order_acq_rel);
+  if (Limits.MaxInFlight && Prior >= Limits.MaxInFlight) {
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    return reject(ErrorCode::ServerSaturated,
+                  "service already has " + std::to_string(Prior) +
+                      " requests in flight (limit " +
+                      std::to_string(Limits.MaxInFlight) + "); retry");
+  }
+
+  // Dispatch onto the pool. trySubmit never runs the request inline on
+  // this (acceptor) thread: a saturated queue is a structured rejection,
+  // not a stack-recursive pipeline run.
+  struct Waiter {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    ServeResponse Resp;
+  };
+  auto W = std::make_shared<Waiter>();
+  ServeTool ToolV = Tool.value();
+  bool Accepted = Pool.trySubmit([this, &Req, ToolV, W] {
+    ServeResponse R = process(Req, ToolV);
+    std::lock_guard<std::mutex> G(W->M);
+    W->Resp = std::move(R);
+    W->Done = true;
+    W->CV.notify_one();
+  });
+  if (!Accepted) {
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    return reject(ErrorCode::ServerSaturated,
+                  "dispatch queue is saturated; retry");
+  }
+  std::unique_lock<std::mutex> G(W->M);
+  W->CV.wait(G, [&] { return W->Done; });
+  InFlight.fetch_sub(1, std::memory_order_acq_rel);
+  return std::move(W->Resp);
+}
+
+ServeResponse EditService::process(const ServeRequest &Req, ServeTool Tool) {
+  if (Req.WantMetrics) {
+    // Isolated run: exclusive so the scope's registry reset sees no
+    // concurrent recorders, and the envelope's metrics cover exactly
+    // this request.
+    std::unique_lock<std::shared_mutex> G(MetricsM);
+    MetricsScope Scope("serve.", /*EnableTrace=*/true);
+    return runPipeline(Req, Tool, /*CaptureMetrics=*/true);
+  }
+  std::shared_lock<std::shared_mutex> G(MetricsM);
+  return runPipeline(Req, Tool, /*CaptureMetrics=*/false);
+}
+
+ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
+                                       bool CaptureMetrics) {
+  auto Start = std::chrono::steady_clock::now();
+
+  Executable::Options EOpts;
+  EOpts.Threads = Req.Threads;
+  EOpts.Verify = Req.Verify;
+  EOpts.LegacyWriter = Req.LegacyWriter;
+  // Never through Options::Trace: the constructor's gate flip is one-way
+  // (single-shot semantics); the per-request gate is MetricsScope's.
+  EOpts.Trace = false;
+
+  uint64_t ImageHash = fnv1a64(Req.ImageBytes.data(), Req.ImageBytes.size());
+  uint64_t ToolDigest = fnv1a64(std::string_view(Req.ToolSpec));
+  uint64_t OptsDigest = optionsDigest(EOpts);
+  uint64_t Key = provenanceKey(ImageHash, ToolDigest, OptsDigest);
+
+  std::unique_ptr<Executable> Exec = Cache.claim(Key);
+  bool CacheHit = Exec != nullptr;
+  bumpStat(CacheHit ? "serve.cache_hits" : "serve.cache_misses");
+  if (CacheHit) {
+    Exec->resetEdits();
+  } else {
+    Expected<SxfFile> Image = SxfFile::deserialize(Req.ImageBytes);
+    if (Image.hasError())
+      return errorResponse(Image.error());
+    Expected<std::unique_ptr<Executable>> Opened =
+        Executable::openImage(std::move(Image.value()), EOpts);
+    if (Opened.hasError())
+      return errorResponse(Opened.error());
+    Exec = std::move(Opened.value());
+    Expected<bool> Read = Exec->readContents();
+    if (Read.hasError())
+      return errorResponse(Read.error());
+  }
+
+  // Instrument. Tool objects stay alive through the write below.
+  std::unique_ptr<Qpt2Profiler> Qpt;
+  std::unique_ptr<MemoryTracer> Tracer;
+  switch (Tool) {
+  case ServeTool::Null:
+    break;
+  case ServeTool::QptBlocks:
+  case ServeTool::QptEdges:
+  case ServeTool::QptAll: {
+    Qpt2Profiler::Options QOpts;
+    QOpts.CountBlocks = Tool != ServeTool::QptEdges;
+    QOpts.CountEdges = Tool != ServeTool::QptBlocks;
+    Qpt = std::make_unique<Qpt2Profiler>(*Exec, QOpts);
+    Qpt->instrument();
+    break;
+  }
+  case ServeTool::Tracer:
+    Tracer = std::make_unique<MemoryTracer>(*Exec, ServeTracerCapacity);
+    Tracer->instrument();
+    break;
+  }
+
+  Expected<SxfFile> Edited = Exec->writeEditedExecutable();
+  if (Edited.hasError()) {
+    // The executable's edit state is suspect after a failed write; drop
+    // it rather than reinsert.
+    return errorResponse(Edited.error());
+  }
+
+  ServeResponse Resp;
+  Resp.Status = ServeStatus::Ok;
+  Resp.EditedImage = Edited.value().serialize();
+  Executable::EditStats ES = Exec->editStats();
+  Cache.insert(Key, std::move(Exec));
+
+  uint64_t LatencyUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  bumpStat("serve.ok");
+  bumpHistogram("serve.latency_us", LatencyUs);
+
+  RunReport Report("eel-serve");
+  Report.addInput("<request>", ImageHash, Req.ImageBytes.size());
+  Report.setProvenance(ImageHash, ToolDigest, OptsDigest);
+  Report.addOption("tool", Req.ToolSpec);
+  Report.addOption("threads", uint64_t(Req.Threads));
+  Report.addOption("verify", Req.Verify);
+  Report.addOption("legacy_writer", Req.LegacyWriter);
+  Report.addOption("metrics", Req.WantMetrics);
+  if (CaptureMetrics) {
+    Report.captureMetrics();
+    Report.capturePhases(TraceCollector::instance().drain());
+  }
+  AnalysisCache::Stats CS = Cache.stats();
+  JsonWriter S(/*Indent=*/false);
+  S.beginObject();
+  S.key("status");
+  S.value("ok");
+  S.key("cache_hit");
+  S.value(CacheHit);
+  S.key("latency_us");
+  S.value(LatencyUs);
+  S.key("edited_image_bytes");
+  S.value(uint64_t(Resp.EditedImage.size()));
+  S.key("routines_edited");
+  S.value(uint64_t(ES.RoutinesEdited));
+  S.key("routines_verbatim");
+  S.value(uint64_t(ES.RoutinesVerbatim));
+  S.key("translation_sites");
+  S.value(uint64_t(ES.TranslationSites));
+  S.key("snippet_instances");
+  S.value(uint64_t(ES.SnippetInstances));
+  S.key("cache");
+  S.beginObject();
+  S.key("hits");
+  S.value(CS.Hits);
+  S.key("misses");
+  S.value(CS.Misses);
+  S.key("evictions");
+  S.value(CS.Evictions);
+  S.key("entries");
+  S.value(CS.Entries);
+  S.endObject();
+  S.endObject();
+  Report.setSummaryJson(S.take());
+  Resp.EnvelopeJson = Report.renderJson();
+  return Resp;
+}

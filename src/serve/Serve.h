@@ -1,0 +1,168 @@
+//===- serve/Serve.h - Long-lived edit service ------------------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// eel-serve: the edit pipeline as a long-lived service instead of a
+/// one-shot tool. A daemon (tools/eel_serve_main.cpp) or an in-process
+/// client hands EditService a stream of ServeRequests — an SXF image plus
+/// a tool spec — and gets back an eel-report/1 JSON envelope and the
+/// edited image.
+///
+/// The service fixes the three single-shot-lifetime assumptions the
+/// one-shot tools never exercised:
+///
+///  * Analysis is cached, content-addressed. The expensive work —
+///    routine discovery, CFG construction, liveness, slicing — depends
+///    only on (image bytes, options), and edits are a batch the graphs
+///    apply at write time, so a re-submitted image can reuse a fully
+///    analyzed Executable via Executable::resetEdits() and pay only for
+///    instrument + layout + write. The cache key is provenanceKey(image
+///    hash, tool digest, options digest) — never the image hash alone
+///    (analysis/Report.h explains why).
+///
+///  * Admission control bounds the damage of a flood: too many in-flight
+///    requests, an oversized image, or an unknown tool spec produce a
+///    structured rejection (ErrorCode in the envelope), and dispatch uses
+///    ThreadPool::trySubmit so a saturated pool rejects instead of
+///    running requests inline on the acceptor thread.
+///
+///  * Metrics are scoped per request. A request with WantMetrics runs
+///    isolated (exclusive lock + support/Metrics.h MetricsScope), so its
+///    envelope's counters, histograms, and phase tree cover exactly that
+///    request; cumulative `serve.*` counters are exempt from the scope
+///    reset and keep accumulating for the life of the service.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_SERVE_SERVE_H
+#define EEL_SERVE_SERVE_H
+
+#include "core/Executable.h"
+#include "serve/Protocol.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace eel {
+
+/// Service configuration and admission limits.
+struct ServeLimits {
+  /// Requests admitted but not yet answered; one more is rejected with
+  /// ServerSaturated. 0 disables the bound.
+  unsigned MaxInFlight = 8;
+  /// Largest request image accepted, in bytes (pre-decode, so a hostile
+  /// length can't size an allocation). 0 disables the bound.
+  uint64_t MaxImageBytes = 64u << 20;
+  /// Analyzed-Executable cache capacity, in entries. 0 disables caching
+  /// entirely (every request runs cold) — the bench's cold baseline.
+  size_t CacheCapacity = 16;
+  /// Worker threads of the dispatch pool requests run on. 0 picks a small
+  /// default from hardware concurrency.
+  unsigned DispatchWorkers = 0;
+};
+
+/// Content-addressed LRU cache of analyzed Executables.
+///
+/// Entries are claimed, not borrowed: a hit removes the entry and hands
+/// the caller exclusive ownership, because an Executable is single-writer
+/// state (edits, the address map). After the edit+write finishes the
+/// caller reinserts it as most-recently-used. A second identical request
+/// arriving while the first holds the entry simply misses and runs cold —
+/// no blocking, and both insert (the duplicate replaces, it never forks
+/// the entry).
+class AnalysisCache {
+public:
+  explicit AnalysisCache(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Removes and returns the entry for \p Key, or null on miss.
+  std::unique_ptr<Executable> claim(uint64_t Key);
+
+  /// Inserts \p Exec as most-recently-used under \p Key, replacing any
+  /// existing entry and evicting from the LRU end beyond capacity. With
+  /// capacity 0 the executable is simply dropped.
+  void insert(uint64_t Key, std::unique_ptr<Executable> Exec);
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Entries = 0;
+  };
+  Stats stats() const;
+
+private:
+  using LruList = std::list<std::pair<uint64_t, std::unique_ptr<Executable>>>;
+
+  mutable std::mutex M;
+  size_t Capacity;
+  LruList Lru; ///< Front = most recently used.
+  std::unordered_map<uint64_t, LruList::iterator> Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+/// Tool specs a request may name.
+enum class ServeTool : uint8_t {
+  Null,      ///< "null": analyze + re-lay-out + write, no instrumentation.
+  QptBlocks, ///< "qpt:blocks": block-count profiling only.
+  QptEdges,  ///< "qpt:edges": edge-count profiling only.
+  QptAll,    ///< "qpt:all": blocks + edges.
+  Tracer,    ///< "tracer": memory-reference tracing.
+};
+
+/// Parses a request's tool spec; BadToolSpec on anything unknown.
+Expected<ServeTool> parseToolSpec(const std::string &Spec);
+
+/// The edit service: admission control, dispatch onto a bounded
+/// ThreadPool, content-addressed analysis reuse, per-request envelopes.
+/// handle() is safe to call from many threads concurrently (the daemon
+/// calls it from per-connection acceptor threads).
+class EditService {
+public:
+  explicit EditService(ServeLimits Limits);
+  ~EditService();
+
+  EditService(const EditService &) = delete;
+  EditService &operator=(const EditService &) = delete;
+
+  /// Admits, runs, and answers one request. Never blocks indefinitely on
+  /// saturation: over-limit requests come back ServeStatus::Rejected with
+  /// the ErrorCode in the envelope's summary.
+  ServeResponse handle(const ServeRequest &Req);
+
+  /// decodeRequest + handle; malformed payloads come back
+  /// ServeStatus::Error with the decode taxonomy code in the envelope.
+  ServeResponse handleEncoded(const std::vector<uint8_t> &Payload);
+
+  const ServeLimits &limits() const { return Limits; }
+  AnalysisCache::Stats cacheStats() const { return Cache.stats(); }
+
+private:
+  ServeResponse process(const ServeRequest &Req, ServeTool Tool);
+  ServeResponse runPipeline(const ServeRequest &Req, ServeTool Tool,
+                            bool CaptureMetrics);
+  ServeResponse reject(ErrorCode Code, const std::string &Message);
+  ServeResponse errorResponse(const Error &E);
+
+  ServeLimits Limits;
+  AnalysisCache Cache;
+  ThreadPool Pool;
+  std::atomic<unsigned> InFlight{0};
+  /// Metrics-isolation lock: WantMetrics requests hold it exclusively
+  /// (their MetricsScope resets the registries, which tolerates no
+  /// concurrent recorders), all other requests hold it shared.
+  std::shared_mutex MetricsM;
+};
+
+} // namespace eel
+
+#endif // EEL_SERVE_SERVE_H

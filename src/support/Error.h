@@ -58,6 +58,11 @@ enum class ErrorCode : uint8_t {
                      ///< disallowed (CodeSnippet::setRequireDeadRegs).
   SpillExhausted,    ///< Snippet needed more spill slots than the reserved
                      ///< stack scratch area holds.
+  ServerSaturated,   ///< eel-serve admission: too many in-flight requests
+                     ///< (or the thread pool rejected the work); retry.
+  ImageTooLarge,     ///< eel-serve admission: request image exceeds the
+                     ///< configured byte limit.
+  BadToolSpec,       ///< eel-serve request names no known tool spec.
 };
 
 /// Stable lower-case name for an ErrorCode (used in describe() output and
@@ -106,6 +111,12 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "no_dead_registers";
   case ErrorCode::SpillExhausted:
     return "spill_exhausted";
+  case ErrorCode::ServerSaturated:
+    return "server_saturated";
+  case ErrorCode::ImageTooLarge:
+    return "image_too_large";
+  case ErrorCode::BadToolSpec:
+    return "bad_tool_spec";
   }
   return "unknown";
 }

@@ -7,6 +7,8 @@
 #include "support/Metrics.h"
 
 #include "support/Json.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -109,6 +111,25 @@ void HistogramRegistry::resetAll() {
     for (auto &[Name, C] : Shard->Cells)
       C = Cell{};
 }
+
+void HistogramRegistry::resetAllExcept(const std::string &ExemptPrefix) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &Shard : Shards)
+    for (auto &[Name, C] : Shard->Cells)
+      if (ExemptPrefix.empty() ||
+          Name.compare(0, ExemptPrefix.size(), ExemptPrefix) != 0)
+        C = Cell{};
+}
+
+MetricsScope::MetricsScope(const std::string &ExemptPrefix, bool EnableTrace)
+    : TraceWasEnabled(traceEnabled()) {
+  StatRegistry::instance().resetAllExcept(ExemptPrefix);
+  HistogramRegistry::instance().resetAllExcept(ExemptPrefix);
+  TraceCollector::instance().reset();
+  traceSetEnabled(EnableTrace);
+}
+
+MetricsScope::~MetricsScope() { traceSetEnabled(TraceWasEnabled); }
 
 std::string eel::metricsJson(const std::vector<HistogramSnapshot> &Snaps) {
   JsonWriter W(/*Indent=*/false);

@@ -97,6 +97,11 @@ public:
   /// pointers must stay valid).
   void resetAll();
 
+  /// Like resetAll(), but histograms whose name starts with
+  /// \p ExemptPrefix keep their contents (cumulative service histograms
+  /// such as `serve.latency_us`). An empty prefix exempts nothing.
+  void resetAllExcept(const std::string &ExemptPrefix);
+
 private:
   struct Cell {
     uint64_t Count = 0;
@@ -119,6 +124,37 @@ private:
 inline void bumpHistogram(const std::string &Name, uint64_t Value) {
   HistogramRegistry::instance().record(Name, Value);
 }
+
+/// Per-request metrics scope for long-lived processes (eel-serve).
+///
+/// The sharded StatRegistry / HistogramRegistry / TraceCollector
+/// accumulate for the life of the process — correct for one-shot tools,
+/// but in a daemon the second request's envelope would contain the first
+/// request's counters, histogram samples, and trace spans. Constructing a
+/// MetricsScope at the start of a request resets all three, EXCEPT names
+/// under \p ExemptPrefix (cumulative service counters like `serve.*`),
+/// so metrics captured inside the scope cover exactly the enclosed work.
+///
+/// The scope also owns the trace gate for its lifetime: pass
+/// \p EnableTrace true to record spans for this request, and destruction
+/// restores the gate to its pre-scope state — fixing the single-shot
+/// assumption that whoever enabled tracing never needed to turn it off.
+///
+/// Quiescence contract: construct and destroy only while no other thread
+/// is running instrumented pipeline work (eel-serve holds its metrics
+/// lock exclusively around isolated requests).
+class MetricsScope {
+public:
+  explicit MetricsScope(const std::string &ExemptPrefix,
+                        bool EnableTrace = false);
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope &) = delete;
+  MetricsScope &operator=(const MetricsScope &) = delete;
+
+private:
+  bool TraceWasEnabled;
+};
 
 /// Renders \p Snaps as a JSON array of histogram objects (name, count,
 /// sum, min, max, and the non-empty buckets as {le, count} pairs).

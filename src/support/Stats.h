@@ -59,6 +59,13 @@ public:
   /// points only.
   void resetAll();
 
+  /// Like resetAll(), but counters whose name starts with \p ExemptPrefix
+  /// keep their values. Long-lived processes (eel-serve) reset per-request
+  /// pipeline counters between requests while their cumulative service
+  /// counters (`serve.*`) keep accumulating. An empty prefix exempts
+  /// nothing. Call from quiescent points only.
+  void resetAllExcept(const std::string &ExemptPrefix);
+
   /// Merged snapshot of all counters, sorted by name so the result is
   /// identical whatever thread count produced it. Call from quiescent
   /// points only.

@@ -13,6 +13,14 @@
 
 using namespace eel;
 
+namespace {
+/// Pool whose task the calling thread is currently executing (workerLoop
+/// or a helping caller), or null. Lets submit() recognize internal
+/// submissions, which must never block on the queue bound: with every
+/// worker parked in submit() nobody would be left to drain the queue.
+thread_local const ThreadPool *CurrentTaskPool = nullptr;
+} // namespace
+
 ThreadPool::ThreadPool(unsigned WorkerCount) {
   // Fixed capacity so growth never reallocates: workers index into these
   // vectors concurrently with ensureWorkers() appending.
@@ -55,15 +63,18 @@ void ThreadPool::ensureWorkers(unsigned N) {
   }
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
-  unsigned Count = workerCount();
-  if (Count == 0) {
-    // No workers: run on a helping caller via the pending queue of worker
-    // 0 once one exists — or, with a permanently empty pool, immediately
-    // on the submitter. Degenerates gracefully on one-core machines.
-    Task();
-    return;
-  }
+void ThreadPool::setQueueCapacity(size_t Cap) {
+  QueueCap.store(Cap, std::memory_order_relaxed);
+  WakeCV.notify_all(); // submitters blocked on the old bound re-check
+}
+
+size_t ThreadPool::queueCapacity() const {
+  return QueueCap.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::inPoolTask() const { return CurrentTaskPool == this; }
+
+void ThreadPool::enqueue(std::function<void()> Task, unsigned Count) {
   size_t Slot = NextSubmit.fetch_add(1, std::memory_order_relaxed) % Count;
   {
     std::lock_guard<std::mutex> Lock(Workers[Slot]->M);
@@ -71,6 +82,44 @@ void ThreadPool::submit(std::function<void()> Task) {
   }
   PendingTasks.fetch_add(1, std::memory_order_release);
   WakeCV.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Count = workerCount();
+  if (Count == 0) {
+    // No workers: run on a helping caller via the pending queue of worker
+    // 0 once one exists — or, with a permanently empty pool, immediately
+    // on the submitter. Degenerates gracefully on one-core machines.
+    // (Service deployments requiring the no-inline guarantee must create
+    // workers; trySubmit() rejects in this configuration.)
+    Task();
+    return;
+  }
+  size_t Cap = queueCapacity();
+  if (Cap != 0 && !inPoolTask() &&
+      PendingTasks.load(std::memory_order_acquire) >= Cap) {
+    // Saturated external submitter: bounded block until workers drain.
+    // Never run the task inline (see the header's overflow contract), and
+    // never block a pool task's own submissions (deadlock).
+    std::unique_lock<std::mutex> Lock(WakeM);
+    WakeCV.wait(Lock, [this] {
+      size_t C = queueCapacity();
+      return C == 0 || Stopping.load(std::memory_order_acquire) ||
+             PendingTasks.load(std::memory_order_acquire) < C;
+    });
+  }
+  enqueue(std::move(Task), Count);
+}
+
+bool ThreadPool::trySubmit(std::function<void()> Task) {
+  unsigned Count = workerCount();
+  if (Count == 0)
+    return false; // inline execution is exactly what this path must avoid
+  size_t Cap = queueCapacity();
+  if (Cap != 0 && PendingTasks.load(std::memory_order_acquire) >= Cap)
+    return false;
+  enqueue(std::move(Task), Count);
+  return true;
 }
 
 bool ThreadPool::takeTask(size_t SelfIndex, std::function<void()> &Task) {
@@ -102,19 +151,26 @@ bool ThreadPool::takeTask(size_t SelfIndex, std::function<void()> &Task) {
   return false;
 }
 
+void ThreadPool::runTask(std::function<void()> &Task) {
+  // No tracing here: a task's completion signal lives inside Task()
+  // (parallelForEach helpers decrement ActiveHelpers there), and the
+  // caller treats that as a quiescent point where rings may be
+  // drained. Any ring write after Task() would race; occupancy spans
+  // are recorded inside the batch lambdas instead, where they close
+  // before the completion signal.
+  const ThreadPool *Prev = CurrentTaskPool;
+  CurrentTaskPool = this;
+  Task();
+  CurrentTaskPool = Prev;
+  PendingTasks.fetch_sub(1, std::memory_order_release);
+  WakeCV.notify_all(); // a waiter may be blocked on this completion
+}
+
 void ThreadPool::workerLoop(size_t Index) {
   while (!Stopping.load(std::memory_order_acquire)) {
     std::function<void()> Task;
     if (takeTask(Index, Task)) {
-      // No tracing here: a task's completion signal lives inside Task()
-      // (parallelForEach helpers decrement ActiveHelpers there), and the
-      // caller treats that as a quiescent point where rings may be
-      // drained. Any ring write after Task() would race; occupancy spans
-      // are recorded inside the batch lambdas instead, where they close
-      // before the completion signal.
-      Task();
-      PendingTasks.fetch_sub(1, std::memory_order_release);
-      WakeCV.notify_all(); // a waiter may be blocked on this completion
+      runTask(Task);
       continue;
     }
     std::unique_lock<std::mutex> Lock(WakeM);
@@ -132,9 +188,7 @@ void ThreadPool::helpUntil(const std::function<bool()> &Done) {
   while (!Done()) {
     std::function<void()> Task;
     if (takeTask(HelperIndex, Task)) {
-      Task(); // untraced for the same reason as workerLoop
-      PendingTasks.fetch_sub(1, std::memory_order_release);
-      WakeCV.notify_all();
+      runTask(Task); // untraced for the same reason as workerLoop
       continue;
     }
     std::unique_lock<std::mutex> Lock(WakeM);

@@ -64,7 +64,36 @@ public:
   void ensureWorkers(unsigned N);
 
   /// Enqueues \p Task on a worker deque (round-robin).
+  ///
+  /// Overflow contract (the eel-serve fix): when the pending-task count has
+  /// reached queueCapacity(), an *external* submitter blocks until workers
+  /// drain below capacity — it never runs the task inline on its own stack,
+  /// which under a long-lived service would let a request handler re-enter
+  /// the pipeline recursively (unbounded stack depth, and a deadlock once
+  /// the inlined task itself blocks on pool progress). A submitter that is
+  /// currently executing a task *of this pool* is exempt from the bound and
+  /// enqueues immediately: blocking it could deadlock the pool against
+  /// itself (every worker stuck in submit, nobody draining), so internal
+  /// fan-out treats the capacity as a soft bound instead.
   void submit(std::function<void()> Task);
+
+  /// Non-blocking submit: enqueues and returns true, or returns false
+  /// without running anything when the queue is saturated (or the pool has
+  /// no workers, where the only way to run the task would be inline on the
+  /// caller — exactly the re-entrancy hazard this path exists to avoid).
+  /// Admission-control callers (eel-serve) turn false into a structured
+  /// rejection instead of queueing without bound.
+  bool trySubmit(std::function<void()> Task);
+
+  /// Soft bound on queued-but-unstarted tasks; 0 disables the bound.
+  /// Concurrent submitters may overshoot by one task each (the check is
+  /// optimistic), which is fine for backpressure purposes.
+  void setQueueCapacity(size_t Cap);
+  size_t queueCapacity() const;
+
+  /// True when the calling thread is currently executing a task submitted
+  /// to THIS pool (worker loop or a helping caller).
+  bool inPoolTask() const;
 
   /// Runs pool tasks on the calling thread until \p Done returns true.
   /// Used by blocking waits so a caller that is itself a pool worker makes
@@ -72,6 +101,10 @@ public:
   void helpUntil(const std::function<bool()> &Done);
 
   static constexpr unsigned MaxWorkers = 64;
+
+  /// Default queueCapacity(): far above what the pipeline's own fan-out
+  /// queues, so only service-scale request floods ever hit the bound.
+  static constexpr size_t DefaultQueueCapacity = 4096;
 
 private:
   struct Worker {
@@ -81,11 +114,14 @@ private:
 
   void workerLoop(size_t Index);
   bool takeTask(size_t SelfIndex, std::function<void()> &Task);
+  void enqueue(std::function<void()> Task, unsigned Count);
+  void runTask(std::function<void()> &Task);
 
   mutable std::mutex GrowM; ///< Guards Workers/Threads growth.
   std::vector<std::unique_ptr<Worker>> Workers;
   std::vector<std::thread> Threads;
   std::atomic<unsigned> WorkerCountA{0};
+  std::atomic<size_t> QueueCap{DefaultQueueCapacity};
   std::atomic<size_t> NextSubmit{0};
   std::atomic<size_t> PendingTasks{0};
   std::atomic<bool> Stopping{false};

@@ -28,6 +28,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 using namespace eel;
@@ -65,6 +67,90 @@ TEST(ThreadPoolTest, NestedFanOutCompletes) {
     });
   });
   EXPECT_EQ(Total.load(), Outer * Inner);
+}
+
+TEST(ThreadPoolTest, SaturatedSubmitNeverRunsInlineAndTrySubmitRejects) {
+  // Regression test for the eel-serve overflow hazard: with the queue
+  // saturated, submit() used to be allowed to fall back to running the
+  // task inline on the submitter, letting a request handler re-enter the
+  // pipeline on its own stack. The contract now is: trySubmit() rejects,
+  // and blocking submit() enqueues only — no submitted task may ever
+  // execute on the submitting thread (which never helps the pool).
+  ThreadPool Pool(2);
+  Pool.setQueueCapacity(4);
+
+  std::atomic<bool> Gate{false};
+  std::atomic<unsigned> Blocked{0};
+  // Park both workers so nothing drains while we saturate the queue.
+  for (int I = 0; I < 2; ++I)
+    Pool.submit([&Gate, &Blocked] {
+      Blocked.fetch_add(1);
+      while (!Gate.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    });
+  while (Blocked.load() < 2)
+    std::this_thread::yield();
+
+  const std::thread::id Submitter = std::this_thread::get_id();
+  std::atomic<bool> RanOnSubmitter{false};
+  std::atomic<unsigned> Ran{0};
+  auto Work = [&RanOnSubmitter, &Ran, Submitter] {
+    if (std::this_thread::get_id() == Submitter)
+      RanOnSubmitter.store(true);
+    Ran.fetch_add(1);
+  };
+
+  unsigned Accepted = 0;
+  bool SawRejection = false;
+  for (int I = 0; I < 64; ++I) {
+    if (Pool.trySubmit(Work))
+      ++Accepted;
+    else
+      SawRejection = true;
+  }
+  EXPECT_TRUE(SawRejection) << "saturated trySubmit must reject";
+  EXPECT_GE(Accepted, 2u); // capacity minus the two parked tasks
+  EXPECT_FALSE(RanOnSubmitter.load())
+      << "trySubmit executed a task inline on the submitter";
+
+  Gate.store(true, std::memory_order_release);
+  while (Ran.load() < Accepted)
+    std::this_thread::yield();
+  EXPECT_EQ(Ran.load(), Accepted); // every accepted task ran exactly once
+  EXPECT_FALSE(RanOnSubmitter.load())
+      << "a pool task ran on the submitting thread";
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromSaturatedPoolTaskCompletes) {
+  // A task already running on the pool must be able to submit past the
+  // capacity bound without blocking or running inline: blocking every
+  // worker in submit() would leave nobody to drain the queue (the
+  // nested-submit deadlock the bounded path must not introduce).
+  ThreadPool Pool(2);
+  Pool.setQueueCapacity(1);
+  std::atomic<unsigned> Done{0};
+  constexpr unsigned Outer = 4, Inner = 8;
+  for (unsigned I = 0; I < Outer; ++I)
+    Pool.submit([&Pool, &Done] {
+      for (unsigned J = 0; J < Inner; ++J)
+        Pool.submit([&Done] { Done.fetch_add(1); });
+    });
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (Done.load() < Outer * Inner) {
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+        << "nested submits deadlocked under saturation";
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(Done.load(), Outer * Inner);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsOnWorkerlessPool) {
+  // With no workers the only way to run a task is inline on the caller —
+  // the exact hazard trySubmit exists to avoid — so it must reject.
+  ThreadPool Pool(0);
+  bool Ran = false;
+  EXPECT_FALSE(Pool.trySubmit([&Ran] { Ran = true; }));
+  EXPECT_FALSE(Ran);
 }
 
 TEST(ThreadPoolTest, ShardedStatsMergeAcrossThreads) {

@@ -185,6 +185,11 @@ int main(int argc, char **argv) {
   // --- Assemble the report -----------------------------------------------------
   RunReport Report("eel-report");
   Report.addInput(InputName, ImageHash, ImageBytes.size());
+  // Full provenance: image content hash + what edited it and how. The
+  // eel-report pipeline applies no tool edits, so the tool digest is the
+  // digest of the empty spec.
+  Report.setProvenance(ImageHash, fnv1a64(std::string_view("")),
+                       optionsDigest(EOpts));
   Report.addOption("threads", uint64_t(Config.Threads));
   Report.addOption("effective_threads", uint64_t(Exec.effectiveThreads()));
   Report.addOption("verify", Config.Verify);

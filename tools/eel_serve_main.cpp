@@ -1,0 +1,242 @@
+//===- tools/eel_serve_main.cpp - The edit-service daemon -----------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// eel-serve: the edit pipeline as a long-lived daemon. Clients connect
+/// over a local (AF_UNIX) stream socket and exchange length-prefixed
+/// frames — `u32 length | payload`, payloads as defined in
+/// serve/Protocol.h — one request frame in, one response frame out, any
+/// number of requests per connection. Each connection gets an acceptor
+/// thread; the actual pipeline work is batched onto the service's bounded
+/// ThreadPool with admission control (serve/Serve.h).
+///
+///   eel-serve --socket PATH [options]       run the daemon
+///   eel-serve --once REQ RESP [options]     serve one request from file
+///                                           REQ, write the response
+///                                           frame to file RESP, exit
+///     --cache N            analysis cache capacity in entries (16)
+///     --max-inflight N     admitted-but-unanswered bound (8; 0 = off)
+///     --max-image-bytes N  request image size bound (64 MiB; 0 = off)
+///     --workers N          dispatch pool workers (0 = small default)
+///     --max-requests N     exit after answering N requests (0 = forever;
+///                          the tests' shutdown handle)
+///
+/// Exit status: 0 on clean shutdown, 2 on usage or socket errors. In
+/// --once mode, 0 even when the response carries a rejection — the
+/// envelope is the answer; only failure to produce one is an error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+#include "support/FileIO.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace eel;
+
+namespace {
+
+struct ServeConfig {
+  std::string SocketPath;
+  std::string OncePath;
+  std::string OnceOutPath;
+  ServeLimits Limits;
+  uint64_t MaxRequests = 0;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --once REQ RESP) [--cache N] "
+               "[--max-inflight N] [--max-image-bytes N] [--workers N] "
+               "[--max-requests N]\n",
+               Argv0);
+  return 2;
+}
+
+/// Reads exactly \p N bytes; false on EOF or error.
+bool readFull(int Fd, uint8_t *Buf, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R <= 0)
+      return false;
+    Got += static_cast<size_t>(R);
+  }
+  return true;
+}
+
+bool writeFull(int Fd, const uint8_t *Buf, size_t N) {
+  size_t Put = 0;
+  while (Put < N) {
+    ssize_t W = ::write(Fd, Buf + Put, N - Put);
+    if (W <= 0)
+      return false;
+    Put += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Frame cap for the transport itself: the admission layer re-checks the
+/// image size, but a hostile frame length must not size an allocation
+/// bigger than the service could ever accept.
+constexpr uint32_t MaxFrameBytes = 256u << 20;
+
+/// Reads one `u32 length | payload` frame; false on EOF/oversize.
+bool readFrame(int Fd, std::vector<uint8_t> &Payload) {
+  uint8_t Hdr[4];
+  if (!readFull(Fd, Hdr, 4))
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Hdr[0]) |
+                 (static_cast<uint32_t>(Hdr[1]) << 8) |
+                 (static_cast<uint32_t>(Hdr[2]) << 16) |
+                 (static_cast<uint32_t>(Hdr[3]) << 24);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || readFull(Fd, Payload.data(), Len);
+}
+
+bool writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  uint8_t Hdr[4] = {static_cast<uint8_t>(Len), static_cast<uint8_t>(Len >> 8),
+                    static_cast<uint8_t>(Len >> 16),
+                    static_cast<uint8_t>(Len >> 24)};
+  if (!writeFull(Fd, Hdr, 4))
+    return false;
+  return Payload.empty() || writeFull(Fd, Payload.data(), Payload.size());
+}
+
+/// One request from a file, one response frame to a file; no socket.
+int runOnce(const ServeConfig &Config) {
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Config.OncePath);
+  if (Bytes.hasError()) {
+    std::fprintf(stderr, "error: %s\n", Bytes.error().describe().c_str());
+    return 2;
+  }
+  EditService Service(Config.Limits);
+  ServeResponse Resp = Service.handleEncoded(Bytes.value());
+  Expected<bool> Wrote =
+      writeFileBytes(Config.OnceOutPath, encodeResponse(Resp));
+  if (Wrote.hasError()) {
+    std::fprintf(stderr, "error: %s\n", Wrote.error().describe().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int runDaemon(const ServeConfig &Config) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("eel-serve: socket");
+    return 2;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(Listen);
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(Config.SocketPath.c_str());
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::perror("eel-serve: bind");
+    ::close(Listen);
+    return 2;
+  }
+  if (::listen(Listen, 64) < 0) {
+    std::perror("eel-serve: listen");
+    ::close(Listen);
+    return 2;
+  }
+
+  EditService Service(Config.Limits);
+  std::atomic<uint64_t> Answered{0};
+  std::atomic<bool> Quit{false};
+  std::vector<std::thread> Connections;
+
+  while (!Quit.load(std::memory_order_acquire)) {
+    int Conn = ::accept(Listen, nullptr, nullptr);
+    if (Conn < 0)
+      break;
+    Connections.emplace_back([&Service, &Answered, &Quit, &Config, Conn,
+                              Listen] {
+      std::vector<uint8_t> Payload;
+      while (readFrame(Conn, Payload)) {
+        ServeResponse Resp = Service.handleEncoded(Payload);
+        if (!writeFrame(Conn, encodeResponse(Resp)))
+          break;
+        uint64_t Total = Answered.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (Config.MaxRequests && Total >= Config.MaxRequests) {
+          Quit.store(true, std::memory_order_release);
+          // Unblock the blocked accept() so the daemon can exit.
+          ::shutdown(Listen, SHUT_RDWR);
+          break;
+        }
+      }
+      ::close(Conn);
+    });
+  }
+  for (std::thread &T : Connections)
+    T.join();
+  ::close(Listen);
+  ::unlink(Config.SocketPath.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServeConfig Config;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto NeedValue = [&](const char *&Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = argv[++I];
+      return true;
+    };
+    const char *Value = nullptr;
+    if (!std::strcmp(Arg, "--socket") && NeedValue(Value)) {
+      Config.SocketPath = Value;
+    } else if (!std::strcmp(Arg, "--once")) {
+      const char *Out = nullptr;
+      if (!NeedValue(Value) || !NeedValue(Out))
+        return usage(argv[0]);
+      Config.OncePath = Value;
+      Config.OnceOutPath = Out;
+    } else if (!std::strcmp(Arg, "--cache") && NeedValue(Value)) {
+      Config.Limits.CacheCapacity = static_cast<size_t>(std::atoll(Value));
+    } else if (!std::strcmp(Arg, "--max-inflight") && NeedValue(Value)) {
+      Config.Limits.MaxInFlight = static_cast<unsigned>(std::atoi(Value));
+    } else if (!std::strcmp(Arg, "--max-image-bytes") && NeedValue(Value)) {
+      Config.Limits.MaxImageBytes = static_cast<uint64_t>(std::atoll(Value));
+    } else if (!std::strcmp(Arg, "--workers") && NeedValue(Value)) {
+      Config.Limits.DispatchWorkers = static_cast<unsigned>(std::atoi(Value));
+    } else if (!std::strcmp(Arg, "--max-requests") && NeedValue(Value)) {
+      Config.MaxRequests = static_cast<uint64_t>(std::atoll(Value));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!Config.OncePath.empty())
+    return runOnce(Config);
+  if (Config.SocketPath.empty())
+    return usage(argv[0]);
+  return runDaemon(Config);
+}
