@@ -36,6 +36,7 @@ enum class VerifyPass : uint8_t {
   ScavengeAudit, ///< Pass 3: independently recomputed liveness vs. RegAlloc.
   LayoutConsistency, ///< Pass 4: emitted branches/tables hit intended targets.
   TranslationValidation, ///< Pass 5: re-disassembled CFG matches edited CFG.
+  Inference, ///< eel-infer findings: heuristic boundaries and confidence.
 };
 
 inline const char *verifyPassName(VerifyPass Pass) {
@@ -52,6 +53,8 @@ inline const char *verifyPassName(VerifyPass Pass) {
     return "layout-consistency";
   case VerifyPass::TranslationValidation:
     return "translation-validation";
+  case VerifyPass::Inference:
+    return "inference";
   }
   return "unknown";
 }

@@ -1,0 +1,122 @@
+//===- analysis/InferFacts.h - Facts for heuristic disassembly ---*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fact vocabulary of eel-infer (analysis/Infer.h): plain records the
+/// mutually-recursive rules derive from a text segment that has no (or
+/// untrusted) symbols, in the style of datalog disassembly. Every container
+/// is sorted by address so the fixpoint is deterministic by construction —
+/// iteration order never depends on hashing, threads, or allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ANALYSIS_INFERFACTS_H
+#define EEL_ANALYSIS_INFERFACTS_H
+
+#include "core/Slice.h"
+#include "sxf/Sxf.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eel {
+
+/// How strongly the evidence supports an inferred conclusion. Inference is
+/// heuristic: conclusions are backed by the editor's behavioral backstops
+/// (precise cell/table rewriting, VM-verified identity), and the
+/// confidence tells tools how much independent evidence agreed.
+enum class InferConfidence : uint8_t {
+  None = 0, ///< Not inferred (symboled analysis).
+  Low = 1,  ///< A single weak rule fired (e.g. the text-start fallback).
+  Medium = 2, ///< One strong rule, or two weak rules agreeing.
+  High = 3, ///< Independent strong rules agree (e.g. called + prologue).
+};
+
+inline const char *inferConfidenceName(InferConfidence C) {
+  switch (C) {
+  case InferConfidence::None:
+    return "none";
+  case InferConfidence::Low:
+    return "low";
+  case InferConfidence::Medium:
+    return "medium";
+  case InferConfidence::High:
+    return "high";
+  }
+  return "unknown";
+}
+
+/// One candidate routine entry and the evidence votes behind it.
+struct EntryFact {
+  Addr At = 0;
+  unsigned Votes = 0;        ///< Weighted evidence total (see Infer.cpp).
+  bool IsImageEntry = false; ///< The program entry point (always kept).
+  bool IsCallTarget = false; ///< Target of a direct call in plausible code.
+  bool IsCodePointer = false; ///< An isolated data word points here.
+  bool HasPrologue = false;  ///< The word here allocates a stack frame.
+  bool FromResolution = false; ///< Target of an inferred indirect transfer.
+};
+
+/// A word-aligned data cell whose initial contents look like a pointer
+/// (into text, or into a data segment — a possible table base), plus what
+/// the store-alias rule concluded about it.
+struct CellFact {
+  Addr Cell = 0;
+  uint32_t Value = 0;
+  bool PointsToText = false; ///< Value is an aligned text address.
+  bool InTableRun = false;   ///< Part of a consecutive run of text
+                             ///  pointers — a dispatch table, not a cell.
+  bool Constant = false;     ///< No store in the program can write it.
+  /// Constancy was proven only by ignoring sub-word stores through
+  /// unprovable pointers (byte I/O buffers); caps confidence at Medium.
+  bool WeakStores = false;
+};
+
+/// One store instruction's aliasing classification.
+struct StoreFact {
+  Addr At = 0;
+  unsigned Width = 0;
+  bool StackRelative = false;   ///< Base register is the stack pointer.
+  bool AddrKnown = false;       ///< The slice proved the written address.
+  Addr Target = 0;              ///< Written address when AddrKnown.
+};
+
+/// Table-idiom evidence at one indirect jump (from core/Slice.h), plus
+/// where the jump sits.
+struct TableFact {
+  Addr Jump = 0;
+  TableEvidence Evidence;
+};
+
+/// One inferred routine of the final fixpoint.
+struct InferredRoutine {
+  Addr Lo = 0;
+  Addr Hi = 0;
+  std::string Name;
+  InferConfidence Confidence = InferConfidence::Low;
+  unsigned Votes = 0;
+};
+
+/// Fixpoint bookkeeping, exported for reports and benches.
+struct InferStats {
+  unsigned Rounds = 0;          ///< Fixpoint iterations until stable.
+  unsigned PlausibleWords = 0;  ///< Text words that decode validly.
+  unsigned ImplausibleWords = 0; ///< Text words excluded as data-in-text.
+  unsigned ReachableWords = 0;  ///< Words reachable from the entry set.
+  unsigned CallTargets = 0;     ///< Distinct direct-call targets.
+  unsigned PrologueSites = 0;   ///< Frame-allocating words.
+  unsigned CodePointers = 0;    ///< Isolated data words aimed at text.
+  unsigned TableRunWords = 0;   ///< Data words inside table-like runs.
+  unsigned ConstantCells = 0;   ///< Cells the store-alias rule proved.
+  unsigned ResolvedSites = 0;   ///< Indirect sites resolved statically.
+  unsigned InferredResolutions = 0; ///< ... of those, only via cell facts.
+  unsigned UnresolvedSites = 0; ///< Still unanalyzable after the fixpoint.
+};
+
+} // namespace eel
+
+#endif // EEL_ANALYSIS_INFERFACTS_H

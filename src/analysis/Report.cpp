@@ -109,6 +109,7 @@ std::string eel::canonicalOptionsString(const Executable::Options &Opts) {
   Flag("legacy_writer", Opts.LegacyWriter);
   Flag("verify", Opts.Verify);
   Flag("trace", Opts.Trace);
+  Flag("no_symbols", Opts.NoSymbols);
   return S;
 }
 

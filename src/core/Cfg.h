@@ -191,8 +191,15 @@ struct IndirectResolution {
   unsigned EntryCount = 0;      ///< DispatchTable: number of entries.
   bool BoundsProven = false;    ///< Entry count came from a bounds check.
   std::vector<Addr> Targets;    ///< DispatchTable/Literal targets.
-  Addr CellAddr = 0;            ///< CellPointer: the cell's address.
-  bool TailCallIdiom = false;   ///< Frame-popping tail call (§3.3's 138).
+  Addr CellAddr = 0;            ///< CellPointer: the cell's address. Also
+                                ///  set on a Literal recovered through a
+                                ///  constant cell, so the editor rewrites
+                                ///  that cell precisely.
+  bool TailCallIdiom = false;   ///< Frame-popping tail call (§3.3's idiom).
+  bool Inferred = false;        ///< Recovered only with eel-infer's
+                                ///  constant-cell facts; plain slicing
+                                ///  would have reported CellPointer or
+                                ///  Unanalyzable.
 };
 
 /// An indirect control transfer site within a routine.

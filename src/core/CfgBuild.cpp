@@ -200,15 +200,23 @@ void CfgBuilder::discover(std::vector<Addr> Roots, bool Speculative) {
         Graph->Unsupported = true;
         Graph->UnsupportedReason = "call continuation outside the routine";
       }
-      if (I->kind() == InstKind::IndirectCall && !Indirect.count(A))
-        Indirect.emplace(A, resolveIndirect(Exec, R, A));
+      if (I->kind() == InstKind::IndirectCall && !Indirect.count(A)) {
+        // On the inference path the fixpoint already resolved this site;
+        // reusing its answer keeps stripped-analysis CFGs bit-identical to
+        // what inference decided, independent of threading.
+        if (const IndirectResolution *Pre = Exec.inferredSite(A))
+          Indirect.emplace(A, *Pre);
+        else
+          Indirect.emplace(A, resolveIndirect(Exec, R, A));
+      }
       break;
     case InstKind::Return:
       break;
     case InstKind::IndirectJump: {
       if (Indirect.count(A))
         break;
-      IndirectResolution Res = resolveIndirect(Exec, R, A);
+      const IndirectResolution *Pre = Exec.inferredSite(A);
+      IndirectResolution Res = Pre ? *Pre : resolveIndirect(Exec, R, A);
       if (Exec.options().DisableSlicing)
         Res.K = IndirectResolution::Kind::Unanalyzable;
       if (Res.K == IndirectResolution::Kind::DispatchTable) {

@@ -9,6 +9,7 @@
 #include "support/Error.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <thread>
 
 using namespace eel;
@@ -87,6 +88,25 @@ Addr Executable::textEnd() const {
   const SxfSegment *Text = Image.segment(SegKind::Text);
   assert(Text && "executable has no text segment");
   return Text->VAddr + static_cast<Addr>(Text->Bytes.size());
+}
+
+std::optional<uint32_t> Executable::inferredCellValue(Addr Cell) const {
+  auto It = std::lower_bound(
+      InferredCells.begin(), InferredCells.end(), Cell,
+      [](const std::pair<Addr, uint32_t> &E, Addr A) { return E.first < A; });
+  if (It == InferredCells.end() || It->first != Cell)
+    return std::nullopt;
+  return It->second;
+}
+
+const IndirectResolution *Executable::inferredSite(Addr JumpAddr) const {
+  auto It = InferredSites.find(JumpAddr);
+  return It == InferredSites.end() ? nullptr : &It->second;
+}
+
+uint8_t Executable::inferredConfidence(Addr RoutineStart) const {
+  auto It = InferredConfidence.find(RoutineStart);
+  return It == InferredConfidence.end() ? 0 : It->second;
 }
 
 Routine *Executable::routineContaining(Addr A) const {

@@ -42,6 +42,9 @@
 
 namespace eel {
 
+struct InferOptions;
+struct InferResult;
+
 class Executable {
 public:
   struct Options {
@@ -91,6 +94,12 @@ public:
     /// construction); disabled, the instrumentation costs <1% of pipeline
     /// time (asserted by bench_overhead). Off by default.
     bool Trace = false;
+    /// Distrust the symbol table entirely: readContents() discards symbols
+    /// and derives routine boundaries, entry points, and dispatch facts
+    /// with the eel-infer fixpoint (analysis/Infer.h), exactly as it does
+    /// automatically for stripped images. Lets tools cross-check lying
+    /// symbol tables against heuristic inference (eel-lint --stripped).
+    bool NoSymbols = false;
   };
 
   explicit Executable(SxfFile Image);
@@ -148,6 +157,30 @@ public:
   /// Routines discovered by analysis rather than named by symbols.
   std::vector<Routine *> hiddenRoutines() const;
 
+  // --- Inference (eel-infer) -------------------------------------------------
+  // When the image is stripped (or Options::NoSymbols is set), readContents
+  // degrades from symbol refinement to the fixpoint inference pass in
+  // analysis/Infer.h. Its results are analysis state, not edits: they
+  // survive resetEdits() and feed both the slicing oracle and CfgBuild.
+
+  /// True when routine discovery ran the eel-infer fixpoint.
+  bool inferenceUsed() const { return InferenceRan; }
+
+  /// The initial contents of \p Cell, when inference proved no store in
+  /// the program can write that cell (the constant-cell oracle consulted
+  /// by backward slicing). Empty for every symboled analysis.
+  std::optional<uint32_t> inferredCellValue(Addr Cell) const;
+
+  /// The fixpoint's resolution of the indirect site at \p JumpAddr, or
+  /// nullptr. CfgBuild prefers these over a fresh slice so the graphs a
+  /// stripped analysis builds are bit-identical to what inference decided.
+  const IndirectResolution *inferredSite(Addr JumpAddr) const;
+
+  /// Inference confidence for the routine starting at \p RoutineStart:
+  /// 0 = not inferred (symboled analysis), else an
+  /// analysis/InferFacts.h InferConfidence value (1 low .. 3 high).
+  uint8_t inferredConfidence(Addr RoutineStart) const;
+
   // --- Additions ---------------------------------------------------------------
 
   /// Reserves \p Bytes of fresh data space (e.g. profile counters);
@@ -197,6 +230,7 @@ public:
     unsigned RoutinesVerbatim = 0;   ///< Copied unmodified (unsupported).
     unsigned DispatchEntriesRewritten = 0;
     unsigned DataPointersRewritten = 0;
+    unsigned CellPointersRewritten = 0; ///< Inferred constant cells.
     unsigned TranslationSites = 0;
     unsigned TranslationEntries = 0;
     unsigned DelaySlotsFolded = 0;
@@ -209,6 +243,9 @@ public:
 
 private:
   friend class EditedWriter;
+  /// The fixpoint installs constant-cell facts round by round (the slicing
+  /// oracle must see round N's cells during round N+1's resolutions).
+  friend InferResult inferLayout(Executable &, const InferOptions &);
 
   SxfFile Image;
   Options Opts;
@@ -216,6 +253,15 @@ private:
   InstructionPool Pool;
   bool Analyzed = false;
   std::vector<std::unique_ptr<Routine>> Routines;
+
+  // eel-infer results (readContents fills these on the inference path).
+  bool InferenceRan = false;
+  /// Constant code-pointer/table-base cells, sorted by cell address.
+  std::vector<std::pair<Addr, uint32_t>> InferredCells;
+  /// Fixpoint-resolved indirect sites, keyed by jump address.
+  std::map<Addr, IndirectResolution> InferredSites;
+  /// Per-routine confidence, keyed by routine start address.
+  std::map<Addr, uint8_t> InferredConfidence;
 
   struct DataBlob {
     Addr Address;

@@ -679,6 +679,11 @@ Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
     emitWord(I->word());
     mapAddr(A + 4);
     emitWord(origWordAt(A + 4));
+    // A literal recovered through a constant cell still reads that cell at
+    // run time: record it for unconditional precise rewriting.
+    if (Site->Resolution.CellAddr)
+      Out.CellFixes.push_back(
+          {Site->Resolution.CellAddr, Site->Resolution.Targets[0]});
     return true;
 
   case IndirectResolution::Kind::CellPointer:

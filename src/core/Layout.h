@@ -62,6 +62,15 @@ struct TableFix {
   std::vector<TableEntryFix> Entries;
 };
 
+/// A constant code-pointer cell that feeds a Literal-resolved indirect
+/// jump (eel-infer's cell facts). The writer rewrites the cell to the
+/// target's edited address unconditionally — precise rewrites happen even
+/// with the heuristic whole-segment pointer scan disabled.
+struct CellFix {
+  Addr Cell = 0;
+  Addr Target = 0; ///< Original jump target; mapped through the addr map.
+};
+
 /// A snippet whose callback must run once final addresses are known.
 struct PendingCallback {
   SnippetPtr Snippet;
@@ -79,6 +88,7 @@ struct RoutineLayout {
   /// the layouter seals it before returning.
   std::vector<std::pair<Addr, unsigned>> AddrMap;
   std::vector<TableFix> TableFixes;
+  std::vector<CellFix> CellFixes;
   std::vector<PendingCallback> Callbacks;
   bool Verbatim = false;
   bool NeedsTranslator = false;

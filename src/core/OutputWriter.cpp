@@ -447,6 +447,19 @@ Expected<SxfFile> Executable::writeEditedExecutable() {
         ++Stats.DispatchEntriesRewritten;
       }
     }
+    // Constant code-pointer cells behind inferred Literal jumps: precise,
+    // unconditional rewrites (idempotent with the phase-8 pointer scan,
+    // which writes the same edited address when enabled).
+    for (const CellFix &Fix : P.Layout.CellFixes) {
+      const SxfSegment *Seg = Image.segmentContaining(Fix.Cell);
+      if (!Seg || Seg->Kind == SegKind::Text)
+        continue;
+      auto It = AddrMap.find(Fix.Target);
+      if (It == AddrMap.end())
+        continue;
+      Out.writeWord(Fix.Cell, It->second);
+      ++Stats.CellPointersRewritten;
+    }
   }
 
   // --- 10. Symbols and entry point --------------------------------------------------

@@ -49,10 +49,36 @@ public:
   /// Value of \p Reg immediately before the instruction at \p At.
   SymValue value(Addr At, unsigned Reg, unsigned Depth);
 
+  /// True when any value() result in this slice was folded through an
+  /// eel-infer constant cell.
+  bool usedOracle() const { return !Folds.empty(); }
+
+  /// The constant cells folded so far, in fold order.
+  const std::vector<std::pair<Addr, uint32_t>> &folds() const {
+    return Folds;
+  }
+
 private:
+  /// The eel-infer oracle: a load from a cell proven constant collapses to
+  /// the cell's initial contents. With no inference results installed
+  /// (every symboled analysis) this never fires and slicing is unchanged.
+  SymValue foldCell(SymValue V) {
+    if (V.K != SymValue::Kind::CellLoad)
+      return V;
+    std::optional<uint32_t> Known = Exec.inferredCellValue(V.CellAddr);
+    if (!Known)
+      return V;
+    Folds.push_back({V.CellAddr, *Known});
+    SymValue Out;
+    Out.K = SymValue::Kind::Const;
+    Out.Const = *Known;
+    return Out;
+  }
+
   Executable &Exec;
   Routine &R;
   std::set<Addr> Joins;
+  std::vector<std::pair<Addr, uint32_t>> Folds;
 
   static constexpr unsigned MaxWalk = 128;
   static constexpr unsigned MaxDepth = 16;
@@ -160,7 +186,7 @@ SymValue Slicer::value(Addr At, unsigned Reg, unsigned Depth) {
             Out.OrigReg = BaseV.OrigReg;
             Out.Shift = BaseV.Shift;
           }
-          return Out;
+          return foldCell(Out);
         }
         SymValue IndexV = value(A, M.AddrIndex, Depth + 1);
         if (BaseV.K == SymValue::Kind::Const &&
@@ -180,7 +206,7 @@ SymValue Slicer::value(Addr At, unsigned Reg, unsigned Depth) {
           Out.K = SymValue::Kind::CellLoad;
           Out.CellAddr = BaseV.Const + IndexV.Const;
         }
-        return Out;
+        return foldCell(Out);
       }
       return Unknown;
     }
@@ -289,20 +315,10 @@ static bool looksLikeTailCall(Executable &Exec, Routine &R, Addr JumpAddr) {
   return false;
 }
 
-IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
-                                        Addr JumpAddr) {
-  // The pipeline's only entry into slicing — backwardSlice() calls nested
-  // here would double-count, so the timer and span live here alone.
-  ScopedStatTimer Timer("time.slice_us");
-  EEL_TRACE_SCOPE("slice.resolve_indirect", "routine", R.name());
-  IndirectResolution Res;
-  std::optional<MachWord> W = Exec.fetchWord(JumpAddr);
-  assert(W && "indirect jump outside image");
-  const auto *Jump = dyn_cast<IndirectInst>(Exec.pool().getAt(JumpAddr, *W));
-  assert(Jump && "resolveIndirect on a non-indirect instruction");
-  const IndirectTargetInfo &Info = Jump->targetInfo();
-
-  Slicer S(Exec, R);
+/// The symbolic jump-target value at an indirect transfer: the transfer's
+/// base (and index/offset) registers sliced and combined per its shape.
+static SymValue sliceJumpTarget(Slicer &S, const IndirectTargetInfo &Info,
+                                Addr JumpAddr) {
   SymValue BaseV = S.value(JumpAddr, Info.BaseReg, 0);
   SymValue Target;
   if (Info.HasIndex) {
@@ -318,11 +334,44 @@ IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
     Target.K = SymValue::Kind::Const;
     Target.Const = BaseV.Const + static_cast<uint32_t>(Info.Offset);
   }
+  return Target;
+}
+
+/// Decodes the IndirectInst at \p JumpAddr; asserts it is one.
+static const IndirectInst *indirectAt(Executable &Exec, Addr JumpAddr) {
+  std::optional<MachWord> W = Exec.fetchWord(JumpAddr);
+  assert(W && "indirect jump outside image");
+  const auto *Jump = dyn_cast<IndirectInst>(Exec.pool().getAt(JumpAddr, *W));
+  assert(Jump && "resolveIndirect on a non-indirect instruction");
+  return Jump;
+}
+
+IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
+                                        Addr JumpAddr) {
+  // The pipeline's only entry into slicing — backwardSlice() calls nested
+  // here would double-count, so the timer and span live here alone.
+  ScopedStatTimer Timer("time.slice_us");
+  EEL_TRACE_SCOPE("slice.resolve_indirect", "routine", R.name());
+  IndirectResolution Res;
+  const IndirectTargetInfo &Info = indirectAt(Exec, JumpAddr)->targetInfo();
+
+  Slicer S(Exec, R);
+  SymValue Target = sliceJumpTarget(S, Info, JumpAddr);
 
   switch (Target.K) {
   case SymValue::Kind::Const:
     Res.K = IndirectResolution::Kind::Literal;
     Res.Targets.push_back(Target.Const);
+    if (S.usedOracle()) {
+      Res.Inferred = true;
+      // Remember which constant cell fed the jump target, so the editor
+      // rewrites that cell precisely even with the heuristic data scan off.
+      for (const auto &[Cell, Value] : S.folds())
+        if (Value == Target.Const)
+          Res.CellAddr = Cell;
+      Res.TailCallIdiom = looksLikeTailCall(Exec, R, JumpAddr);
+      bumpStat("eel.slice.inferred_literal");
+    }
     bumpStat("eel.slice.literal");
     return Res;
 
@@ -349,6 +398,9 @@ IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
     Res.EntryCount = static_cast<unsigned>(Targets.size());
     Res.BoundsProven = Bound.has_value() && *Bound == Res.EntryCount;
     Res.Targets = std::move(Targets);
+    Res.Inferred = S.usedOracle();
+    if (Res.Inferred)
+      bumpStat("eel.slice.inferred_tables");
     bumpStat("eel.slice.dispatch_tables");
     return Res;
   }
@@ -368,4 +420,41 @@ IndirectResolution eel::resolveIndirect(Executable &Exec, Routine &R,
   Res.TailCallIdiom = looksLikeTailCall(Exec, R, JumpAddr);
   bumpStat("eel.slice.unanalyzable");
   return Res;
+}
+
+TableEvidence eel::tableEvidence(Executable &Exec, Routine &R,
+                                 Addr JumpAddr) {
+  TableEvidence Ev;
+  const IndirectTargetInfo &Info = indirectAt(Exec, JumpAddr)->targetInfo();
+  Slicer S(Exec, R);
+  SymValue Target = sliceJumpTarget(S, Info, JumpAddr);
+  if (Target.K != SymValue::Kind::TableLoad)
+    return Ev;
+  Ev.HasTable = true;
+  Ev.Base = Target.Base;
+  Ev.Shift = Target.Shift;
+  Ev.Bound = findBoundsCheck(Exec, R, JumpAddr, Target.OrigReg);
+  Ev.ViaConstantCell = S.usedOracle();
+  return Ev;
+}
+
+std::optional<Addr> eel::storeTargetAddr(Executable &Exec, Routine &R,
+                                         Addr StoreAddr) {
+  std::optional<MachWord> W = Exec.fetchWord(StoreAddr);
+  if (!W)
+    return std::nullopt;
+  const auto *Mem = dyn_cast<MemoryInst>(Exec.pool().getAt(StoreAddr, *W));
+  if (!Mem || !Mem->memOp().IsStore)
+    return std::nullopt;
+  const MemOp &M = Mem->memOp();
+  Slicer S(Exec, R);
+  SymValue BaseV = S.value(StoreAddr, M.AddrBase, 0);
+  if (BaseV.K != SymValue::Kind::Const)
+    return std::nullopt;
+  if (!M.HasIndex)
+    return BaseV.Const + static_cast<uint32_t>(M.Offset);
+  SymValue IndexV = S.value(StoreAddr, M.AddrIndex, 0);
+  if (IndexV.K != SymValue::Kind::Const)
+    return std::nullopt;
+  return BaseV.Const + IndexV.Const;
 }

@@ -17,8 +17,16 @@
 ///    (function pointers), which the editor rewrites precisely;
 ///
 /// and otherwise reports the jump unanalyzable, classifying the
-/// frame-popping tail-call pattern that accounted for all 138 unanalyzable
-/// jumps in the paper's Solaris/SunPro measurement.
+/// frame-popping tail-call pattern behind the paper's Solaris/SunPro
+/// unanalyzable jumps. On our SPEC92 stand-in suite that idiom accounts for
+/// all 96 unanalyzable jumps bench_indirect measures (the bench asserts the
+/// number; the paper's own count on real Solaris binaries was 138).
+///
+/// When eel-infer has proven code-pointer cells constant
+/// (Executable::inferredCellValue), the slice folds loads from those cells
+/// into constants — turning the cell-jump idiom into a Literal and a
+/// table-base-through-memory idiom into a DispatchTable. Resolutions that
+/// needed such facts carry IndirectResolution::Inferred.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +69,27 @@ SymValue backwardSlice(Executable &Exec, Routine &R, Addr At, unsigned Reg);
 /// IndirectInst) using backwardSlice plus table-bounds discovery.
 IndirectResolution resolveIndirect(Executable &Exec, Routine &R,
                                    Addr JumpAddr);
+
+/// The table-idiom evidence the slice gathered at one indirect jump,
+/// exported as facts for eel-infer's rules rather than as a finished
+/// resolution: the candidate base/stride of the scaled load feeding the
+/// jump and the bounds-check result, before any table enumeration.
+struct TableEvidence {
+  bool HasTable = false;        ///< The jump target is a scaled table load.
+  Addr Base = 0;                ///< Table base address.
+  unsigned Shift = 0;           ///< Index scale (log2 of the stride).
+  std::optional<unsigned> Bound; ///< Exclusive index bound, when checked.
+  bool ViaConstantCell = false; ///< Base came through the cell oracle.
+};
+TableEvidence tableEvidence(Executable &Exec, Routine &R, Addr JumpAddr);
+
+/// The statically known address written by the store at \p StoreAddr, if
+/// the slice can prove one (sethi/or- or lui/ori-materialized bases, with
+/// any constant index folded in). Used by eel-infer's cell-constancy rule
+/// to show a store cannot alias a code-pointer cell. Returns nullopt for
+/// unprovable addresses and for non-store instructions.
+std::optional<Addr> storeTargetAddr(Executable &Exec, Routine &R,
+                                    Addr StoreAddr);
 
 } // namespace eel
 

@@ -12,9 +12,13 @@
 ///            debugging labels, labels not on instruction boundaries, and
 ///            labels that are branch/jump (not call!) targets from the
 ///            preceding routine — those are probably internal labels.
-///   Stage 2  For stripped executables, seed the routine set with the
-///            program entry point, the first text address, and the targets
-///            of direct subroutine calls.
+///   Stage 2  For stripped executables (and Options::NoSymbols), seed the
+///            routine set from the eel-infer fixpoint (analysis/Infer.h):
+///            heuristic disassembly votes in routine entries — the entry
+///            point and first text address always, plus call targets,
+///            inferred indirect-transfer targets, and corroborated code
+///            pointers — and its resolved dispatch facts are kept for
+///            CfgBuild to consume.
 ///   Stage 3  Control transfers out of a routine, and calls on addresses
 ///            not in the initial set, add entry points to the routines
 ///            containing their destinations. This is conservative: it can
@@ -30,6 +34,7 @@
 
 #include "core/Executable.h"
 
+#include "analysis/Infer.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/ThreadPool.h"
@@ -170,25 +175,34 @@ Expected<bool> Executable::readContents() {
   // --- Stage 1 / Stage 2: initial candidate set ---------------------------
   std::map<Addr, std::string> Candidates;
   bool Stripped = true;
-  for (const SxfSymbol &Sym : Image.Symbols) {
-    if (Sym.Value < TB || Sym.Value >= TE)
-      continue;
-    Stripped = false;
-    if (Sym.Kind != SymKind::Routine)
-      continue; // internal, debugging, and temporary labels
-    if (Sym.Value & 3)
-      continue; // not on an instruction boundary
-    if (!Candidates.count(Sym.Value))
-      Candidates[Sym.Value] = Sym.Name; // drop duplicates
+  if (!Opts.NoSymbols) {
+    for (const SxfSymbol &Sym : Image.Symbols) {
+      if (Sym.Value < TB || Sym.Value >= TE)
+        continue;
+      Stripped = false;
+      if (Sym.Kind != SymKind::Routine)
+        continue; // internal, debugging, and temporary labels
+      if (Sym.Value & 3)
+        continue; // not on an instruction boundary
+      if (!Candidates.count(Sym.Value))
+        Candidates[Sym.Value] = Sym.Name; // drop duplicates
+    }
   }
   if (Stripped) {
-    // No symbol table: entry point, first text address, and call targets.
-    Candidates[Image.Entry] = "entry";
-    if (!Candidates.count(TB))
-      Candidates[TB] = "text_start";
-    for (const TransferSite &Site : Transfers)
-      if (Site.IsCall && !Candidates.count(Site.To))
-        Candidates[Site.To] = "proc_" + std::to_string(Site.To);
+    // No (trusted) symbol table: the eel-infer fixpoint derives routine
+    // entries, constant code-pointer cells, and indirect-site resolutions
+    // from the bytes alone (analysis/Infer.h). Its seeds subsume the old
+    // naive stage 2 — entry point, first text address, call targets — and
+    // its cell/site facts persist on the Executable, where backward
+    // slicing and CFG construction consult them.
+    InferResult Inferred = inferLayout(*this);
+    InferenceRan = true;
+    InferredSites = std::move(Inferred.Sites);
+    for (const InferredRoutine &IR : Inferred.Routines) {
+      if (!Candidates.count(IR.Lo))
+        Candidates[IR.Lo] = IR.Name;
+      InferredConfidence[IR.Lo] = static_cast<uint8_t>(IR.Confidence);
+    }
   }
   if (Candidates.empty())
     Candidates[TB] = "text_start";

@@ -79,7 +79,7 @@ void storeScalar(std::vector<uint8_t> &Bytes, const FieldSlot &Slot,
 std::vector<uint8_t> mutate(const std::vector<uint8_t> &Original,
                             const std::vector<FieldSlot> &Fields, Rng &G) {
   std::vector<uint8_t> M = Original;
-  switch (G.below(5)) {
+  switch (G.below(7)) {
   case 0: { // random bit flips
     unsigned Flips = 1 + static_cast<unsigned>(G.below(8));
     for (unsigned I = 0; I < Flips && !M.empty(); ++I)
@@ -99,6 +99,43 @@ std::vector<uint8_t> mutate(const std::vector<uint8_t> &Original,
     unsigned Extra = 1 + static_cast<unsigned>(G.below(64));
     for (unsigned I = 0; I < Extra; ++I)
       M.push_back(static_cast<uint8_t>(G.below(256)));
+    break;
+  }
+  case 5: { // strip the symbol table entirely (drives heuristic inference)
+    Expected<SxfFile> File = SxfFile::deserialize(Original);
+    if (File.hasError())
+      break; // corpus images are valid; identity mutant otherwise
+    File.value().Symbols.clear();
+    M = File.value().serialize();
+    break;
+  }
+  case 6: { // lying symbols: keep the table, corrupt its claims
+    Expected<SxfFile> File = SxfFile::deserialize(Original);
+    if (File.hasError())
+      break;
+    SxfFile &F = File.value();
+    if (F.Symbols.empty())
+      break;
+    unsigned Lies = 1 + static_cast<unsigned>(G.below(F.Symbols.size()));
+    for (unsigned I = 0; I < Lies; ++I) {
+      SxfSymbol &S = F.Symbols[G.below(F.Symbols.size())];
+      switch (G.below(4)) {
+      case 0: // point anywhere at all
+        S.Value = static_cast<Addr>(G.next());
+        break;
+      case 1: // slide within a plausible range (mid-routine boundaries)
+        S.Value += 4 * (1 + static_cast<Addr>(G.below(64)));
+        break;
+      case 2: // claim a bogus extent
+        S.Size = static_cast<uint32_t>(G.below(0x100000));
+        break;
+      default: // swap routine/object classification
+        S.Kind = S.Kind == SymKind::Routine ? SymKind::Object
+                                            : SymKind::Routine;
+        break;
+      }
+    }
+    M = F.serialize();
     break;
   }
   default: { // targeted field corruption

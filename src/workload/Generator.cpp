@@ -56,6 +56,10 @@ public:
   /// Frame-popping tail call through a function-pointer cell.
   virtual void tailCallViaCell(const std::string &CellSym, bool SavesLink,
                                int Frame = 96) = 0;
+  /// switchJump, except the table base is loaded from \p BaseCellSym (a
+  /// data word holding the table's address) rather than materialized.
+  virtual void switchJumpViaCell(const std::string &BaseCellSym, unsigned N,
+                                 const std::string &Prefix) = 0;
   /// Split compare/branch pair, so other code can sit in the compare's
   /// shadow (on SRISC the condition codes stay live across it).
   virtual void compareImm(VReg R, int32_t Imm) = 0;
@@ -203,6 +207,21 @@ public:
     raw(std::string("  set ") + CellSym + ", " + reg(T0));
     raw(std::string("  ld [") + reg(T0) + " + 0], " + reg(T1));
     raw(std::string("  jmpl ") + reg(T1) + " + 0, %o7");
+    raw("  nop");
+  }
+  void switchJumpViaCell(const std::string &BaseCellSym, unsigned N,
+                         const std::string &Prefix) override {
+    assert((N & (N - 1)) == 0 && "switch arity must be a power of two");
+    raw(std::string("  and ") + reg(ACC) + ", " + std::to_string(N - 1) +
+        ", " + reg(T0));
+    raw(std::string("  cmp ") + reg(T0) + ", " + std::to_string(N - 1));
+    raw("  bgu " + Prefix + "_def");
+    raw("  nop");
+    raw(std::string("  sll ") + reg(T0) + ", 2, " + reg(T1));
+    raw(std::string("  set ") + BaseCellSym + ", " + reg(T2));
+    raw(std::string("  ld [") + reg(T2) + " + 0], " + reg(T2));
+    raw(std::string("  ld [") + reg(T2) + " + " + reg(T1) + "], " + reg(T3));
+    raw(std::string("  jmpl ") + reg(T3) + " + 0, %g0");
     raw("  nop");
   }
   void exitWithZero() override {
@@ -379,6 +398,23 @@ public:
     raw(std::string("  jalr ") + reg(T1));
     raw("  nop");
   }
+  void switchJumpViaCell(const std::string &BaseCellSym, unsigned N,
+                         const std::string &Prefix) override {
+    raw(std::string("  andi ") + reg(T0) + ", " + reg(ACC) + ", " +
+        std::to_string(N - 1));
+    raw(std::string("  slti $at, ") + reg(T0) + ", " + std::to_string(N));
+    raw("  beq $at, $zero, " + Prefix + "_def");
+    raw("  nop");
+    raw(std::string("  sll ") + reg(T1) + ", " + reg(T0) + ", 2");
+    raw(std::string("  lui ") + reg(T2) + ", %hi(" + BaseCellSym + ")");
+    raw(std::string("  ori ") + reg(T2) + ", " + reg(T2) + ", %lo(" +
+        BaseCellSym + ")");
+    raw(std::string("  lw ") + reg(T2) + ", 0(" + reg(T2) + ")");
+    raw(std::string("  add ") + reg(T2) + ", " + reg(T2) + ", " + reg(T1));
+    raw(std::string("  lw ") + reg(T3) + ", 0(" + reg(T2) + ")");
+    raw(std::string("  jr ") + reg(T3));
+    raw("  nop");
+  }
   void exitWithZero() override {
     raw("  li $a0, 0");
     raw("  li $v0, 0");
@@ -501,7 +537,17 @@ void ProgramBuilder::emitSegment(unsigned RoutineIndex) {
     unsigned N = R.chance(50) ? 4 : 8;
     std::string Prefix = ".Lsw" + std::to_string(TableCounter);
     std::string Table = "table" + std::to_string(TableCounter++);
-    E->switchJump(Table, N, Prefix);
+    if (Options.MangledTablePercent &&
+        R.below(100) < Options.MangledTablePercent) {
+      // "Hand-mangled" dispatch: the table base lives in a data cell, so
+      // a backward slice sees only an opaque load — the site is
+      // unanalyzable without constant-cell facts.
+      std::string BaseCell = "mcell" + std::to_string(CellCounter++);
+      DataSection += ".align 4\n" + BaseCell + ": .word " + Table + "\n";
+      E->switchJumpViaCell(BaseCell, N, Prefix);
+    } else {
+      E->switchJump(Table, N, Prefix);
+    }
     std::string Join = Prefix + "_join";
     DataSection += ".align 4\n" + Table + ":";
     for (unsigned C = 0; C < N; ++C)
@@ -573,6 +619,21 @@ void ProgramBuilder::emitRoutine(unsigned Index) {
   } else {
     E->retResult();
     E->epilogueRet(NonLeaf);
+  }
+
+  if (Options.InterleavedDataPercent &&
+      R.below(100) < Options.InterleavedDataPercent) {
+    // A literal pool interleaved into the text segment after the routine's
+    // final transfer: odd words that never execute and (on SRISC) do not
+    // decode. Heuristic disassembly must not let junk decodings of these
+    // words poison the analysis.
+    E->raw(".align 4");
+    std::string Blob = ".word";
+    unsigned Words = static_cast<unsigned>(R.range(2, 5));
+    for (unsigned W = 0; W < Words; ++W)
+      Blob += (W ? ", " : " ") +
+              std::to_string(static_cast<uint32_t>(R.range(1, 127)) * 2 + 1);
+    E->raw(Blob);
   }
 }
 

@@ -40,6 +40,16 @@ struct WorkloadOptions {
   unsigned TailCallPercent = 0;
   /// Use annulled conditional branches (SRISC only).
   bool AnnulledBranches = true;
+  /// Percent of dispatch-table switches whose table base is loaded from a
+  /// data cell instead of materialized as an immediate ("hand-mangled"
+  /// dispatch: defeats plain backward slicing; recoverable only with
+  /// eel-infer's constant-cell facts).
+  unsigned MangledTablePercent = 0;
+  /// Percent of routines followed by a small blob of raw data words
+  /// interleaved into the text segment (jump-table padding, literal
+  /// pools): never executed, and mostly invalid as instructions, so
+  /// heuristic disassembly must exclude it.
+  unsigned InterleavedDataPercent = 0;
   /// Percent of segments followed by a dead computation chain (results
   /// written to scratch registers and never read) — material for the
   /// dead-code-elimination tool.

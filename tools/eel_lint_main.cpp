@@ -15,6 +15,10 @@
 ///     --roundtrip   additionally re-edit the image with no changes and run
 ///                   the full five-pass verification (including layout and
 ///                   translation validation) on the result
+///     --stripped    distrust the symbol table: derive routine boundaries
+///                   with the eel-infer fixpoint (analysis/Infer.h) and
+///                   report every inferred routine with its confidence as
+///                   a note diagnostic; the image is still linted
 ///     --threads N   worker threads for the per-routine fan-out (0 = auto)
 ///     --quiet       print nothing on clean images
 ///
@@ -23,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/InferFacts.h"
 #include "analysis/Report.h"
 #include "analysis/Verifier.h"
 #include "core/Executable.h"
@@ -40,16 +45,48 @@ namespace {
 struct LintConfig {
   bool Json = false;
   bool Roundtrip = false;
+  bool Stripped = false;
   bool Quiet = false;
   unsigned Threads = 0;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--roundtrip] [--threads N] [--quiet] "
-               "image.sxf...\n",
+               "usage: %s [--json] [--roundtrip] [--stripped] [--threads N] "
+               "[--quiet] image.sxf...\n",
                Argv0);
   return 2;
+}
+
+/// --stripped: analyze the image with the symbol table distrusted, so
+/// eel-infer derives boundaries, and report what it concluded. Inference
+/// findings are notes: heuristic conclusions, not defects.
+bool reportInference(const std::string &Path, const SxfFile &Image,
+                     const LintConfig &Config, DiagnosticReport &Report) {
+  Executable::Options EOpts;
+  EOpts.NoSymbols = true;
+  EOpts.Threads = Config.Threads;
+  Expected<std::unique_ptr<Executable>> Exec =
+      Executable::openImage(Image, EOpts);
+  if (Exec.hasError()) {
+    Report.add(VerifyPass::Inference, DiagSeverity::Error, "", -1, 0, false,
+               Path + ": " + Exec.error().describe());
+    return false;
+  }
+  Executable &E = *Exec.value();
+  E.readContents();
+  for (const auto &R : E.routines()) {
+    auto C = static_cast<InferConfidence>(
+        E.inferredConfidence(R->startAddr()));
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "inferred %s extent of %u bytes, confidence %s",
+                  R->isData() ? "data" : "routine", R->sizeBytes(),
+                  inferConfidenceName(C));
+    Report.add(VerifyPass::Inference, DiagSeverity::Note, R->name(), -1,
+               R->startAddr(), true, Buf);
+  }
+  return true;
 }
 
 /// Lints one image; merges findings into \p Report and records the input's
@@ -71,9 +108,19 @@ bool lintOne(const std::string &Path, const LintConfig &Config,
                Path + ": " + Image.error().describe());
     return false;
   }
+  if (Config.Stripped && !reportInference(Path, Image.value(), Config, Report))
+    return false;
+
   VerifyOptions Opts;
   Opts.Threads = Config.Threads;
-  Report.append(lintImage(Image.value(), Opts));
+  if (Config.Stripped) {
+    // Lint what --stripped actually trusts: the image minus its symbols.
+    SxfFile NoSyms(Image.value());
+    NoSyms.Symbols.clear();
+    Report.append(lintImage(NoSyms, Opts));
+  } else {
+    Report.append(lintImage(Image.value(), Opts));
+  }
 
   if (Config.Roundtrip) {
     // An identity edit exercises the whole pipeline: the verify gate plus
@@ -113,6 +160,8 @@ int main(int argc, char **argv) {
       Config.Json = true;
     } else if (!std::strcmp(Arg, "--roundtrip")) {
       Config.Roundtrip = true;
+    } else if (!std::strcmp(Arg, "--stripped")) {
+      Config.Stripped = true;
     } else if (!std::strcmp(Arg, "--quiet")) {
       Config.Quiet = true;
     } else if (!std::strcmp(Arg, "--threads")) {
@@ -131,6 +180,7 @@ int main(int argc, char **argv) {
   DiagnosticReport Report;
   RunReport Run("eel-lint");
   Run.addOption("roundtrip", Config.Roundtrip);
+  Run.addOption("stripped", Config.Stripped);
   Run.addOption("threads", uint64_t(Config.Threads));
   bool AllLoaded = true;
   for (const std::string &Path : Paths)
