@@ -50,7 +50,7 @@ int main(int argc, char **argv) {
   struct Config {
     unsigned Lines, LineBytes;
   };
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (Config C : {Config{16, 8}, Config{64, 16}, Config{256, 32}}) {
       uint64_t OrigInsts = 0, EditInsts = 0, Accesses = 0, Misses = 0;
       unsigned CCSaves = 0;
@@ -80,7 +80,9 @@ int main(int argc, char **argv) {
         Misses += AM.misses(M.memory());
         CCSaves += Exec.editStats().SnippetCCSaves;
       }
-      const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+      const char *ArchName = Arch == TargetArch::Srisc   ? "srisc"
+                           : Arch == TargetArch::Mrisc ? "mrisc"
+                                                       : "arisc";
       double Slowdown =
           static_cast<double>(EditInsts) / static_cast<double>(OrigInsts);
       std::printf("%-8s %6u %6u %12llu %12llu %8.2fx %9llu %7llu %8u\n",

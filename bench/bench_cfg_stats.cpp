@@ -81,7 +81,7 @@ main:
 
 static void printBlockComposition(eelbench::JsonSink &Sink) {
   printHeader("§5 footnote: block composition and §3.3 uneditable fraction");
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     Cfg::Stats Total;
     unsigned Folded = 0, Materialized = 0;
     for (const SxfFile &File : makeSuite(Arch, false, 8)) {
@@ -108,7 +108,9 @@ static void printBlockComposition(eelbench::JsonSink &Sink) {
     unsigned AllBlocks = Total.NormalBlocks + Total.DelaySlotBlocks +
                          Total.CallSurrogateBlocks + Total.EntryExitBlocks;
     std::printf("\n[%s suite]\n",
-                Arch == TargetArch::Srisc ? "SRISC" : "MRISC");
+                Arch == TargetArch::Srisc   ? "SRISC"
+                : Arch == TargetArch::Mrisc ? "MRISC"
+                                            : "ARISC");
     std::printf("  blocks: %u total = %u normal + %u delay-slot + %u "
                 "call-surrogate + %u entry/exit\n",
                 AllBlocks, Total.NormalBlocks, Total.DelaySlotBlocks,
@@ -126,7 +128,9 @@ static void printBlockComposition(eelbench::JsonSink &Sink) {
     std::printf("  unedited layouts: %u delay slots folded back, %u "
                 "materialized\n",
                 Folded, Materialized);
-    const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+    const char *ArchName = Arch == TargetArch::Srisc   ? "srisc"
+                           : Arch == TargetArch::Mrisc ? "mrisc"
+                                                       : "arisc";
     Sink.metric(std::string("blocks_total_") + ArchName, AllBlocks, "count");
     Sink.metric(std::string("block_ratio_") + ArchName,
                 static_cast<double>(AllBlocks) /

@@ -30,6 +30,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace eel;
 using namespace eelbench;
 
@@ -87,39 +89,121 @@ static void BM_SpawnParseDescription(benchmark::State &State) {
 }
 BENCHMARK(BM_SpawnParseDescription)->Unit(benchmark::kMillisecond);
 
+static void BM_DecodeTable(benchmark::State &State) {
+  TargetArch Arch = static_cast<TargetArch>(State.range(0));
+  std::vector<MachWord> Words = sampleWords(Arch, 20000);
+  const spawn::MachineDesc &Desc = spawn::spawnTargetFor(Arch).desc();
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (MachWord W : Words)
+      Sum += static_cast<uint64_t>(Desc.decode(W) + 1);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          Words.size() * sizeof(MachWord));
+}
+BENCHMARK(BM_DecodeTable)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_DecodeLinear(benchmark::State &State) {
+  TargetArch Arch = static_cast<TargetArch>(State.range(0));
+  std::vector<MachWord> Words = sampleWords(Arch, 20000);
+  const spawn::MachineDesc &Desc = spawn::spawnTargetFor(Arch).desc();
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (MachWord W : Words)
+      Sum += static_cast<uint64_t>(Desc.decodeLinear(W) + 1);
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          Words.size() * sizeof(MachWord));
+}
+BENCHMARK(BM_DecodeLinear)->Arg(0)->Arg(1)->Arg(2);
+
 int main(int argc, char **argv) {
   eelbench::JsonSink Sink("bench_machdesc", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
   printHeader("§4: machine-description economics");
-  unsigned SriscDesc = countCodeLines(sriscDescription());
-  unsigned MriscDesc = countCodeLines(mriscDescription());
-  unsigned SriscHand = sourceLines("src/isa/Srisc.cpp") +
-                       sourceLines("src/isa/SriscEncoding.h");
-  unsigned MriscHand = sourceLines("src/isa/Mrisc.cpp") +
-                       sourceLines("src/isa/MriscEncoding.h");
-  unsigned SriscGen = countCodeLines(
-      spawn::generateCppSource(spawn::spawnSriscTarget().desc()));
-  unsigned MriscGen = countCodeLines(
-      spawn::generateCppSource(spawn::spawnMriscTarget().desc()));
   std::printf("%-8s %14s %16s %14s\n", "target", "description",
               "handwritten", "generated");
-  std::printf("%-8s %11u ln %13u ln %11u ln\n", "srisc", SriscDesc,
-              SriscHand, SriscGen);
-  std::printf("%-8s %11u ln %13u ln %11u ln\n", "mrisc", MriscDesc,
-              MriscHand, MriscGen);
-  Sink.metric("description_lines_srisc", SriscDesc, "lines");
-  Sink.metric("handwritten_lines_srisc", SriscHand, "lines");
-  Sink.metric("generated_lines_srisc", SriscGen, "lines");
-  Sink.metric("description_lines_mrisc", MriscDesc, "lines");
-  Sink.metric("handwritten_lines_mrisc", MriscHand, "lines");
-  Sink.metric("generated_lines_mrisc", MriscGen, "lines");
+  struct SourceNames {
+    const char *Arch;
+    const char *Desc;
+    const char *Cpp;
+    const char *Header;
+  };
+  const SourceNames Sources[] = {
+      {"srisc", sriscDescription(), "src/isa/Srisc.cpp",
+       "src/isa/SriscEncoding.h"},
+      {"mrisc", mriscDescription(), "src/isa/Mrisc.cpp",
+       "src/isa/MriscEncoding.h"},
+      {"arisc", ariscDescription(), "src/isa/Arisc.cpp",
+       "src/isa/AriscEncoding.h"},
+  };
+  for (unsigned I = 0; I < 3; ++I) {
+    const SourceNames &S = Sources[I];
+    unsigned DescLines = countCodeLines(S.Desc);
+    unsigned HandLines = sourceLines(S.Cpp) + sourceLines(S.Header);
+    unsigned GenLines = countCodeLines(spawn::generateCppSource(
+        spawn::spawnTargetFor(static_cast<TargetArch>(I)).desc()));
+    std::printf("%-8s %11u ln %13u ln %11u ln\n", S.Arch, DescLines,
+                HandLines, GenLines);
+    Sink.metric(std::string("description_lines_") + S.Arch, DescLines,
+                "lines");
+    Sink.metric(std::string("handwritten_lines_") + S.Arch, HandLines,
+                "lines");
+    Sink.metric(std::string("generated_lines_") + S.Arch, GenLines, "lines");
+  }
   std::printf("\npaper: SPARC 145-line description vs 2,268 handwritten "
               "vs 6,178 generated;\nMIPS description 128 lines. Expected "
               "shape: description << handwritten < generated.\n");
   std::printf("\n§5 speed claim: compare BM_HandwrittenAnalysis vs "
               "BM_SpawnAnalysis above\n(spawn-generated analysis should be "
               "the same order of magnitude).\n");
+
+  // Decode throughput: the compiled decode table vs the bucketed linear
+  // scan it replaced, with a byte-identity check — the table must agree
+  // with the linear decoder on every sampled word before its speed counts.
+  printHeader("table-driven decode vs linear scan");
+  std::printf("%-8s %14s %14s %10s\n", "target", "table MB/s",
+              "linear MB/s", "speedup");
+  unsigned WordCount = Sink.smoke() ? 20000 : 200000;
+  unsigned Reps = Sink.smoke() ? 2 : 25;
+  for (TargetArch Arch : AllTargetArches) {
+    const spawn::MachineDesc &Desc = spawn::spawnTargetFor(Arch).desc();
+    std::vector<MachWord> Words = sampleWords(Arch, WordCount);
+    unsigned Mismatches = 0;
+    for (MachWord W : Words)
+      if (Desc.decode(W) != Desc.decodeLinear(W))
+        ++Mismatches;
+    if (Mismatches) {
+      std::printf("%-8s DECODE MISMATCH on %u/%zu words\n",
+                  targetFor(Arch).name(), Mismatches, Words.size());
+      return 1;
+    }
+    auto Throughput = [&](bool Table) {
+      uint64_t Sink2 = 0;
+      auto Start = std::chrono::steady_clock::now();
+      for (unsigned R = 0; R < Reps; ++R)
+        for (MachWord W : Words)
+          Sink2 += static_cast<uint64_t>(
+              (Table ? Desc.decode(W) : Desc.decodeLinear(W)) + 1);
+      auto End = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(Sink2);
+      double Seconds = std::chrono::duration<double>(End - Start).count();
+      double Bytes = double(Reps) * Words.size() * sizeof(MachWord);
+      return Seconds > 0 ? Bytes / Seconds / 1e6 : 0.0;
+    };
+    double TableMBs = Throughput(true);
+    double LinearMBs = Throughput(false);
+    std::printf("%-8s %11.1f    %11.1f    %7.2fx\n", targetFor(Arch).name(),
+                TableMBs, LinearMBs,
+                LinearMBs > 0 ? TableMBs / LinearMBs : 0.0);
+    Sink.metric(std::string("decode_table_mbs_") + targetFor(Arch).name(),
+                TableMBs, "MB/s");
+    Sink.metric(std::string("decode_linear_mbs_") + targetFor(Arch).name(),
+                LinearMBs, "MB/s");
+  }
   return 0;
 }

@@ -156,6 +156,11 @@ int main(int argc, char **argv) {
                      auto *P = new Qpt2Profiler(Exec);
                      P->instrument();
                    }));
+  printRow(Sink, measure("qpt2 edge+block profile (arisc)", TargetArch::Arisc,
+                   false, [](Executable &Exec) {
+                     auto *P = new Qpt2Profiler(Exec);
+                     P->instrument();
+                   }));
   printRow(Sink, measure("qpt2 profile + translation", TargetArch::Srisc, true,
                    [](Executable &Exec) {
                      auto *P = new Qpt2Profiler(Exec);

@@ -61,14 +61,16 @@ int main(int argc, char **argv) {
   printHeader("§3.4: one instruction object per distinct machine word");
   std::printf("%-10s %12s %12s %8s\n", "target", "requested", "allocated",
               "ratio");
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     InstructionPool Pool(targetFor(Arch));
     for (const SxfFile &File : makeSuite(Arch, false, 10, 32)) {
       const SxfSegment *Text = File.segment(SegKind::Text);
       for (size_t Off = 0; Off + 4 <= Text->Bytes.size(); Off += 4)
         Pool.get(*File.readWord(Text->VAddr + Off));
     }
-    const char *ArchName = Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+    const char *ArchName = Arch == TargetArch::Srisc   ? "srisc"
+                           : Arch == TargetArch::Mrisc ? "mrisc"
+                                                       : "arisc";
     double Ratio = static_cast<double>(Pool.requested()) /
                    static_cast<double>(Pool.allocated());
     std::printf("%-10s %12llu %12llu %7.2fx\n", ArchName,

@@ -176,12 +176,14 @@ void infer::computeReachable(InferContext &Ctx) {
     if (I->hasDelaySlot() &&
         I->delayBehavior() != DelayBehavior::AnnulAlways && A + 8 <= Ctx.TE)
       Mark(A + 4);
+    // Fallthrough/continuation: past the delay slot only when one exists.
+    Addr Past = A + (I->hasDelaySlot() ? 8 : 4);
     switch (I->kind()) {
     case InstKind::Branch: {
       std::optional<Addr> T = I->directTarget(A);
       if (T)
         Worklist.push_back(*T);
-      Worklist.push_back(A + 8);
+      Worklist.push_back(Past);
       break;
     }
     case InstKind::Jump: {
@@ -195,7 +197,7 @@ void infer::computeReachable(InferContext &Ctx) {
       std::optional<Addr> T = I->directTarget(A);
       if (T)
         Worklist.push_back(*T);
-      Worklist.push_back(A + 8);
+      Worklist.push_back(Past);
       break;
     }
     case InstKind::Return:

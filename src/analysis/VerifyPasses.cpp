@@ -200,8 +200,13 @@ void eel::verify::checkCfgWellFormed(RoutineCheckContext &Ctx) {
       default:
         break;
       }
-      // Dispatch-table jumps fan out *after* the delay block; the block
-      // itself still has exactly one outgoing edge.
+      // Dispatch-table jumps fan out *after* the delay block, so the jump
+      // block itself still has exactly one outgoing edge — except on a
+      // machine without delay slots, where the case edges leave the jump
+      // block directly and any arity is legal.
+      if (Term->kind() == InstKind::IndirectJump && !Term->hasDelaySlot() &&
+          NSucc >= 1 && B->succ()[0]->kind() == EdgeKind::SwitchCase)
+        Shape = nullptr;
       if (Shape && NSucc != Want)
         Ctx.diag(VerifyPass::CfgWellFormed, DiagSeverity::Error, Id, A, true,
                  std::string(Shape) + " with " + std::to_string(NSucc) +
@@ -356,8 +361,9 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
     Addr A = B->insts().back().OrigAddr;
     Addr DelayAddr = A + 4;
     DelayBehavior Delay = Term->delayBehavior();
+    bool HasDelay = Term->hasDelaySlot();
 
-    if (Term->hasDelaySlot() && Delay != DelayBehavior::AnnulAlways &&
+    if (HasDelay && Delay != DelayBehavior::AnnulAlways &&
         !R.contains(DelayAddr)) {
       Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
                "delay slot lies outside the routine");
@@ -367,28 +373,30 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
     switch (Term->kind()) {
     case InstKind::Branch: {
       Ctx.check();
-      if (Delay == DelayBehavior::AnnulAlways) {
+      if (HasDelay && Delay == DelayBehavior::AnnulAlways) {
         Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
                  "conditional branch with annul-always delay behavior");
         break;
       }
-      // Taken path always executes the delay instruction (Figure 3).
+      // Taken path always executes the delay instruction (Figure 3) — and
+      // on a machine without delay slots must not carry one at all.
       const BasicBlock *TakenD =
           expectDelayPath(Ctx, B, succOfKind(B, EdgeKind::Taken),
-                          /*WantDelay=*/true, DelayAddr, "taken");
+                          /*WantDelay=*/HasDelay, DelayAddr, "taken");
       (void)TakenD;
       // Not-taken path: executes it only when not annulled.
-      bool FallWantsDelay = Delay != DelayBehavior::AnnulUntaken;
+      bool FallWantsDelay = HasDelay && Delay != DelayBehavior::AnnulUntaken;
       const BasicBlock *FallD =
           expectDelayPath(Ctx, B, succOfKind(B, EdgeKind::NotTaken),
                           FallWantsDelay, DelayAddr, "not-taken");
+      Addr FallAddr = A + (HasDelay ? 8 : 4);
       if (FallD && FallD->kind() == BlockKind::Normal &&
-          FallD->anchor() != A + 8)
+          FallD->anchor() != FallAddr)
         Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
                  "branch fallthrough lands at " + hex(FallD->anchor()) +
-                     " instead of " + hex(A + 8));
+                     " instead of " + hex(FallAddr));
       // Duplicated copies must duplicate the same instruction.
-      if (Delay == DelayBehavior::Always) {
+      if (HasDelay && Delay == DelayBehavior::Always) {
         const Edge *TE = succOfKind(B, EdgeKind::Taken);
         const Edge *FE = succOfKind(B, EdgeKind::NotTaken);
         if (TE && FE && TE->dst()->kind() == BlockKind::DelaySlot &&
@@ -405,8 +413,8 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
     case InstKind::Jump: {
       Ctx.check();
       expectDelayPath(Ctx, B, succOfKind(B, EdgeKind::UncondJump),
-                      Delay != DelayBehavior::AnnulAlways, DelayAddr,
-                      "jump");
+                      HasDelay && Delay != DelayBehavior::AnnulAlways,
+                      DelayAddr, "jump");
       break;
     }
     case InstKind::Call:
@@ -414,7 +422,7 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
       Ctx.check();
       const BasicBlock *After =
           expectDelayPath(Ctx, B, succOfKind(B, EdgeKind::CallFlow),
-                          /*WantDelay=*/true, DelayAddr, "call");
+                          /*WantDelay=*/HasDelay, DelayAddr, "call");
       if (After && After->kind() != BlockKind::CallSurrogate)
         Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
                  "call delay slot does not lead to a call surrogate");
@@ -424,7 +432,7 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
       Ctx.check();
       const BasicBlock *After =
           expectDelayPath(Ctx, B, succOfKind(B, EdgeKind::ExitReturn),
-                          /*WantDelay=*/true, DelayAddr, "return");
+                          /*WantDelay=*/HasDelay, DelayAddr, "return");
       if (After && After->kind() != BlockKind::Exit)
         Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
                  "return delay slot does not lead to the exit block");
@@ -432,10 +440,18 @@ void eel::verify::checkDelaySlotsIR(RoutineCheckContext &Ctx) {
     }
     case InstKind::IndirectJump: {
       Ctx.check();
-      if (B->succ().size() == 1 &&
-          B->succ()[0]->dst()->kind() != BlockKind::DelaySlot)
-        Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
-                 "indirect jump without its delay-slot block");
+      if (HasDelay) {
+        if (B->succ().size() == 1 &&
+            B->succ()[0]->dst()->kind() != BlockKind::DelaySlot)
+          Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
+                   "indirect jump without its delay-slot block");
+      } else {
+        for (const Edge *E : B->succ())
+          if (E->dst()->kind() == BlockKind::DelaySlot)
+            Ctx.diag(VerifyPass::DelaySlot, DiagSeverity::Error, Id, A, true,
+                     "indirect jump on a delay-slot-free machine grew a "
+                     "delay-slot block");
+      }
       break;
     }
     default:
@@ -473,8 +489,7 @@ void eel::verify::checkDelaySlotsImage(RoutineCheckContext &Ctx) {
     if (Term->kind() == InstKind::Branch) {
       Ctx.check();
       std::optional<MachWord> NewW = Ctx.Edited->readWord(MappedA->second);
-      std::optional<MachWord> OrigDelay = Exec.fetchWord(A + 4);
-      if (!NewW || !OrigDelay)
+      if (!NewW)
         continue;
       if (Target.classify(*NewW) != InstCategory::BranchDirect ||
           Target.isConditional(*NewW) != Term->isConditional()) {
@@ -489,9 +504,12 @@ void eel::verify::checkDelaySlotsImage(RoutineCheckContext &Ctx) {
                  "re-laid-out branch changed its annul behavior");
         continue;
       }
+      if (!Term->hasDelaySlot())
+        continue; // no slot word to audit on a delay-slot-free machine
+      std::optional<MachWord> OrigDelay = Exec.fetchWord(A + 4);
       std::optional<MachWord> Slot =
           Ctx.Edited->readWord(MappedA->second + 4);
-      if (!Slot)
+      if (!Slot || !OrigDelay)
         continue;
       auto MappedDelay = Map.find(A + 4);
       bool Folded = MappedDelay != Map.end() &&
@@ -506,8 +524,9 @@ void eel::verify::checkDelaySlotsImage(RoutineCheckContext &Ctx) {
                  MappedA->second + 4, true,
                  "materialized branch must carry a nop in its delay slot");
       }
-    } else if (Term->kind() == InstKind::Call ||
-               Term->kind() == InstKind::Return) {
+    } else if ((Term->kind() == InstKind::Call ||
+                Term->kind() == InstKind::Return) &&
+               Term->hasDelaySlot()) {
       // Call and return delay slots are uneditable and always emitted
       // verbatim right after the transfer.
       Ctx.check();

@@ -1,30 +1,33 @@
-//===- asmkit/MriscAsm.cpp - MRISC assembly syntax ------------------------===//
+//===- asmkit/AriscAsm.cpp - ARISC assembly syntax ------------------------===//
 //
 // Part of the EEL reproduction project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// MIPS-flavoured assembly syntax for MRISC:
+/// Alpha-flavoured assembly syntax for ARISC:
 ///
-///   add $t0, $t1, $t2 / addi $t0, $t1, -4 / sll $t0, $t1, 3
-///   lui $t0, %hi(sym) / ori $t0, $t0, %lo(sym)
-///   lw $t0, 8($sp) / sw $t0, %lo(sym)($t1)
-///   beq $t0, $t1, L1 / blez $t0, L2 / j done / jal foo / jr $ra
-///   jalr $t0 / jalr $t1, $t0 / syscall
-///   pseudos: nop, move, li, la, b
+///   add $t0, $t1, $t2 / addi $t0, $t1, -4 / slli $t0, $t1, 3
+///   ldih $t0, %hi(sym) / ori $t0, $t0, %lo(sym)
+///   ldw $t0, 8($sp) / stw $t0, %lo(sym)($t1)
+///   beq $t0, $t1, L1 / blt $t0, $t1, L2 / br done / bsr foo
+///   jmp ($t0) / jmp $ra, ($t0) / sys 1
+///   pseudos: nop, move, li, la, b, ret
+///
+/// No delay slots: the word after a transfer executes only if the transfer
+/// falls through, so none of the pseudos pad with nops.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "asmkit/TargetAsm.h"
-#include "isa/MriscEncoding.h"
+#include "isa/AriscEncoding.h"
 
 #include <cctype>
 #include <map>
 
 using namespace eel;
 using namespace eel::asmkit;
-using namespace eel::mrisc;
+using namespace eel::arisc;
 
 namespace {
 
@@ -65,13 +68,13 @@ struct ImmOperand {
 
 static Expected<unsigned> parseReg(const std::string &T) {
   static const std::map<std::string, unsigned> Named = {
-      {"$zero", 0}, {"$at", 1},  {"$v0", 2},  {"$v1", 3},  {"$a0", 4},
-      {"$a1", 5},   {"$a2", 6},  {"$a3", 7},  {"$t0", 8},  {"$t1", 9},
-      {"$t2", 10},  {"$t3", 11}, {"$t4", 12}, {"$t5", 13}, {"$t6", 14},
-      {"$t7", 15},  {"$s0", 16}, {"$s1", 17}, {"$s2", 18}, {"$s3", 19},
-      {"$s4", 20},  {"$s5", 21}, {"$s6", 22}, {"$s7", 23}, {"$t8", 24},
-      {"$t9", 25},  {"$k0", 26}, {"$k1", 27}, {"$gp", 28}, {"$sp", 29},
-      {"$fp", 30},  {"$ra", 31}};
+      {"$zero", 0}, {"$v0", 1},   {"$t0", 2},   {"$t1", 3},   {"$t2", 4},
+      {"$t3", 5},   {"$t4", 6},   {"$t5", 7},   {"$t6", 8},   {"$t7", 9},
+      {"$s0", 10},  {"$s1", 11},  {"$s2", 12},  {"$s3", 13},  {"$s4", 14},
+      {"$fp", 15},  {"$a0", 16},  {"$a1", 17},  {"$a2", 18},  {"$a3", 19},
+      {"$t8", 20},  {"$t9", 21},  {"$t10", 22}, {"$t11", 23}, {"$t12", 24},
+      {"$t13", 25}, {"$ra", 26},  {"$t14", 27}, {"$at", 28},  {"$gp", 29},
+      {"$sp", 30},  {"$s5", 31}};
   if (auto It = Named.find(T); It != Named.end())
     return It->second;
   if (T.size() >= 2 && T[0] == '$' &&
@@ -143,8 +146,8 @@ static Expected<ImmOperand> parseImmOperand(Cursor &C) {
 
 namespace {
 
-/// MRISC mnemonic table and encoder.
-class MriscAsm : public InstParser {
+/// ARISC mnemonic table and encoder.
+class AriscAsm : public InstParser {
 public:
   Expected<bool> parse(const std::vector<std::string> &Tokens,
                        std::vector<AsmInst> &Out) const override;
@@ -155,32 +158,31 @@ public:
   MachWord applyImmLo(MachWord Word, uint32_t Value) const override {
     return insertBits(Word, 0, 15, Value & 0xFFFF);
   }
-  const TargetInfo &target() const override { return mriscTarget(); }
+  const TargetInfo &target() const override { return ariscTarget(); }
 };
 
 } // namespace
 
-Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
+Expected<bool> AriscAsm::parse(const std::vector<std::string> &Tokens,
                                std::vector<AsmInst> &Out) const {
   const std::string &Mnemonic = Tokens[0];
   Cursor C(Tokens);
 
-  static const std::map<std::string, uint32_t> RThree = {
-      {"add", FnAdd}, {"sub", FnSub}, {"and", FnAnd},
-      {"or", FnOr},   {"xor", FnXor}, {"slt", FnSlt},
-      {"mul", FnMul}, {"div", FnDiv}, {"rem", FnRem}};
-  static const std::map<std::string, uint32_t> RShiftVar = {
-      {"sllv", FnSllv}, {"srlv", FnSrlv}, {"srav", FnSrav}};
-  static const std::map<std::string, uint32_t> RShiftImm = {
-      {"sll", FnSll}, {"srl", FnSrl}, {"sra", FnSra}};
-  static const std::map<std::string, uint32_t> IAlu = {{"addi", OpAddi},
-                                                       {"slti", OpSlti},
-                                                       {"andi", OpAndi},
-                                                       {"ori", OpOri},
-                                                       {"xori", OpXori}};
+  static const std::map<std::string, uint32_t> Operate = {
+      {"add", FnAdd}, {"sub", FnSub}, {"and", FnAnd},   {"or", FnOr},
+      {"xor", FnXor}, {"sll", FnSll}, {"srl", FnSrl},   {"sra", FnSra},
+      {"mul", FnMul}, {"div", FnDiv}, {"rem", FnRem},   {"cmplt", FnCmplt}};
+  static const std::map<std::string, uint32_t> IAluSigned = {
+      {"addi", OpAddi}, {"cmplti", OpCmplti}};
+  static const std::map<std::string, uint32_t> IAluUnsigned = {
+      {"andi", OpAndi}, {"ori", OpOri}, {"xori", OpXori}};
+  static const std::map<std::string, uint32_t> IShift = {
+      {"slli", OpSlli}, {"srli", OpSrli}, {"srai", OpSrai}};
   static const std::map<std::string, uint32_t> Mem = {
-      {"lb", OpLb}, {"lh", OpLh}, {"lw", OpLw}, {"lbu", OpLbu},
-      {"lhu", OpLhu}, {"sb", OpSb}, {"sh", OpSh}, {"sw", OpSw}};
+      {"ldw", OpLdw}, {"ldb", OpLdb}, {"ldbu", OpLdbu}, {"ldh", OpLdh},
+      {"ldhu", OpLdhu}, {"stw", OpStw}, {"stb", OpStb}, {"sth", OpSth}};
+  static const std::map<std::string, uint32_t> CondBranch = {
+      {"beq", OpBeq}, {"bne", OpBne}, {"blt", OpBlt}, {"ble", OpBle}};
 
   auto ParseRegAfterComma = [&](unsigned &Reg) -> Expected<bool> {
     if (!C.eat(","))
@@ -192,42 +194,94 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
     return true;
   };
 
-  if (auto It = RThree.find(Mnemonic); It != RThree.end()) {
-    Expected<unsigned> Rd = parseReg(C.next());
-    if (Rd.hasError())
-      return Rd.error();
-    unsigned Rs = 0, Rt = 0;
-    Expected<bool> A = ParseRegAfterComma(Rs);
+  // A PC-relative target: a numeric addend or a symbol.
+  auto ParseTarget = [&](AsmInst &Inst) -> Expected<bool> {
+    std::string TargetTok = C.next();
+    if (TargetTok.empty())
+      return Error("transfer needs a target");
+    Inst.Fix.Kind = FixupKind::PcRelative;
+    if (std::isdigit(static_cast<unsigned char>(TargetTok[0]))) {
+      Expected<int64_t> N = parseNumberToken(TargetTok);
+      if (N.hasError())
+        return N.error();
+      Inst.Fix.Addend = N.value();
+    } else {
+      Inst.Fix.Symbol = TargetTok;
+    }
+    return true;
+  };
+
+  if (auto It = Operate.find(Mnemonic); It != Operate.end()) {
+    // op $rc, $ra, $rb
+    Expected<unsigned> Rc = parseReg(C.next());
+    if (Rc.hasError())
+      return Rc.error();
+    unsigned Ra = 0, Rb = 0;
+    Expected<bool> A = ParseRegAfterComma(Ra);
     if (A.hasError())
       return A.error();
-    Expected<bool> B = ParseRegAfterComma(Rt);
+    Expected<bool> B = ParseRegAfterComma(Rb);
     if (B.hasError())
       return B.error();
-    Out.push_back({encodeRType(Rs, Rt, Rd.value(), 0, It->second), {}});
+    Out.push_back({encodeOperate(Ra, Rb, Rc.value(), It->second), {}});
     return true;
   }
 
-  if (auto It = RShiftVar.find(Mnemonic); It != RShiftVar.end()) {
-    Expected<unsigned> Rd = parseReg(C.next());
-    if (Rd.hasError())
-      return Rd.error();
-    unsigned Rt = 0, Rs = 0;
-    Expected<bool> A = ParseRegAfterComma(Rt);
+  if (auto It = IAluSigned.find(Mnemonic); It != IAluSigned.end()) {
+    // op $rb, $ra, imm (dest first, as written).
+    Expected<unsigned> Rb = parseReg(C.next());
+    if (Rb.hasError())
+      return Rb.error();
+    unsigned Ra = 0;
+    Expected<bool> A = ParseRegAfterComma(Ra);
     if (A.hasError())
       return A.error();
-    Expected<bool> B = ParseRegAfterComma(Rs);
-    if (B.hasError())
-      return B.error();
-    Out.push_back({encodeRType(Rs, Rt, Rd.value(), 0, It->second), {}});
+    if (!C.eat(","))
+      return Error("expected ','");
+    Expected<ImmOperand> Imm = parseImmOperand(C);
+    if (Imm.hasError())
+      return Imm.error();
+    if (Imm.value().Fix.Kind == FixupKind::None &&
+        !fitsSigned(Imm.value().Value, 16))
+      return Error("immediate does not fit in 16 bits");
+    AsmInst Inst;
+    Inst.Word = encodeIType(It->second, Ra, Rb.value(),
+                            static_cast<uint32_t>(Imm.value().Value) & 0xFFFF);
+    Inst.Fix = Imm.value().Fix;
+    Out.push_back(Inst);
     return true;
   }
 
-  if (auto It = RShiftImm.find(Mnemonic); It != RShiftImm.end()) {
-    Expected<unsigned> Rd = parseReg(C.next());
-    if (Rd.hasError())
-      return Rd.error();
-    unsigned Rt = 0;
-    Expected<bool> A = ParseRegAfterComma(Rt);
+  if (auto It = IAluUnsigned.find(Mnemonic); It != IAluUnsigned.end()) {
+    Expected<unsigned> Rb = parseReg(C.next());
+    if (Rb.hasError())
+      return Rb.error();
+    unsigned Ra = 0;
+    Expected<bool> A = ParseRegAfterComma(Ra);
+    if (A.hasError())
+      return A.error();
+    if (!C.eat(","))
+      return Error("expected ','");
+    Expected<ImmOperand> Imm = parseImmOperand(C);
+    if (Imm.hasError())
+      return Imm.error();
+    if (Imm.value().Fix.Kind == FixupKind::None &&
+        !fitsUnsigned(static_cast<uint64_t>(Imm.value().Value), 16))
+      return Error("immediate does not fit in 16 bits");
+    AsmInst Inst;
+    Inst.Word = encodeIType(It->second, Ra, Rb.value(),
+                            static_cast<uint32_t>(Imm.value().Value) & 0xFFFF);
+    Inst.Fix = Imm.value().Fix;
+    Out.push_back(Inst);
+    return true;
+  }
+
+  if (auto It = IShift.find(Mnemonic); It != IShift.end()) {
+    Expected<unsigned> Rb = parseReg(C.next());
+    if (Rb.hasError())
+      return Rb.error();
+    unsigned Ra = 0;
+    Expected<bool> A = ParseRegAfterComma(Ra);
     if (A.hasError())
       return A.error();
     if (!C.eat(","))
@@ -237,52 +291,23 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
       return Shamt.error();
     if (Shamt.value() < 0 || Shamt.value() > 31)
       return Error("shift amount out of range");
-    Out.push_back({encodeRType(0, Rt, Rd.value(),
-                               static_cast<unsigned>(Shamt.value()),
-                               It->second),
+    Out.push_back({encodeIType(It->second, Ra, Rb.value(),
+                               static_cast<uint32_t>(Shamt.value())),
                    {}});
     return true;
   }
 
-  if (auto It = IAlu.find(Mnemonic); It != IAlu.end()) {
-    Expected<unsigned> Rt = parseReg(C.next());
-    if (Rt.hasError())
-      return Rt.error();
-    unsigned Rs = 0;
-    Expected<bool> A = ParseRegAfterComma(Rs);
-    if (A.hasError())
-      return A.error();
-    if (!C.eat(","))
-      return Error("expected ','");
-    Expected<ImmOperand> Imm = parseImmOperand(C);
-    if (Imm.hasError())
-      return Imm.error();
-    bool Unsigned = Mnemonic == "andi" || Mnemonic == "ori" ||
-                    Mnemonic == "xori";
-    if (Imm.value().Fix.Kind == FixupKind::None) {
-      if (Unsigned ? !fitsUnsigned(static_cast<uint64_t>(Imm.value().Value), 16)
-                   : !fitsSigned(Imm.value().Value, 16))
-        return Error("immediate does not fit in 16 bits");
-    }
-    AsmInst Inst;
-    Inst.Word = encodeIType(It->second, Rs, Rt.value(),
-                            static_cast<uint32_t>(Imm.value().Value) & 0xFFFF);
-    Inst.Fix = Imm.value().Fix;
-    Out.push_back(Inst);
-    return true;
-  }
-
-  if (Mnemonic == "lui") {
-    Expected<unsigned> Rt = parseReg(C.next());
-    if (Rt.hasError())
-      return Rt.error();
+  if (Mnemonic == "ldih") {
+    Expected<unsigned> Rb = parseReg(C.next());
+    if (Rb.hasError())
+      return Rb.error();
     if (!C.eat(","))
       return Error("expected ','");
     Expected<ImmOperand> Imm = parseImmOperand(C);
     if (Imm.hasError())
       return Imm.error();
     AsmInst Inst;
-    Inst.Word = encodeIType(OpLui, 0, Rt.value(),
+    Inst.Word = encodeIType(OpLdih, 0, Rb.value(),
                             static_cast<uint32_t>(Imm.value().Value) & 0xFFFF);
     Inst.Fix = Imm.value().Fix;
     Out.push_back(Inst);
@@ -290,10 +315,10 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
   }
 
   if (auto It = Mem.find(Mnemonic); It != Mem.end()) {
-    // op $rt, off($rs)  with off = NUM | %lo(sym) | empty.
-    Expected<unsigned> Rt = parseReg(C.next());
-    if (Rt.hasError())
-      return Rt.error();
+    // op $ra, off($rb)  with off = NUM | %lo(sym) | empty.
+    Expected<unsigned> Ra = parseReg(C.next());
+    if (Ra.hasError())
+      return Ra.error();
     if (!C.eat(","))
       return Error("expected ','");
     ImmOperand Off;
@@ -305,123 +330,88 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
     }
     if (!C.eat("("))
       return Error("expected '(' in memory operand");
-    Expected<unsigned> Rs = parseReg(C.next());
-    if (Rs.hasError())
-      return Rs.error();
+    Expected<unsigned> Rb = parseReg(C.next());
+    if (Rb.hasError())
+      return Rb.error();
     if (!C.eat(")"))
       return Error("expected ')' in memory operand");
     if (Off.Fix.Kind == FixupKind::None && !fitsSigned(Off.Value, 16))
       return Error("memory offset does not fit in 16 bits");
     AsmInst Inst;
-    Inst.Word = encodeIType(It->second, Rs.value(), Rt.value(),
+    Inst.Word = encodeIType(It->second, Ra.value(), Rb.value(),
                             static_cast<uint32_t>(Off.Value) & 0xFFFF);
     Inst.Fix = Off.Fix;
     Out.push_back(Inst);
     return true;
   }
 
-  if (Mnemonic == "beq" || Mnemonic == "bne" || Mnemonic == "b") {
-    unsigned Rs = 0, Rt = 0;
-    uint32_t Op = OpBeq;
-    if (Mnemonic != "b") {
-      Op = Mnemonic == "beq" ? OpBeq : OpBne;
-      Expected<unsigned> A = parseReg(C.next());
-      if (A.hasError())
-        return A.error();
-      Rs = A.value();
-      Expected<bool> B = ParseRegAfterComma(Rt);
-      if (B.hasError())
-        return B.error();
-      if (!C.eat(","))
-        return Error("expected ','");
-    }
-    AsmInst Inst;
-    Inst.Word = encodeIType(Op, Rs, Rt, 0);
-    std::string TargetTok = C.next();
-    if (TargetTok.empty())
-      return Error("branch needs a target");
-    Inst.Fix.Kind = FixupKind::PcRelative;
-    if (std::isdigit(static_cast<unsigned char>(TargetTok[0]))) {
-      Expected<int64_t> N = parseNumberToken(TargetTok);
-      if (N.hasError())
-        return N.error();
-      Inst.Fix.Addend = N.value();
-    } else {
-      Inst.Fix.Symbol = TargetTok;
-    }
-    Out.push_back(Inst);
-    return true;
-  }
-
-  if (Mnemonic == "blez" || Mnemonic == "bgtz") {
-    Expected<unsigned> Rs = parseReg(C.next());
-    if (Rs.hasError())
-      return Rs.error();
+  if (auto It = CondBranch.find(Mnemonic); It != CondBranch.end()) {
+    // op $ra, $rb, target
+    Expected<unsigned> Ra = parseReg(C.next());
+    if (Ra.hasError())
+      return Ra.error();
+    unsigned Rb = 0;
+    Expected<bool> B = ParseRegAfterComma(Rb);
+    if (B.hasError())
+      return B.error();
     if (!C.eat(","))
       return Error("expected ','");
     AsmInst Inst;
-    Inst.Word = encodeIType(Mnemonic == "blez" ? OpBlez : OpBgtz, Rs.value(),
-                            0, 0);
-    std::string TargetTok = C.next();
-    Inst.Fix.Kind = FixupKind::PcRelative;
-    if (!TargetTok.empty() &&
-        std::isdigit(static_cast<unsigned char>(TargetTok[0]))) {
-      Expected<int64_t> N = parseNumberToken(TargetTok);
-      if (N.hasError())
-        return N.error();
-      Inst.Fix.Addend = N.value();
-    } else {
-      Inst.Fix.Symbol = TargetTok;
-    }
+    Inst.Word = encodeBranch(It->second, Ra.value(), Rb, 0);
+    Expected<bool> T = ParseTarget(Inst);
+    if (T.hasError())
+      return T.error();
     Out.push_back(Inst);
     return true;
   }
 
-  if (Mnemonic == "j" || Mnemonic == "jal") {
+  if (Mnemonic == "br" || Mnemonic == "bsr" || Mnemonic == "b") {
     AsmInst Inst;
-    Inst.Word = encodeJType(Mnemonic == "j" ? OpJ : OpJal, 0);
-    std::string TargetTok = C.next();
-    if (TargetTok.empty())
-      return Error("jump needs a target");
-    Inst.Fix.Kind = FixupKind::PcRelative;
-    if (std::isdigit(static_cast<unsigned char>(TargetTok[0]))) {
-      Expected<int64_t> N = parseNumberToken(TargetTok);
-      if (N.hasError())
-        return N.error();
-      Inst.Fix.Addend = N.value();
-    } else {
-      Inst.Fix.Symbol = TargetTok;
-    }
+    Inst.Word = encodeBrType(Mnemonic == "bsr" ? OpBsr : OpBr, 0);
+    Expected<bool> T = ParseTarget(Inst);
+    if (T.hasError())
+      return T.error();
     Out.push_back(Inst);
     return true;
   }
 
-  if (Mnemonic == "jr") {
-    Expected<unsigned> Rs = parseReg(C.next());
-    if (Rs.hasError())
-      return Rs.error();
-    Out.push_back({encodeRType(Rs.value(), 0, 0, 0, FnJr), {}});
-    return true;
-  }
-
-  if (Mnemonic == "jalr") {
+  if (Mnemonic == "jmp") {
+    // jmp ($rb)  or  jmp $ra, ($rb); bare registers also accepted.
+    unsigned Link = 0;
+    bool Paren = C.eat("(");
     Expected<unsigned> First = parseReg(C.next());
     if (First.hasError())
       return First.error();
-    unsigned Rd = RegRA, Rs = First.value();
-    if (C.eat(",")) {
+    unsigned Base = First.value();
+    if (Paren) {
+      if (!C.eat(")"))
+        return Error("expected ')' in jmp operand");
+    } else if (C.eat(",")) {
+      Link = First.value();
+      Paren = C.eat("(");
       Expected<unsigned> Second = parseReg(C.next());
       if (Second.hasError())
         return Second.error();
-      Rd = First.value();
-      Rs = Second.value();
+      Base = Second.value();
+      if (Paren && !C.eat(")"))
+        return Error("expected ')' in jmp operand");
     }
-    Out.push_back({encodeRType(Rs, 0, Rd, 0, FnJalr), {}});
+    Out.push_back({encodeJmp(Link, Base), {}});
     return true;
   }
 
-  if (Mnemonic == "syscall") {
-    Out.push_back({encodeRType(0, 0, 0, 0, FnSyscall), {}});
+  if (Mnemonic == "ret") {
+    Out.push_back({encodeJmp(0, RegRA), {}});
+    return true;
+  }
+
+  if (Mnemonic == "sys") {
+    Expected<int64_t> Num = parseNumberToken(C.next());
+    if (Num.hasError())
+      return Num.error();
+    if (Num.value() < 0 || !fitsUnsigned(static_cast<uint64_t>(Num.value()), 16))
+      return Error("syscall number out of range");
+    Out.push_back({encodeSys(static_cast<unsigned>(Num.value())), {}});
     return true;
   }
 
@@ -431,14 +421,14 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
   }
 
   if (Mnemonic == "move") {
-    Expected<unsigned> Rd = parseReg(C.next());
-    if (Rd.hasError())
-      return Rd.error();
-    unsigned Rs = 0;
-    Expected<bool> A = ParseRegAfterComma(Rs);
+    Expected<unsigned> Rc = parseReg(C.next());
+    if (Rc.hasError())
+      return Rc.error();
+    unsigned Ra = 0;
+    Expected<bool> A = ParseRegAfterComma(Ra);
     if (A.hasError())
       return A.error();
-    Out.push_back({encodeRType(Rs, 0, Rd.value(), 0, FnOr), {}});
+    Out.push_back({encodeOperate(Ra, 0, Rc.value(), FnOr), {}});
     return true;
   }
 
@@ -459,7 +449,7 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
     } else if (fitsSigned(Value, 16)) {
       Out.push_back({encodeIType(OpAddi, 0, Rd.value(), U & 0xFFFF), {}});
     } else {
-      Out.push_back({encodeIType(OpLui, 0, Rd.value(), U >> 16), {}});
+      Out.push_back({encodeIType(OpLdih, 0, Rd.value(), U >> 16), {}});
       if (U & 0xFFFF)
         Out.push_back(
             {encodeIType(OpOri, Rd.value(), Rd.value(), U & 0xFFFF), {}});
@@ -468,7 +458,7 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
   }
 
   if (Mnemonic == "la") {
-    // la $rd, sym  ->  lui %hi + ori %lo (always two words).
+    // la $rd, sym  ->  ldih %hi + ori %lo (always two words).
     Expected<unsigned> Rd = parseReg(C.next());
     if (Rd.hasError())
       return Rd.error();
@@ -478,7 +468,7 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
     if (Sym.empty())
       return Error("la needs a symbol");
     AsmInst Hi, Lo;
-    Hi.Word = encodeIType(OpLui, 0, Rd.value(), 0);
+    Hi.Word = encodeIType(OpLdih, 0, Rd.value(), 0);
     Hi.Fix.Kind = FixupKind::ImmHi;
     Hi.Fix.Symbol = Sym;
     Lo.Word = encodeIType(OpOri, Rd.value(), Rd.value(), 0);
@@ -492,19 +482,7 @@ Expected<bool> MriscAsm::parse(const std::vector<std::string> &Tokens,
   return Error("unknown mnemonic '" + Mnemonic + "'");
 }
 
-const InstParser &eel::asmkit::mriscInstParser() {
-  static MriscAsm Parser;
+const InstParser &eel::asmkit::ariscInstParser() {
+  static AriscAsm Parser;
   return Parser;
-}
-
-const InstParser &eel::asmkit::instParserFor(TargetArch Arch) {
-  switch (Arch) {
-  case TargetArch::Srisc:
-    return sriscInstParser();
-  case TargetArch::Mrisc:
-    return mriscInstParser();
-  case TargetArch::Arisc:
-    return ariscInstParser();
-  }
-  unreachable("unknown target architecture");
 }

@@ -77,6 +77,7 @@ public:
 /// Instruction-syntax parser for each target.
 const InstParser &sriscInstParser();
 const InstParser &mriscInstParser();
+const InstParser &ariscInstParser();
 const InstParser &instParserFor(TargetArch Arch);
 
 } // namespace asmkit

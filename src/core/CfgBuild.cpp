@@ -176,13 +176,18 @@ void CfgBuilder::discover(std::vector<Addr> Roots, bool Speculative) {
       }
     }
 
+    // First address past the transfer and its (possible) delay slot: the
+    // branch fallthrough / call continuation. On delay-slot machines this
+    // is A+8; on machines without delay slots it is simply A+4.
+    Addr Past = A + (I->hasDelaySlot() ? 8 : 4);
+
     switch (I->kind()) {
     case InstKind::Branch: {
       std::optional<Addr> T = I->directTarget(A);
       assert(T && "conditional branch without a target");
       if (R.contains(*T))
         ScheduleLeader(*T);
-      ScheduleLeader(A + 8);
+      ScheduleLeader(Past);
       break;
     }
     case InstKind::Jump: {
@@ -194,8 +199,8 @@ void CfgBuilder::discover(std::vector<Addr> Roots, bool Speculative) {
     }
     case InstKind::Call:
     case InstKind::IndirectCall:
-      if (R.contains(A + 8)) {
-        ScheduleLeader(A + 8);
+      if (R.contains(Past)) {
+        ScheduleLeader(Past);
       } else if (!Speculative) {
         Graph->Unsupported = true;
         Graph->UnsupportedReason = "call continuation outside the routine";
@@ -281,25 +286,33 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
   }
 
   DelayBehavior Delay = I->delayBehavior();
+  bool HasDelay = I->hasDelaySlot();
+  Addr Past = A + (HasDelay ? 8 : 4);
   bool External = false;
 
   switch (I->kind()) {
   case InstKind::Branch: {
     Addr T = *I->directTarget(A);
     // Taken path: the delay instruction executes unless annul-always
-    // (impossible for a conditional branch).
-    BasicBlock *TakenDelay = makeDelayBlock(A);
-    Graph->newEdge(B, TakenDelay, EdgeKind::Taken);
-    BasicBlock *TakenDst = destFor(TakenDelay, T, External);
-    Edge *TE = Graph->newEdge(TakenDelay, TakenDst, EdgeKind::Taken);
+    // (impossible for a conditional branch). Machines without delay slots
+    // get a direct edge — no DelaySlot block exists anywhere in their CFGs.
+    BasicBlock *TakenPred = B;
+    if (HasDelay) {
+      TakenPred = makeDelayBlock(A);
+      Graph->newEdge(B, TakenPred, EdgeKind::Taken);
+    }
+    BasicBlock *TakenDst = destFor(TakenPred, T, External);
+    Edge *TE = Graph->newEdge(TakenPred, TakenDst, EdgeKind::Taken);
     if (External) {
       TE->setUneditable();
-      TakenDelay->setUneditable();
+      if (TakenPred != B)
+        TakenPred->setUneditable();
     }
-    // Not-taken path: duplicated delay instruction unless annulled. The
-    // fallthrough block is missing when A+8 lies outside the routine or
-    // decodes as data; such control flow cannot be edited soundly.
-    BasicBlock *FallDst = Graph->blockAt(A + 8);
+    // Not-taken path: duplicated delay instruction unless annulled (or the
+    // machine has no delay slot). The fallthrough block is missing when
+    // the next address lies outside the routine or decodes as data; such
+    // control flow cannot be edited soundly.
+    BasicBlock *FallDst = Graph->blockAt(Past);
     if (!FallDst) {
       if (!Graph->Unsupported) {
         Graph->Unsupported = true;
@@ -307,7 +320,7 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
       }
       return;
     }
-    if (Delay == DelayBehavior::AnnulUntaken) {
+    if (!HasDelay || Delay == DelayBehavior::AnnulUntaken) {
       Graph->newEdge(B, FallDst, EdgeKind::NotTaken);
     } else {
       BasicBlock *FallDelay = makeDelayBlock(A);
@@ -319,7 +332,7 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
 
   case InstKind::Jump: {
     Addr T = *I->directTarget(A);
-    if (Delay == DelayBehavior::AnnulAlways) {
+    if (!HasDelay || Delay == DelayBehavior::AnnulAlways) {
       BasicBlock *Dst = destFor(B, T, External);
       Edge *E = Graph->newEdge(B, Dst, EdgeKind::UncondJump);
       if (External)
@@ -339,18 +352,22 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
 
   case InstKind::Call:
   case InstKind::IndirectCall: {
-    // call → delay (uneditable, §3.3) → surrogate → continuation.
-    BasicBlock *DelayB = makeDelayBlock(A);
-    DelayB->setUneditable();
-    Graph->newEdge(B, DelayB, EdgeKind::CallFlow)->setUneditable();
+    // call → delay (uneditable, §3.3) → surrogate → continuation. Without
+    // a delay slot the call block feeds the surrogate directly.
+    BasicBlock *Pred = B;
+    if (HasDelay) {
+      Pred = makeDelayBlock(A);
+      Pred->setUneditable();
+      Graph->newEdge(B, Pred, EdgeKind::CallFlow)->setUneditable();
+    }
     BasicBlock *Surrogate = Graph->newBlock(BlockKind::CallSurrogate, A);
     Surrogate->setUneditable();
     if (I->kind() == InstKind::Call)
       Surrogate->CallTarget = I->directTarget(A);
     else
       Surrogate->CallIndirect = true;
-    Graph->newEdge(DelayB, Surrogate, EdgeKind::CallFlow)->setUneditable();
-    if (BasicBlock *Cont = Graph->blockAt(A + 8))
+    Graph->newEdge(Pred, Surrogate, EdgeKind::CallFlow)->setUneditable();
+    if (BasicBlock *Cont = Graph->blockAt(Past))
       Graph->newEdge(Surrogate, Cont, EdgeKind::CallFlow)->setUneditable();
     if (I->kind() == InstKind::IndirectCall) {
       IndirectSite Site;
@@ -364,11 +381,13 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
   }
 
   case InstKind::Return: {
-    BasicBlock *DelayB = makeDelayBlock(A);
-    DelayB->setUneditable();
-    Graph->newEdge(B, DelayB, EdgeKind::ExitReturn)->setUneditable();
-    Graph->newEdge(DelayB, Graph->Exit, EdgeKind::ExitReturn)
-        ->setUneditable();
+    BasicBlock *Pred = B;
+    if (HasDelay) {
+      Pred = makeDelayBlock(A);
+      Pred->setUneditable();
+      Graph->newEdge(B, Pred, EdgeKind::ExitReturn)->setUneditable();
+    }
+    Graph->newEdge(Pred, Graph->Exit, EdgeKind::ExitReturn)->setUneditable();
     return;
   }
 
@@ -377,11 +396,17 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
     Site.Block = B;
     Site.JumpAddr = A;
     Site.Resolution = Indirect.at(A);
-    BasicBlock *DelayB = makeDelayBlock(A);
-    DelayB->setUneditable();
+    // With a delay slot, every outgoing path runs through one shared delay
+    // block; without one, the case/exit edges leave the jump block itself.
+    BasicBlock *Pred = B;
+    if (HasDelay) {
+      Pred = makeDelayBlock(A);
+      Pred->setUneditable();
+    }
     switch (Site.Resolution.K) {
     case IndirectResolution::Kind::DispatchTable: {
-      Graph->newEdge(B, DelayB, EdgeKind::SwitchCase)->setUneditable();
+      if (HasDelay)
+        Graph->newEdge(B, Pred, EdgeKind::SwitchCase)->setUneditable();
       std::set<Addr> Seen;
       for (Addr T : Site.Resolution.Targets) {
         if (!Seen.insert(T).second)
@@ -393,21 +418,23 @@ void CfgBuilder::connectBlock(BasicBlock *B) {
           Graph->ReachedInvalid = true;
           continue;
         }
-        Graph->newEdge(DelayB, Dst, EdgeKind::SwitchCase);
+        Graph->newEdge(Pred, Dst, EdgeKind::SwitchCase);
       }
       break;
     }
     case IndirectResolution::Kind::Literal: {
-      Graph->newEdge(B, DelayB, EdgeKind::UncondJump)->setUneditable();
-      BasicBlock *Dst = destFor(DelayB, Site.Resolution.Targets[0], External);
-      Graph->newEdge(DelayB, Dst, EdgeKind::UncondJump)->setUneditable();
+      if (HasDelay)
+        Graph->newEdge(B, Pred, EdgeKind::UncondJump)->setUneditable();
+      BasicBlock *Dst = destFor(Pred, Site.Resolution.Targets[0], External);
+      Graph->newEdge(Pred, Dst, EdgeKind::UncondJump)->setUneditable();
       break;
     }
     case IndirectResolution::Kind::CellPointer:
     case IndirectResolution::Kind::Unanalyzable:
       Graph->Complete = false;
-      Graph->newEdge(B, DelayB, EdgeKind::ExitUnresolved)->setUneditable();
-      Graph->newEdge(DelayB, Graph->Exit, EdgeKind::ExitUnresolved)
+      if (HasDelay)
+        Graph->newEdge(B, Pred, EdgeKind::ExitUnresolved)->setUneditable();
+      Graph->newEdge(Pred, Graph->Exit, EdgeKind::ExitUnresolved)
           ->setUneditable();
       break;
     }

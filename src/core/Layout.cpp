@@ -471,55 +471,68 @@ Expected<bool> RoutineLayouter::lowerBranch(const BasicBlock *B,
                                             const CfgInst &Term) {
   Addr A = Term.OrigAddr;
   const Instruction *I = Term.Inst;
+  bool HasDelay = I->hasDelaySlot();
   bool AnnulUntaken = I->delayBehavior() == DelayBehavior::AnnulUntaken;
 
-  // Taken path: B --Taken--> delay block --Taken--> destination.
-  const Edge *ToTakenDelay = edgeOfKind(B, EdgeKind::Taken);
-  assert(ToTakenDelay && "branch block without taken edge");
-  const BasicBlock *TakenDelay = ToTakenDelay->dst();
-  const Edge *TakenOut = edgeOfKind(TakenDelay, EdgeKind::Taken);
-  assert(TakenOut && "taken delay block without outgoing edge");
+  // Taken path: B --Taken--> delay block --Taken--> destination on a
+  // delay-slot machine; B --Taken--> destination directly otherwise.
+  const Edge *ToTaken = edgeOfKind(B, EdgeKind::Taken);
+  assert(ToTaken && "branch block without taken edge");
+  const BasicBlock *TakenDelay = nullptr;
+  const Edge *TakenOut = ToTaken;
+  if (HasDelay) {
+    TakenDelay = ToTaken->dst();
+    TakenOut = edgeOfKind(TakenDelay, EdgeKind::Taken);
+    assert(TakenOut && "taken delay block without outgoing edge");
+  }
   const BasicBlock *TakenDest =
       TakenOut->dst()->kind() == BlockKind::Exit ? nullptr : TakenOut->dst();
   Addr TakenExternal =
-      TakenDest ? 0 : externalTargetOf(TakenDelay);
+      TakenDest ? 0 : externalTargetOf(HasDelay ? TakenDelay : B);
 
   // Fall path.
   const Edge *ToFall = edgeOfKind(B, EdgeKind::NotTaken);
   assert(ToFall && "branch block without fall edge");
+  bool DirectFall = !HasDelay || AnnulUntaken;
   const BasicBlock *FallDelay = nullptr;
   const Edge *FallOut = nullptr;
-  if (!AnnulUntaken) {
+  if (!DirectFall) {
     FallDelay = ToFall->dst();
     FallOut = edgeOfKind(FallDelay, EdgeKind::NotTaken);
     assert(FallOut && "fall delay block without outgoing edge");
   }
 
-  bool TakenEdited = pathHasCode(ToTakenDelay, TakenDelay, TakenOut);
-  bool FallEdited = AnnulUntaken ? edgeHasCode(ToFall)
-                                 : pathHasCode(ToFall, FallDelay, FallOut);
+  bool TakenEdited =
+      pathHasCode(HasDelay ? ToTaken : nullptr, TakenDelay, TakenOut);
+  bool FallEdited = DirectFall ? edgeHasCode(ToFall)
+                               : pathHasCode(ToFall, FallDelay, FallOut);
 
   if (!TakenEdited && !FallEdited &&
-      !Exec.options().DisableDelayFolding) {
-    // Fold the delay instruction back into the slot (§3.3.1).
+      (!HasDelay || !Exec.options().DisableDelayFolding)) {
+    // Re-emit the branch in place, folding the delay instruction back into
+    // the slot (§3.3.1) when the machine has one.
     unsigned At = here();
     emitWord(terminatorWord(B, Term));
     retargetTo(At, TakenDest, TakenExternal);
-    mapAddr(A + 4);
-    emitWord(origWordAt(A + 4));
-    ++Out.DelayFolded;
-    return true; // falls through into the A+8 block
+    if (HasDelay) {
+      mapAddr(A + 4);
+      emitWord(origWordAt(A + 4));
+      ++Out.DelayFolded;
+    }
+    return true; // falls through into the fallthrough block
   }
 
-  // Materialize: branch (with a harmless nop in its slot) to a stub that
-  // holds the taken path; the fall path runs inline.
-  ++Out.DelayMaterialized;
+  // Materialize: branch (with a harmless nop in its slot, when a slot
+  // exists) to a stub that holds the taken path; the fall path runs inline.
+  if (HasDelay)
+    ++Out.DelayMaterialized;
   unsigned BranchAt = here();
   emitWord(terminatorWord(B, Term));
-  emitWord(Target.nopWord());
+  if (HasDelay)
+    emitWord(Target.nopWord());
 
   StubRequest Stub;
-  Stub.E1 = ToTakenDelay;
+  Stub.E1 = HasDelay ? ToTaken : nullptr;
   Stub.DB = TakenDelay;
   Stub.E2 = TakenOut;
   Stub.DestBlock = TakenDest;
@@ -527,7 +540,7 @@ Expected<bool> RoutineLayouter::lowerBranch(const BasicBlock *B,
   Stub.BranchWordIndex = BranchAt;
   Stubs.push_back(Stub);
 
-  if (AnnulUntaken) {
+  if (DirectFall) {
     Expected<bool> Result = emitEdgeCode(ToFall);
     if (Result.hasError())
       return Result;
@@ -536,14 +549,18 @@ Expected<bool> RoutineLayouter::lowerBranch(const BasicBlock *B,
     if (Result.hasError())
       return Result;
   }
-  return true; // falls through into the A+8 block
+  return true; // falls through into the fallthrough block
 }
 
 Expected<bool> RoutineLayouter::lowerJump(const BasicBlock *B,
                                           const CfgInst &Term) {
   const Instruction *I = Term.Inst;
   Addr A = Term.OrigAddr;
+  bool HasDelay = I->hasDelaySlot();
   bool AnnulAlways = I->delayBehavior() == DelayBehavior::AnnulAlways;
+  // An annulled slot and a machine without slots produce the same direct
+  // CFG shape: a single edge from the jump block to the destination.
+  bool Direct = !HasDelay || AnnulAlways;
 
   const Edge *First = edgeOfKind(B, EdgeKind::UncondJump);
   assert(First && "jump block without outgoing edge");
@@ -551,7 +568,7 @@ Expected<bool> RoutineLayouter::lowerJump(const BasicBlock *B,
   const BasicBlock *DelayB = nullptr;
   const Edge *Second = nullptr;
   const BasicBlock *DestB;
-  if (AnnulAlways) {
+  if (Direct) {
     DestB = First->dst();
   } else {
     DelayB = First->dst();
@@ -560,31 +577,34 @@ Expected<bool> RoutineLayouter::lowerJump(const BasicBlock *B,
     DestB = Second->dst();
   }
   bool External = DestB->kind() == BlockKind::Exit;
-  Addr ExternalDest =
-      External ? externalTargetOf(AnnulAlways ? B : DelayB) : 0;
+  Addr ExternalDest = External ? externalTargetOf(Direct ? B : DelayB) : 0;
   const BasicBlock *Dest = External ? nullptr : DestB;
 
-  bool Edited = AnnulAlways ? edgeHasCode(First)
-                            : pathHasCode(First, DelayB, Second);
+  bool Edited =
+      Direct ? edgeHasCode(First) : pathHasCode(First, DelayB, Second);
 
-  // A non-annulled jump with untouched paths keeps its delay slot.
-  if (!Edited && !AnnulAlways && !Exec.options().DisableDelayFolding) {
+  // An unedited retargetable jump is re-emitted in place; on a delay-slot
+  // machine that keeps (folds) its delay instruction.
+  if (!Edited &&
+      (!HasDelay || (!AnnulAlways && !Exec.options().DisableDelayFolding))) {
     std::optional<MachWord> CanRetarget =
         Target.retargetDirect(I->word(), 0, 0x1000);
     if (CanRetarget) {
       unsigned At = here();
       emitWord(terminatorWord(B, Term));
       retargetTo(At, Dest, ExternalDest);
-      mapAddr(A + 4);
-      emitWord(origWordAt(A + 4));
-      ++Out.DelayFolded;
+      if (HasDelay) {
+        mapAddr(A + 4);
+        emitWord(origWordAt(A + 4));
+        ++Out.DelayFolded;
+      }
       return true;
     }
   }
 
   // Materialized form: path code, then a fresh jump (the original word may
   // be unretargetable, e.g. bn,a whose target is implicit).
-  if (!AnnulAlways) {
+  if (!Direct) {
     Expected<bool> Result = emitPath(First, DelayB, Second);
     if (Result.hasError())
       return Result;
@@ -592,7 +612,8 @@ Expected<bool> RoutineLayouter::lowerJump(const BasicBlock *B,
     Expected<bool> Result = emitEdgeCode(First);
     if (Result.hasError())
       return Result;
-    ++Out.DelayMaterialized;
+    if (HasDelay)
+      ++Out.DelayMaterialized;
   }
   emitJumpTo(Dest, ExternalDest);
   return true;
@@ -612,18 +633,24 @@ Expected<bool> RoutineLayouter::lowerCall(const BasicBlock *B,
     Out.Relocs.push_back(Rl);
   }
   // The delay slot after a call is uneditable (§3.3): emit it verbatim.
-  mapAddr(A + 4);
-  emitWord(origWordAt(A + 4));
+  // Machines without delay slots have no such word; the continuation block
+  // directly follows the call.
+  if (I->hasDelaySlot()) {
+    mapAddr(A + 4);
+    emitWord(origWordAt(A + 4));
+  }
   (void)B;
-  return true; // continuation (A+8 block) follows in address order
+  return true; // continuation block follows in address order
 }
 
 Expected<bool> RoutineLayouter::lowerReturn(const BasicBlock *B,
                                             const CfgInst &Term) {
   Addr A = Term.OrigAddr;
   emitWord(Term.Inst->word());
-  mapAddr(A + 4);
-  emitWord(origWordAt(A + 4));
+  if (Term.Inst->hasDelaySlot()) {
+    mapAddr(A + 4);
+    emitWord(origWordAt(A + 4));
+  }
   (void)B;
   return true;
 }
@@ -638,16 +665,24 @@ Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
       Site = &S;
   assert(Site && "indirect jump without a recorded site");
 
+  bool HasDelay = I->hasDelaySlot();
+
   switch (Site->Resolution.K) {
   case IndirectResolution::Kind::DispatchTable: {
     emitWord(I->word());
-    mapAddr(A + 4);
-    emitWord(origWordAt(A + 4));
+    if (HasDelay) {
+      mapAddr(A + 4);
+      emitWord(origWordAt(A + 4));
+    }
     // Rewrite the table: entries point at edited case blocks, or at stubs
-    // when a case edge carries code.
-    const Edge *ToDelay = edgeOfKind(B, EdgeKind::SwitchCase);
-    assert(ToDelay && "dispatch block without delay edge");
-    const BasicBlock *DelayB = ToDelay->dst();
+    // when a case edge carries code. On a delay-slot machine the case
+    // edges hang off the shared delay block; otherwise off the jump block.
+    const BasicBlock *CaseSrc = B;
+    if (HasDelay) {
+      const Edge *ToDelay = edgeOfKind(B, EdgeKind::SwitchCase);
+      assert(ToDelay && "dispatch block without delay edge");
+      CaseSrc = ToDelay->dst();
+    }
     TableFix Fix;
     Fix.TableAddr = Site->Resolution.TableAddr;
     size_t FixIndex = Out.TableFixes.size();
@@ -655,7 +690,7 @@ Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
          ++EntryIdx) {
       Addr T = Site->Resolution.Targets[EntryIdx];
       const Edge *CaseEdge = nullptr;
-      for (const Edge *E : DelayB->succ())
+      for (const Edge *E : CaseSrc->succ())
         if (E->dst()->kind() == BlockKind::Normal && E->dst()->anchor() == T)
           CaseEdge = E;
       TableEntryFix EF;
@@ -677,8 +712,10 @@ Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
 
   case IndirectResolution::Kind::Literal:
     emitWord(I->word());
-    mapAddr(A + 4);
-    emitWord(origWordAt(A + 4));
+    if (HasDelay) {
+      mapAddr(A + 4);
+      emitWord(origWordAt(A + 4));
+    }
     // A literal recovered through a constant cell still reads that cell at
     // run time: record it for unconditional precise rewriting.
     if (Site->Resolution.CellAddr)
@@ -692,8 +729,12 @@ Expected<bool> RoutineLayouter::lowerIndirect(const BasicBlock *B,
     Out.NeedsTranslator = true;
     bumpStat("eel.translate.sites");
     const auto *Ind = cast<IndirectInst>(I);
-    mapAddr(A + 4); // the delay instruction is emitted inside the site
-    return emitTranslationSite(Target, *Ind, origWordAt(A + 4), Out.Code,
+    MachWord DelayWord = Target.nopWord();
+    if (HasDelay) {
+      mapAddr(A + 4); // the delay instruction is emitted inside the site
+      DelayWord = origWordAt(A + 4);
+    }
+    return emitTranslationSite(Target, *Ind, DelayWord, Out.Code,
                                Out.Relocs);
   }
   }

@@ -94,12 +94,14 @@ static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
           AllValid = false;
       }
     }
+    // Fallthrough/continuation address: past the delay slot when one exists.
+    Addr Past = A + (I->hasDelaySlot() ? 8 : 4);
     switch (I->kind()) {
     case InstKind::Branch: {
       std::optional<Addr> T = I->directTarget(A);
       if (T && *T >= Lo && *T < Hi)
         Worklist.push_back(*T);
-      Worklist.push_back(A + 8);
+      Worklist.push_back(Past);
       break;
     }
     case InstKind::Jump: {
@@ -110,7 +112,7 @@ static bool scanReachable(Executable &Exec, const std::vector<Addr> &Entries,
     }
     case InstKind::Call:
     case InstKind::IndirectCall:
-      Worklist.push_back(A + 8);
+      Worklist.push_back(Past);
       break;
     case InstKind::Return:
     case InstKind::IndirectJump:

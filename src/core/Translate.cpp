@@ -6,6 +6,7 @@
 
 #include "core/Translate.h"
 
+#include "isa/AriscEncoding.h"
 #include "isa/MriscEncoding.h"
 #include "isa/SriscEncoding.h"
 
@@ -85,6 +86,41 @@ Expected<bool> eel::emitTranslationSite(const TargetInfo &Target,
     Code.push_back(encodeArithImm(Op3Or, G2, G2, 0));
     Code.push_back(encodeJmplImm(Rd, G2, 0));
     Code.push_back(nop());
+    return true;
+  }
+
+  if (Target.arch() == TargetArch::Arisc) {
+    using namespace arisc;
+    // ARISC: $t14 carries the target, $at the translator entry. Like the
+    // MIPS $at/$k0/$k1 contract, no value is live in either across an
+    // indirect jump, so there is nothing to save. There is no delay slot;
+    // the caller passes a nop as the delay word.
+    const unsigned P0 = 27, P1 = RegAT;
+    unsigned Rd = Info.LinkReg;
+    if (Rd == P0 || Rd == P1)
+      return Error("indirect transfer links through a protocol register");
+    if (DelayWord != Target.nopWord()) {
+      if (Delay->isControlTransfer())
+        return Error("delayed transfer in the delay slot of an indirect jump");
+      if (Delay->reads().contains(P0) || Delay->reads().contains(P1) ||
+          Delay->writes().contains(P0) || Delay->writes().contains(P1))
+        return Error("delay instruction uses translation protocol registers");
+    }
+
+    if (Info.HasIndex)
+      Code.push_back(encodeOperate(Info.BaseReg, Info.IndexReg, P0, FnAdd));
+    else
+      Code.push_back(encodeIType(OpAddi, Info.BaseReg, P0,
+                                 static_cast<uint32_t>(Info.Offset) & 0xFFFF));
+    if (DelayWord != Target.nopWord())
+      Code.push_back(DelayWord);
+    Relocs.push_back({Reloc::Kind::TranslatorHi,
+                      static_cast<unsigned>(Code.size()), 0, 0});
+    Code.push_back(encodeIType(OpLdih, 0, P1, 0));
+    Relocs.push_back({Reloc::Kind::TranslatorLo,
+                      static_cast<unsigned>(Code.size()), 0, 0});
+    Code.push_back(encodeIType(OpOri, P1, P1, 0));
+    Code.push_back(encodeJmp(Rd, P1));
     return true;
   }
 
@@ -180,6 +216,51 @@ __eel_translate:
   ld [%%sp - 84], %%g5
   jmpl %%g1 + 0, %%g0
   ld [%%sp - 64], %%g1  ! delay slot restores g1
+)",
+                     TableAddr, EntryCount);
+  }
+
+  if (Target.arch() == TargetArch::Arisc) {
+    // In: $t14 = original target; $at is free scratch (protocol contract).
+    // The search registers are saved below the stack pointer and restored
+    // before the final jump — no delay-slot restore tricks are needed or
+    // possible, since ARISC transfers take effect immediately.
+    return formatAsm(R"(
+.text
+__eel_translate:
+  stw $t10, -64($sp)
+  stw $t11, -68($sp)
+  stw $t12, -72($sp)
+  stw $t13, -76($sp)
+  li $t11, 0x%x         # table base
+  li $t12, 0            # lo
+  li $t13, %u           # hi = entry count
+.Lloop:
+  cmplt $at, $t12, $t13
+  beq $at, $zero, .Lout # lo >= hi: miss, $t14 already holds the target
+  add $t10, $t12, $t13
+  srli $t10, $t10, 1    # mid
+  slli $at, $t10, 3
+  add $at, $t11, $at    # &pair[mid]
+  ldw $at, 0($at)       # pair.orig
+  beq $at, $t14, .Lfound
+  cmplt $at, $t14, $at  # target < pair.orig?
+  bne $at, $zero, .Lhigh
+  addi $t12, $t10, 1    # lo = mid + 1
+  br .Lloop
+.Lhigh:
+  move $t13, $t10       # hi = mid
+  br .Lloop
+.Lfound:
+  slli $at, $t10, 3
+  add $at, $t11, $at
+  ldw $t14, 4($at)      # edited target replaces the original in $t14
+.Lout:
+  ldw $t10, -64($sp)
+  ldw $t11, -68($sp)
+  ldw $t12, -72($sp)
+  ldw $t13, -76($sp)
+  jmp ($t14)
 )",
                      TableAddr, EntryCount);
   }

@@ -1,0 +1,704 @@
+//===- isa/Arisc.cpp - Handwritten ARISC target backend ------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handwritten machine-specific layer for ARISC, the Alpha-like third
+/// target. Its distinguishing property is the *absence* of delay slots:
+/// every control transfer takes effect immediately, so this backend answers
+/// "no" to every delay query and its emit helpers produce single-word
+/// transfers with no trailing nop. Any machine-independent code that still
+/// works correctly on ARISC genuinely contains no SPARC-isms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/AriscEncoding.h"
+#include "isa/Target.h"
+#include "support/Error.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace eel;
+using namespace eel::arisc;
+
+namespace {
+
+/// Handwritten ARISC implementation of the target interface.
+class AriscTarget : public TargetInfo {
+public:
+  AriscTarget() {
+    Conv.LinkReg = RegRA;
+    Conv.ReturnOffset = 0;
+    Conv.StackPointer = RegSP;
+    Conv.FramePointer = RegFP;
+    Conv.ArgRegs = RegSet{16, 17, 18, 19};
+    Conv.RetRegs = RegSet{RegV0};
+    Conv.CallerSaved = RegSet{1,  2,  3,  4,  5,  6,  7,  8,  9,  16, 17,
+                              18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+    Conv.Reserved = RegSet{RegZero, RegFP, RegAT, RegGP, RegSP};
+    Conv.SyscallNumReg = 0; // trap number is an immediate field, like SRISC
+    Conv.SyscallReads = RegSet{16, 17, 18};
+    Conv.SyscallWrites = RegSet{RegV0};
+  }
+
+  TargetArch arch() const override { return TargetArch::Arisc; }
+  const char *name() const override { return "arisc"; }
+  const TargetConventions &conventions() const override { return Conv; }
+  unsigned numRegisters() const override { return 32; }
+  bool hasConditionCodes() const override { return false; }
+  bool branchDelaySlots() const override { return false; }
+
+  std::string regName(unsigned Reg) const override {
+    if (Reg == RegIdPC)
+      return "$pc";
+    assert(Reg < 32 && "bad ARISC register id");
+    static const char *Names[32] = {
+        "$zero", "$v0",  "$t0",  "$t1",  "$t2",  "$t3",  "$t4",  "$t5",
+        "$t6",   "$t7",  "$s0",  "$s1",  "$s2",  "$s3",  "$s4",  "$fp",
+        "$a0",   "$a1",  "$a2",  "$a3",  "$t8",  "$t9",  "$t10", "$t11",
+        "$t12",  "$t13", "$ra",  "$t14", "$at",  "$gp",  "$sp",  "$s5"};
+    return Names[Reg];
+  }
+
+  InstCategory classify(MachWord W) const override {
+    switch (fieldOp(W)) {
+    case OpOperate:
+      return fieldFunc(W) <= FnCmplt ? InstCategory::Computation
+                                     : InstCategory::Invalid;
+    case OpAddi:
+    case OpAndi:
+    case OpOri:
+    case OpXori:
+    case OpSlli:
+    case OpSrli:
+    case OpSrai:
+    case OpCmplti:
+      return InstCategory::Computation;
+    case OpLdih:
+      return fieldRa(W) == 0 ? InstCategory::Computation
+                             : InstCategory::Invalid;
+    case OpLdw:
+    case OpLdb:
+    case OpLdbu:
+    case OpLdh:
+    case OpLdhu:
+      return InstCategory::Load;
+    case OpStw:
+    case OpStb:
+    case OpSth:
+      return InstCategory::Store;
+    case OpBeq:
+    case OpBne:
+    case OpBlt:
+    case OpBle:
+      return InstCategory::BranchDirect;
+    case OpBr:
+      return InstCategory::JumpDirect;
+    case OpBsr:
+      return InstCategory::CallDirect;
+    case OpJmp:
+      return fieldUimm16(W) == 0 ? InstCategory::IndirectJump
+                                 : InstCategory::Invalid;
+    case OpSys:
+      return fieldRa(W) == 0 && fieldRb(W) == 0 ? InstCategory::System
+                                                : InstCategory::Invalid;
+    default:
+      return InstCategory::Invalid;
+    }
+  }
+
+  RegSet reads(MachWord W) const override {
+    RegSet R;
+    auto AddReg = [&R](unsigned Reg) {
+      if (Reg != RegZero)
+        R.insert(Reg);
+    };
+    if (classify(W) == InstCategory::Invalid)
+      return R;
+    switch (fieldOp(W)) {
+    case OpOperate:
+      AddReg(fieldRa(W));
+      AddReg(fieldRb(W));
+      return R;
+    case OpLdih:
+    case OpBr:
+    case OpBsr:
+      return R;
+    case OpBeq:
+    case OpBne:
+    case OpBlt:
+    case OpBle:
+      AddReg(fieldRa(W));
+      AddReg(fieldRb(W));
+      return R;
+    case OpStw:
+    case OpStb:
+    case OpSth:
+      AddReg(fieldRa(W)); // stored value
+      AddReg(fieldRb(W)); // base
+      return R;
+    case OpLdw:
+    case OpLdb:
+    case OpLdbu:
+    case OpLdh:
+    case OpLdhu:
+    case OpJmp:
+      AddReg(fieldRb(W)); // base
+      return R;
+    case OpSys:
+      // Trap convention: number is an immediate; arguments in a0-a2.
+      return RegSet{16, 17, 18};
+    default: // ALU-immediate forms read ra.
+      AddReg(fieldRa(W));
+      return R;
+    }
+  }
+
+  RegSet writes(MachWord W) const override {
+    RegSet R;
+    auto AddReg = [&R](unsigned Reg) {
+      if (Reg != RegZero)
+        R.insert(Reg);
+    };
+    if (classify(W) == InstCategory::Invalid)
+      return R;
+    switch (fieldOp(W)) {
+    case OpOperate:
+      AddReg(fieldRc(W));
+      return R;
+    case OpBeq:
+    case OpBne:
+    case OpBlt:
+    case OpBle:
+    case OpBr:
+    case OpStw:
+    case OpStb:
+    case OpSth:
+      return R;
+    case OpBsr:
+      R.insert(RegRA);
+      return R;
+    case OpJmp:
+      AddReg(fieldRa(W)); // link, when nonzero
+      return R;
+    case OpSys:
+      R.insert(RegV0);
+      return R;
+    case OpLdw:
+    case OpLdb:
+    case OpLdbu:
+    case OpLdh:
+    case OpLdhu:
+      AddReg(fieldRa(W)); // loaded-into register
+      return R;
+    default: // ALU-immediate and ldih write rb.
+      AddReg(fieldRb(W));
+      return R;
+    }
+  }
+
+  bool hasDelaySlot(MachWord W) const override {
+    (void)W;
+    return false; // the defining ARISC property
+  }
+
+  DelayBehavior delayBehavior(MachWord W) const override {
+    (void)W;
+    return DelayBehavior::None;
+  }
+
+  bool isConditional(MachWord W) const override {
+    switch (fieldOp(W)) {
+    case OpBeq:
+    case OpBne:
+    case OpBlt:
+    case OpBle:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  InstMeta decodeMeta(MachWord W) const override {
+    // Single-decode path: no ARISC transfer has a delay slot, so only the
+    // conditional bit varies with the category.
+    InstMeta M;
+    M.Category = classify(W);
+    if (M.Category == InstCategory::Invalid)
+      return M;
+    M.Reads = reads(W);
+    M.Writes = writes(W);
+    M.Conditional = M.Category == InstCategory::BranchDirect;
+    return M;
+  }
+
+  std::optional<Addr> directTarget(MachWord W, Addr PC) const override {
+    switch (classify(W)) {
+    case InstCategory::BranchDirect:
+      return PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+      // All ARISC transfers are PC-relative; no MRISC-style region jumps.
+      return PC + 4 + static_cast<Addr>(fieldSdisp26(W) * 4);
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<IndirectTargetInfo> indirectTarget(MachWord W) const override {
+    if (classify(W) != InstCategory::IndirectJump)
+      return std::nullopt;
+    IndirectTargetInfo Info;
+    Info.BaseReg = fieldRb(W);
+    Info.Offset = 0;
+    Info.LinkReg = fieldRa(W);
+    return Info;
+  }
+
+  DataOp dataOp(MachWord W) const override {
+    DataOp Op;
+    if (classify(W) != InstCategory::Computation)
+      return Op;
+    if (fieldOp(W) == OpOperate) {
+      switch (fieldFunc(W)) {
+      case FnAdd:
+        Op.Kind = DataOpKind::Add;
+        break;
+      case FnSub:
+        Op.Kind = DataOpKind::Sub;
+        break;
+      case FnAnd:
+        Op.Kind = DataOpKind::And;
+        break;
+      case FnOr:
+        Op.Kind = DataOpKind::Or;
+        break;
+      case FnXor:
+        Op.Kind = DataOpKind::Xor;
+        break;
+      case FnSll:
+        Op.Kind = DataOpKind::Sll;
+        break;
+      case FnSrl:
+        Op.Kind = DataOpKind::Srl;
+        break;
+      case FnSra:
+        Op.Kind = DataOpKind::Sra;
+        break;
+      case FnMul:
+        Op.Kind = DataOpKind::Mul;
+        break;
+      case FnDiv:
+        Op.Kind = DataOpKind::Div;
+        break;
+      case FnRem:
+        Op.Kind = DataOpKind::Rem;
+        break;
+      case FnCmplt:
+        Op.Kind = DataOpKind::SetLess;
+        break;
+      default:
+        return Op;
+      }
+      Op.Rd = fieldRc(W);
+      Op.Rs1 = fieldRa(W);
+      Op.Rs2 = fieldRb(W);
+      return Op;
+    }
+    switch (fieldOp(W)) {
+    case OpLdih:
+      Op.Kind = DataOpKind::LoadImmHi;
+      Op.Rd = fieldRb(W);
+      Op.HasImm = true;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W) << 16);
+      return Op;
+    case OpAddi:
+      Op.Kind = DataOpKind::Add;
+      Op.Imm = fieldSimm16(W);
+      break;
+    case OpCmplti:
+      Op.Kind = DataOpKind::SetLess;
+      Op.Imm = fieldSimm16(W);
+      break;
+    case OpAndi:
+      Op.Kind = DataOpKind::And;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpOri:
+      Op.Kind = DataOpKind::Or;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpXori:
+      Op.Kind = DataOpKind::Xor;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpSlli:
+      Op.Kind = DataOpKind::Sll;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpSrli:
+      Op.Kind = DataOpKind::Srl;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    case OpSrai:
+      Op.Kind = DataOpKind::Sra;
+      Op.Imm = static_cast<int32_t>(fieldUimm16(W));
+      break;
+    default:
+      return Op;
+    }
+    Op.Rd = fieldRb(W);
+    Op.Rs1 = fieldRa(W);
+    Op.HasImm = true;
+    return Op;
+  }
+
+  std::optional<MemOp> memOp(MachWord W) const override {
+    InstCategory Cat = classify(W);
+    if (Cat != InstCategory::Load && Cat != InstCategory::Store)
+      return std::nullopt;
+    MemOp M;
+    M.IsLoad = Cat == InstCategory::Load;
+    M.IsStore = !M.IsLoad;
+    switch (fieldOp(W)) {
+    case OpLdb:
+    case OpLdbu:
+    case OpStb:
+      M.Width = 1;
+      break;
+    case OpLdh:
+    case OpLdhu:
+    case OpSth:
+      M.Width = 2;
+      break;
+    default:
+      M.Width = 4;
+      break;
+    }
+    M.SignExtendLoad = fieldOp(W) == OpLdb || fieldOp(W) == OpLdh;
+    M.AddrBase = fieldRb(W);
+    M.Offset = fieldSimm16(W);
+    M.DataReg = fieldRa(W);
+    return M;
+  }
+
+  std::optional<unsigned> syscallNumber(MachWord W) const override {
+    if (classify(W) != InstCategory::System)
+      return std::nullopt;
+    return fieldUimm16(W);
+  }
+
+  std::optional<MachWord> retargetDirect(MachWord W, Addr NewPC,
+                                         Addr NewTarget) const override {
+    int64_t DispWords = (static_cast<int64_t>(NewTarget) -
+                         (static_cast<int64_t>(NewPC) + 4)) /
+                        4;
+    switch (classify(W)) {
+    case InstCategory::BranchDirect:
+      if (!fitsSigned(DispWords, 16))
+        return std::nullopt;
+      return insertBits(W, 0, 15, static_cast<uint32_t>(DispWords));
+    case InstCategory::JumpDirect:
+    case InstCategory::CallDirect:
+      if (!fitsSigned(DispWords, 26))
+        return std::nullopt;
+      return insertBits(W, 0, 25, static_cast<uint32_t>(DispWords));
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<MachWord>
+  rewriteRegisters(MachWord W,
+                   const std::function<unsigned(unsigned)> &Map) const override {
+    auto MapField = [&](MachWord Word, unsigned Lo, unsigned Hi) {
+      unsigned NewReg = Map(extractBits(Word, Lo, Hi));
+      assert(NewReg < 32 && "register map produced a bad id");
+      return insertBits(Word, Lo, Hi, NewReg);
+    };
+    switch (fieldOp(W)) {
+    case OpOperate: {
+      MachWord Out = MapField(W, 21, 25);
+      Out = MapField(Out, 16, 20);
+      return MapField(Out, 11, 15);
+    }
+    case OpLdih:
+      // Only rb is a register; ra is a fixed zero field.
+      return MapField(W, 16, 20);
+    case OpBr:
+      return W;
+    case OpBsr:
+      return Map(RegRA) == RegRA ? std::optional<MachWord>(W) : std::nullopt;
+    case OpSys:
+      return W;
+    default: {
+      // Everything else (ALU-immediate, memory, branches, jmp) uses ra + rb.
+      MachWord Out = MapField(W, 21, 25);
+      return MapField(Out, 16, 20);
+    }
+    }
+  }
+
+  MachWord nopWord() const override { return nop(); }
+
+  bool emitJump(Addr PC, Addr Target, std::vector<MachWord> &Out) const override {
+    int64_t DispWords = (static_cast<int64_t>(Target) -
+                         (static_cast<int64_t>(PC) + 4)) /
+                        4;
+    if (!fitsSigned(DispWords, 26))
+      return false;
+    Out.push_back(encodeBrType(OpBr, static_cast<int32_t>(DispWords)));
+    return true; // single word: no delay-slot nop on ARISC
+  }
+
+  bool emitCall(Addr PC, Addr Target, std::vector<MachWord> &Out) const override {
+    int64_t DispWords = (static_cast<int64_t>(Target) -
+                         (static_cast<int64_t>(PC) + 4)) /
+                        4;
+    if (!fitsSigned(DispWords, 26))
+      return false;
+    Out.push_back(encodeBrType(OpBsr, static_cast<int32_t>(DispWords)));
+    return true;
+  }
+
+  void emitLoadConst(unsigned Reg, uint32_t Value,
+                     std::vector<MachWord> &Out) const override {
+    if (Value <= 0xFFFFu) {
+      Out.push_back(encodeIType(OpOri, RegZero, Reg, Value));
+      return;
+    }
+    Out.push_back(encodeIType(OpLdih, 0, Reg, Value >> 16));
+    if (Value & 0xFFFFu)
+      Out.push_back(encodeIType(OpOri, Reg, Reg, Value & 0xFFFFu));
+  }
+
+  void emitLoadWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                    std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Offset, 16) && "load offset out of range");
+    Out.push_back(encodeIType(OpLdw, DataReg, Base,
+                              static_cast<uint32_t>(Offset) & 0xFFFFu));
+  }
+
+  void emitStoreWord(unsigned DataReg, unsigned Base, int32_t Offset,
+                     std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Offset, 16) && "store offset out of range");
+    Out.push_back(encodeIType(OpStw, DataReg, Base,
+                              static_cast<uint32_t>(Offset) & 0xFFFFu));
+  }
+
+  void emitAddImm(unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override {
+    assert(fitsSigned(Imm, 16) && "immediate out of range");
+    Out.push_back(encodeIType(OpAddi, Rs1, Rd,
+                              static_cast<uint32_t>(Imm) & 0xFFFFu));
+  }
+
+  void emitAddReg(unsigned Rd, unsigned Rs1, unsigned Rs2,
+                  std::vector<MachWord> &Out) const override {
+    Out.push_back(encodeOperate(Rs1, Rs2, Rd, FnAdd));
+  }
+
+  void emitAluImm(DataOpKind Op, unsigned Rd, unsigned Rs1, int32_t Imm,
+                  std::vector<MachWord> &Out) const override {
+    switch (Op) {
+    case DataOpKind::Add:
+      assert(fitsSigned(Imm, 16) && "immediate out of range");
+      Out.push_back(encodeIType(OpAddi, Rs1, Rd,
+                                static_cast<uint32_t>(Imm) & 0xFFFFu));
+      return;
+    case DataOpKind::And:
+    case DataOpKind::Or:
+    case DataOpKind::Xor: {
+      assert(fitsUnsigned(static_cast<uint32_t>(Imm), 16) &&
+             "immediate out of range");
+      uint32_t OpCode = Op == DataOpKind::And  ? OpAndi
+                        : Op == DataOpKind::Or ? OpOri
+                                               : OpXori;
+      Out.push_back(encodeIType(OpCode, Rs1, Rd,
+                                static_cast<uint32_t>(Imm) & 0xFFFFu));
+      return;
+    }
+    case DataOpKind::Sll:
+      Out.push_back(encodeIType(OpSlli, Rs1, Rd,
+                                static_cast<unsigned>(Imm) & 31));
+      return;
+    case DataOpKind::Srl:
+      Out.push_back(encodeIType(OpSrli, Rs1, Rd,
+                                static_cast<unsigned>(Imm) & 31));
+      return;
+    default:
+      unreachable("unsupported ALU-immediate operation");
+    }
+  }
+
+  void emitIndirectJump(unsigned Reg, std::vector<MachWord> &Out,
+                        std::optional<MachWord> DelayWord) const override {
+    // No delay slot to fill: when the caller supplies a "delay" word, it
+    // wants that word executed with the transfer, so place it before.
+    if (DelayWord)
+      Out.push_back(*DelayWord);
+    Out.push_back(encodeJmp(0, Reg));
+  }
+
+  bool emitSkipIfEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                       std::vector<MachWord> &Out) const override {
+    // beq ra, rb, +skip — single word, no condition codes, no nop.
+    Out.push_back(encodeBranch(OpBeq, Ra, Rb, static_cast<int32_t>(SkipWords)));
+    return false;
+  }
+
+  bool emitSkipIfNotEqual(unsigned Ra, unsigned Rb, unsigned SkipWords,
+                          std::vector<MachWord> &Out) const override {
+    Out.push_back(encodeBranch(OpBne, Ra, Rb, static_cast<int32_t>(SkipWords)));
+    return false;
+  }
+
+  bool emitSkipIfLess(unsigned Ra, unsigned Rb, unsigned Scratch,
+                      unsigned SkipWords,
+                      std::vector<MachWord> &Out) const override {
+    // Compare-and-branch makes this a single word; Scratch is not needed.
+    (void)Scratch;
+    Out.push_back(encodeBranch(OpBlt, Ra, Rb, static_cast<int32_t>(SkipWords)));
+    return false;
+  }
+
+  bool emitSaveCC(unsigned, std::vector<MachWord> &) const override {
+    return false; // no condition codes
+  }
+
+  bool emitRestoreCC(unsigned, std::vector<MachWord> &) const override {
+    return false;
+  }
+
+  std::string disassemble(MachWord W, Addr PC) const override;
+
+private:
+  TargetConventions Conv;
+};
+
+} // namespace
+
+std::string AriscTarget::disassemble(MachWord W, Addr PC) const {
+  char Buf[128];
+  auto R = [this](unsigned Reg) { return regName(Reg); };
+  if (W == nop())
+    return "nop";
+  switch (fieldOp(W)) {
+  case OpOperate: {
+    static const char *FnNames[] = {"add", "sub", "and", "or",
+                                    "xor", "sll", "srl", "sra",
+                                    "mul", "div", "rem", "cmplt"};
+    if (fieldFunc(W) > FnCmplt)
+      return "<invalid>";
+    std::snprintf(Buf, sizeof(Buf), "%s %s, %s, %s", FnNames[fieldFunc(W)],
+                  R(fieldRc(W)).c_str(), R(fieldRa(W)).c_str(),
+                  R(fieldRb(W)).c_str());
+    return Buf;
+  }
+  case OpLdih:
+    if (fieldRa(W) != 0)
+      return "<invalid>";
+    std::snprintf(Buf, sizeof(Buf), "ldih %s, 0x%x", R(fieldRb(W)).c_str(),
+                  fieldUimm16(W));
+    return Buf;
+  case OpAddi:
+  case OpAndi:
+  case OpOri:
+  case OpXori:
+  case OpSlli:
+  case OpSrli:
+  case OpSrai:
+  case OpCmplti: {
+    static const struct {
+      uint32_t Op;
+      const char *Name;
+    } INames[] = {{OpAddi, "addi"}, {OpAndi, "andi"},   {OpOri, "ori"},
+                  {OpXori, "xori"}, {OpSlli, "slli"},   {OpSrli, "srli"},
+                  {OpSrai, "srai"}, {OpCmplti, "cmplti"}};
+    for (const auto &Entry : INames) {
+      if (Entry.Op != fieldOp(W))
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %s, %d", Entry.Name,
+                    R(fieldRb(W)).c_str(), R(fieldRa(W)).c_str(),
+                    fieldSimm16(W));
+      return Buf;
+    }
+    return "<invalid>";
+  }
+  case OpLdw:
+  case OpLdb:
+  case OpLdbu:
+  case OpLdh:
+  case OpLdhu:
+  case OpStw:
+  case OpStb:
+  case OpSth: {
+    static const struct {
+      uint32_t Op;
+      const char *Name;
+    } MNames[] = {{OpLdw, "ldw"},   {OpLdb, "ldb"}, {OpLdbu, "ldbu"},
+                  {OpLdh, "ldh"},   {OpLdhu, "ldhu"}, {OpStw, "stw"},
+                  {OpStb, "stb"},   {OpSth, "sth"}};
+    for (const auto &Entry : MNames) {
+      if (Entry.Op != fieldOp(W))
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %d(%s)", Entry.Name,
+                    R(fieldRa(W)).c_str(), fieldSimm16(W),
+                    R(fieldRb(W)).c_str());
+      return Buf;
+    }
+    return "<invalid>";
+  }
+  case OpBeq:
+  case OpBne:
+  case OpBlt:
+  case OpBle: {
+    static const struct {
+      uint32_t Op;
+      const char *Name;
+    } BNames[] = {{OpBeq, "beq"}, {OpBne, "bne"}, {OpBlt, "blt"},
+                  {OpBle, "ble"}};
+    Addr Target = PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+    for (const auto &Entry : BNames) {
+      if (Entry.Op != fieldOp(W))
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "%s %s, %s, 0x%" PRIx32, Entry.Name,
+                    R(fieldRa(W)).c_str(), R(fieldRb(W)).c_str(), Target);
+      return Buf;
+    }
+    return "<invalid>";
+  }
+  case OpBr:
+  case OpBsr: {
+    Addr Target = PC + 4 + static_cast<Addr>(fieldSdisp26(W) * 4);
+    std::snprintf(Buf, sizeof(Buf), "%s 0x%" PRIx32,
+                  fieldOp(W) == OpBr ? "br" : "bsr", Target);
+    return Buf;
+  }
+  case OpJmp:
+    if (fieldUimm16(W) != 0)
+      return "<invalid>";
+    if (fieldRa(W) == 0) {
+      std::snprintf(Buf, sizeof(Buf), "jmp (%s)", R(fieldRb(W)).c_str());
+      return Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "jmp %s, (%s)", R(fieldRa(W)).c_str(),
+                  R(fieldRb(W)).c_str());
+    return Buf;
+  case OpSys:
+    if (fieldRa(W) != 0 || fieldRb(W) != 0)
+      return "<invalid>";
+    std::snprintf(Buf, sizeof(Buf), "sys %u", fieldUimm16(W));
+    return Buf;
+  default:
+    return "<invalid>";
+  }
+}
+
+const TargetInfo &eel::ariscTarget() {
+  static AriscTarget Target;
+  return Target;
+}

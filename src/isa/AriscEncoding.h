@@ -1,0 +1,162 @@
+//===- isa/AriscEncoding.h - ARISC instruction encoding --------*- C++ -*-===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding constants and field helpers for ARISC, the project's Alpha-like
+/// third target. ARISC stresses the machine-independence claim from the
+/// opposite direction to SRISC/MRISC: it has *no* branch delay slots and no
+/// annul bits, so every transfer takes effect immediately and the CFG
+/// normalization's "nothing to normalize" path must actually work. Relative
+/// to MRISC it also differs in exactly the ways Alpha differs from MIPS —
+/// all transfers are PC-relative (no absolute-region jumps), the call is a
+/// `bsr` writing PC+4, the one overloaded indirect is `jmp ra,(rb)`, and
+/// constants materialize via `ldih`/`ori`.
+///
+/// Formats (op = bits 31:26):
+///   op=0x10          : operate   ra, rb, rc, func    rc := ra <func> rb
+///   op=0x11..0x19    : opr-imm   ra, rb, imm16       rb := ra <op> imm
+///   op=0x20.., 0x28..: memory    ra, rb, disp16      data ra, base rb
+///   op=0x30..0x33    : branch    ra, rb, disp16      PC + 4 + disp*4
+///   op=0x34, 0x35    : br / bsr  disp26              PC + 4 + disp*4
+///   op=0x36          : jmp       ra, rb              R[ra] := PC+4; pc := rb
+///   op=0x3f          : sys       imm16               trap number immediate
+///
+/// One deliberate deviation from Alpha: the hard-zero register is r0 (not
+/// r31), matching the other two targets' conventions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EEL_ISA_ARISCENCODING_H
+#define EEL_ISA_ARISCENCODING_H
+
+#include "support/BitOps.h"
+#include "isa/Target.h"
+
+namespace eel {
+namespace arisc {
+
+// Major opcodes.
+enum : uint32_t {
+  OpOperate = 0x10,
+  OpAddi = 0x11,
+  OpAndi = 0x12,
+  OpOri = 0x13,
+  OpXori = 0x14,
+  OpSlli = 0x15,
+  OpSrli = 0x16,
+  OpSrai = 0x17,
+  OpCmplti = 0x18,
+  OpLdih = 0x19,
+  OpLdw = 0x20,
+  OpLdb = 0x21,
+  OpLdbu = 0x22,
+  OpLdh = 0x23,
+  OpLdhu = 0x24,
+  OpStw = 0x28,
+  OpStb = 0x29,
+  OpSth = 0x2A,
+  OpBeq = 0x30,
+  OpBne = 0x31,
+  OpBlt = 0x32,
+  OpBle = 0x33,
+  OpBr = 0x34,
+  OpBsr = 0x35,
+  OpJmp = 0x36,
+  OpSys = 0x3F,
+};
+
+// Operate-format func values.
+enum : uint32_t {
+  FnAdd = 0x00,
+  FnSub = 0x01,
+  FnAnd = 0x02,
+  FnOr = 0x03,
+  FnXor = 0x04,
+  FnSll = 0x05,
+  FnSrl = 0x06,
+  FnSra = 0x07,
+  FnMul = 0x08,
+  FnDiv = 0x09,
+  FnRem = 0x0A,
+  FnCmplt = 0x0B,
+};
+
+// Well-known registers (Alpha-flavored names; r0 is hard zero).
+enum : unsigned {
+  RegZero = 0,
+  RegV0 = 1,
+  RegFP = 15,
+  RegA0 = 16,
+  RegRA = 26,
+  RegAT = 28,
+  RegGP = 29,
+  RegSP = 30,
+};
+
+// Field accessors.
+inline uint32_t fieldOp(MachWord W) { return extractBits(W, 26, 31); }
+inline uint32_t fieldRa(MachWord W) { return extractBits(W, 21, 25); }
+inline uint32_t fieldRb(MachWord W) { return extractBits(W, 16, 20); }
+inline uint32_t fieldRc(MachWord W) { return extractBits(W, 11, 15); }
+inline uint32_t fieldFunc(MachWord W) { return extractBits(W, 0, 10); }
+inline uint32_t fieldUimm16(MachWord W) { return extractBits(W, 0, 15); }
+inline int32_t fieldSimm16(MachWord W) {
+  return signExtend(extractBits(W, 0, 15), 16);
+}
+inline int32_t fieldSdisp26(MachWord W) {
+  return signExtend(extractBits(W, 0, 25), 26);
+}
+
+// Encoders.
+
+inline MachWord encodeOperate(unsigned Ra, unsigned Rb, unsigned Rc,
+                              uint32_t Func) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, OpOperate);
+  W = insertBits(W, 21, 25, Ra);
+  W = insertBits(W, 16, 20, Rb);
+  W = insertBits(W, 11, 15, Rc);
+  W = insertBits(W, 0, 10, Func);
+  return W;
+}
+
+inline MachWord encodeIType(uint32_t Op, unsigned Ra, unsigned Rb,
+                            uint32_t Imm16) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, Op);
+  W = insertBits(W, 21, 25, Ra);
+  W = insertBits(W, 16, 20, Rb);
+  W = insertBits(W, 0, 15, Imm16);
+  return W;
+}
+
+inline MachWord encodeBranch(uint32_t Op, unsigned Ra, unsigned Rb,
+                             int32_t DispWords) {
+  return encodeIType(Op, Ra, Rb, static_cast<uint32_t>(DispWords) & 0xFFFFu);
+}
+
+inline MachWord encodeBrType(uint32_t Op, int32_t DispWords) {
+  MachWord W = 0;
+  W = insertBits(W, 26, 31, Op);
+  W = insertBits(W, 0, 25, static_cast<uint32_t>(DispWords));
+  return W;
+}
+
+inline MachWord encodeJmp(unsigned RaLink, unsigned RbBase) {
+  return encodeIType(OpJmp, RaLink, RbBase, 0);
+}
+
+inline MachWord encodeSys(unsigned Num) {
+  return encodeIType(OpSys, 0, 0, Num);
+}
+
+/// The canonical ARISC nop: ori r0, r0, 0.
+inline MachWord nop() { return encodeIType(OpOri, 0, 0, 0); }
+
+} // namespace arisc
+} // namespace eel
+
+#endif // EEL_ISA_ARISCENCODING_H

@@ -144,3 +144,60 @@ val sto(w) is mem(R[rs] + sx(imm16), w) := R[rt]
 sem [ sb sh sw ] is sto @ [ 1 2 4 ]
 )";
 }
+
+const char *eel::ariscDescription() {
+  return R"(
+-- ARISC: an Alpha-like 32-bit RISC. No delay slots, no annul bits, no
+-- condition codes: every transfer takes effect immediately, so no semantic
+-- expression below contains a `;` delay mark.
+arch arisc
+wordsize 32
+
+fields
+  op 26:31, ra 21:25, rb 16:20, rc 11:15, func 0:10,
+  imm16 0:15, disp26 0:25
+
+register int{32} R[32]
+zero R[0]
+
+pat [ add sub and or xor sll srl sra mul div rem cmplt ]
+  is op=0x10 && func=[0x00 0x01 0x02 0x03 0x04 0x05
+                      0x06 0x07 0x08 0x09 0x0a 0x0b]
+pat [ addi cmplti ] is op=[0x11 0x18]
+pat [ andi ori xori ] is op=[0x12 0x13 0x14]
+pat [ slli srli srai ] is op=[0x15 0x16 0x17]
+pat ldih is op=0x19 && ra=0
+pat [ ldw ldb ldbu ldh ldhu ] is op=[0x20 0x21 0x22 0x23 0x24]
+pat [ stw stb sth ] is op=[0x28 0x29 0x2a]
+pat [ beq bne blt ble ] is op=[0x30 0x31 0x32 0x33]
+pat br is op=0x34
+pat bsr is op=0x35
+pat jmp is op=0x36 && imm16=0
+pat sys is op=0x3f && ra=0 && rb=0
+
+val alur(f) is R[rc] := f(R[ra], R[rb])
+sem [ add sub and or xor sll srl sra mul div rem cmplt ]
+  is alur @ [ add sub and or xor sll srl sra mul div rem setless ]
+val alui(f) is R[rb] := f(R[ra], sx(imm16))
+sem [ addi cmplti ] is alui @ [ add setless ]
+val aluz(f) is R[rb] := f(R[ra], imm16)
+sem [ andi ori xori ] is aluz @ [ and or xor ]
+val alus(f) is R[rb] := f(R[ra], imm16)
+sem [ slli srli srai ] is alus @ [ sll srl sra ]
+sem ldih is R[rb] := imm16 << 16
+
+-- Branch displacements are relative to the next instruction (there is no
+-- delay slot for them to be relative to).
+val brc(t) is tgt := PC + 4 + (sx(imm16) << 2), t(R[ra], R[rb]) ? pc := tgt
+sem [ beq bne blt ble ] is brc @ [ eq ne setless les ]
+sem br is tgt := PC + 4 + (sx(disp26) << 2), pc := tgt
+sem bsr is tgt := PC + 4 + (sx(disp26) << 2), R[26] := PC + 4, pc := tgt
+sem jmp is tgt := R[rb], R[ra] := PC + 4, pc := tgt
+sem sys is trap imm16
+
+val lod(w, s) is R[ra] := mem(R[rb] + sx(imm16), w, s)
+sem [ ldw ldb ldbu ldh ldhu ] is lod @ [ (4 0) (1 1) (1 0) (2 1) (2 0) ]
+val sto(w) is mem(R[rb] + sx(imm16), w) := R[ra]
+sem [ stw stb sth ] is sto @ [ 4 1 2 ]
+)";
+}

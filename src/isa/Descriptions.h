@@ -24,6 +24,9 @@ const char *sriscDescription();
 /// Spawn description of the MRISC (MIPS-like) instruction set.
 const char *mriscDescription();
 
+/// Spawn description of the ARISC (Alpha-like, no delay slots) set.
+const char *ariscDescription();
+
 } // namespace eel
 
 #endif // EEL_ISA_DESCRIPTIONS_H

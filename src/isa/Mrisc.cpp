@@ -77,6 +77,7 @@ public:
   const TargetConventions &conventions() const override { return Conv; }
   unsigned numRegisters() const override { return 32; }
   bool hasConditionCodes() const override { return false; }
+  bool branchDelaySlots() const override { return true; }
 
   std::string regName(unsigned Reg) const override {
     if (Reg == RegIdPC)
@@ -799,6 +800,8 @@ const TargetInfo &eel::targetFor(TargetArch Arch) {
     return sriscTarget();
   case TargetArch::Mrisc:
     return mriscTarget();
+  case TargetArch::Arisc:
+    return ariscTarget();
   }
   unreachable("unknown target architecture");
 }

@@ -110,6 +110,7 @@ public:
   const TargetConventions &conventions() const override { return Conv; }
   unsigned numRegisters() const override { return 32; }
   bool hasConditionCodes() const override { return true; }
+  bool branchDelaySlots() const override { return true; }
 
   std::string regName(unsigned Reg) const override {
     if (Reg == RegIdCC)

@@ -579,13 +579,19 @@ InstSummary WordAnalyzer::run() {
   }
 
   // --- Delay behaviour ------------------------------------------------------
+  // A transfer occupies a delay slot only when the description says so (the
+  // `;` mark). The old code hardcoded HasDelaySlot = true for every transfer
+  // category — a latent SPARC-ism that broke the first delay-slot-free
+  // description (ARISC).
   switch (Summary.Category) {
   case InstCategory::BranchDirect:
   case InstCategory::JumpDirect:
   case InstCategory::CallDirect:
   case InstCategory::IndirectJump:
-    Summary.HasDelaySlot = true;
-    if (AnnulAlways)
+    Summary.HasDelaySlot = Sem.HasDelayMark;
+    if (!Sem.HasDelayMark)
+      Summary.Delay = DelayBehavior::None;
+    else if (AnnulAlways)
       Summary.Delay = DelayBehavior::AnnulAlways;
     else if (AnnulUntaken)
       Summary.Delay = DelayBehavior::AnnulUntaken;

@@ -550,6 +550,34 @@ std::vector<std::string> MachineDesc::regFileNames() const {
 }
 
 int MachineDesc::decode(MachWord Word) const {
+  if (DecodeProgram.empty())
+    return decodeLinear(Word);
+  size_t Node = 0;
+  for (;;) {
+    int32_t Header = DecodeProgram[Node];
+    if (Header < 0) {
+      // Scan node: -Header candidates that could not be split further.
+      for (int32_t I = 0; I < -Header; ++I) {
+        int32_t PI = DecodeProgram[Node + 1 + I];
+        if ((Word & Patterns[PI].Mask) == Patterns[PI].Match)
+          return PI;
+      }
+      return -1;
+    }
+    unsigned Lo = static_cast<unsigned>(Header) >> 8;
+    unsigned Width = static_cast<unsigned>(Header) & 0xFF;
+    uint32_t Value = (Word >> Lo) & ((1u << Width) - 1u);
+    int32_t Entry = DecodeProgram[Node + 1 + Value];
+    if (Entry == -1)
+      return -1;
+    if (Entry >= 0)
+      return (Word & Patterns[Entry].Mask) == Patterns[Entry].Match ? Entry
+                                                                    : -1;
+    Node = static_cast<size_t>(-(Entry + 2));
+  }
+}
+
+int MachineDesc::decodeLinear(MachWord Word) const {
   if (BucketFieldIndex >= 0) {
     const FieldDef &F = Fields[BucketFieldIndex];
     auto It = Buckets.find(fieldValue(F, Word));
@@ -607,7 +635,95 @@ Expected<bool> MachineDesc::finalize() {
           Buckets[C.Value].push_back(static_cast<int>(PI));
     }
   }
+  buildDecodeProgram();
   return true;
+}
+
+void MachineDesc::buildDecodeProgram() {
+  DecodeProgram.clear();
+  if (Patterns.size() < 2)
+    return;
+
+  // Recursive splitter in the binutils opcodes style: at each node pick the
+  // most discriminating field constrained by *every* pattern in the subset
+  // and expand a dense 2^width child table over its values. Subsets that no
+  // unused field separates fall back to a small scan node.
+  struct Builder {
+    MachineDesc &D;
+
+    uint32_t constraintOn(int PI, size_t FI, bool &Found) const {
+      for (const PatternConstraint &C : D.Patterns[PI].Constraints)
+        if (C.Field == D.Fields[FI].Name) {
+          Found = true;
+          return C.Value;
+        }
+      Found = false;
+      return 0;
+    }
+
+    /// Returns the entry value encoding this subset: a leaf, a child-node
+    /// reference, or a scan node when no field splits it.
+    int32_t build(const std::vector<int> &Subset, uint64_t UsedFields) {
+      if (Subset.empty())
+        return -1;
+      if (Subset.size() == 1)
+        return Subset[0];
+      // Pick the unused field constrained by all patterns here with the
+      // most distinct values; cap the width so tables stay dense.
+      int Best = -1;
+      size_t BestDistinct = 1;
+      for (size_t FI = 0; FI < D.Fields.size() && FI < 64; ++FI) {
+        if ((UsedFields >> FI) & 1)
+          continue;
+        if (D.Fields[FI].width() > 12)
+          continue;
+        std::set<uint32_t> Values;
+        bool InAll = true;
+        for (int PI : Subset) {
+          bool Found = false;
+          uint32_t V = constraintOn(PI, FI, Found);
+          if (!Found) {
+            InAll = false;
+            break;
+          }
+          Values.insert(V);
+        }
+        if (InAll && Values.size() > BestDistinct) {
+          BestDistinct = Values.size();
+          Best = static_cast<int>(FI);
+        }
+      }
+      if (Best < 0) {
+        int32_t Node = static_cast<int32_t>(D.DecodeProgram.size());
+        D.DecodeProgram.push_back(-static_cast<int32_t>(Subset.size()));
+        for (int PI : Subset)
+          D.DecodeProgram.push_back(PI);
+        return -(Node + 2);
+      }
+      const FieldDef &F = D.Fields[Best];
+      unsigned Width = F.width();
+      int32_t Node = static_cast<int32_t>(D.DecodeProgram.size());
+      D.DecodeProgram.push_back(
+          static_cast<int32_t>((F.Lo << 8) | Width));
+      size_t Base = D.DecodeProgram.size();
+      D.DecodeProgram.resize(Base + (size_t(1) << Width), -1);
+      std::map<uint32_t, std::vector<int>> Groups;
+      for (int PI : Subset) {
+        bool Found = false;
+        Groups[constraintOn(PI, Best, Found)].push_back(PI);
+      }
+      for (const auto &[Value, Group] : Groups)
+        D.DecodeProgram[Base + Value] =
+            build(Group, UsedFields | (uint64_t(1) << Best));
+      return -(Node + 2);
+    }
+  };
+
+  std::vector<int> All(Patterns.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = static_cast<int>(I);
+  Builder B{*this};
+  B.build(All, 0);
 }
 
 // --- Clause parser --------------------------------------------------------------

@@ -402,8 +402,9 @@ StepOutcome Evaluator::run() {
   if (PendingTrap) {
     // Trap conventions live outside the description (paper §4); fetch them
     // from the handwritten backend for this architecture.
-    TargetArch Arch = Desc.ArchName == "mrisc" ? TargetArch::Mrisc
-                                               : TargetArch::Srisc;
+    TargetArch Arch = Desc.ArchName == "mrisc"   ? TargetArch::Mrisc
+                      : Desc.ArchName == "arisc" ? TargetArch::Arisc
+                                                 : TargetArch::Srisc;
     const TargetConventions &Conv = targetFor(Arch).conventions();
     // Gather up to three argument registers in id order.
     uint32_t Args[3] = {0, 0, 0};

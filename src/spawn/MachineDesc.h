@@ -68,8 +68,37 @@ public:
 
   const FieldDef *field(const std::string &Name) const;
 
+  /// Whether any semantic expression carries a `;` delay mark — i.e. whether
+  /// the described architecture has branch delay slots at all.
+  bool hasDelayMarks() const {
+    for (const Semantics &S : Sems)
+      if (S.HasDelayMark)
+        return true;
+    return false;
+  }
+
   /// Decodes \p Word to a pattern index, or -1 for invalid encodings.
+  /// Walks the compiled decode table (falling back to the linear scan when
+  /// no table was built, i.e. before finalize()).
   int decode(MachWord Word) const;
+
+  /// The pre-table decoder: bucket on one common field, then scan the
+  /// bucket's mask/match pairs linearly. Kept callable so the decode-table
+  /// speedup is measurable (bench_machdesc) and cross-checkable (tests).
+  int decodeLinear(MachWord Word) const;
+
+  /// The compiled decode table, a flattened tree. Each node starts with a
+  /// header word:
+  ///
+  ///   header >= 0: switch node. header = (fieldLo << 8) | fieldWidth,
+  ///     followed by 2^width entries indexed by the extracted field value.
+  ///   header < 0: scan node. -header pattern indices follow; each is
+  ///     tried in order against its mask/match pair.
+  ///
+  /// An entry is -1 (invalid), >= 0 (pattern-index leaf, verified against
+  /// the pattern's mask/match), or <= -2 (child node at offset -(e + 2)).
+  /// Empty when the description has at most one pattern.
+  const std::vector<int32_t> &decodeProgram() const { return DecodeProgram; }
 
   uint32_t fieldValue(const FieldDef &F, MachWord Word) const;
 
@@ -81,8 +110,11 @@ public:
   Expected<bool> finalize();
 
 private:
+  void buildDecodeProgram();
+
   int BucketFieldIndex = -1;
   std::map<uint32_t, std::vector<int>> Buckets;
+  std::vector<int32_t> DecodeProgram;
 };
 
 /// Parses a description; the returned object is immutable afterwards.

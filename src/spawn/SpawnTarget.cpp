@@ -85,6 +85,12 @@ bool SpawnTarget::isConditional(MachWord Word) const {
   return S.Conditional && S.Category == InstCategory::BranchDirect;
 }
 
+bool SpawnTarget::branchDelaySlots() const {
+  // Derived from the description, not the delegate: the architecture has
+  // delay slots iff some semantic expression carries a `;` delay mark.
+  return Desc->hasDelayMarks();
+}
+
 std::optional<Addr> SpawnTarget::directTarget(MachWord Word, Addr PC) const {
   const InstSummary &S = summary(Word);
   if (!S.Direct)
@@ -246,8 +252,9 @@ std::string SpawnTarget::disassemble(MachWord Word, Addr PC) const {
 }
 
 static const SpawnTarget &buildSpawnTarget(TargetArch Arch) {
-  const char *Source = Arch == TargetArch::Srisc ? sriscDescription()
-                                                 : mriscDescription();
+  const char *Source = Arch == TargetArch::Srisc   ? sriscDescription()
+                       : Arch == TargetArch::Mrisc ? mriscDescription()
+                                                   : ariscDescription();
   Expected<std::shared_ptr<MachineDesc>> Desc =
       parseMachineDescription(Source);
   if (Desc.hasError())
@@ -269,12 +276,19 @@ const SpawnTarget &spawn::spawnMriscTarget() {
   return Target;
 }
 
+const SpawnTarget &spawn::spawnAriscTarget() {
+  static const SpawnTarget &Target = buildSpawnTarget(TargetArch::Arisc);
+  return Target;
+}
+
 const SpawnTarget &spawn::spawnTargetFor(TargetArch Arch) {
   switch (Arch) {
   case TargetArch::Srisc:
     return spawnSriscTarget();
   case TargetArch::Mrisc:
     return spawnMriscTarget();
+  case TargetArch::Arisc:
+    return spawnAriscTarget();
   }
   unreachable("unknown target architecture");
 }

@@ -60,6 +60,7 @@ public:
   bool hasDelaySlot(MachWord Word) const override;
   DelayBehavior delayBehavior(MachWord Word) const override;
   bool isConditional(MachWord Word) const override;
+  bool branchDelaySlots() const override;
   std::optional<Addr> directTarget(MachWord Word, Addr PC) const override;
   std::optional<IndirectTargetInfo>
   indirectTarget(MachWord Word) const override;
@@ -114,6 +115,7 @@ private:
 /// Spawn-derived targets for the embedded descriptions (parsed once).
 const SpawnTarget &spawnSriscTarget();
 const SpawnTarget &spawnMriscTarget();
+const SpawnTarget &spawnAriscTarget();
 const SpawnTarget &spawnTargetFor(TargetArch Arch);
 
 } // namespace spawn

@@ -327,7 +327,7 @@ Expected<SxfFile> SxfFile::deserialize(const std::vector<uint8_t> &Bytes) {
   SxfFile File;
   uint64_t FieldOff = R.pos();
   uint8_t ArchByte = R.readU8();
-  if (ArchByte > static_cast<uint8_t>(TargetArch::Mrisc))
+  if (ArchByte > static_cast<uint8_t>(TargetArch::Arisc))
     return Error(ErrorCode::BadArch, "unknown architecture")
         .atOffset(FieldOff)
         .inField("arch");

@@ -14,10 +14,18 @@ Sandboxer::Sandboxer(Executable &Exec, Addr DataRegionBase,
                      Addr StackRegionBase, unsigned RegionBits)
     : Exec(Exec), DataHi(DataRegionBase >> RegionBits),
       StackHi(StackRegionBase >> RegionBits), RegionBits(RegionBits) {
-  const char *Asm = Exec.target().arch() == TargetArch::Srisc
-                        ? ".text\n__sfi_violation:\n  mov 91, %o0\n  sys 0\n"
-                        : ".text\n__sfi_violation:\n  li $a0, 91\n"
-                          "  li $v0, 0\n  syscall\n";
+  const char *Asm = nullptr;
+  switch (Exec.target().arch()) {
+  case TargetArch::Srisc:
+    Asm = ".text\n__sfi_violation:\n  mov 91, %o0\n  sys 0\n";
+    break;
+  case TargetArch::Mrisc:
+    Asm = ".text\n__sfi_violation:\n  li $a0, 91\n  li $v0, 0\n  syscall\n";
+    break;
+  case TargetArch::Arisc:
+    Asm = ".text\n__sfi_violation:\n  li $a0, 91\n  sys 0\n";
+    break;
+  }
   ViolationRoutine = Exec.addRoutineAsm("__sfi_violation", Asm);
 }
 

@@ -6,6 +6,7 @@
 
 #include "vm/Machine.h"
 
+#include "isa/AriscEncoding.h"
 #include "isa/MriscEncoding.h"
 #include "isa/SriscEncoding.h"
 #include "support/Error.h"
@@ -138,6 +139,8 @@ RunResult Machine::run(uint64_t MaxSteps) {
     return runSrisc(MaxSteps);
   case TargetArch::Mrisc:
     return runMrisc(MaxSteps);
+  case TargetArch::Arisc:
+    return runArisc(MaxSteps);
   }
   unreachable("unknown target architecture");
 }
@@ -149,8 +152,13 @@ RunResult eel::runToCompletion(const SxfFile &File, uint64_t MaxSteps) {
 
 RunResult Machine::runGeneric(const StepFn &Step, uint64_t MaxSteps) {
   RunResult Result;
-  const TargetConventions &Conv = targetFor(Arch).conventions();
+  const TargetInfo &Target = targetFor(Arch);
+  const TargetConventions &Conv = Target.conventions();
   unsigned RetReg = Conv.RetRegs.first();
+  // On a delay-slot architecture a taken transfer replaces NPC, so the slot
+  // instruction issues first; without delay slots the transfer takes effect
+  // immediately and the (PC, NPC) pair degenerates to sequential fetch.
+  bool DelaySlots = Target.branchDelaySlots();
 
   for (uint64_t StepNo = 0; StepNo < MaxSteps; ++StepNo) {
     if (Cpu.PC == ExitMagic) {
@@ -183,14 +191,19 @@ RunResult Machine::runGeneric(const StepFn &Step, uint64_t MaxSteps) {
       Result.ExitCode = Out.ExitCode;
       break;
     }
-    Addr NewPC = Cpu.NPC;
-    Addr NewNPC = Out.Branch ? Out.Target : Cpu.NPC + 4;
-    if (Out.Annul) {
-      NewPC = NewNPC;
-      NewNPC = NewPC + 4;
+    if (DelaySlots) {
+      Addr NewPC = Cpu.NPC;
+      Addr NewNPC = Out.Branch ? Out.Target : Cpu.NPC + 4;
+      if (Out.Annul) {
+        NewPC = NewNPC;
+        NewNPC = NewPC + 4;
+      }
+      Cpu.PC = NewPC;
+      Cpu.NPC = NewNPC;
+    } else {
+      Cpu.PC = Out.Branch ? Out.Target : Cpu.PC + 4;
+      Cpu.NPC = Cpu.PC + 4;
     }
-    Cpu.PC = NewPC;
-    Cpu.NPC = NewNPC;
     if (StepNo + 1 == MaxSteps) {
       Result.Reason = StopReason::StepLimit;
       Result.FaultPC = Cpu.PC;
@@ -804,6 +817,288 @@ RunResult Machine::runMrisc(uint64_t MaxSteps) {
     Cpu.PC = Cpu.NPC;
     Cpu.NPC = Ctl.Branch ? Ctl.Target : Cpu.NPC + 4;
     // MRISC has no annulment.
+
+    if (Step + 1 == MaxSteps) {
+      Result.Reason = StopReason::StepLimit;
+      Result.FaultPC = Cpu.PC;
+    }
+  }
+
+  Result.Instructions = Retired;
+  Result.Output = Output;
+  return Result;
+}
+
+// --- ARISC interpreter --------------------------------------------------------
+
+RunResult Machine::runArisc(uint64_t MaxSteps) {
+  using namespace arisc;
+  RunResult Result;
+  uint32_t *R = Cpu.Regs;
+
+  for (uint64_t Step = 0; Step < MaxSteps; ++Step) {
+    if (Cpu.PC == ExitMagic) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = static_cast<int>(R[RegV0]);
+      break;
+    }
+    if (Cpu.PC & 3) {
+      Result.Reason = StopReason::BadAlignment;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    MachWord W = Mem.readWord(Cpu.PC);
+    StepControl Ctl;
+    uint32_t Op = fieldOp(W);
+    unsigned Ra = fieldRa(W), Rb = fieldRb(W), Rc = fieldRc(W);
+
+    if (OnInst)
+      OnInst(Cpu.PC, W);
+
+    auto SetReg = [&R](unsigned Reg, uint32_t Value) {
+      if (Reg)
+        R[Reg] = Value;
+    };
+
+    switch (Op) {
+    case OpOperate: {
+      uint32_t A = R[Ra], B = R[Rb];
+      switch (fieldFunc(W)) {
+      case FnAdd:
+        SetReg(Rc, A + B);
+        break;
+      case FnSub:
+        SetReg(Rc, A - B);
+        break;
+      case FnAnd:
+        SetReg(Rc, A & B);
+        break;
+      case FnOr:
+        SetReg(Rc, A | B);
+        break;
+      case FnXor:
+        SetReg(Rc, A ^ B);
+        break;
+      case FnSll:
+        SetReg(Rc, A << (B & 31));
+        break;
+      case FnSrl:
+        SetReg(Rc, A >> (B & 31));
+        break;
+      case FnSra:
+        SetReg(Rc,
+               static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31)));
+        break;
+      case FnMul:
+        // Wrapping semantics; computed unsigned because the low 32 bits of
+        // signed and unsigned products agree and signed overflow is UB.
+        SetReg(Rc, A * B);
+        break;
+      case FnDiv: {
+        int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+        uint32_t Value;
+        if (SB == 0)
+          Value = 0;
+        else if (SA == INT32_MIN && SB == -1)
+          Value = static_cast<uint32_t>(INT32_MIN);
+        else
+          Value = static_cast<uint32_t>(SA / SB);
+        SetReg(Rc, Value);
+        break;
+      }
+      case FnRem: {
+        int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+        uint32_t Value;
+        if (SB == 0)
+          Value = A;
+        else if (SA == INT32_MIN && SB == -1)
+          Value = 0;
+        else
+          Value = static_cast<uint32_t>(SA % SB);
+        SetReg(Rc, Value);
+        break;
+      }
+      case FnCmplt:
+        SetReg(Rc, static_cast<int32_t>(A) < static_cast<int32_t>(B) ? 1 : 0);
+        break;
+      default:
+        Ctl.Invalid = true;
+        break;
+      }
+      break;
+    }
+    case OpAddi:
+      SetReg(Rb, R[Ra] + static_cast<uint32_t>(fieldSimm16(W)));
+      break;
+    case OpCmplti:
+      SetReg(Rb, static_cast<int32_t>(R[Ra]) < fieldSimm16(W) ? 1 : 0);
+      break;
+    case OpAndi:
+      SetReg(Rb, R[Ra] & fieldUimm16(W));
+      break;
+    case OpOri:
+      SetReg(Rb, R[Ra] | fieldUimm16(W));
+      break;
+    case OpXori:
+      SetReg(Rb, R[Ra] ^ fieldUimm16(W));
+      break;
+    case OpSlli:
+      SetReg(Rb, R[Ra] << (fieldUimm16(W) & 31));
+      break;
+    case OpSrli:
+      SetReg(Rb, R[Ra] >> (fieldUimm16(W) & 31));
+      break;
+    case OpSrai:
+      SetReg(Rb, static_cast<uint32_t>(static_cast<int32_t>(R[Ra]) >>
+                                       (fieldUimm16(W) & 31)));
+      break;
+    case OpLdih:
+      if (Ra != 0) {
+        Ctl.Invalid = true;
+        break;
+      }
+      SetReg(Rb, fieldUimm16(W) << 16);
+      break;
+    case OpLdw:
+    case OpLdb:
+    case OpLdbu:
+    case OpLdh:
+    case OpLdhu:
+    case OpStw:
+    case OpStb:
+    case OpSth: {
+      Addr EffAddr = R[Rb] + static_cast<uint32_t>(fieldSimm16(W));
+      bool IsStore = Op == OpStw || Op == OpStb || Op == OpSth;
+      unsigned Width = (Op == OpLdw || Op == OpStw)                   ? 4
+                       : (Op == OpLdh || Op == OpLdhu || Op == OpSth) ? 2
+                                                                      : 1;
+      if (OnMemory)
+        OnMemory(Cpu.PC, EffAddr, Width, IsStore);
+      if (EffAddr & (Width - 1)) {
+        Result.Reason = StopReason::BadAlignment;
+        Result.FaultPC = Cpu.PC;
+        Result.Instructions = Retired;
+        Result.Output = Output;
+        return Result;
+      }
+      switch (Op) {
+      case OpLdw:
+        SetReg(Ra, Mem.readWord(EffAddr));
+        break;
+      case OpLdb:
+        SetReg(Ra, static_cast<uint32_t>(static_cast<int32_t>(
+                       static_cast<int8_t>(Mem.readByte(EffAddr)))));
+        break;
+      case OpLdbu:
+        SetReg(Ra, Mem.readByte(EffAddr));
+        break;
+      case OpLdh:
+        SetReg(Ra, static_cast<uint32_t>(static_cast<int32_t>(
+                       static_cast<int16_t>(Mem.readHalf(EffAddr)))));
+        break;
+      case OpLdhu:
+        SetReg(Ra, Mem.readHalf(EffAddr));
+        break;
+      case OpStw:
+        Mem.writeWord(EffAddr, R[Ra]);
+        break;
+      case OpStb:
+        Mem.writeByte(EffAddr, static_cast<uint8_t>(R[Ra]));
+        break;
+      case OpSth:
+        Mem.writeHalf(EffAddr, static_cast<uint16_t>(R[Ra]));
+        break;
+      }
+      break;
+    }
+    case OpBeq:
+    case OpBne:
+    case OpBlt:
+    case OpBle: {
+      bool Taken = false;
+      switch (Op) {
+      case OpBeq:
+        Taken = R[Ra] == R[Rb];
+        break;
+      case OpBne:
+        Taken = R[Ra] != R[Rb];
+        break;
+      case OpBlt:
+        Taken = static_cast<int32_t>(R[Ra]) < static_cast<int32_t>(R[Rb]);
+        break;
+      case OpBle:
+        Taken = static_cast<int32_t>(R[Ra]) <= static_cast<int32_t>(R[Rb]);
+        break;
+      }
+      Addr Target = Cpu.PC + 4 + static_cast<Addr>(fieldSimm16(W) * 4);
+      if (Taken) {
+        Ctl.Branch = true;
+        Ctl.Target = Target;
+      }
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Target, Taken);
+      break;
+    }
+    case OpBr:
+    case OpBsr: {
+      Addr Target = Cpu.PC + 4 + static_cast<Addr>(fieldSdisp26(W) * 4);
+      if (Op == OpBsr)
+        R[RegRA] = Cpu.PC + 4;
+      Ctl.Branch = true;
+      Ctl.Target = Target;
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Target, true);
+      break;
+    }
+    case OpJmp: {
+      if (fieldUimm16(W) != 0) {
+        Ctl.Invalid = true;
+        break;
+      }
+      Ctl.Branch = true;
+      Ctl.Target = R[Rb];
+      SetReg(Ra, Cpu.PC + 4);
+      if (OnTransfer)
+        OnTransfer(Cpu.PC, Ctl.Target, true);
+      break;
+    }
+    case OpSys: {
+      if (Ra != 0 || Rb != 0) {
+        Ctl.Invalid = true;
+        break;
+      }
+      uint32_t Args[3] = {R[16], R[17], R[18]};
+      bool Exited = false;
+      int Code = 0;
+      uint32_t Ret = doSyscall(fieldUimm16(W), Args, Exited, Code);
+      if (Exited) {
+        Ctl.Exited = true;
+        Ctl.ExitCode = Code;
+      } else {
+        R[RegV0] = Ret;
+      }
+      break;
+    }
+    default:
+      Ctl.Invalid = true;
+      break;
+    }
+
+    if (Ctl.Invalid) {
+      Result.Reason = StopReason::BadInstruction;
+      Result.FaultPC = Cpu.PC;
+      break;
+    }
+    ++Retired;
+    if (Ctl.Exited) {
+      Result.Reason = StopReason::Exited;
+      Result.ExitCode = Ctl.ExitCode;
+      break;
+    }
+
+    // No delay slots: a taken transfer redirects the very next fetch.
+    Cpu.PC = Ctl.Branch ? Ctl.Target : Cpu.PC + 4;
+    Cpu.NPC = Cpu.PC + 4;
 
     if (Step + 1 == MaxSteps) {
       Result.Reason = StopReason::StepLimit;

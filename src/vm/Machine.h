@@ -146,6 +146,7 @@ public:
 private:
   RunResult runSrisc(uint64_t MaxSteps);
   RunResult runMrisc(uint64_t MaxSteps);
+  RunResult runArisc(uint64_t MaxSteps);
 
   TargetArch Arch;
   VmMemory Mem;

@@ -424,6 +424,179 @@ public:
   void useResult() override { raw("  move $a0, $v0"); }
 };
 
+/// ARISC (Alpha-like) emitter. ACC=$a0, T0-T3=$t0..$t3, SAVED=$s0. No
+/// delay slots, so transfers never trail a nop; conditionals are
+/// compare-and-branch on two registers with $at as the assembler temp.
+class AriscEmitter : public Emitter {
+public:
+  using Emitter::Emitter;
+
+  const char *reg(VReg R) const {
+    switch (R) {
+    case ACC: return "$a0";
+    case T0: return "$t0";
+    case T1: return "$t1";
+    case T2: return "$t2";
+    case T3: return "$t3";
+    case SAVED: return "$s0";
+    }
+    return "$zero";
+  }
+
+  void loadImm(VReg D, int32_t Value) override {
+    raw(std::string("  li ") + reg(D) + ", " + std::to_string(Value));
+  }
+  void arith(const char *Op, VReg D, VReg A, int32_t Imm) override {
+    std::string Mnemonic = Op;
+    if (Mnemonic == "add" || Mnemonic == "sub") {
+      int32_t V = Mnemonic == "sub" ? -Imm : Imm;
+      raw(std::string("  addi ") + reg(D) + ", " + reg(A) + ", " +
+          std::to_string(V));
+      return;
+    }
+    if (Mnemonic == "and" || Mnemonic == "or" || Mnemonic == "xor") {
+      raw("  " + Mnemonic + "i " + reg(D) + ", " + reg(A) + ", " +
+          std::to_string(Imm));
+      return;
+    }
+    if (Mnemonic == "sll" || Mnemonic == "srl") {
+      raw("  " + Mnemonic + "i " + reg(D) + ", " + reg(A) + ", " +
+          std::to_string(Imm));
+      return;
+    }
+    if (Mnemonic == "smul") {
+      raw(std::string("  li $at, ") + std::to_string(Imm));
+      raw(std::string("  mul ") + reg(D) + ", " + reg(A) + ", $at");
+      return;
+    }
+    assert(false && "unknown generic op");
+  }
+  void arithReg(const char *Op, VReg D, VReg A, VReg B) override {
+    std::string Mnemonic = Op;
+    if (Mnemonic == "smul")
+      Mnemonic = "mul";
+    raw("  " + Mnemonic + " " + reg(D) + ", " + reg(A) + ", " + reg(B));
+  }
+  void move(VReg D, VReg S) override {
+    raw(std::string("  move ") + reg(D) + ", " + reg(S));
+  }
+  void branchImm(CondKind Kind, VReg R, int32_t Imm,
+                 const std::string &Target, bool) override {
+    raw(std::string("  li $at, ") + std::to_string(Imm));
+    switch (Kind) {
+    case CondKind::Eq:
+      raw(std::string("  beq ") + reg(R) + ", $at, " + Target);
+      break;
+    case CondKind::Ne:
+      raw(std::string("  bne ") + reg(R) + ", $at, " + Target);
+      break;
+    case CondKind::Gt: // R > Imm  <=>  Imm < R
+      raw(std::string("  blt $at, ") + reg(R) + ", " + Target);
+      break;
+    case CondKind::Le:
+      raw(std::string("  ble ") + reg(R) + ", $at, " + Target);
+      break;
+    }
+  }
+  void compareImm(VReg R, int32_t Imm) override {
+    raw(std::string("  addi $at, ") + reg(R) + ", " + std::to_string(-Imm));
+  }
+  void branchAfterCompare(CondKind Kind, const std::string &Target) override {
+    switch (Kind) {
+    case CondKind::Eq:
+      raw("  beq $at, $zero, " + Target);
+      break;
+    case CondKind::Ne:
+      raw("  bne $at, $zero, " + Target);
+      break;
+    case CondKind::Gt:
+      raw("  blt $zero, $at, " + Target);
+      break;
+    case CondKind::Le:
+      raw("  ble $at, $zero, " + Target);
+      break;
+    }
+  }
+  void jump(const std::string &Target) override { raw("  br " + Target); }
+  void call(const std::string &Target) override { raw("  bsr " + Target); }
+  void prologue(bool SavesLink, int Frame) override {
+    raw("  addi $sp, $sp, -" + std::to_string(Frame));
+    if (SavesLink)
+      raw("  stw $ra, 4($sp)");
+  }
+  void epilogueRet(bool SavesLink, int Frame) override {
+    if (SavesLink)
+      raw("  ldw $ra, 4($sp)");
+    raw("  addi $sp, $sp, " + std::to_string(Frame));
+    raw("  ret");
+  }
+  void loadGlobal(VReg D, const std::string &Sym, int Off) override {
+    raw(std::string("  ldih $t4, %hi(") + Sym + ")");
+    raw(std::string("  ori $t4, $t4, %lo(") + Sym + ")");
+    raw(std::string("  ldw ") + reg(D) + ", 0($t4)");
+    (void)Off;
+  }
+  void storeGlobal(VReg S, const std::string &Sym, int Off) override {
+    raw(std::string("  ldih $t4, %hi(") + Sym + ")");
+    raw(std::string("  ori $t4, $t4, %lo(") + Sym + ")");
+    raw(std::string("  stw ") + reg(S) + ", 0($t4)");
+    (void)Off;
+  }
+  void switchJump(const std::string &TableSym, unsigned N,
+                  const std::string &Prefix) override {
+    raw(std::string("  andi ") + reg(T0) + ", " + reg(ACC) + ", " +
+        std::to_string(N - 1));
+    raw(std::string("  cmplti $at, ") + reg(T0) + ", " + std::to_string(N));
+    raw("  beq $at, $zero, " + Prefix + "_def");
+    raw(std::string("  slli ") + reg(T1) + ", " + reg(T0) + ", 2");
+    raw(std::string("  ldih ") + reg(T2) + ", %hi(" + TableSym + ")");
+    raw(std::string("  ori ") + reg(T2) + ", " + reg(T2) + ", %lo(" +
+        TableSym + ")");
+    raw(std::string("  add ") + reg(T2) + ", " + reg(T2) + ", " + reg(T1));
+    raw(std::string("  ldw ") + reg(T3) + ", 0(" + reg(T2) + ")");
+    raw(std::string("  jmp (") + reg(T3) + ")");
+  }
+  void tailCallViaCell(const std::string &CellSym, bool SavesLink,
+                       int Frame) override {
+    if (SavesLink)
+      raw("  ldw $ra, 4($sp)");
+    raw("  addi $sp, $sp, " + std::to_string(Frame));
+    raw(std::string("  ldih ") + reg(T0) + ", %hi(" + CellSym + ")");
+    raw(std::string("  ori ") + reg(T0) + ", " + reg(T0) + ", %lo(" +
+        CellSym + ")");
+    raw(std::string("  ldw ") + reg(T1) + ", 0(" + reg(T0) + ")");
+    raw(std::string("  jmp (") + reg(T1) + ")");
+  }
+  void callViaCell(const std::string &CellSym) override {
+    raw(std::string("  ldih ") + reg(T0) + ", %hi(" + CellSym + ")");
+    raw(std::string("  ori ") + reg(T0) + ", " + reg(T0) + ", %lo(" +
+        CellSym + ")");
+    raw(std::string("  ldw ") + reg(T1) + ", 0(" + reg(T0) + ")");
+    raw(std::string("  jmp $ra, (") + reg(T1) + ")");
+  }
+  void switchJumpViaCell(const std::string &BaseCellSym, unsigned N,
+                         const std::string &Prefix) override {
+    raw(std::string("  andi ") + reg(T0) + ", " + reg(ACC) + ", " +
+        std::to_string(N - 1));
+    raw(std::string("  cmplti $at, ") + reg(T0) + ", " + std::to_string(N));
+    raw("  beq $at, $zero, " + Prefix + "_def");
+    raw(std::string("  slli ") + reg(T1) + ", " + reg(T0) + ", 2");
+    raw(std::string("  ldih ") + reg(T2) + ", %hi(" + BaseCellSym + ")");
+    raw(std::string("  ori ") + reg(T2) + ", " + reg(T2) + ", %lo(" +
+        BaseCellSym + ")");
+    raw(std::string("  ldw ") + reg(T2) + ", 0(" + reg(T2) + ")");
+    raw(std::string("  add ") + reg(T2) + ", " + reg(T2) + ", " + reg(T1));
+    raw(std::string("  ldw ") + reg(T3) + ", 0(" + reg(T2) + ")");
+    raw(std::string("  jmp (") + reg(T3) + ")");
+  }
+  void exitWithZero() override {
+    raw("  li $a0, 0");
+    raw("  sys 0");
+  }
+  void retResult() override { raw("  move $v0, $a0"); }
+  void useResult() override { raw("  move $a0, $v0"); }
+};
+
 /// Drives one emitter to build the whole program.
 class ProgramBuilder {
 public:
@@ -432,8 +605,10 @@ public:
         Annul(Options.AnnulledBranches && Arch == TargetArch::Srisc) {
     if (Arch == TargetArch::Srisc)
       E.reset(new SriscEmitter(Annul));
-    else
+    else if (Arch == TargetArch::Mrisc)
       E.reset(new MriscEmitter(Annul));
+    else
+      E.reset(new AriscEmitter(Annul));
   }
 
   std::string build();
@@ -684,6 +859,29 @@ void ProgramBuilder::emitPrintU32() {
   add %sp, 32, %sp
   ret
   nop)");
+  } else if (Arch == TargetArch::Arisc) {
+    E->raw(R"(print_u32:
+  addi $sp, $sp, -32
+  ldih $t5, %hi(pbuf_end)
+  ori $t5, $t5, %lo(pbuf_end)
+  move $t6, $t5
+.Lpdigit:
+  li $t7, 10
+  div $t0, $a0, $t7
+  mul $t1, $t0, $t7
+  sub $t1, $a0, $t1
+  addi $t1, $t1, 48
+  addi $t6, $t6, -1
+  stb $t1, 0($t6)
+  move $a0, $t0
+  blt $zero, $t0, .Lpdigit
+  li $a0, 1
+  move $a1, $t6
+  sub $a2, $t5, $t6
+  addi $a2, $a2, 1
+  sys 1
+  addi $sp, $sp, 32
+  ret)");
   } else {
     E->raw(R"(print_u32:
   addi $sp, $sp, -32

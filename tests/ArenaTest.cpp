@@ -334,7 +334,7 @@ std::vector<uint8_t> editedImage(const SxfFile &File, unsigned Threads,
 }
 
 TEST(ZeroCopyWriterTest, ByteIdenticalToLegacyWriterAcrossCorpus) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc})
+  for (TargetArch Arch : AllTargetArches)
     for (uint64_t Seed : {31u, 32u, 33u})
       for (bool Sunpro : {false, true})
         for (bool Instrument : {false, true}) {

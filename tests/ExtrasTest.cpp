@@ -73,7 +73,7 @@ bool hostCompilerAvailable() {
 TEST(SpawnCodegenCompile, GeneratedSourceCompiles) {
   if (!hostCompilerAvailable())
     GTEST_SKIP() << "no host C++ compiler available";
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     std::string Source = CodegenPrelude;
     Source += spawn::generateCppSource(spawn::spawnTargetFor(Arch).desc());
     std::string Path = testing::TempDir() + "/eel_spawn_gen_" +
@@ -93,7 +93,7 @@ TEST(SpawnCodegenCompile, GeneratedSourceCompiles) {
 // --- Translator ---------------------------------------------------------------------
 
 TEST(Translator, AssemblesOnBothTargets) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     std::string Asm =
         translatorAsm(targetFor(Arch), /*TableAddr=*/0x500000,
                       /*EntryCount=*/17);

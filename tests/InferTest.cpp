@@ -87,7 +87,7 @@ std::set<Addr> routineStarts(const SxfFile &File) {
 // --- Determinism -----------------------------------------------------------
 
 TEST(InferDeterminism, ThreadsAndConsecutiveRuns) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     SxfFile File = strippedCopy(generateWorkload(Arch, adversarial(1003, Arch)));
     auto Run = [&File](unsigned Threads) {
       Executable::Options O;
@@ -145,7 +145,7 @@ TEST(InferRecovery, StrippedCellTailCalls) {
 }
 
 TEST(InferRecovery, MangledDispatchTables) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     WorkloadOptions W;
     W.Seed = 7;
     W.Routines = 10;
@@ -209,7 +209,7 @@ TEST(InferRecovery, MangledDispatchTables) {
 // --- Data-in-text exclusion ------------------------------------------------
 
 TEST(InferExclusion, InterleavedDataDoesNotPoisonCellFacts) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     WorkloadOptions W;
     W.Seed = 11;
     W.Routines = 16;
@@ -315,7 +315,7 @@ TEST(InferOptions, NoSymbolsForcesInference) {
 // --- Behavioural identity of edited stripped binaries ----------------------
 
 TEST(InferVm, EditedStrippedAdversarialIdentity) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed : {42u, 43u, 44u}) {
       SxfFile File =
           strippedCopy(generateWorkload(Arch, adversarial(Seed, Arch)));

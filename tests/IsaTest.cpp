@@ -338,7 +338,7 @@ TEST(Disassemble, ProducesText) {
 /// never contain the hard-zero register.
 TEST(TargetProperty, DecodeTotality) {
   Rng R(99);
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     const TargetInfo &T = targetFor(Arch);
     for (int I = 0; I < 20000; ++I) {
       MachWord W = static_cast<MachWord>(R.next());

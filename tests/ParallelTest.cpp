@@ -274,6 +274,15 @@ TEST(ParallelDeterminism, MriscMatchesSerial) {
   expectIdentical(Serial, Parallel);
 }
 
+TEST(ParallelDeterminism, AriscMatchesSerial) {
+  WorkloadOptions W = bigWorkload();
+  W.AnnulledBranches = false; // SRISC-only idiom
+  Executable::Options E;
+  PipelineResult Serial = runPipeline(TargetArch::Arisc, W, E, 1);
+  PipelineResult Parallel = runPipeline(TargetArch::Arisc, W, E, 8);
+  expectIdentical(Serial, Parallel);
+}
+
 TEST(ParallelDeterminism, DisableSlicingAblation) {
   Executable::Options E;
   E.DisableSlicing = true;

@@ -47,7 +47,9 @@ struct SweepParam {
 
 std::string paramName(const testing::TestParamInfo<SweepParam> &Info) {
   const SweepParam &P = Info.param;
-  std::string Name = P.Arch == TargetArch::Srisc ? "srisc" : "mrisc";
+  std::string Name = P.Arch == TargetArch::Srisc   ? "srisc"
+                     : P.Arch == TargetArch::Mrisc ? "mrisc"
+                                                   : "arisc";
   Name += "_seed" + std::to_string(P.Seed);
   if (P.TailCallPercent)
     Name += "_tail";
@@ -58,7 +60,7 @@ std::string paramName(const testing::TestParamInfo<SweepParam> &Info) {
 
 std::vector<SweepParam> sweepParams() {
   std::vector<SweepParam> Params;
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed : {101u, 102u, 103u, 104u, 105u, 106u}) {
       Params.push_back({Arch, Seed, 0, false});
       Params.push_back({Arch, Seed, 40, false});

@@ -22,6 +22,7 @@
 #include "serve/Serve.h"
 #include "support/Json.h"
 #include "tools/Qpt.h"
+#include "vm/Machine.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
@@ -34,12 +35,13 @@ using namespace eel;
 
 namespace {
 
-std::vector<uint8_t> makeImage(uint64_t Seed, unsigned Routines = 10) {
+std::vector<uint8_t> makeImage(uint64_t Seed, unsigned Routines = 10,
+                               TargetArch Arch = TargetArch::Srisc) {
   WorkloadOptions Opts;
   Opts.Seed = Seed;
   Opts.Routines = Routines;
   Opts.SwitchPercent = 30;
-  return generateWorkload(TargetArch::Srisc, Opts).serialize();
+  return generateWorkload(Arch, Opts).serialize();
 }
 
 ServeRequest makeRequest(std::vector<uint8_t> Image,
@@ -260,6 +262,36 @@ TEST(ServeCache, DifferentOptionsMissEachOther) {
   ASSERT_EQ(R.Status, ServeStatus::Ok);
   EXPECT_FALSE(summaryField(parseEnvelope(R), "cache_hit")->B);
   EXPECT_EQ(Service.cacheStats().Hits, 0u);
+}
+
+// A request carrying any supported architecture is served: the edited
+// image comes back instrumented, verified, and behaving identically, and
+// a resubmission hits the cache with the same bytes.
+TEST(ServeCrossIsa, EveryArchitectureServed) {
+  EditService Service(ServeLimits{});
+  for (TargetArch Arch : AllTargetArches) {
+    std::vector<uint8_t> Image = makeImage(33, 8, Arch);
+    ServeRequest Req = makeRequest(Image, "qpt:edges");
+    Req.Verify = true;
+    ServeResponse R = Service.handle(Req);
+    ASSERT_EQ(R.Status, ServeStatus::Ok)
+        << "arch=" << static_cast<int>(Arch) << ": " << R.EnvelopeJson;
+    ASSERT_FALSE(R.EditedImage.empty());
+
+    Expected<SxfFile> Orig = SxfFile::deserialize(Image);
+    Expected<SxfFile> Edit = SxfFile::deserialize(R.EditedImage);
+    ASSERT_TRUE(Orig.hasValue());
+    ASSERT_TRUE(Edit.hasValue());
+    RunResult Before = runToCompletion(Orig.value());
+    RunResult After = runToCompletion(Edit.value());
+    EXPECT_EQ(Before.ExitCode, After.ExitCode);
+    EXPECT_EQ(Before.Output, After.Output);
+
+    ServeResponse Warm = Service.handle(Req);
+    ASSERT_EQ(Warm.Status, ServeStatus::Ok);
+    EXPECT_TRUE(summaryField(parseEnvelope(Warm), "cache_hit")->B);
+    EXPECT_EQ(Warm.EditedImage, R.EditedImage);
+  }
 }
 
 // --- Admission control ------------------------------------------------------

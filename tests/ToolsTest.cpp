@@ -45,7 +45,7 @@ WorkloadOptions baseOptions(uint64_t Seed) {
 // --- qpt2 -----------------------------------------------------------------------
 
 TEST(Qpt2, EdgeCountsMatchGroundTruth) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed : {1u, 2u, 3u}) {
       SxfFile File = generateWorkload(Arch, baseOptions(Seed));
 
@@ -187,7 +187,7 @@ struct RefCache {
 } // namespace
 
 TEST(ActiveMem, MatchesReferenceSimulation) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     SxfFile File = generateWorkload(Arch, baseOptions(2));
     CacheConfig Config;
     Config.LineBytes = 16;
@@ -246,9 +246,11 @@ TEST(Sandbox, AllowsWellBehavedProgram) {
 }
 
 TEST(Sandbox, CatchesWildStore) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
-    const char *Source =
-        Arch == TargetArch::Srisc ? R"(
+  for (TargetArch Arch : AllTargetArches) {
+    const char *Source = nullptr;
+    switch (Arch) {
+    case TargetArch::Srisc:
+      Source = R"(
 .text
 main:
   set 0x200000, %o1     ! outside data and stack regions
@@ -258,8 +260,10 @@ main:
   sys 0
   ret
   nop
-)"
-                                  : R"(
+)";
+      break;
+    case TargetArch::Mrisc:
+      Source = R"(
 .text
 main:
   li $t0, 0x200000
@@ -271,6 +275,20 @@ main:
   jr $ra
   nop
 )";
+      break;
+    case TargetArch::Arisc:
+      Source = R"(
+.text
+main:
+  li $t0, 0x200000
+  li $t1, 7
+  stw $t1, 0($t0)
+  li $a0, 0
+  sys 0
+  ret
+)";
+      break;
+    }
     Executable Exec(assembleOrDie(Arch, Source));
     Sandboxer SFI(Exec, 0x400000, 0x7FE00000);
     SFI.instrument();
@@ -286,7 +304,7 @@ main:
 // --- Tracer ---------------------------------------------------------------------------
 
 TEST(Tracer, TraceMatchesGroundTruthExactly) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     SxfFile File = generateWorkload(Arch, baseOptions(6));
     Machine Original(File);
     std::vector<Addr> GroundTruth;
@@ -327,7 +345,7 @@ TEST(Tracer, SaturatesAtCapacity) {
 // --- Wind Tunnel cycle counting (§1) --------------------------------------------------
 
 TEST(WindTunnel, VirtualCyclesExactlyMatchRetiredInstructions) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed : {3u, 8u}) {
       SxfFile File = generateWorkload(Arch, baseOptions(Seed));
       RunResult Original = runToCompletion(File);
@@ -435,7 +453,7 @@ main:
 }
 
 TEST(Optimizer, PreservesLiveComputationsAndBehavior) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed : {2u, 5u, 9u}) {
       SxfFile File = generateWorkload(Arch, baseOptions(Seed));
       RunResult Original = runToCompletion(File);
@@ -457,12 +475,15 @@ TEST(Optimizer, PreservesLiveComputationsAndBehavior) {
 // --- Register liberation (the §3.5 footnote's future mechanism) ---------------------
 
 TEST(RegFree, FreesARegisterProgramWide) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     SxfFile File = generateWorkload(Arch, baseOptions(4));
     RunResult Original = runToCompletion(File);
     Executable Exec(std::move(File));
-    // Free the workload's primary scratch (SRISC %o3 = r11, MRISC $t0 = r8).
-    unsigned Reg = Arch == TargetArch::Srisc ? 11u : 8u;
+    // Free the workload's primary scratch (SRISC %o3 = r11, MRISC $t0 = r8,
+    // ARISC $t0 = r2).
+    unsigned Reg = Arch == TargetArch::Srisc   ? 11u
+                   : Arch == TargetArch::Mrisc ? 8u
+                                               : 2u;
     RegFreeResult Freed = freeRegisterEverywhere(Exec, Reg);
     ASSERT_TRUE(Freed.Success)
         << "failed in " << Freed.FailedRoutines.size() << " routine(s)";

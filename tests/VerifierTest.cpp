@@ -150,7 +150,7 @@ TEST(Verifier, RandomEditsVerifyCleanlyAndDeterministically) {
 
 // Standalone lint accepts every generated image on both architectures.
 TEST(Verifier, LintAcceptsGeneratedImages) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     WorkloadOptions Options;
     Options.Seed = 5;
     Options.Routines = 8;

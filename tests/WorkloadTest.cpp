@@ -55,7 +55,7 @@ TEST(Workload, Deterministic) {
 }
 
 TEST(Workload, RunsToCleanExit) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
       WorkloadOptions Opts;
       Opts.Seed = Seed;
@@ -113,7 +113,7 @@ TEST(Workload, CallGraphIsAcyclicDag) {
 /// The central soundness property: re-laying out a program without edits
 /// preserves its observable behaviour exactly.
 TEST(WorkloadProperty, IdentityRewritePreservesBehavior) {
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     for (const Style &S : styles()) {
       if (Arch == TargetArch::Mrisc && S.Base.SymbolPathologies)
         continue; // text-embedded tables decode as valid words on MRISC

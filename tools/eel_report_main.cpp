@@ -19,7 +19,7 @@
 ///     --threads N       worker threads (0 = auto)
 ///     --no-verify       skip the five-pass verification of the output
 ///     With no image argument, a deterministic generated workload is used:
-///     --arch srisc|mrisc  --seed N  --routines N  shape it.
+///     --arch srisc|mrisc|arisc  --seed N  --routines N  shape it.
 ///
 /// Exit status: 0 on success (even with verifier findings — the report
 /// carries them), 1 when verification found errors, 2 on load/usage
@@ -58,7 +58,7 @@ struct ReportConfig {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--out FILE] [--trace FILE] [--prometheus FILE] "
-               "[--threads N] [--no-verify] [--arch srisc|mrisc] [--seed N] "
+               "[--threads N] [--no-verify] [--arch srisc|mrisc|arisc] [--seed N] "
                "[--routines N] [image.sxf]\n",
                Argv0);
   return 2;
@@ -106,6 +106,8 @@ int main(int argc, char **argv) {
         Config.Arch = TargetArch::Srisc;
       else if (!std::strcmp(Value, "mrisc"))
         Config.Arch = TargetArch::Mrisc;
+      else if (!std::strcmp(Value, "arisc"))
+        Config.Arch = TargetArch::Arisc;
       else
         return usage(argv[0]);
     } else if (!std::strcmp(Arg, "--seed") && NeedValue(Value)) {

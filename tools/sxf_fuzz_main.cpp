@@ -43,7 +43,7 @@ using namespace eel;
 
 static std::vector<std::vector<uint8_t>> generatedCorpus() {
   std::vector<std::vector<uint8_t>> Corpus;
-  for (TargetArch Arch : {TargetArch::Srisc, TargetArch::Mrisc}) {
+  for (TargetArch Arch : AllTargetArches) {
     WorkloadOptions WOpts;
     WOpts.Seed = 7;
     WOpts.Routines = 8;
