@@ -15,12 +15,16 @@
 ///  * sandboxing (SFI) overhead, the paper's first application class;
 ///  * the observability tax: EEL_TRACE_SCOPE compiled in but disabled
 ///    must cost under 1% of the edit path (asserted — this bench exits
-///    nonzero on regression).
+///    nonzero on regression);
+///  * the logging tax: EEL_LOG compiled in but level-gated off must cost
+///    under 0.1% of a warm serve request (asserted the same way).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "core/Executable.h"
+#include "serve/Serve.h"
+#include "support/Log.h"
 #include "support/Trace.h"
 #include "tools/Qpt.h"
 #include "tools/Sandbox.h"
@@ -32,6 +36,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
 
 using namespace eel;
 using namespace eelbench;
@@ -344,9 +352,88 @@ int main(int argc, char **argv) {
     Sink.metric("trace_sites_per_edit", static_cast<double>(Sites), "count");
   }
 
+  // Structured logging compiled in but disabled must be equally invisible:
+  // a gated-off EEL_LOG is one relaxed atomic load and a compare, and its
+  // field expressions are never evaluated. Same method as the trace tax —
+  // per-site cost times the sites one warm serve request crosses (counted
+  // by running one request at Trace level), against the warm request time.
+  printHeader("EEL_LOG compiled in but disabled (acceptance: <0.1%)");
+  bool LogOverheadOk = true;
+  {
+    logSetLevel(LogLevel::Off);
+    using Clock = std::chrono::steady_clock;
+    const uint64_t Iters = Smoke ? (1u << 16) : (1u << 21);
+    const int LoopReps = Smoke ? 2 : 7;
+    auto bestLoopNs = [&](bool WithLog) {
+      double Best = 1e18;
+      for (int Rep = 0; Rep < LoopReps; ++Rep) {
+        auto T0 = Clock::now();
+        for (uint64_t I = 0; I < Iters; ++I) {
+          if (WithLog) {
+            EEL_LOG(LogLevel::Debug, "bench.noop", logNum("i", I));
+            benchmark::DoNotOptimize(I);
+          } else {
+            benchmark::DoNotOptimize(I);
+          }
+        }
+        auto T1 = Clock::now();
+        Best = std::min(
+            Best, std::chrono::duration<double, std::nano>(T1 - T0).count());
+      }
+      return Best / static_cast<double>(Iters);
+    };
+    double PerSiteNs = std::max(0.0, bestLoopNs(true) - bestLoopNs(false));
+
+    // Count the log sites one warm request crosses: run it once with every
+    // record admitted, sunk to a scratch file.
+    SxfFile File =
+        generateWorkload(TargetArch::Srisc, suiteMember(false, 13, 24));
+    ServeRequest Req;
+    Req.ToolSpec = "null";
+    Req.Threads = 1;
+    Req.ImageBytes = File.serialize();
+    EditService Service(ServeLimits{});
+    if (Service.handle(Req).Status != ServeStatus::Ok) {
+      std::fprintf(stderr, "FAIL: warm-up serve request failed\n");
+      return 1;
+    }
+    std::string LogPath =
+        "/tmp/eel_bench_overhead_log." + std::to_string(::getpid()) + ".jsonl";
+    Logger::instance().setPath(LogPath);
+    Logger::instance().resetCounts();
+    logSetLevel(LogLevel::Trace);
+    Service.handle(Req);
+    logSetLevel(LogLevel::Off);
+    Logger::instance().flushAll();
+    uint64_t Sites = Logger::instance().emittedCount();
+    Logger::instance().useStderr();
+    std::remove(LogPath.c_str());
+
+    // Time the same warm request with logging off (the shipping default).
+    double BestReqNs = 1e18;
+    for (int Rep = 0; Rep < (Smoke ? 2 : 10); ++Rep) {
+      auto T0 = Clock::now();
+      Service.handle(Req);
+      auto T1 = Clock::now();
+      BestReqNs = std::min(
+          BestReqNs, std::chrono::duration<double, std::nano>(T1 - T0).count());
+    }
+    double OverheadPct =
+        100.0 * PerSiteNs * static_cast<double>(Sites) / BestReqNs;
+    LogOverheadOk = Smoke || OverheadPct < 0.1;
+    std::printf("  disabled log site:    %8.3f ns\n", PerSiteNs);
+    std::printf("  sites per request:    %8llu\n",
+                static_cast<unsigned long long>(Sites));
+    std::printf("  warm request:         %8.3f ms\n", BestReqNs / 1e6);
+    std::printf("  disabled-logging tax: %8.4f%%  -> %s\n", OverheadPct,
+                LogOverheadOk ? "under 0.1%, ok" : "OVER 0.1% (regression!)");
+    Sink.metric("log_disabled_overhead", OverheadPct, "percent");
+    Sink.metric("log_sites_per_request", static_cast<double>(Sites), "count");
+  }
+
   std::printf("\nshape: identity ~1x; profiling a small-integer factor; "
               "translation adds the\nbinary-search cost only on "
               "translated jumps; scavenging keeps spills rare\n(§3.5: "
               "dead registers usually suffice).\n");
-  return TraceOverheadOk ? 0 : 1;
+  return TraceOverheadOk && LogOverheadOk ? 0 : 1;
 }

@@ -92,3 +92,7 @@ write_suite observability "$REPO_ROOT/BENCH_observability.json" \
   "${OBSERVABILITY_BENCHES[@]}"
 write_suite ir "$REPO_ROOT/BENCH_ir.json" "${IR_BENCHES[@]}"
 write_suite serve "$REPO_ROOT/BENCH_serve.json" "${SERVE_BENCHES[@]}"
+
+# Finish with the live control-plane round-trip: daemon + eel-stat over a
+# real unix socket, every output mode validated.
+"$REPO_ROOT/scripts/scrape_smoke.sh" "$BUILD_DIR"

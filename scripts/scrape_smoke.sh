@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+#===- scripts/scrape_smoke.sh - Live eel-serve scrape round-trip ----------===#
+#
+# Boots a real eel-serve daemon on a scratch unix socket, then drives the
+# ELSt control plane through eel-stat end to end:
+#
+#   1. `eel-stat --once --json`       -> strict eel-report/1, json-check clean
+#   2. `eel-stat --once --prometheus` -> text exposition with serve_* series
+#   3. `eel-stat --once` (human view) -> renders the one-screen snapshot
+#
+# The daemon runs with --max-requests 3 so the third scrape exhausts its
+# budget and it exits on its own; structured logging goes to a JSONL file
+# that must come back non-empty. Wired into the `bench-smoke` build target
+# and scripts/run_benches.sh so the wire path is exercised by CI, not just
+# the in-process tests.
+#
+# Usage: scripts/scrape_smoke.sh [build-dir]   (default: build)
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+SERVE="$BUILD_DIR/tools/eel-serve"
+STAT="$BUILD_DIR/tools/eel-stat"
+CHECK="$BUILD_DIR/tools/json-check"
+
+for BIN in "$SERVE" "$STAT" "$CHECK"; do
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build \"$BUILD_DIR\" -j)" >&2
+    exit 1
+  fi
+done
+
+TMP_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
+
+SOCK="$TMP_DIR/serve.sock"
+LOG="$TMP_DIR/serve.jsonl"
+
+"$SERVE" --socket "$SOCK" --max-requests 3 \
+  --log-level info --log-file "$LOG" &
+SERVE_PID=$!
+
+# The socket appears once the daemon is listening.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+if [ ! -S "$SOCK" ]; then
+  echo "error: eel-serve never opened $SOCK" >&2
+  exit 1
+fi
+
+echo "== scrape 1: JSON snapshot"
+"$STAT" --socket "$SOCK" --json --out "$TMP_DIR/status.json"
+"$CHECK" --require-key summary "$TMP_DIR/status.json"
+
+echo "== scrape 2: Prometheus exposition"
+"$STAT" --socket "$SOCK" --prometheus --out "$TMP_DIR/status.prom"
+grep -q '^serve_requests ' "$TMP_DIR/status.prom"
+grep -q '^# TYPE serve_requests counter' "$TMP_DIR/status.prom"
+
+echo "== scrape 3: human one-screen view"
+"$STAT" --socket "$SOCK" > "$TMP_DIR/status.txt"
+grep -q 'requests' "$TMP_DIR/status.txt"
+
+# Scrape 3 exhausted --max-requests; the daemon shuts down cleanly.
+wait "$SERVE_PID"
+SERVE_PID=""
+
+if [ ! -s "$LOG" ]; then
+  echo "error: daemon log $LOG is empty" >&2
+  exit 1
+fi
+
+echo "scrape smoke ok: 3 scrapes answered, JSON valid, daemon exited cleanly"

@@ -110,6 +110,8 @@ std::string eel::canonicalOptionsString(const Executable::Options &Opts) {
   Flag("verify", Opts.Verify);
   Flag("trace", Opts.Trace);
   Flag("no_symbols", Opts.NoSymbols);
+  S += "log_level=" +
+       std::to_string(static_cast<unsigned>(Opts.Log)) + ";";
   return S;
 }
 

@@ -25,6 +25,10 @@ Executable::Executable(SxfFile ImageIn, Options OptsIn)
   // Executable can't silence another's active trace.
   if (Opts.Trace)
     traceSetEnabled(true);
+  // Same one-way rule for the log gate: Off leaves the process-wide level
+  // where another Executable (or the embedding daemon) set it.
+  if (Opts.Log != LogLevel::Off)
+    logSetLevel(Opts.Log);
   // Fresh data (counters, tables) goes after the highest existing segment.
   Addr High = 0;
   for (const SxfSegment &Seg : Image.Segments)

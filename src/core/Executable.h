@@ -33,6 +33,7 @@
 
 #include "core/Routine.h"
 #include "support/FlatMap.h"
+#include "support/Log.h"
 #include "sxf/Sxf.h"
 
 #include <map>
@@ -100,6 +101,12 @@ public:
     /// automatically for stripped images. Lets tools cross-check lying
     /// symbol tables against heuristic inference (eel-lint --stripped).
     bool NoSymbols = false;
+    /// Structured-logging threshold (support/Log.h) for this run. Like
+    /// Trace, this is a process-wide one-way enable: any value other than
+    /// Off lowers the global log gate at construction; Off (the default)
+    /// leaves the current gate alone. Disabled-mode cost is a relaxed
+    /// load per EEL_LOG site (<0.1%, asserted by bench_overhead).
+    LogLevel Log = LogLevel::Off;
   };
 
   explicit Executable(SxfFile Image);

@@ -8,6 +8,7 @@
 
 #include "analysis/Report.h"
 #include "support/Json.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -15,11 +16,30 @@
 #include "tools/Qpt.h"
 #include "tools/Tracer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <thread>
 
 using namespace eel;
+
+namespace {
+
+uint64_t elapsedUs(std::chrono::steady_clock::time_point Since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Since)
+          .count());
+}
+
+uint64_t unixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
 
 // --- AnalysisCache ----------------------------------------------------------
 
@@ -31,13 +51,15 @@ std::unique_ptr<Executable> AnalysisCache::claim(uint64_t Key) {
     return nullptr;
   }
   ++Hits;
-  std::unique_ptr<Executable> Exec = std::move(It->second->second);
+  std::unique_ptr<Executable> Exec = std::move(It->second->Exec);
+  CurrentBytes -= It->second->ImageBytes;
   Lru.erase(It->second);
   Index.erase(It);
   return Exec;
 }
 
-void AnalysisCache::insert(uint64_t Key, std::unique_ptr<Executable> Exec) {
+void AnalysisCache::insert(uint64_t Key, std::unique_ptr<Executable> Exec,
+                           uint64_t ImageBytes) {
   if (Capacity == 0)
     return;
   std::lock_guard<std::mutex> G(M);
@@ -45,13 +67,23 @@ void AnalysisCache::insert(uint64_t Key, std::unique_ptr<Executable> Exec) {
   if (It != Index.end()) {
     // A concurrent cold run of the same request beat us here; the newer
     // executable replaces it (both are just-analyzed, either is fine).
+    CurrentBytes -= It->second->ImageBytes;
     Lru.erase(It->second);
     Index.erase(It);
   }
-  Lru.emplace_front(Key, std::move(Exec));
+  Lru.push_front(Entry{Key, std::move(Exec), ImageBytes});
   Index[Key] = Lru.begin();
+  CurrentBytes += ImageBytes;
   while (Lru.size() > Capacity) {
-    Index.erase(Lru.back().first);
+    EEL_LOG(LogLevel::Info, "serve.cache_evict",
+            logNum("key", Lru.back().Key),
+            logNum("image_bytes", Lru.back().ImageBytes));
+    // Cumulative by contract: "serve." names are exempt from MetricsScope
+    // resets, so evictions during scoped requests still land (the PR 10
+    // metrics-scope gap fix — callers hold the service's metrics lock).
+    bumpStat("serve.cache_evictions");
+    CurrentBytes -= Lru.back().ImageBytes;
+    Index.erase(Lru.back().Key);
     Lru.pop_back();
     ++Evictions;
   }
@@ -64,6 +96,7 @@ AnalysisCache::Stats AnalysisCache::stats() const {
   S.Misses = Misses;
   S.Evictions = Evictions;
   S.Entries = Lru.size();
+  S.Bytes = CurrentBytes;
   return S;
 }
 
@@ -93,12 +126,15 @@ namespace {
 
 /// Renders the minimal eel-report/1 envelope for a request that never ran
 /// the pipeline: the taxonomy code and message under "summary".
-std::string failureEnvelope(const char *Status, const Error &E) {
-  RunReport Report("eel-serve");
+std::string failureEnvelope(const char *Status, const Error &E, uint64_t Rid,
+                            const char *ToolName = "eel-serve") {
+  RunReport Report(ToolName);
   JsonWriter S(/*Indent=*/false);
   S.beginObject();
   S.key("status");
   S.value(Status);
+  S.key("request_id");
+  S.value(Rid);
   S.key("error_code");
   S.value(errorCodeName(E.code()));
   S.key("error");
@@ -121,38 +157,106 @@ EditService::EditService(ServeLimits LimitsIn)
       Pool(LimitsIn.DispatchWorkers
                ? LimitsIn.DispatchWorkers
                : std::max(2u, std::min(4u,
-                                       std::thread::hardware_concurrency()))) {
+                                       std::thread::hardware_concurrency()))),
+      StartedAt(std::chrono::steady_clock::now()) {
+  // Exemplar capture needs spans: turn the process-wide trace gate on for
+  // the service's lifetime. One-way (never off in the destructor) under
+  // the same rule as Executable::Options::Trace — another service or test
+  // may still be relying on it.
+  if (Limits.SlowRequestUs)
+    traceSetEnabled(true);
+  EEL_LOG(LogLevel::Info, "serve.start",
+          logNum("max_inflight", Limits.MaxInFlight),
+          logNum("cache_capacity", Limits.CacheCapacity),
+          logNum("slow_request_us", Limits.SlowRequestUs));
 }
 
 EditService::~EditService() = default;
 
-ServeResponse EditService::reject(ErrorCode Code, const std::string &Message) {
-  bumpStat("serve.rejected");
+ServeResponse EditService::reject(ErrorCode Code, const std::string &Message,
+                                  uint64_t Rid) {
+  {
+    // Shared lock: a concurrent MetricsScope reset iterating the registry
+    // shards must exclude this insert (the metrics-scope gap fix). The
+    // "serve." prefix exemption is what keeps the value cumulative.
+    std::shared_lock<std::shared_mutex> G(MetricsM);
+    bumpStat("serve.rejected");
+  }
+  Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+  EEL_LOG(LogLevel::Warn, "serve.rejected",
+          logStr("error_code", errorCodeName(Code)),
+          logStr("message", Message));
   ServeResponse Resp;
   Resp.Status = ServeStatus::Rejected;
-  Resp.EnvelopeJson = failureEnvelope("rejected", Error(Code, Message));
+  Resp.RequestId = Rid;
+  Resp.EnvelopeJson = failureEnvelope("rejected", Error(Code, Message), Rid);
   return Resp;
 }
 
-ServeResponse EditService::errorResponse(const Error &E) {
+ServeResponse EditService::errorResponse(const Error &E, uint64_t Rid) {
+  // No lock here: pipeline callers already hold MetricsM (shared or
+  // exclusive) and the decode path in handleEncoded takes it explicitly.
   bumpStat("serve.errors");
+  Counters.Errors.fetch_add(1, std::memory_order_relaxed);
+  EEL_LOG(LogLevel::Error, "serve.error",
+          logStr("error_code", errorCodeName(E.code())),
+          logStr("message", E.describe()));
   ServeResponse Resp;
   Resp.Status = ServeStatus::Error;
-  Resp.EnvelopeJson = failureEnvelope("error", E);
+  Resp.RequestId = Rid;
+  Resp.EnvelopeJson = failureEnvelope("error", E, Rid);
   return Resp;
 }
 
 ServeResponse EditService::handleEncoded(const std::vector<uint8_t> &Payload) {
   Expected<ServeRequest> Req = decodeRequest(Payload);
   if (Req.hasError()) {
+    Counters.Requests.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> G(MetricsM);
     bumpStat("serve.requests");
-    return errorResponse(Req.error());
+    return errorResponse(Req.error(), /*Rid=*/0);
   }
   return handle(Req.value());
 }
 
+std::vector<uint8_t>
+EditService::handleFrame(const std::vector<uint8_t> &Payload) {
+  if (classifyFrame(Payload) == FrameKind::StatusRequest) {
+    Expected<StatusRequest> Req = decodeStatusRequest(Payload);
+    if (Req.hasError()) {
+      Counters.StatusRequests.fetch_add(1, std::memory_order_relaxed);
+      EEL_LOG(LogLevel::Warn, "serve.scrape_error",
+              logStr("error_code", errorCodeName(Req.error().code())),
+              logStr("message", Req.error().describe()));
+      StatusResponse Resp;
+      Resp.Status = ServeStatus::Error;
+      Resp.Format = StatusFormat::Json;
+      Resp.Body = failureEnvelope("error", Req.error(), /*Rid=*/0,
+                                  "eel-serve-status");
+      return encodeStatusResponse(Resp);
+    }
+    return encodeStatusResponse(handleStatus(Req.value()));
+  }
+  // Everything else — edit requests and garbage alike — goes through the
+  // edit decoder, whose taxonomy covers unknown magics.
+  return encodeResponse(handleEncoded(Payload));
+}
+
 ServeResponse EditService::handle(const ServeRequest &Req) {
-  bumpStat("serve.requests");
+  // Effective correlation id: client-supplied, or minted so every request
+  // is traceable even when the client doesn't care.
+  uint64_t Rid = Req.RequestId
+                     ? Req.RequestId
+                     : NextMintedId.fetch_add(1, std::memory_order_relaxed);
+  TraceRequestScope RidScope(Rid);
+  Counters.Requests.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> G(MetricsM);
+    bumpStat("serve.requests");
+  }
+  EEL_LOG(LogLevel::Debug, "serve.request", logStr("tool", Req.ToolSpec),
+          logNum("image_bytes", Req.ImageBytes.size()),
+          logNum("threads", Req.Threads));
 
   // Admission: image size first (checked before any decode so a hostile
   // length never sizes an allocation), then the tool spec, then load.
@@ -160,17 +264,19 @@ ServeResponse EditService::handle(const ServeRequest &Req) {
     return reject(ErrorCode::ImageTooLarge,
                   "request image is " + std::to_string(Req.ImageBytes.size()) +
                       " bytes; the service accepts at most " +
-                      std::to_string(Limits.MaxImageBytes));
+                      std::to_string(Limits.MaxImageBytes),
+                  Rid);
   Expected<ServeTool> Tool = parseToolSpec(Req.ToolSpec);
   if (Tool.hasError())
-    return reject(ErrorCode::BadToolSpec, Tool.error().describe());
+    return reject(ErrorCode::BadToolSpec, Tool.error().describe(), Rid);
   unsigned Prior = InFlight.fetch_add(1, std::memory_order_acq_rel);
   if (Limits.MaxInFlight && Prior >= Limits.MaxInFlight) {
     InFlight.fetch_sub(1, std::memory_order_acq_rel);
     return reject(ErrorCode::ServerSaturated,
                   "service already has " + std::to_string(Prior) +
                       " requests in flight (limit " +
-                      std::to_string(Limits.MaxInFlight) + "); retry");
+                      std::to_string(Limits.MaxInFlight) + "); retry",
+                  Rid);
   }
 
   // Dispatch onto the pool. trySubmit never runs the request inline on
@@ -184,8 +290,8 @@ ServeResponse EditService::handle(const ServeRequest &Req) {
   };
   auto W = std::make_shared<Waiter>();
   ServeTool ToolV = Tool.value();
-  bool Accepted = Pool.trySubmit([this, &Req, ToolV, W] {
-    ServeResponse R = process(Req, ToolV);
+  bool Accepted = Pool.trySubmit([this, &Req, ToolV, W, Rid] {
+    ServeResponse R = process(Req, ToolV, Rid);
     std::lock_guard<std::mutex> G(W->M);
     W->Resp = std::move(R);
     W->Done = true;
@@ -194,7 +300,7 @@ ServeResponse EditService::handle(const ServeRequest &Req) {
   if (!Accepted) {
     InFlight.fetch_sub(1, std::memory_order_acq_rel);
     return reject(ErrorCode::ServerSaturated,
-                  "dispatch queue is saturated; retry");
+                  "dispatch queue is saturated; retry", Rid);
   }
   std::unique_lock<std::mutex> G(W->M);
   W->CV.wait(G, [&] { return W->Done; });
@@ -202,21 +308,26 @@ ServeResponse EditService::handle(const ServeRequest &Req) {
   return std::move(W->Resp);
 }
 
-ServeResponse EditService::process(const ServeRequest &Req, ServeTool Tool) {
+ServeResponse EditService::process(const ServeRequest &Req, ServeTool Tool,
+                                   uint64_t Rid) {
+  // The pool worker executing this request adopts its id; spans and log
+  // records from here down (and from parallelForEach helpers, which
+  // propagate the submitter's id) all correlate.
+  TraceRequestScope RidScope(Rid);
   if (Req.WantMetrics) {
     // Isolated run: exclusive so the scope's registry reset sees no
     // concurrent recorders, and the envelope's metrics cover exactly
     // this request.
     std::unique_lock<std::shared_mutex> G(MetricsM);
     MetricsScope Scope("serve.", /*EnableTrace=*/true);
-    return runPipeline(Req, Tool, /*CaptureMetrics=*/true);
+    return runPipeline(Req, Tool, /*CaptureMetrics=*/true, Rid);
   }
   std::shared_lock<std::shared_mutex> G(MetricsM);
-  return runPipeline(Req, Tool, /*CaptureMetrics=*/false);
+  return runPipeline(Req, Tool, /*CaptureMetrics=*/false, Rid);
 }
 
 ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
-                                       bool CaptureMetrics) {
+                                       bool CaptureMetrics, uint64_t Rid) {
   auto Start = std::chrono::steady_clock::now();
 
   Executable::Options EOpts;
@@ -232,26 +343,33 @@ ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
   uint64_t OptsDigest = optionsDigest(EOpts);
   uint64_t Key = provenanceKey(ImageHash, ToolDigest, OptsDigest);
 
+  auto AnalyzeStart = std::chrono::steady_clock::now();
   std::unique_ptr<Executable> Exec = Cache.claim(Key);
   bool CacheHit = Exec != nullptr;
   bumpStat(CacheHit ? "serve.cache_hits" : "serve.cache_misses");
+  (CacheHit ? Counters.CacheHits : Counters.CacheMisses)
+      .fetch_add(1, std::memory_order_relaxed);
+  EEL_LOG(LogLevel::Debug, "serve.cache",
+          logStr("result", CacheHit ? "hit" : "miss"), logNum("key", Key));
   if (CacheHit) {
     Exec->resetEdits();
   } else {
     Expected<SxfFile> Image = SxfFile::deserialize(Req.ImageBytes);
     if (Image.hasError())
-      return errorResponse(Image.error());
+      return errorResponse(Image.error(), Rid);
     Expected<std::unique_ptr<Executable>> Opened =
         Executable::openImage(std::move(Image.value()), EOpts);
     if (Opened.hasError())
-      return errorResponse(Opened.error());
+      return errorResponse(Opened.error(), Rid);
     Exec = std::move(Opened.value());
     Expected<bool> Read = Exec->readContents();
     if (Read.hasError())
-      return errorResponse(Read.error());
+      return errorResponse(Read.error(), Rid);
   }
+  AnalyzeHist.record(elapsedUs(AnalyzeStart));
 
   // Instrument. Tool objects stay alive through the write below.
+  auto InstrumentStart = std::chrono::steady_clock::now();
   std::unique_ptr<Qpt2Profiler> Qpt;
   std::unique_ptr<MemoryTracer> Tracer;
   switch (Tool) {
@@ -272,26 +390,34 @@ ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
     Tracer->instrument();
     break;
   }
+  InstrumentHist.record(elapsedUs(InstrumentStart));
 
+  auto WriteStart = std::chrono::steady_clock::now();
   Expected<SxfFile> Edited = Exec->writeEditedExecutable();
   if (Edited.hasError()) {
     // The executable's edit state is suspect after a failed write; drop
     // it rather than reinsert.
-    return errorResponse(Edited.error());
+    return errorResponse(Edited.error(), Rid);
   }
 
   ServeResponse Resp;
   Resp.Status = ServeStatus::Ok;
+  Resp.RequestId = Rid;
   Resp.EditedImage = Edited.value().serialize();
+  WriteHist.record(elapsedUs(WriteStart));
   Executable::EditStats ES = Exec->editStats();
-  Cache.insert(Key, std::move(Exec));
+  Cache.insert(Key, std::move(Exec), Req.ImageBytes.size());
 
-  uint64_t LatencyUs = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
+  uint64_t LatencyUs = elapsedUs(Start);
   bumpStat("serve.ok");
   bumpHistogram("serve.latency_us", LatencyUs);
+  Counters.Ok.fetch_add(1, std::memory_order_relaxed);
+  LatencyHist.record(LatencyUs);
+  EEL_LOG(LogLevel::Info, "serve.ok", logStr("tool", Req.ToolSpec),
+          logNum("latency_us", LatencyUs),
+          logNum("cache_hit", CacheHit ? 1 : 0),
+          logNum("edited_image_bytes", Resp.EditedImage.size()));
+  maybeCaptureSlow(Rid, LatencyUs, Req.ToolSpec, ImageHash, CacheHit);
 
   RunReport Report("eel-serve");
   Report.addInput("<request>", ImageHash, Req.ImageBytes.size());
@@ -310,6 +436,8 @@ ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
   S.beginObject();
   S.key("status");
   S.value("ok");
+  S.key("request_id");
+  S.value(Rid);
   S.key("cache_hit");
   S.value(CacheHit);
   S.key("latency_us");
@@ -334,9 +462,213 @@ ServeResponse EditService::runPipeline(const ServeRequest &Req, ServeTool Tool,
   S.value(CS.Evictions);
   S.key("entries");
   S.value(CS.Entries);
+  S.key("bytes");
+  S.value(CS.Bytes);
   S.endObject();
   S.endObject();
   Report.setSummaryJson(S.take());
   Resp.EnvelopeJson = Report.renderJson();
   return Resp;
+}
+
+// --- Slow-request exemplars -------------------------------------------------
+
+void EditService::maybeCaptureSlow(uint64_t Rid, uint64_t LatencyUs,
+                                   const std::string &ToolSpec,
+                                   uint64_t ImageHash, bool CacheHit) {
+  if (!Limits.SlowRequestUs || LatencyUs <= Limits.SlowRequestUs ||
+      Limits.ExemplarCapacity == 0)
+    return;
+  // Drain is safe mid-load (per-ring locks); keep only this request's
+  // spans. Other requests' spans stay in the rings untouched.
+  std::vector<TraceEvent> Mine;
+  for (TraceEvent &Ev : TraceCollector::instance().drain())
+    if (Ev.RequestId == Rid)
+      Mine.push_back(std::move(Ev));
+
+  SlowExemplar Ex;
+  Ex.RequestId = Rid;
+  Ex.LatencyUs = LatencyUs;
+  Ex.ToolSpec = ToolSpec;
+  Ex.ImageHash = ImageHash;
+  Ex.CacheHit = CacheHit;
+  Ex.CapturedUnixMs = unixMillisNow();
+  Ex.TraceJson = renderChromeTrace(Mine);
+
+  Counters.SlowCaptured.fetch_add(1, std::memory_order_relaxed);
+  EEL_LOG(LogLevel::Warn, "serve.slow", logStr("tool", ToolSpec),
+          logNum("latency_us", LatencyUs),
+          logNum("threshold_us", Limits.SlowRequestUs),
+          logNum("spans", Mine.size()));
+
+  std::lock_guard<std::mutex> G(ExemplarM);
+  // Worst-N ring: insert in descending-latency order, drop from the tail.
+  auto Pos = std::find_if(Exemplars.begin(), Exemplars.end(),
+                          [&](const SlowExemplar &Other) {
+                            return Other.LatencyUs < Ex.LatencyUs;
+                          });
+  Exemplars.insert(Pos, std::move(Ex));
+  if (Exemplars.size() > Limits.ExemplarCapacity)
+    Exemplars.resize(Limits.ExemplarCapacity);
+}
+
+std::vector<SlowExemplar> EditService::slowExemplars(size_t MaxN) const {
+  std::lock_guard<std::mutex> G(ExemplarM);
+  std::vector<SlowExemplar> Out = Exemplars;
+  if (MaxN && Out.size() > MaxN)
+    Out.resize(MaxN);
+  return Out;
+}
+
+// --- Control-plane scrape ---------------------------------------------------
+
+StatusResponse EditService::handleStatus(const StatusRequest &Req) {
+  auto Start = std::chrono::steady_clock::now();
+  Counters.StatusRequests.fetch_add(1, std::memory_order_relaxed);
+  StatusResponse Resp;
+  Resp.Status = ServeStatus::Ok;
+  Resp.Format = Req.Format;
+  Resp.Body = Req.Format == StatusFormat::Prometheus ? statusPrometheus()
+                                                     : statusJson(Req);
+  ScrapeHist.record(elapsedUs(Start));
+  EEL_LOG(LogLevel::Debug, "serve.scrape",
+          logStr("format", Req.Format == StatusFormat::Prometheus
+                               ? "prometheus"
+                               : "json"));
+  // Observing the daemon also drains buffered log records: a scrape is
+  // exactly when an operator wants the stream current.
+  Logger::instance().flushAll();
+  return Resp;
+}
+
+std::string EditService::statusPrometheus() {
+  AnalysisCache::Stats CS = Cache.stats();
+  uint64_t UptimeMs = elapsedUs(StartedAt) / 1000;
+  std::vector<std::pair<std::string, uint64_t>> Cnts = {
+      {"serve.requests", Counters.Requests.load(std::memory_order_relaxed)},
+      {"serve.ok", Counters.Ok.load(std::memory_order_relaxed)},
+      {"serve.rejected", Counters.Rejected.load(std::memory_order_relaxed)},
+      {"serve.errors", Counters.Errors.load(std::memory_order_relaxed)},
+      {"serve.cache_hits", CS.Hits},
+      {"serve.cache_misses", CS.Misses},
+      {"serve.cache_evictions", CS.Evictions},
+      {"serve.cache_entries", CS.Entries},
+      {"serve.cache_bytes", CS.Bytes},
+      {"serve.status_requests",
+       Counters.StatusRequests.load(std::memory_order_relaxed)},
+      {"serve.slow_captured",
+       Counters.SlowCaptured.load(std::memory_order_relaxed)},
+      {"serve.in_flight", InFlight.load(std::memory_order_relaxed)},
+      {"serve.pool_workers", Pool.workerCount()},
+      {"serve.pool_pending", Pool.pendingTasks()},
+      {"serve.uptime_ms", UptimeMs},
+  };
+  std::vector<HistogramSnapshot> Hists = {
+      LatencyHist.snapshot("serve.latency_us"),
+      AnalyzeHist.snapshot("serve.phase.analyze_us"),
+      InstrumentHist.snapshot("serve.phase.instrument_us"),
+      WriteHist.snapshot("serve.phase.write_us"),
+      ScrapeHist.snapshot("serve.scrape_us"),
+  };
+  return metricsPrometheus(Cnts, Hists);
+}
+
+std::string EditService::statusJson(const StatusRequest &Req) {
+  AnalysisCache::Stats CS = Cache.stats();
+  std::vector<HistogramSnapshot> Hists = {
+      LatencyHist.snapshot("serve.latency_us"),
+      AnalyzeHist.snapshot("serve.phase.analyze_us"),
+      InstrumentHist.snapshot("serve.phase.instrument_us"),
+      WriteHist.snapshot("serve.phase.write_us"),
+      ScrapeHist.snapshot("serve.scrape_us"),
+  };
+
+  RunReport Report("eel-serve-status");
+  JsonWriter S(/*Indent=*/false);
+  S.beginObject();
+  S.key("status");
+  S.value("ok");
+  S.key("uptime_ms");
+  S.value(elapsedUs(StartedAt) / 1000);
+  S.key("in_flight");
+  S.value(uint64_t(InFlight.load(std::memory_order_relaxed)));
+  S.key("counters");
+  S.beginObject();
+  S.key("requests");
+  S.value(Counters.Requests.load(std::memory_order_relaxed));
+  S.key("ok");
+  S.value(Counters.Ok.load(std::memory_order_relaxed));
+  S.key("rejected");
+  S.value(Counters.Rejected.load(std::memory_order_relaxed));
+  S.key("errors");
+  S.value(Counters.Errors.load(std::memory_order_relaxed));
+  S.key("status_requests");
+  S.value(Counters.StatusRequests.load(std::memory_order_relaxed));
+  S.key("slow_captured");
+  S.value(Counters.SlowCaptured.load(std::memory_order_relaxed));
+  S.endObject();
+  S.key("cache");
+  S.beginObject();
+  S.key("entries");
+  S.value(CS.Entries);
+  S.key("bytes");
+  S.value(CS.Bytes);
+  S.key("hits");
+  S.value(CS.Hits);
+  S.key("misses");
+  S.value(CS.Misses);
+  S.key("evictions");
+  S.value(CS.Evictions);
+  S.key("hit_rate_pct");
+  S.value(CS.Hits + CS.Misses
+              ? 100.0 * static_cast<double>(CS.Hits) /
+                    static_cast<double>(CS.Hits + CS.Misses)
+              : 0.0);
+  S.endObject();
+  S.key("pool");
+  S.beginObject();
+  S.key("workers");
+  S.value(uint64_t(Pool.workerCount()));
+  S.key("pending");
+  S.value(uint64_t(Pool.pendingTasks()));
+  S.key("queue_capacity");
+  S.value(uint64_t(Pool.queueCapacity()));
+  S.endObject();
+  S.key("slow");
+  S.beginObject();
+  S.key("threshold_us");
+  S.value(Limits.SlowRequestUs);
+  S.key("capacity");
+  S.value(uint64_t(Limits.SlowRequestUs ? Limits.ExemplarCapacity : 0));
+  S.key("captured");
+  S.value(Counters.SlowCaptured.load(std::memory_order_relaxed));
+  if (Req.WantExemplars) {
+    S.key("exemplars");
+    S.beginArray();
+    for (const SlowExemplar &Ex : slowExemplars(Req.MaxExemplars)) {
+      S.beginObject();
+      S.key("request_id");
+      S.value(Ex.RequestId);
+      S.key("latency_us");
+      S.value(Ex.LatencyUs);
+      S.key("tool");
+      S.value(Ex.ToolSpec);
+      S.key("image_fnv1a64");
+      S.valueHex(Ex.ImageHash);
+      S.key("cache_hit");
+      S.value(Ex.CacheHit);
+      S.key("captured_unix_ms");
+      S.value(Ex.CapturedUnixMs);
+      S.key("trace");
+      S.valueRaw(Ex.TraceJson);
+      S.endObject();
+    }
+    S.endArray();
+  }
+  S.endObject();
+  S.key("histograms");
+  S.valueRaw(metricsJson(Hists));
+  S.endObject();
+  Report.setSummaryJson(S.take());
+  return Report.renderJson();
 }

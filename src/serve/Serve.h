@@ -35,6 +35,19 @@
 ///    request; cumulative `serve.*` counters are exempt from the scope
 ///    reset and keep accumulating for the life of the service.
 ///
+/// PR 10 adds the operational layer. Every request carries a 64-bit
+/// RequestId (client-supplied or daemon-minted) stamped on its spans, log
+/// records, envelope, and response frame. The service mirrors its
+/// cumulative counters into plain atomics and records latency/per-phase
+/// durations into AtomicHistograms, so an ELSt status frame
+/// (handleFrame/handleStatus) can snapshot a live, saturated daemon
+/// without touching the metrics-isolation lock, the sharded registries,
+/// or admission control — scrapes never block behind an edit and never
+/// consume an in-flight slot. Requests slower than
+/// ServeLimits::SlowRequestUs drain their spans into a bounded
+/// worst-N exemplar ring (Chrome trace JSON keyed by RequestId),
+/// fetchable through the same status frame.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EEL_SERVE_SERVE_H
@@ -42,14 +55,17 @@
 
 #include "core/Executable.h"
 #include "serve/Protocol.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace eel {
 
@@ -67,6 +83,14 @@ struct ServeLimits {
   /// Worker threads of the dispatch pool requests run on. 0 picks a small
   /// default from hardware concurrency.
   unsigned DispatchWorkers = 0;
+  /// Latency threshold for slow-request exemplar capture, in microseconds.
+  /// A request slower than this drains its trace spans into the exemplar
+  /// ring. 0 disables capture (and leaves the trace gate alone); nonzero
+  /// turns the process-wide trace gate on for the service's lifetime.
+  uint64_t SlowRequestUs = 0;
+  /// Worst-N exemplars retained (by latency). Ignored when SlowRequestUs
+  /// is 0.
+  size_t ExemplarCapacity = 4;
 };
 
 /// Content-addressed LRU cache of analyzed Executables.
@@ -87,19 +111,30 @@ public:
 
   /// Inserts \p Exec as most-recently-used under \p Key, replacing any
   /// existing entry and evicting from the LRU end beyond capacity. With
-  /// capacity 0 the executable is simply dropped.
-  void insert(uint64_t Key, std::unique_ptr<Executable> Exec);
+  /// capacity 0 the executable is simply dropped. \p ImageBytes is the
+  /// source image size the entry stands for, feeding the bytes gauge.
+  void insert(uint64_t Key, std::unique_ptr<Executable> Exec,
+              uint64_t ImageBytes);
 
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t Evictions = 0;
     uint64_t Entries = 0;
+    /// Sum of the source-image sizes of resident entries: an operational
+    /// gauge of cache footprint (the analyzed form is larger, but scales
+    /// with the image).
+    uint64_t Bytes = 0;
   };
   Stats stats() const;
 
 private:
-  using LruList = std::list<std::pair<uint64_t, std::unique_ptr<Executable>>>;
+  struct Entry {
+    uint64_t Key;
+    std::unique_ptr<Executable> Exec;
+    uint64_t ImageBytes;
+  };
+  using LruList = std::list<Entry>;
 
   mutable std::mutex M;
   size_t Capacity;
@@ -108,6 +143,7 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
+  uint64_t CurrentBytes = 0;
 };
 
 /// Tool specs a request may name.
@@ -121,6 +157,20 @@ enum class ServeTool : uint8_t {
 
 /// Parses a request's tool spec; BadToolSpec on anything unknown.
 Expected<ServeTool> parseToolSpec(const std::string &Spec);
+
+/// One retained slow-request exemplar: everything needed to answer "why
+/// was that request slow" after the fact.
+struct SlowExemplar {
+  uint64_t RequestId = 0;
+  uint64_t LatencyUs = 0;
+  std::string ToolSpec;
+  uint64_t ImageHash = 0;
+  bool CacheHit = false;
+  uint64_t CapturedUnixMs = 0; ///< Wall clock, for operator correlation.
+  /// Chrome trace-event JSON of the request's spans (renderChromeTrace
+  /// over the drained collector filtered by RequestId).
+  std::string TraceJson;
+};
 
 /// The edit service: admission control, dispatch onto a bounded
 /// ThreadPool, content-addressed analysis reuse, per-request envelopes.
@@ -143,15 +193,59 @@ public:
   /// ServeStatus::Error with the decode taxonomy code in the envelope.
   ServeResponse handleEncoded(const std::vector<uint8_t> &Payload);
 
+  /// Transport entry point: classifies \p Payload by magic and routes it
+  /// to the edit path (handleEncoded) or the status path (handleStatus),
+  /// returning the matching encoded response frame. Every input, however
+  /// hostile, gets a decodable answer.
+  std::vector<uint8_t> handleFrame(const std::vector<uint8_t> &Payload);
+
+  /// Answers one control-plane scrape. Lock-light by construction: reads
+  /// the atomic counter mirror, AtomicHistograms, cache stats, and pool
+  /// gauges — never MetricsM, never admission control — so a scrape
+  /// returns promptly even while a WantMetrics edit holds the registries
+  /// exclusively or the daemon is saturated.
+  StatusResponse handleStatus(const StatusRequest &Req);
+
+  /// Snapshot of the retained slow-request exemplars, worst first.
+  /// \p MaxN caps the result; 0 means all.
+  std::vector<SlowExemplar> slowExemplars(size_t MaxN) const;
+
   const ServeLimits &limits() const { return Limits; }
   AnalysisCache::Stats cacheStats() const { return Cache.stats(); }
 
 private:
-  ServeResponse process(const ServeRequest &Req, ServeTool Tool);
+  /// Cumulative counters mirrored into plain atomics so the scrape path
+  /// reads them without the sharded StatRegistry's quiescence contract.
+  /// The registry keeps its serve.* names too (envelope counters and
+  /// MetricsScope exemption are registry features); these are the
+  /// always-consistent operational view.
+  struct ServiceCounters {
+    std::atomic<uint64_t> Requests{0};
+    std::atomic<uint64_t> Ok{0};
+    std::atomic<uint64_t> Rejected{0};
+    std::atomic<uint64_t> Errors{0};
+    std::atomic<uint64_t> CacheHits{0};
+    std::atomic<uint64_t> CacheMisses{0};
+    std::atomic<uint64_t> StatusRequests{0};
+    std::atomic<uint64_t> SlowCaptured{0};
+  };
+
+  ServeResponse process(const ServeRequest &Req, ServeTool Tool,
+                        uint64_t Rid);
   ServeResponse runPipeline(const ServeRequest &Req, ServeTool Tool,
-                            bool CaptureMetrics);
-  ServeResponse reject(ErrorCode Code, const std::string &Message);
-  ServeResponse errorResponse(const Error &E);
+                            bool CaptureMetrics, uint64_t Rid);
+  ServeResponse reject(ErrorCode Code, const std::string &Message,
+                       uint64_t Rid);
+  ServeResponse errorResponse(const Error &E, uint64_t Rid);
+  /// Captures a slow request's spans into the exemplar ring (worst-N by
+  /// latency, guarded by ExemplarM).
+  void maybeCaptureSlow(uint64_t Rid, uint64_t LatencyUs,
+                        const std::string &ToolSpec, uint64_t ImageHash,
+                        bool CacheHit);
+  /// Renders the JSON status snapshot (an eel-report/1 envelope).
+  std::string statusJson(const StatusRequest &Req);
+  /// Renders the Prometheus text snapshot.
+  std::string statusPrometheus();
 
   ServeLimits Limits;
   AnalysisCache Cache;
@@ -159,8 +253,22 @@ private:
   std::atomic<unsigned> InFlight{0};
   /// Metrics-isolation lock: WantMetrics requests hold it exclusively
   /// (their MetricsScope resets the registries, which tolerates no
-  /// concurrent recorders), all other requests hold it shared.
+  /// concurrent recorders), all other requests hold it shared — including
+  /// the admission-path serve.* counter bumps, which would otherwise race
+  /// the scope's registry reset (the PR 10 metrics-scope gap fix).
   std::shared_mutex MetricsM;
+
+  ServiceCounters Counters;
+  AtomicHistogram LatencyHist;    ///< serve.latency_us (Ok requests).
+  AtomicHistogram AnalyzeHist;    ///< serve.phase.analyze_us.
+  AtomicHistogram InstrumentHist; ///< serve.phase.instrument_us.
+  AtomicHistogram WriteHist;      ///< serve.phase.write_us.
+  AtomicHistogram ScrapeHist;     ///< serve.scrape_us (status requests).
+  std::chrono::steady_clock::time_point StartedAt;
+  std::atomic<uint64_t> NextMintedId{1};
+
+  mutable std::mutex ExemplarM;
+  std::vector<SlowExemplar> Exemplars; ///< Sorted worst (slowest) first.
 };
 
 } // namespace eel

@@ -35,6 +35,11 @@ public:
     writeU16(static_cast<uint16_t>(V >> 16));
   }
 
+  void writeU64(uint64_t V) {
+    writeU32(static_cast<uint32_t>(V));
+    writeU32(static_cast<uint32_t>(V >> 32));
+  }
+
   void writeBytes(const uint8_t *Data, size_t N) {
     Bytes.insert(Bytes.end(), Data, Data + N);
   }
@@ -94,6 +99,12 @@ public:
     uint32_t Lo = readU16();
     uint32_t Hi = readU16();
     return Lo | (Hi << 16);
+  }
+
+  uint64_t readU64() {
+    uint64_t Lo = readU32();
+    uint64_t Hi = readU32();
+    return Lo | (Hi << 32);
   }
 
   std::string readString() {

@@ -35,6 +35,39 @@ uint64_t HistogramSnapshot::quantileUpperBound(double Q) const {
   return Max;
 }
 
+double HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < HistogramBuckets; ++I) {
+    if (!Buckets[I])
+      continue;
+    if (Seen + Buckets[I] >= Rank) {
+      if (I == 0)
+        return 0.0; // the zero bucket holds only exact zeros
+      double Lo = static_cast<double>(uint64_t(1) << (I - 1));
+      double Hi = static_cast<double>(histogramBucketLe(I));
+      double Frac = static_cast<double>(Rank - Seen) /
+                    static_cast<double>(Buckets[I]);
+      double V = Lo + (Hi - Lo) * Frac;
+      // The observed extrema are exact; use them to tighten the estimate
+      // (and make single-sample histograms report the sample itself).
+      V = std::min(V, static_cast<double>(Max));
+      V = std::max(V, static_cast<double>(Min));
+      return V;
+    }
+    Seen += Buckets[I];
+  }
+  return static_cast<double>(Max);
+}
+
 HistogramRegistry &HistogramRegistry::instance() {
   static HistogramRegistry Registry;
   return Registry;
@@ -150,6 +183,10 @@ std::string eel::metricsJson(const std::vector<HistogramSnapshot> &Snaps) {
     W.value(S.quantileUpperBound(0.5));
     W.key("p99_le");
     W.value(S.quantileUpperBound(0.99));
+    W.key("p50");
+    W.value(S.quantile(0.5));
+    W.key("p99");
+    W.value(S.quantile(0.99));
     W.key("buckets");
     W.beginArray();
     for (unsigned I = 0; I < HistogramBuckets; ++I) {

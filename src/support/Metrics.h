@@ -30,6 +30,7 @@
 #ifndef EEL_SUPPORT_METRICS_H
 #define EEL_SUPPORT_METRICS_H
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <limits>
@@ -72,6 +73,58 @@ struct HistogramSnapshot {
   /// Upper bound of the bucket holding the q-quantile sample (q in [0,1]).
   /// Coarse by construction — log buckets — but deterministic.
   uint64_t quantileUpperBound(double Q) const;
+
+  /// Estimated q-quantile by deterministic log-bucket interpolation:
+  /// locate the bucket holding the rank-q sample, interpolate linearly
+  /// across that bucket's [2^(i-1), 2^i - 1] span by the rank's position
+  /// within the bucket, then clamp to the observed [Min, Max] so
+  /// single-bucket and single-sample histograms report exact values.
+  /// Monotone in q; returns 0.0 for an empty histogram.
+  double quantile(double Q) const;
+};
+
+/// A single histogram safe for fully concurrent recording and reading —
+/// no shards, no merge points. The live-scrape complement of
+/// HistogramRegistry: eel-serve records request latency and per-phase
+/// durations here so an ELSt status frame can snapshot them mid-load
+/// without the registry's quiescence contract (and without touching the
+/// per-request MetricsScope lock). All operations are relaxed; a snapshot
+/// taken during a record may be off by the in-flight sample, which is
+/// fine for operational gauges.
+class AtomicHistogram {
+public:
+  void record(uint64_t Value) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    Buckets[histogramBucket(Value)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t Cur = MinV.load(std::memory_order_relaxed);
+    while (Value < Cur &&
+           !MinV.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+    Cur = MaxV.load(std::memory_order_relaxed);
+    while (Value > Cur &&
+           !MaxV.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+
+  HistogramSnapshot snapshot(std::string Name) const {
+    HistogramSnapshot S;
+    S.Name = std::move(Name);
+    S.Count = Count.load(std::memory_order_relaxed);
+    S.Sum = Sum.load(std::memory_order_relaxed);
+    S.Min = MinV.load(std::memory_order_relaxed);
+    S.Max = MaxV.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I < HistogramBuckets; ++I)
+      S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> MinV{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> MaxV{0};
+  std::atomic<uint64_t> Buckets[HistogramBuckets] = {};
 };
 
 /// Process-wide registry of named histograms, sharded per thread with the

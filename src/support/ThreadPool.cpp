@@ -224,8 +224,13 @@ void eel::parallelForEach(unsigned Threads, size_t N,
 
   unsigned Helpers = std::min(Participants - 1, Pool.workerCount());
   State->ActiveHelpers.store(Helpers, std::memory_order_release);
+  // Helpers inherit the submitter's request id so spans (and log records)
+  // from pool workers correlate to the request that fanned out; the scope
+  // restores whatever id the worker thread had before this task.
+  uint64_t Rid = traceRequestId();
   for (unsigned I = 0; I < Helpers; ++I)
-    Pool.submit([State, Drain, I] {
+    Pool.submit([State, Drain, I, Rid] {
+      TraceRequestScope RequestScope(Rid);
       {
         // Occupancy span: must close (and hit the ring) before the
         // ActiveHelpers decrement that the caller treats as quiescence,

@@ -91,6 +91,12 @@ public:
   void setQueueCapacity(size_t Cap);
   size_t queueCapacity() const;
 
+  /// Tasks enqueued but not yet started. Approximate under concurrency;
+  /// exported as a pool-occupancy gauge by the eel-serve scrape frame.
+  size_t pendingTasks() const {
+    return PendingTasks.load(std::memory_order_relaxed);
+  }
+
   /// True when the calling thread is currently executing a task submitted
   /// to THIS pool (worker loop or a helping caller).
   bool inPoolTask() const;

@@ -23,6 +23,14 @@ void eel::traceSetEnabled(bool On) {
   trace_detail::Enabled.store(On, std::memory_order_relaxed);
 }
 
+namespace {
+thread_local uint64_t CurrentRequestId = 0;
+} // namespace
+
+uint64_t eel::traceRequestId() { return CurrentRequestId; }
+
+void eel::traceSetRequestId(uint64_t Rid) { CurrentRequestId = Rid; }
+
 TraceCollector &TraceCollector::instance() {
   static TraceCollector Collector;
   return Collector;
@@ -58,6 +66,9 @@ TraceCollector::Ring &TraceCollector::localRing() {
 
 void TraceCollector::record(TraceEvent Ev) {
   Ring &R = localRing();
+  // The ring lock is uncontended except while a drain() snapshots this
+  // ring; it is what lets a live daemon export exemplars mid-load.
+  std::lock_guard<std::mutex> Lock(R.RM);
   Ev.Tid = R.Tid;
   Ev.Seq = R.Pushed;
   R.Events[R.Pushed % RingCapacity] = std::move(Ev);
@@ -68,6 +79,7 @@ std::vector<TraceEvent> TraceCollector::drain() const {
   std::lock_guard<std::mutex> Lock(M);
   std::vector<TraceEvent> Out;
   for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> RingLock(R->RM);
     uint64_t Kept = std::min<uint64_t>(R->Pushed, RingCapacity);
     Out.reserve(Out.size() + Kept);
     // Oldest retained entry first. When the ring has wrapped, the slot at
@@ -87,6 +99,7 @@ std::vector<TraceEvent> TraceCollector::drain() const {
 void TraceCollector::reset() {
   std::lock_guard<std::mutex> Lock(M);
   for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> RingLock(R->RM);
     for (TraceEvent &Ev : R->Events)
       Ev = TraceEvent{};
     R->Pushed = 0;
@@ -101,17 +114,21 @@ size_t TraceCollector::bufferCount() const {
 size_t TraceCollector::recordedCount() const {
   std::lock_guard<std::mutex> Lock(M);
   size_t Total = 0;
-  for (const auto &R : Rings)
+  for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> RingLock(R->RM);
     Total += static_cast<size_t>(std::min<uint64_t>(R->Pushed, RingCapacity));
+  }
   return Total;
 }
 
 uint64_t TraceCollector::droppedCount() const {
   std::lock_guard<std::mutex> Lock(M);
   uint64_t Dropped = 0;
-  for (const auto &R : Rings)
+  for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> RingLock(R->RM);
     if (R->Pushed > RingCapacity)
       Dropped += R->Pushed - RingCapacity;
+  }
   return Dropped;
 }
 
@@ -141,9 +158,13 @@ std::string eel::renderChromeTrace(const std::vector<TraceEvent> &Events) {
     W.value(static_cast<double>(Ev.StartNs) / 1000.0);
     W.key("dur");
     W.value(static_cast<double>(Ev.EndNs - Ev.StartNs) / 1000.0);
-    if (Ev.Key0 || Ev.Key1) {
+    if (Ev.Key0 || Ev.Key1 || Ev.RequestId) {
       W.key("args");
       W.beginObject();
+      if (Ev.RequestId) {
+        W.key("request_id");
+        W.value(Ev.RequestId);
+      }
       if (Ev.Key0) {
         W.key(Ev.Key0);
         W.value(Ev.Val0);

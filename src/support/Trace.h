@@ -60,6 +60,31 @@ inline bool traceEnabled() {
 /// points; spans already open keep the enablement they saw at entry.
 void traceSetEnabled(bool On);
 
+/// The calling thread's current request id (0 = none). Every span recorded
+/// while an id is set carries it, and structured log records stamp it, so
+/// one request can be correlated across connection thread, pool workers
+/// (parallelForEach propagates the submitter's id into helper bodies), log
+/// lines, and exported Chrome traces.
+uint64_t traceRequestId();
+
+/// Sets the calling thread's request id. Prefer TraceRequestScope.
+void traceSetRequestId(uint64_t Rid);
+
+/// RAII: sets the calling thread's request id for the enclosing scope and
+/// restores the previous id on exit (scopes nest).
+class TraceRequestScope {
+public:
+  explicit TraceRequestScope(uint64_t Rid) : Saved(traceRequestId()) {
+    traceSetRequestId(Rid);
+  }
+  ~TraceRequestScope() { traceSetRequestId(Saved); }
+  TraceRequestScope(const TraceRequestScope &) = delete;
+  TraceRequestScope &operator=(const TraceRequestScope &) = delete;
+
+private:
+  uint64_t Saved;
+};
+
 /// One completed span. Duration is EndNs - StartNs; both are nanoseconds
 /// since the collector's steady-clock epoch, so they compare across
 /// threads.
@@ -69,6 +94,9 @@ struct TraceEvent {
   uint64_t EndNs;
   uint32_t Tid; ///< Collector-assigned dense thread id (stable per ring).
   uint64_t Seq; ///< Per-thread push sequence (completion order).
+  /// Request the span belongs to (0 = none); stamped from the recording
+  /// thread's traceRequestId() at span start.
+  uint64_t RequestId = 0;
   /// Up to two typed arguments ("routine" names, counts). Keys are static
   /// literals; a null key means the slot is unused.
   const char *Key0 = nullptr;
@@ -92,8 +120,11 @@ public:
   /// once the ring exists; overwrites the oldest entry when full).
   void record(TraceEvent Ev);
 
-  /// Merges every ring's contents, ordered by (Tid, Seq). Call from
-  /// quiescent points only. Does not clear the rings.
+  /// Merges every ring's contents, ordered by (Tid, Seq). Does not clear
+  /// the rings. Safe concurrent with recorders (each ring carries its own
+  /// mutex, so live daemons can drain slow-request exemplars and serve
+  /// scrapes mid-load); the result is a consistent per-ring snapshot,
+  /// though spans completing during the drain may or may not appear.
   std::vector<TraceEvent> drain() const;
 
   /// Clears ring contents and the dropped-span count. Ring buffers
@@ -118,6 +149,10 @@ public:
 private:
   struct Ring {
     explicit Ring(uint32_t Tid) : Tid(Tid) { Events.resize(RingCapacity); }
+    /// Guards Events/Pushed so drain()/reset() are safe concurrent with the
+    /// owning thread's record(). The owner is the only writer, so its lock
+    /// acquisition is uncontended except during a drain.
+    mutable std::mutex RM;
     std::vector<TraceEvent> Events;
     uint64_t Pushed = 0; ///< Total pushes; count retained = min(Pushed, cap).
     uint32_t Tid;
@@ -179,6 +214,7 @@ private:
   void begin(const char *Name) {
     Live = true;
     Ev.Name = Name;
+    Ev.RequestId = traceRequestId();
     Ev.StartNs = TraceCollector::nowNs();
   }
   void end();

@@ -21,12 +21,15 @@
 #include "serve/Protocol.h"
 #include "serve/Serve.h"
 #include "support/Json.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
 #include "tools/Qpt.h"
 #include "vm/Machine.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -493,4 +496,388 @@ TEST(ServeWire, EncodedRequestRoundTripsThroughService) {
   ASSERT_TRUE(Decoded.hasValue());
   EXPECT_EQ(Decoded.value().EditedImage, Direct.EditedImage);
   EXPECT_TRUE(parseJson(Decoded.value().EnvelopeJson).hasValue());
+}
+
+// --- Request-id propagation -------------------------------------------------
+
+TEST(ServeRequestId, ClientIdEchoedEverywhere) {
+  EditService Service(ServeLimits{});
+  ServeRequest Req = makeRequest(makeImage(20, 6));
+  Req.RequestId = 0xabcdef12345678ull;
+  ServeResponse R = Service.handle(Req);
+  ASSERT_EQ(R.Status, ServeStatus::Ok);
+  EXPECT_EQ(R.RequestId, Req.RequestId);
+  JsonValue Envelope = parseEnvelope(R);
+  const JsonValue *Rid = summaryField(Envelope, "request_id");
+  ASSERT_NE(Rid, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(Rid->asNumber()), Req.RequestId);
+
+  // The id survives the wire: frame in, frame out.
+  Req.RequestId = 77;
+  Expected<ServeResponse> Wire =
+      decodeResponse(Service.handleFrame(encodeRequest(Req)));
+  ASSERT_TRUE(Wire.hasValue());
+  EXPECT_EQ(Wire.value().RequestId, 77u);
+}
+
+TEST(ServeRequestId, ZeroIdGetsMinted) {
+  EditService Service(ServeLimits{});
+  ServeRequest Req = makeRequest(makeImage(21, 6));
+  ASSERT_EQ(Req.RequestId, 0u);
+  ServeResponse R1 = Service.handle(Req);
+  ServeResponse R2 = Service.handle(Req);
+  ASSERT_EQ(R1.Status, ServeStatus::Ok);
+  ASSERT_EQ(R2.Status, ServeStatus::Ok);
+  EXPECT_NE(R1.RequestId, 0u);
+  EXPECT_NE(R2.RequestId, 0u);
+  EXPECT_NE(R1.RequestId, R2.RequestId);
+  // Rejections carry the effective id too.
+  ServeRequest Bad = makeRequest(makeImage(21, 6), "qpt:nope");
+  Bad.RequestId = 99;
+  EXPECT_EQ(Service.handle(Bad).RequestId, 99u);
+}
+
+// --- Status (scrape) protocol -----------------------------------------------
+
+TEST(ServeStatusProtocol, RoundTrip) {
+  StatusRequest Req;
+  Req.Format = StatusFormat::Prometheus;
+  Req.WantExemplars = true;
+  Req.MaxExemplars = 3;
+  Expected<StatusRequest> Back = decodeStatusRequest(encodeStatusRequest(Req));
+  ASSERT_TRUE(Back.hasValue()) << Back.error().describe();
+  EXPECT_EQ(Back.value().Format, StatusFormat::Prometheus);
+  EXPECT_TRUE(Back.value().WantExemplars);
+  EXPECT_EQ(Back.value().MaxExemplars, 3u);
+
+  StatusResponse Resp;
+  Resp.Status = ServeStatus::Ok;
+  Resp.Format = StatusFormat::Json;
+  Resp.Body = "{\"status\": \"ok\"}";
+  Expected<StatusResponse> RBack =
+      decodeStatusResponse(encodeStatusResponse(Resp));
+  ASSERT_TRUE(RBack.hasValue()) << RBack.error().describe();
+  EXPECT_EQ(RBack.value().Status, ServeStatus::Ok);
+  EXPECT_EQ(RBack.value().Body, Resp.Body);
+}
+
+TEST(ServeStatusProtocol, HostileStatusFramesGetTaxonomyCodes) {
+  // The control plane gets the same hostile-input treatment as the edit
+  // plane: every malformed byte maps to one taxonomy code.
+  std::vector<uint8_t> Good = encodeStatusRequest(StatusRequest{});
+
+  std::vector<uint8_t> BadMagicFrame = Good;
+  BadMagicFrame[0] ^= 0xff;
+  Expected<StatusRequest> R1 = decodeStatusRequest(BadMagicFrame);
+  ASSERT_TRUE(R1.hasError());
+  EXPECT_EQ(R1.error().code(), ErrorCode::BadMagic);
+
+  std::vector<uint8_t> BadVersion = Good;
+  BadVersion[4] = 99;
+  Expected<StatusRequest> R2 = decodeStatusRequest(BadVersion);
+  ASSERT_TRUE(R2.hasError());
+  EXPECT_EQ(R2.error().code(), ErrorCode::BadHeader);
+
+  std::vector<uint8_t> BadFormat = Good;
+  BadFormat[5] = 7; // Outside the StatusFormat enum.
+  Expected<StatusRequest> R3 = decodeStatusRequest(BadFormat);
+  ASSERT_TRUE(R3.hasError());
+  EXPECT_EQ(R3.error().code(), ErrorCode::BadHeader);
+
+  std::vector<uint8_t> BadFlags = Good;
+  BadFlags[6] = 0x80; // Reserved flag bits.
+  Expected<StatusRequest> R4 = decodeStatusRequest(BadFlags);
+  ASSERT_TRUE(R4.hasError());
+  EXPECT_EQ(R4.error().code(), ErrorCode::BadHeader);
+
+  for (size_t Len = 0; Len < Good.size(); ++Len) {
+    std::vector<uint8_t> Prefix(Good.begin(), Good.begin() + Len);
+    Expected<StatusRequest> R = decodeStatusRequest(Prefix);
+    ASSERT_TRUE(R.hasError()) << "accepted truncated status frame of " << Len;
+    EXPECT_EQ(R.error().code(), ErrorCode::Truncated) << "at len " << Len;
+  }
+
+  std::vector<uint8_t> Trailing = Good;
+  Trailing.push_back(0);
+  Expected<StatusRequest> R5 = decodeStatusRequest(Trailing);
+  ASSERT_TRUE(R5.hasError());
+  EXPECT_EQ(R5.error().code(), ErrorCode::TrailingBytes);
+}
+
+TEST(ServeStatusProtocol, SeededMutationFuzz) {
+  // sxf-fuzz discipline for the control plane: mutate valid ELSt frames
+  // and require every outcome to be a clean decode or a taxonomy error —
+  // and require handleFrame to answer every mutant with a frame that
+  // decodes as one of the two response kinds.
+  EditService Service(ServeLimits{});
+  Rng R(0x5374);
+  for (unsigned Iter = 0; Iter < 300; ++Iter) {
+    StatusRequest Req;
+    Req.Format = R.chance(50) ? StatusFormat::Json : StatusFormat::Prometheus;
+    Req.WantExemplars = R.chance(30);
+    Req.MaxExemplars = static_cast<uint32_t>(R.below(5));
+    std::vector<uint8_t> Frame = encodeStatusRequest(Req);
+
+    unsigned Mutations = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned M = 0; M < Mutations; ++M) {
+      switch (R.below(3)) {
+      case 0: // Flip a byte.
+        if (!Frame.empty())
+          Frame[R.below(Frame.size())] ^= static_cast<uint8_t>(R.range(1, 255));
+        break;
+      case 1: // Truncate.
+        if (!Frame.empty())
+          Frame.resize(R.below(Frame.size()));
+        break;
+      default: // Extend with junk.
+        Frame.push_back(static_cast<uint8_t>(R.below(256)));
+      }
+    }
+
+    Expected<StatusRequest> Decoded = decodeStatusRequest(Frame);
+    if (Decoded.hasValue()) {
+      // Survivors must re-encode to a decodable frame (round-trip sanity).
+      EXPECT_TRUE(
+          decodeStatusRequest(encodeStatusRequest(Decoded.value())).hasValue());
+    } else {
+      ErrorCode Code = Decoded.error().code();
+      EXPECT_TRUE(Code == ErrorCode::BadMagic || Code == ErrorCode::BadHeader ||
+                  Code == ErrorCode::Truncated ||
+                  Code == ErrorCode::TrailingBytes ||
+                  Code == ErrorCode::ImplausibleCount)
+          << errorCodeName(Code);
+    }
+
+    std::vector<uint8_t> Answer = Service.handleFrame(Frame);
+    EXPECT_TRUE(decodeStatusResponse(Answer).hasValue() ||
+                decodeResponse(Answer).hasValue())
+        << "handleFrame answered a mutant with an undecodable frame";
+  }
+}
+
+// --- Live scrape ------------------------------------------------------------
+
+TEST(ServeStatus, SnapshotCarriesLiveCounters) {
+  EditService Service(ServeLimits{});
+  std::vector<uint8_t> Image = makeImage(22, 6);
+  ASSERT_EQ(Service.handle(makeRequest(Image)).Status, ServeStatus::Ok);
+  ASSERT_EQ(Service.handle(makeRequest(Image)).Status, ServeStatus::Ok);
+  ASSERT_EQ(Service.handle(makeRequest(Image, "qpt:nope")).Status,
+            ServeStatus::Rejected);
+
+  StatusResponse Resp = Service.handleStatus(StatusRequest{});
+  ASSERT_EQ(Resp.Status, ServeStatus::Ok);
+  Expected<JsonValue> Doc = parseJson(Resp.Body);
+  ASSERT_TRUE(Doc.hasValue()) << Resp.Body;
+  EXPECT_EQ(Doc.value().find("schema")->Str, "eel-report/1");
+  const JsonValue *Summary = Doc.value().find("summary");
+  ASSERT_NE(Summary, nullptr);
+  const JsonValue *Counters = Summary->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->find("requests")->asNumber(), 3.0);
+  EXPECT_EQ(Counters->find("ok")->asNumber(), 2.0);
+  EXPECT_EQ(Counters->find("rejected")->asNumber(), 1.0);
+  const JsonValue *CacheV = Summary->find("cache");
+  ASSERT_NE(CacheV, nullptr);
+  EXPECT_EQ(CacheV->find("hits")->asNumber(), 1.0);
+  EXPECT_EQ(CacheV->find("misses")->asNumber(), 1.0);
+  EXPECT_GT(CacheV->find("bytes")->asNumber(), 0.0);
+  const JsonValue *Hists = Summary->find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  ASSERT_TRUE(Hists->isArray());
+  bool SawLatency = false;
+  for (const JsonValue &H : Hists->Arr)
+    if (H.find("name") && H.find("name")->Str == "serve.latency_us") {
+      SawLatency = true;
+      EXPECT_EQ(H.find("count")->asNumber(), 2.0);
+      EXPECT_GT(H.find("p99")->asNumber(), 0.0);
+    }
+  EXPECT_TRUE(SawLatency);
+
+  // The Prometheus rendering exposes the same counters as text.
+  StatusRequest PromReq;
+  PromReq.Format = StatusFormat::Prometheus;
+  StatusResponse Prom = Service.handleStatus(PromReq);
+  ASSERT_EQ(Prom.Status, ServeStatus::Ok);
+  EXPECT_NE(Prom.Body.find("serve_requests 3"), std::string::npos)
+      << Prom.Body;
+  EXPECT_NE(Prom.Body.find("serve_ok 2"), std::string::npos);
+  EXPECT_NE(Prom.Body.find("serve_latency_us_count 2"), std::string::npos);
+}
+
+TEST(ServeStatus, ScrapeNeverBlocksBehindEdits) {
+  // The scrape path must stay answerable while edits are in flight —
+  // including WantMetrics edits that hold the metrics-isolation lock
+  // exclusively. Workers hammer the service; the main thread scrapes
+  // continuously and every scrape must succeed and parse.
+  EditService Service(ServeLimits{});
+  constexpr unsigned Workers = 4, PerWorker = 6;
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([&, W] {
+      std::vector<uint8_t> Image = makeImage(30 + W, 16);
+      for (unsigned I = 0; I < PerWorker; ++I) {
+        ServeRequest Req = makeRequest(Image, "qpt:all");
+        Req.WantMetrics = (I % 2) == 0;
+        EXPECT_EQ(Service.handle(Req).Status, ServeStatus::Ok);
+      }
+    });
+
+  uint64_t Scrapes = 0;
+  double MaxInFlight = 0;
+  std::thread Closer([&] {
+    for (std::thread &T : Threads)
+      T.join();
+    Done.store(true, std::memory_order_release);
+  });
+  while (!Done.load(std::memory_order_acquire)) {
+    std::vector<uint8_t> Answer =
+        Service.handleFrame(encodeStatusRequest(StatusRequest{}));
+    Expected<StatusResponse> Resp = decodeStatusResponse(Answer);
+    ASSERT_TRUE(Resp.hasValue());
+    ASSERT_EQ(Resp.value().Status, ServeStatus::Ok);
+    Expected<JsonValue> Doc = parseJson(Resp.value().Body);
+    ASSERT_TRUE(Doc.hasValue());
+    const JsonValue *Summary = Doc.value().find("summary");
+    ASSERT_NE(Summary, nullptr);
+    const JsonValue *InFlight = Summary->find("in_flight");
+    ASSERT_NE(InFlight, nullptr);
+    MaxInFlight = std::max(MaxInFlight, InFlight->asNumber());
+    ++Scrapes;
+  }
+  Closer.join();
+  // The scraper kept running the whole time (it is strictly faster than
+  // an edit, so many scrapes land per request) and saw the load.
+  EXPECT_GE(Scrapes, uint64_t(Workers * PerWorker));
+  EXPECT_GT(MaxInFlight, 0.0);
+
+  StatusResponse Final = Service.handleStatus(StatusRequest{});
+  Expected<JsonValue> Doc = parseJson(Final.Body);
+  ASSERT_TRUE(Doc.hasValue());
+  EXPECT_EQ(Doc.value()
+                .find("summary")
+                ->find("counters")
+                ->find("ok")
+                ->asNumber(),
+            double(Workers * PerWorker));
+}
+
+// --- Slow-request exemplars -------------------------------------------------
+
+TEST(ServeSlow, ExemplarCapturedWithRequestId) {
+  ServeLimits Limits;
+  Limits.SlowRequestUs = 1; // Everything is "slow".
+  Limits.ExemplarCapacity = 2;
+  EditService Service(Limits);
+
+  for (uint64_t Id : {101u, 102u, 103u}) {
+    ServeRequest Req = makeRequest(makeImage(40, 8), "qpt:all");
+    Req.RequestId = Id;
+    ASSERT_EQ(Service.handle(Req).Status, ServeStatus::Ok);
+  }
+
+  std::vector<SlowExemplar> Exs = Service.slowExemplars(0);
+  ASSERT_EQ(Exs.size(), 2u) << "ring must cap at ExemplarCapacity";
+  EXPECT_GE(Exs[0].LatencyUs, Exs[1].LatencyUs) << "worst first";
+  for (const SlowExemplar &Ex : Exs) {
+    EXPECT_TRUE(Ex.RequestId == 101 || Ex.RequestId == 102 ||
+                Ex.RequestId == 103);
+    EXPECT_GT(Ex.LatencyUs, Limits.SlowRequestUs);
+    EXPECT_EQ(Ex.ToolSpec, "qpt:all");
+    Expected<JsonValue> Trace = parseJson(Ex.TraceJson);
+    ASSERT_TRUE(Trace.hasValue());
+    const JsonValue *Events = Trace.value().find("traceEvents");
+    ASSERT_NE(Events, nullptr);
+    ASSERT_TRUE(Events->isArray());
+    ASSERT_FALSE(Events->Arr.empty())
+        << "a slow request must retain its spans";
+    // Every span in the exemplar belongs to this request.
+    for (const JsonValue &Ev : Events->Arr) {
+      const JsonValue *Args = Ev.find("args");
+      ASSERT_NE(Args, nullptr);
+      ASSERT_NE(Args->find("request_id"), nullptr);
+      EXPECT_EQ(Args->find("request_id")->asNumber(), double(Ex.RequestId));
+    }
+  }
+
+  // The exemplars are fetchable through the scrape frame.
+  StatusRequest Req;
+  Req.WantExemplars = true;
+  Req.MaxExemplars = 1;
+  StatusResponse Resp = Service.handleStatus(Req);
+  Expected<JsonValue> Doc = parseJson(Resp.Body);
+  ASSERT_TRUE(Doc.hasValue()) << Resp.Body;
+  const JsonValue *Slow = Doc.value().find("summary")->find("slow");
+  ASSERT_NE(Slow, nullptr);
+  EXPECT_EQ(Slow->find("captured")->asNumber(), 3.0);
+  const JsonValue *ExArr = Slow->find("exemplars");
+  ASSERT_NE(ExArr, nullptr);
+  ASSERT_EQ(ExArr->Arr.size(), 1u) << "MaxExemplars caps the reply";
+  EXPECT_EQ(ExArr->Arr[0].find("request_id")->asNumber(),
+            double(Exs[0].RequestId));
+}
+
+TEST(ServeSlow, ThresholdZeroCapturesNothing) {
+  EditService Service(ServeLimits{});
+  ASSERT_EQ(Service.handle(makeRequest(makeImage(41, 6))).Status,
+            ServeStatus::Ok);
+  EXPECT_TRUE(Service.slowExemplars(0).empty());
+}
+
+// --- Metrics-scope gap regression -------------------------------------------
+
+TEST(ServeMetrics, CumulativeCountersSurviveScopedRequests) {
+  // Regression for the PR 10 gap: cache evictions and admission
+  // rejections that land *while a WantMetrics request's scope is live*
+  // must still be visible in the cumulative registry afterwards. With a
+  // capacity-1 cache, back-to-back scoped requests for two images evict
+  // each other; a rejection rides along.
+  //
+  // serve.* counters are process-global and never reset by MetricsScope
+  // (that is the property under test), so clear them here to isolate
+  // this test from earlier suite activity.
+  StatRegistry::instance().resetAll();
+  ServeLimits Limits;
+  Limits.CacheCapacity = 1;
+  EditService Service(Limits);
+  std::vector<uint8_t> Image1 = makeImage(50, 6);
+  std::vector<uint8_t> Image2 = makeImage(51, 6);
+
+  for (int Round = 0; Round < 2; ++Round)
+    for (const std::vector<uint8_t> *Image : {&Image1, &Image2}) {
+      ServeRequest Req = makeRequest(*Image);
+      Req.WantMetrics = true;
+      ASSERT_EQ(Service.handle(Req).Status, ServeStatus::Ok);
+    }
+  ASSERT_EQ(Service.handle(makeRequest(Image1, "qpt:nope")).Status,
+            ServeStatus::Rejected);
+
+  // Read the cumulative registry through a final scoped envelope: serve.*
+  // names are exempt from the scope reset, so everything above must still
+  // be there.
+  ServeRequest Last = makeRequest(Image2);
+  Last.WantMetrics = true;
+  ServeResponse R = Service.handle(Last);
+  ASSERT_EQ(R.Status, ServeStatus::Ok);
+  JsonValue Envelope = parseEnvelope(R);
+  const JsonValue *Counters = Envelope.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  const JsonValue *Evictions = Counters->find("serve.cache_evictions");
+  ASSERT_NE(Evictions, nullptr) << "evictions never reached the registry";
+  EXPECT_GE(Evictions->asNumber(), 3.0);
+  const JsonValue *Rejected = Counters->find("serve.rejected");
+  ASSERT_NE(Rejected, nullptr);
+  EXPECT_GE(Rejected->asNumber(), 1.0);
+  const JsonValue *Requests = Counters->find("serve.requests");
+  ASSERT_NE(Requests, nullptr);
+  EXPECT_EQ(Requests->asNumber(), 6.0);
+
+  // The scrape sees the same history through its own (atomic) path.
+  StatusResponse Status = Service.handleStatus(StatusRequest{});
+  Expected<JsonValue> Doc = parseJson(Status.Body);
+  ASSERT_TRUE(Doc.hasValue());
+  const JsonValue *Summary = Doc.value().find("summary");
+  EXPECT_EQ(Summary->find("counters")->find("requests")->asNumber(), 6.0);
+  EXPECT_GE(Summary->find("cache")->find("evictions")->asNumber(), 3.0);
 }

@@ -25,17 +25,23 @@
 #include "analysis/Report.h"
 #include "analysis/Verifier.h"
 #include "core/Executable.h"
+#include "support/FileIO.h"
 #include "support/Json.h"
+#include "support/Log.h"
 #include "support/Metrics.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workload/Generator.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <limits>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace eel;
@@ -410,6 +416,282 @@ TEST(Json, RejectsMalformedDocuments) {
         "\"unterminated", "{\"a\":01}", "[1 2]", "{1: 2}"}) {
     EXPECT_TRUE(parseJson(Bad).hasError()) << "accepted: " << Bad;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram quantile interpolation
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramQuantile, EmptyAndZeroSamples) {
+  HistogramSnapshot Empty;
+  EXPECT_EQ(Empty.quantile(0.5), 0.0);
+  EXPECT_EQ(Empty.quantile(0.99), 0.0);
+
+  HistogramRegistry::instance().resetAll();
+  for (int I = 0; I < 5; ++I)
+    bumpHistogram("test.q.zeros", 0);
+  HistogramSnapshot H = HistogramRegistry::instance().read("test.q.zeros");
+  // The zero bucket holds only exact zeros; no interpolation applies.
+  EXPECT_EQ(H.quantile(0.5), 0.0);
+  EXPECT_EQ(H.quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantile, SingleValueReportsItself) {
+  // The min/max clamp makes a degenerate histogram exact: every quantile
+  // of 100 identical samples is the sample, not a bucket midpoint.
+  HistogramRegistry::instance().resetAll();
+  for (int I = 0; I < 100; ++I)
+    bumpHistogram("test.q.single", 10);
+  HistogramSnapshot H = HistogramRegistry::instance().read("test.q.single");
+  for (double Q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_EQ(H.quantile(Q), 10.0) << "q=" << Q;
+
+  // A lone sample near its bucket's low edge clamps to the observed max.
+  HistogramRegistry::instance().resetAll();
+  bumpHistogram("test.q.lone", 65); // bucket [64,127]
+  HistogramSnapshot L = HistogramRegistry::instance().read("test.q.lone");
+  EXPECT_EQ(L.quantile(1.0), 65.0);
+}
+
+TEST(HistogramQuantile, InterpolatesDeterministically) {
+  // 50 samples of 1 (bucket le=1) and 50 of 100 (bucket [64,127]): the
+  // 25th percentile sits in the first bucket exactly, the 75th a known
+  // fraction into the second.
+  HistogramRegistry::instance().resetAll();
+  for (int I = 0; I < 50; ++I) {
+    bumpHistogram("test.q.two", 1);
+    bumpHistogram("test.q.two", 100);
+  }
+  HistogramSnapshot H = HistogramRegistry::instance().read("test.q.two");
+  EXPECT_EQ(H.quantile(0.25), 1.0);
+  // Rank 75: 25 of the 50 samples into [64,127] -> 64 + 63 * 0.5 = 95.5.
+  EXPECT_DOUBLE_EQ(H.quantile(0.75), 95.5);
+
+  // Monotone in Q, and always inside [Min, Max].
+  double Prev = 0.0;
+  for (double Q = 0.0; Q <= 1.0; Q += 0.05) {
+    double V = H.quantile(Q);
+    EXPECT_GE(V, Prev) << "q=" << Q;
+    EXPECT_GE(V, static_cast<double>(H.Min));
+    EXPECT_LE(V, static_cast<double>(H.Max));
+    Prev = V;
+  }
+}
+
+TEST(HistogramQuantile, AtomicHistogramMatchesRegistry) {
+  // AtomicHistogram (the serve scrape path) and the sharded registry are
+  // two recorders of the same distribution; their snapshots must agree.
+  HistogramRegistry::instance().resetAll();
+  AtomicHistogram A;
+  for (uint64_t V : {1ull, 2ull, 3ull, 100ull, 250ull, 4096ull}) {
+    bumpHistogram("test.q.pair", V);
+    A.record(V);
+  }
+  HistogramSnapshot R = HistogramRegistry::instance().read("test.q.pair");
+  HistogramSnapshot S = A.snapshot("test.q.pair");
+  EXPECT_EQ(S.Count, R.Count);
+  EXPECT_EQ(S.Sum, R.Sum);
+  EXPECT_EQ(S.Min, R.Min);
+  EXPECT_EQ(S.Max, R.Max);
+  for (unsigned I = 0; I < HistogramBuckets; ++I)
+    EXPECT_EQ(S.Buckets[I], R.Buckets[I]) << "bucket " << I;
+  EXPECT_EQ(S.quantile(0.5), R.quantile(0.5));
+  EXPECT_EQ(S.quantile(0.99), R.quantile(0.99));
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logging
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Restores the global logging state however a test exits.
+struct LogStateGuard {
+  ~LogStateGuard() {
+    Logger::instance().flushAll();
+    Logger::instance().useStderr();
+    Logger::instance().setRateLimit(0);
+    Logger::instance().resetCounts();
+    logSetLevel(LogLevel::Off);
+  }
+};
+
+std::vector<std::string> readLogLines(const std::string &Path) {
+  Logger::instance().flushAll();
+  std::vector<std::string> Lines;
+  Expected<std::vector<uint8_t>> Bytes = readFileBytes(Path);
+  if (!Bytes.hasValue())
+    return Lines;
+  std::string Text(Bytes.value().begin(), Bytes.value().end());
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    if (Nl > Pos)
+      Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+std::string logTestPath(const char *Name) {
+  return ::testing::TempDir() + "eel-log-test-" + Name + ".jsonl";
+}
+
+} // namespace
+
+TEST(Log, LevelGateFiltersRecords) {
+  LogStateGuard Guard;
+  std::string Path = logTestPath("gate");
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Logger::instance().setPath(Path));
+  Logger::instance().resetCounts();
+
+  logSetLevel(LogLevel::Warn);
+  for (int I = 0; I < 100; ++I)
+    EEL_LOG(LogLevel::Debug, "test.below", logNum("i", uint64_t(I)));
+  EXPECT_EQ(Logger::instance().emittedCount(), 0u)
+      << "records below the threshold must not even be formatted";
+  EEL_LOG(LogLevel::Error, "test.above");
+  EXPECT_EQ(Logger::instance().emittedCount(), 1u);
+
+  // Off disables everything, including Error.
+  logSetLevel(LogLevel::Off);
+  EEL_LOG(LogLevel::Error, "test.off");
+  EXPECT_EQ(Logger::instance().emittedCount(), 1u);
+
+  std::vector<std::string> Lines = readLogLines(Path);
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_NE(Lines[0].find("test.above"), std::string::npos);
+}
+
+TEST(Log, LinesAreStrictJsonlWithPrelude) {
+  LogStateGuard Guard;
+  std::string Path = logTestPath("jsonl");
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Logger::instance().setPath(Path));
+  logSetLevel(LogLevel::Info);
+
+  EEL_LOG(LogLevel::Info, "test.fields", logStr("tool", "qpt:all"),
+          logNum("latency_us", 1234));
+  EEL_LOG(LogLevel::Warn, "test.escape",
+          logStr("msg", "quote \" backslash \\ newline \n tab \t"));
+
+  std::vector<std::string> Lines = readLogLines(Path);
+  ASSERT_EQ(Lines.size(), 2u);
+  for (const std::string &Line : Lines) {
+    Expected<JsonValue> Doc = parseJson(Line);
+    ASSERT_TRUE(Doc.hasValue()) << Line;
+    ASSERT_TRUE(Doc.value().isObject());
+    EXPECT_NE(Doc.value().find("ts_ms"), nullptr);
+    EXPECT_NE(Doc.value().find("level"), nullptr);
+    EXPECT_NE(Doc.value().find("event"), nullptr);
+    EXPECT_NE(Doc.value().find("tid"), nullptr);
+  }
+  Expected<JsonValue> First = parseJson(Lines[0]);
+  EXPECT_EQ(First.value().find("event")->Str, "test.fields");
+  EXPECT_EQ(First.value().find("tool")->Str, "qpt:all");
+  EXPECT_EQ(First.value().find("latency_us")->asNumber(), 1234.0);
+  Expected<JsonValue> Second = parseJson(Lines[1]);
+  EXPECT_EQ(Second.value().find("msg")->Str,
+            "quote \" backslash \\ newline \n tab \t");
+}
+
+TEST(Log, RateLimitCountsAndDisclosesDrops) {
+  LogStateGuard Guard;
+  std::string Path = logTestPath("rate");
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Logger::instance().setPath(Path));
+  Logger::instance().resetCounts();
+  logSetLevel(LogLevel::Info);
+  Logger::instance().setRateLimit(2);
+
+  for (int I = 0; I < 10; ++I)
+    EEL_LOG(LogLevel::Info, "test.flood", logNum("i", uint64_t(I)));
+  // 10 writes against a 2/sec window: at most two windows were touched,
+  // so at least 6 were dropped — and the count is monotonic.
+  EXPECT_GE(Logger::instance().droppedCount(), 6u);
+  EXPECT_LE(Logger::instance().emittedCount(), 4u);
+
+  // The next admitted record (new window) is preceded by an in-stream
+  // log.rate_limited disclosure carrying the suppressed count.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  EEL_LOG(LogLevel::Info, "test.after_window");
+  std::vector<std::string> Lines = readLogLines(Path);
+  bool SawDisclosure = false;
+  for (const std::string &Line : Lines) {
+    Expected<JsonValue> Doc = parseJson(Line);
+    ASSERT_TRUE(Doc.hasValue()) << Line;
+    if (Doc.value().find("event")->Str == "log.rate_limited") {
+      SawDisclosure = true;
+      EXPECT_GE(Doc.value().find("dropped")->asNumber(), 6.0);
+    }
+  }
+  EXPECT_TRUE(SawDisclosure);
+}
+
+TEST(Log, RequestIdStampedFromTraceScope) {
+  LogStateGuard Guard;
+  std::string Path = logTestPath("rid");
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Logger::instance().setPath(Path));
+  logSetLevel(LogLevel::Info);
+
+  EEL_LOG(LogLevel::Info, "test.no_rid");
+  {
+    TraceRequestScope Scope(0xbeef);
+    EEL_LOG(LogLevel::Info, "test.with_rid");
+  }
+  EEL_LOG(LogLevel::Info, "test.after_scope");
+
+  std::vector<std::string> Lines = readLogLines(Path);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(parseJson(Lines[0]).value().find("request_id"), nullptr);
+  JsonValue WithRid = parseJson(Lines[1]).takeValue();
+  const JsonValue *Rid = WithRid.find("request_id");
+  ASSERT_NE(Rid, nullptr);
+  EXPECT_EQ(Rid->asNumber(), double(0xbeef));
+  EXPECT_EQ(parseJson(Lines[2]).value().find("request_id"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Request-id propagation through spans
+//===----------------------------------------------------------------------===//
+
+TEST(RequestId, PropagatesThroughParallelForEach) {
+  // A request id set on the submitting thread must reach spans recorded
+  // by pool helper threads — that is what makes slow-request exemplars
+  // complete for multi-threaded edits.
+  TraceCollector::instance().reset();
+  traceSetEnabled(true);
+  {
+    TraceRequestScope Scope(4242);
+    parallelForEach(4, 32, [](size_t) {
+      EEL_TRACE_SCOPE("test.rid_body");
+    });
+  }
+  traceSetEnabled(false);
+
+  std::vector<TraceEvent> Spans = TraceCollector::instance().drain();
+  unsigned Bodies = 0;
+  for (const TraceEvent &Ev : Spans)
+    if (std::string(Ev.Name) == "test.rid_body") {
+      ++Bodies;
+      EXPECT_EQ(Ev.RequestId, 4242u) << "span lost its request id";
+    }
+  EXPECT_EQ(Bodies, 32u);
+
+  // Outside any scope, spans carry no id.
+  traceSetEnabled(true);
+  {
+    EEL_TRACE_SCOPE("test.rid_none");
+  }
+  traceSetEnabled(false);
+  for (const TraceEvent &Ev : TraceCollector::instance().drain())
+    if (std::string(Ev.Name) == "test.rid_none") {
+      EXPECT_EQ(Ev.RequestId, 0u);
+    }
 }
 
 TEST(Json, AcceptsAndRoundTripsValidDocuments) {

@@ -23,6 +23,17 @@
 ///     --workers N          dispatch pool workers (0 = small default)
 ///     --max-requests N     exit after answering N requests (0 = forever;
 ///                          the tests' shutdown handle)
+///     --log-level LVL      trace|debug|info|warn|error|off (off); JSONL
+///                          structured records (support/Log.h)
+///     --log-file PATH      append log records to PATH instead of stderr
+///     --slow-ms N          capture trace exemplars for requests slower
+///                          than N milliseconds (0 = off)
+///     --exemplars N        worst-N slow-request exemplars retained (4)
+///
+/// Both entry points route frames through EditService::handleFrame, so a
+/// control-plane ELSt scrape works over the socket and in --once mode
+/// alike. Status frames count toward --max-requests (the scrape smoke
+/// script relies on that for clean shutdown).
 ///
 /// Exit status: 0 on clean shutdown, 2 on usage or socket errors. In
 /// --once mode, 0 even when the response carries a rejection — the
@@ -32,6 +43,7 @@
 
 #include "serve/Serve.h"
 #include "support/FileIO.h"
+#include "support/Log.h"
 
 #include <atomic>
 #include <cstdio>
@@ -53,6 +65,8 @@ struct ServeConfig {
   std::string SocketPath;
   std::string OncePath;
   std::string OnceOutPath;
+  std::string LogFile;
+  LogLevel Log = LogLevel::Off;
   ServeLimits Limits;
   uint64_t MaxRequests = 0;
 };
@@ -61,7 +75,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --once REQ RESP) [--cache N] "
                "[--max-inflight N] [--max-image-bytes N] [--workers N] "
-               "[--max-requests N]\n",
+               "[--max-requests N] [--log-level LVL] [--log-file PATH] "
+               "[--slow-ms N] [--exemplars N]\n",
                Argv0);
   return 2;
 }
@@ -120,6 +135,8 @@ bool writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
 }
 
 /// One request from a file, one response frame to a file; no socket.
+/// Routed through handleFrame, so the file may hold an edit request or a
+/// control-plane status frame.
 int runOnce(const ServeConfig &Config) {
   Expected<std::vector<uint8_t>> Bytes = readFileBytes(Config.OncePath);
   if (Bytes.hasError()) {
@@ -127,9 +144,9 @@ int runOnce(const ServeConfig &Config) {
     return 2;
   }
   EditService Service(Config.Limits);
-  ServeResponse Resp = Service.handleEncoded(Bytes.value());
   Expected<bool> Wrote =
-      writeFileBytes(Config.OnceOutPath, encodeResponse(Resp));
+      writeFileBytes(Config.OnceOutPath, Service.handleFrame(Bytes.value()));
+  Logger::instance().flushAll();
   if (Wrote.hasError()) {
     std::fprintf(stderr, "error: %s\n", Wrote.error().describe().c_str());
     return 2;
@@ -169,6 +186,9 @@ int runDaemon(const ServeConfig &Config) {
   std::atomic<uint64_t> Answered{0};
   std::atomic<bool> Quit{false};
   std::vector<std::thread> Connections;
+  EEL_LOG(LogLevel::Info, "daemon.listening",
+          logStr("socket", Config.SocketPath),
+          logNum("max_requests", Config.MaxRequests));
 
   while (!Quit.load(std::memory_order_acquire)) {
     int Conn = ::accept(Listen, nullptr, nullptr);
@@ -176,19 +196,26 @@ int runDaemon(const ServeConfig &Config) {
       break;
     Connections.emplace_back([&Service, &Answered, &Quit, &Config, Conn,
                               Listen] {
+      EEL_LOG(LogLevel::Debug, "daemon.connection_open", logNum("fd", Conn));
       std::vector<uint8_t> Payload;
       while (readFrame(Conn, Payload)) {
-        ServeResponse Resp = Service.handleEncoded(Payload);
-        if (!writeFrame(Conn, encodeResponse(Resp)))
+        // handleFrame answers edit and status frames alike; status frames
+        // count toward --max-requests so a scrape-only session can still
+        // drive a bounded daemon to clean shutdown.
+        if (!writeFrame(Conn, Service.handleFrame(Payload)))
           break;
         uint64_t Total = Answered.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (Config.MaxRequests && Total >= Config.MaxRequests) {
+          EEL_LOG(LogLevel::Info, "daemon.request_budget_reached",
+                  logNum("answered", Total));
           Quit.store(true, std::memory_order_release);
           // Unblock the blocked accept() so the daemon can exit.
           ::shutdown(Listen, SHUT_RDWR);
           break;
         }
       }
+      EEL_LOG(LogLevel::Debug, "daemon.connection_close", logNum("fd", Conn));
+      Logger::instance().flushAll();
       ::close(Conn);
     });
   }
@@ -196,6 +223,9 @@ int runDaemon(const ServeConfig &Config) {
     T.join();
   ::close(Listen);
   ::unlink(Config.SocketPath.c_str());
+  EEL_LOG(LogLevel::Info, "daemon.shutdown",
+          logNum("answered", Answered.load(std::memory_order_relaxed)));
+  Logger::instance().flushAll();
   return 0;
 }
 
@@ -230,9 +260,28 @@ int main(int argc, char **argv) {
       Config.Limits.DispatchWorkers = static_cast<unsigned>(std::atoi(Value));
     } else if (!std::strcmp(Arg, "--max-requests") && NeedValue(Value)) {
       Config.MaxRequests = static_cast<uint64_t>(std::atoll(Value));
+    } else if (!std::strcmp(Arg, "--log-level") && NeedValue(Value)) {
+      if (!parseLogLevel(Value, Config.Log)) {
+        std::fprintf(stderr, "error: unknown log level '%s'\n", Value);
+        return 2;
+      }
+    } else if (!std::strcmp(Arg, "--log-file") && NeedValue(Value)) {
+      Config.LogFile = Value;
+    } else if (!std::strcmp(Arg, "--slow-ms") && NeedValue(Value)) {
+      Config.Limits.SlowRequestUs =
+          static_cast<uint64_t>(std::atoll(Value)) * 1000;
+    } else if (!std::strcmp(Arg, "--exemplars") && NeedValue(Value)) {
+      Config.Limits.ExemplarCapacity = static_cast<size_t>(std::atoll(Value));
     } else {
       return usage(argv[0]);
     }
+  }
+  if (Config.Log != LogLevel::Off)
+    logSetLevel(Config.Log);
+  if (!Config.LogFile.empty() && !Logger::instance().setPath(Config.LogFile)) {
+    std::fprintf(stderr, "error: cannot open log file '%s'\n",
+                 Config.LogFile.c_str());
+    return 2;
   }
   if (!Config.OncePath.empty())
     return runOnce(Config);

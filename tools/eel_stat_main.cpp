@@ -1,0 +1,375 @@
+//===- tools/eel_stat_main.cpp - eel-serve scrape client ------------------===//
+//
+// Part of the EEL reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// eel-stat: the operator's view of a running eel-serve daemon. Connects
+/// to the daemon's local socket, sends one control-plane ELSt frame per
+/// poll (serve/Protocol.h), and renders the snapshot — it never performs
+/// an edit and never consumes an in-flight slot, so it works against a
+/// saturated daemon.
+///
+///   eel-stat --socket PATH [options]
+///     --json           print the raw eel-report/1 JSON snapshot
+///     --prometheus     print the raw Prometheus text exposition
+///     --exemplars N    include up to N slow-request exemplars (0 = all;
+///                      implies the JSON snapshot carries them)
+///     --watch SECS     repeat every SECS seconds, printing the cumulative
+///                      view plus per-interval deltas, until the daemon
+///                      goes away
+///     --out FILE       write the snapshot body to FILE instead of stdout
+///
+/// The default (no format flag) is a human one-screen summary parsed out
+/// of the JSON snapshot. Exit status: 0 on success, 1 when the daemon
+/// answers but the snapshot is an error or fails to parse, 2 on usage or
+/// connection errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace eel;
+
+namespace {
+
+struct StatConfig {
+  std::string SocketPath;
+  std::string OutPath;
+  StatusFormat Format = StatusFormat::Json;
+  bool Raw = false; ///< --json/--prometheus: print the body verbatim.
+  bool WantExemplars = false;
+  uint32_t MaxExemplars = 0;
+  unsigned WatchSecs = 0;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--json | --prometheus] "
+               "[--exemplars N] [--watch SECS] [--out FILE]\n",
+               Argv0);
+  return 2;
+}
+
+bool readFull(int Fd, uint8_t *Buf, size_t N) {
+  size_t Got = 0;
+  while (Got < N) {
+    ssize_t R = ::read(Fd, Buf + Got, N - Got);
+    if (R <= 0)
+      return false;
+    Got += static_cast<size_t>(R);
+  }
+  return true;
+}
+
+bool writeFull(int Fd, const uint8_t *Buf, size_t N) {
+  size_t Put = 0;
+  while (Put < N) {
+    ssize_t W = ::write(Fd, Buf + Put, N - Put);
+    if (W <= 0)
+      return false;
+    Put += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Snapshot bodies are text; anything bigger than this is not a status
+/// response from a daemon we know.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+bool readFrame(int Fd, std::vector<uint8_t> &Payload) {
+  uint8_t Hdr[4];
+  if (!readFull(Fd, Hdr, 4))
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Hdr[0]) |
+                 (static_cast<uint32_t>(Hdr[1]) << 8) |
+                 (static_cast<uint32_t>(Hdr[2]) << 16) |
+                 (static_cast<uint32_t>(Hdr[3]) << 24);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || readFull(Fd, Payload.data(), Len);
+}
+
+bool writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  uint8_t Hdr[4] = {static_cast<uint8_t>(Len), static_cast<uint8_t>(Len >> 8),
+                    static_cast<uint8_t>(Len >> 16),
+                    static_cast<uint8_t>(Len >> 24)};
+  if (!writeFull(Fd, Hdr, 4))
+    return false;
+  return Payload.empty() || writeFull(Fd, Payload.data(), Payload.size());
+}
+
+/// One scrape over a fresh connection. Returns 0/1/2 like the tool's exit
+/// status; on 0 the decoded response is in \p Resp.
+int scrapeOnce(const StatConfig &Config, StatusResponse &Resp) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("eel-stat: socket");
+    return 2;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(Fd);
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "error: cannot connect to '%s': %s\n",
+                 Config.SocketPath.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return 2;
+  }
+
+  StatusRequest Req;
+  Req.Format = Config.Format;
+  Req.WantExemplars = Config.WantExemplars;
+  Req.MaxExemplars = Config.MaxExemplars;
+  std::vector<uint8_t> Payload;
+  if (!writeFrame(Fd, encodeStatusRequest(Req)) || !readFrame(Fd, Payload)) {
+    std::fprintf(stderr, "error: daemon closed the connection mid-scrape\n");
+    ::close(Fd);
+    return 2;
+  }
+  ::close(Fd);
+
+  Expected<StatusResponse> Decoded = decodeStatusResponse(Payload);
+  if (Decoded.hasError()) {
+    std::fprintf(stderr, "error: bad status response: %s\n",
+                 Decoded.error().describe().c_str());
+    return 1;
+  }
+  Resp = std::move(Decoded.value());
+  if (Resp.Status != ServeStatus::Ok) {
+    std::fprintf(stderr, "error: daemon answered with an error envelope:\n%s\n",
+                 Resp.Body.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+uint64_t numField(const JsonValue *Obj, const char *Key) {
+  if (!Obj)
+    return 0;
+  const JsonValue *V = Obj->find(Key);
+  return V ? static_cast<uint64_t>(V->asNumber()) : 0;
+}
+
+const JsonValue *histByName(const JsonValue *Hists, const char *Name) {
+  if (!Hists || !Hists->isArray())
+    return nullptr;
+  for (const JsonValue &H : Hists->Arr) {
+    const JsonValue *N = H.find("name");
+    if (N && N->Str == Name)
+      return &H;
+  }
+  return nullptr;
+}
+
+/// The cumulative counters a --watch delta is computed over.
+struct Sample {
+  uint64_t Requests = 0;
+  uint64_t Ok = 0;
+  uint64_t Rejected = 0;
+  uint64_t Errors = 0;
+  bool Valid = false;
+};
+
+/// Renders the one-screen human view from the parsed snapshot's summary.
+/// Returns the cumulative sample for delta computation.
+Sample renderHuman(const JsonValue &Summary, const StatConfig &Config,
+                   const Sample &Prev) {
+  const JsonValue *Counters = Summary.find("counters");
+  const JsonValue *CacheV = Summary.find("cache");
+  const JsonValue *PoolV = Summary.find("pool");
+  const JsonValue *SlowV = Summary.find("slow");
+  const JsonValue *Hists = Summary.find("histograms");
+
+  Sample Now;
+  Now.Requests = numField(Counters, "requests");
+  Now.Ok = numField(Counters, "ok");
+  Now.Rejected = numField(Counters, "rejected");
+  Now.Errors = numField(Counters, "errors");
+  Now.Valid = true;
+
+  double UpSecs = numField(&Summary, "uptime_ms") / 1000.0;
+  std::printf("eel-serve @ %s — up %.1f s\n", Config.SocketPath.c_str(),
+              UpSecs);
+  std::printf("requests  %llu total: %llu ok, %llu rejected, %llu errors; "
+              "%llu in flight, %llu scrapes\n",
+              (unsigned long long)Now.Requests, (unsigned long long)Now.Ok,
+              (unsigned long long)Now.Rejected, (unsigned long long)Now.Errors,
+              (unsigned long long)numField(&Summary, "in_flight"),
+              (unsigned long long)numField(Counters, "status_requests"));
+  if (Prev.Valid && Config.WatchSecs)
+    std::printf("   +%llu requests (+%llu ok, +%llu rejected, +%llu errors) "
+                "in the last %u s\n",
+                (unsigned long long)(Now.Requests - Prev.Requests),
+                (unsigned long long)(Now.Ok - Prev.Ok),
+                (unsigned long long)(Now.Rejected - Prev.Rejected),
+                (unsigned long long)(Now.Errors - Prev.Errors),
+                Config.WatchSecs);
+  if (CacheV) {
+    const JsonValue *Rate = CacheV->find("hit_rate_pct");
+    std::printf("cache     %llu entries, %llu bytes, %.1f%% hit "
+                "(%llu hits / %llu misses / %llu evictions)\n",
+                (unsigned long long)numField(CacheV, "entries"),
+                (unsigned long long)numField(CacheV, "bytes"),
+                Rate ? Rate->asNumber() : 0.0,
+                (unsigned long long)numField(CacheV, "hits"),
+                (unsigned long long)numField(CacheV, "misses"),
+                (unsigned long long)numField(CacheV, "evictions"));
+  }
+  if (PoolV)
+    std::printf("pool      %llu workers, %llu pending (queue capacity %llu)\n",
+                (unsigned long long)numField(PoolV, "workers"),
+                (unsigned long long)numField(PoolV, "pending"),
+                (unsigned long long)numField(PoolV, "queue_capacity"));
+  if (const JsonValue *Lat = histByName(Hists, "serve.latency_us"))
+    std::printf("latency   p50 %.0f us, p99 %.0f us over %llu ok requests "
+                "(min %llu, max %llu)\n",
+                numField(Lat, "p50") ? Lat->find("p50")->asNumber() : 0.0,
+                numField(Lat, "p99") ? Lat->find("p99")->asNumber() : 0.0,
+                (unsigned long long)numField(Lat, "count"),
+                (unsigned long long)numField(Lat, "min"),
+                (unsigned long long)numField(Lat, "max"));
+  if (const JsonValue *Scrape = histByName(Hists, "serve.scrape_us"))
+    std::printf("scrape    p99 %.0f us over %llu scrapes\n",
+                numField(Scrape, "p99") ? Scrape->find("p99")->asNumber()
+                                        : 0.0,
+                (unsigned long long)numField(Scrape, "count"));
+  if (SlowV) {
+    uint64_t Threshold = numField(SlowV, "threshold_us");
+    if (Threshold)
+      std::printf("slow      threshold %llu us, %llu captured (ring of %llu)\n",
+                  (unsigned long long)Threshold,
+                  (unsigned long long)numField(SlowV, "captured"),
+                  (unsigned long long)numField(SlowV, "capacity"));
+    else
+      std::printf("slow      capture off (--slow-ms 0)\n");
+    const JsonValue *Ex = SlowV->find("exemplars");
+    if (Ex && Ex->isArray())
+      for (const JsonValue &E : Ex->Arr)
+        std::printf("  exemplar request_id=%llu latency=%llu us tool=%s%s\n",
+                    (unsigned long long)numField(&E, "request_id"),
+                    (unsigned long long)numField(&E, "latency_us"),
+                    E.find("tool") ? E.find("tool")->Str.c_str() : "?",
+                    E.find("cache_hit") && E.find("cache_hit")->B
+                        ? " (cache hit)"
+                        : "");
+  }
+  return Now;
+}
+
+int writeOut(const StatConfig &Config, const std::string &Body) {
+  if (Config.OutPath.empty()) {
+    std::fputs(Body.c_str(), stdout);
+    if (!Body.empty() && Body.back() != '\n')
+      std::fputc('\n', stdout);
+    return 0;
+  }
+  FILE *F = std::fopen(Config.OutPath.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Config.OutPath.c_str());
+    return 2;
+  }
+  std::fwrite(Body.data(), 1, Body.size(), F);
+  std::fclose(F);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  StatConfig Config;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto NeedValue = [&](const char *&Out) {
+      if (I + 1 >= argc)
+        return false;
+      Out = argv[++I];
+      return true;
+    };
+    const char *Value = nullptr;
+    if (!std::strcmp(Arg, "--socket") && NeedValue(Value)) {
+      Config.SocketPath = Value;
+    } else if (!std::strcmp(Arg, "--json")) {
+      Config.Format = StatusFormat::Json;
+      Config.Raw = true;
+    } else if (!std::strcmp(Arg, "--prometheus")) {
+      Config.Format = StatusFormat::Prometheus;
+      Config.Raw = true;
+    } else if (!std::strcmp(Arg, "--exemplars") && NeedValue(Value)) {
+      Config.WantExemplars = true;
+      Config.MaxExemplars = static_cast<uint32_t>(std::atoll(Value));
+    } else if (!std::strcmp(Arg, "--watch") && NeedValue(Value)) {
+      Config.WatchSecs = static_cast<unsigned>(std::atoi(Value));
+      if (Config.WatchSecs == 0)
+        return usage(argv[0]);
+    } else if (!std::strcmp(Arg, "--out") && NeedValue(Value)) {
+      Config.OutPath = Value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Config.SocketPath.empty())
+    return usage(argv[0]);
+  if (Config.Raw && Config.Format == StatusFormat::Prometheus &&
+      Config.WantExemplars) {
+    std::fprintf(stderr, "error: --exemplars requires the JSON snapshot\n");
+    return 2;
+  }
+
+  Sample Prev;
+  while (true) {
+    StatusResponse Resp;
+    if (int Rc = scrapeOnce(Config, Resp)) {
+      // Under --watch the daemon going away is the normal end of the
+      // session, not a failure of the last good scrape.
+      return Config.WatchSecs && Prev.Valid ? 0 : Rc;
+    }
+    if (Config.Raw) {
+      if (int Rc = writeOut(Config, Resp.Body))
+        return Rc;
+      Prev.Valid = true;
+    } else {
+      Expected<JsonValue> Doc = parseJson(Resp.Body);
+      if (Doc.hasError()) {
+        std::fprintf(stderr, "error: snapshot does not parse: %s\n",
+                     Doc.error().describe().c_str());
+        return 1;
+      }
+      const JsonValue *Summary = Doc.value().find("summary");
+      if (!Summary) {
+        std::fprintf(stderr, "error: snapshot has no summary\n");
+        return 1;
+      }
+      Prev = renderHuman(*Summary, Config, Prev);
+    }
+    if (!Config.WatchSecs)
+      return 0;
+    std::printf("\n");
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(Config.WatchSecs));
+  }
+}
